@@ -1,0 +1,77 @@
+// Command tangled runs the paper's §6.3 stability campaign on the
+// nine-site testbed: repeated catchment measurements (the paper does 96
+// over 24 hours), transition classification, and flip attribution.
+//
+//	tangled -rounds 96 -size medium
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"verfploeter"
+	"verfploeter/internal/topology"
+)
+
+func main() {
+	var (
+		sizeName = flag.String("size", "medium", "topology size: tiny, small, medium, large")
+		seed     = flag.Uint64("seed", 7, "scenario seed")
+		rounds   = flag.Int("rounds", 96, "measurement rounds (paper: 96 over 24h)")
+	)
+	flag.Parse()
+
+	var size topology.Size
+	switch *sizeName {
+	case "tiny":
+		size = topology.SizeTiny
+	case "small":
+		size = topology.SizeSmall
+	case "medium":
+		size = topology.SizeMedium
+	case "large":
+		size = topology.SizeLarge
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeName)
+		os.Exit(2)
+	}
+
+	d := verfploeter.Tangled(size, *seed)
+	fmt.Printf("tangled: 9 sites, %d hitlist targets, %d rounds\n", d.Hitlist.Len(), *rounds)
+
+	rounds96, err := d.MapRounds(*rounds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tangled:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("\nround 0 catchment:")
+	counts := rounds96[0].Counts()
+	for i, code := range d.SiteCodes() {
+		fmt.Printf("%-5s %8d blocks  %5.1f%%\n", code, counts[i], 100*rounds96[0].Fraction(i))
+	}
+
+	series := d.StabilitySeries(rounds96)
+	fmt.Println("\nstability (every 8th transition):")
+	fmt.Printf("%6s %10s %9s %9s %9s\n", "round", "stable", "flipped", "to-NR", "from-NR")
+	for i, sr := range series {
+		if i%8 == 0 || i == len(series)-1 {
+			fmt.Printf("%6d %10d %9d %9d %9d\n", sr.Round,
+				sr.Diff.Stable, sr.Diff.Flipped, sr.Diff.ToNR, sr.Diff.FromNR)
+		}
+	}
+
+	fmt.Println("\ntop ASes involved in site flips:")
+	fmt.Printf("%8s %-14s %8s %8s %6s\n", "ASN", "name", "IPs(/24)", "flips", "frac")
+	for i, r := range d.FlipASes(rounds96) {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("%8d %-14s %8d %8d %6.2f\n", r.ASN, r.Name, r.Blocks, r.Flips, r.Frac)
+	}
+
+	div := d.Divisions(rounds96[0], rounds96)
+	fmt.Printf("\nAS divisions (unstable blocks removed): %d of %d mapped ASes split (%.1f%%)\n",
+		div.SplitASes, div.MappedASes, 100*div.SplitFrac())
+}

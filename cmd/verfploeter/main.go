@@ -1,0 +1,191 @@
+// Command verfploeter runs one anycast catchment measurement over a named
+// scenario and reports the result — the equivalent of the paper's tool
+// run against B-Root or Tangled.
+//
+//	verfploeter -scenario b-root -size medium
+//	verfploeter -scenario tangled -map -prepend 0,0,0,0,0,0,0,0,0
+//	verfploeter -scenario b-root -hitlist-out hitlist.txt -catchment-out catchment.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"verfploeter"
+	"verfploeter/internal/dataset"
+	"verfploeter/internal/topology"
+)
+
+func main() {
+	var (
+		scenarioName = flag.String("scenario", "b-root", "scenario: b-root, tangled, nl, cdn")
+		configPath   = flag.String("config", "", "build a custom deployment from a JSON declaration instead of -scenario")
+		sizeName     = flag.String("size", "medium", "topology size: tiny, small, medium, large")
+		seed         = flag.Uint64("seed", 7, "scenario seed")
+		round        = flag.Uint("round", 1, "measurement round identifier (ICMP ident)")
+		prepends     = flag.String("prepend", "", "comma-separated per-site prepend counts")
+		showMap      = flag.Bool("map", false, "render the ASCII catchment map")
+		hitlistOut   = flag.String("hitlist-out", "", "write the hitlist (ISI text format) to this file")
+		catchOut     = flag.String("catchment-out", "", "write the catchment (block\\tsite TSV) to this file")
+		datasetOut   = flag.String("save-dataset", "", "save the full measurement as a .vpds dataset file")
+		datasetID    = flag.String("dataset-id", "", "dataset id stored in -save-dataset (default scenario-round)")
+	)
+	flag.Parse()
+
+	var d *verfploeter.Deployment
+	var err error
+	if *configPath != "" {
+		d, err = verfploeter.FromConfigFile(*configPath)
+	} else {
+		d, err = buildDeployment(*scenarioName, *sizeName, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *prepends != "" {
+		pp, err := parsePrepends(*prepends, len(d.Sites))
+		if err != nil {
+			fatal(err)
+		}
+		d.SetPrepends(pp)
+	}
+
+	catch, stats, err := d.Map(uint16(*round))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("scenario %s (seed %d): %d sites, %d hitlist targets\n",
+		d.Name, d.Seed, len(d.Sites), d.Hitlist.Len())
+	fmt.Printf("probed %d targets over %v virtual time; %d replies kept\n",
+		stats.Sent, stats.Elapsed.Round(1e9), stats.Clean.Kept)
+	fmt.Printf("cleaning: %d duplicates, %d unsolicited, %d late, %d wrong-round\n",
+		stats.Clean.Duplicates, stats.Clean.Unsolicited, stats.Clean.Late, stats.Clean.WrongRound)
+	fmt.Println()
+	counts := catch.Counts()
+	for i, code := range d.SiteCodes() {
+		fmt.Printf("%-5s %8d blocks  %5.1f%%\n", code, counts[i], 100*catch.Fraction(i))
+	}
+
+	if *showMap {
+		fmt.Println()
+		if err := d.RenderCatchmentMap(os.Stdout, catch); err != nil {
+			fatal(err)
+		}
+	}
+	if *hitlistOut != "" {
+		if err := writeFile(*hitlistOut, func(w *bufio.Writer) error {
+			_, err := d.Hitlist.WriteTo(w)
+			return err
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hitlist written to %s\n", *hitlistOut)
+	}
+	if *datasetOut != "" {
+		id := *datasetID
+		if id == "" {
+			id = fmt.Sprintf("%s-r%d", d.Name, *round)
+		}
+		ds := &dataset.Dataset{
+			Meta: dataset.Meta{
+				ID: id, Scenario: d.Name, Sites: d.SiteCodes(),
+				RoundID: uint16(*round), Seed: *seed,
+				CreatedUnix: time.Now().Unix(),
+			},
+			Catchment: catch,
+			Stats:     stats,
+		}
+		if err := dataset.WriteFile(*datasetOut, ds); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dataset %s written to %s\n", id, *datasetOut)
+	}
+	if *catchOut != "" {
+		if err := writeFile(*catchOut, func(w *bufio.Writer) error {
+			blocks := catch.Blocks()
+			sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+			for _, b := range blocks {
+				site, _ := catch.SiteOf(b)
+				if _, err := fmt.Fprintf(w, "%s\t%s\n", b, d.SiteCodes()[site]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("catchment written to %s\n", *catchOut)
+	}
+}
+
+func buildDeployment(name, sizeName string, seed uint64) (*verfploeter.Deployment, error) {
+	var size topology.Size
+	switch strings.ToLower(sizeName) {
+	case "tiny":
+		size = topology.SizeTiny
+	case "small":
+		size = topology.SizeSmall
+	case "medium":
+		size = topology.SizeMedium
+	case "large":
+		size = topology.SizeLarge
+	default:
+		return nil, fmt.Errorf("unknown size %q", sizeName)
+	}
+	switch strings.ToLower(name) {
+	case "b-root", "broot":
+		return verfploeter.BRoot(size, seed), nil
+	case "tangled":
+		return verfploeter.Tangled(size, seed), nil
+	case "nl":
+		return verfploeter.NL(size, seed), nil
+	case "cdn":
+		return verfploeter.CDN(size, seed), nil
+	}
+	return nil, fmt.Errorf("unknown scenario %q (b-root, tangled, nl, cdn)", name)
+}
+
+func parsePrepends(s string, nSites int) ([]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != nSites {
+		return nil, fmt.Errorf("-prepend needs %d comma-separated values, got %d", nSites, len(parts))
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad prepend %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func writeFile(path string, fn func(*bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := fn(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "verfploeter:", err)
+	os.Exit(1)
+}

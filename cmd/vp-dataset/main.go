@@ -1,0 +1,112 @@
+// Command vp-dataset inspects and compares saved Verfploeter measurement
+// datasets (the .vpds files cmd/verfploeter -save-dataset produces),
+// mirroring how the paper compares its published scans (Table 1; the
+// SBV-4-21 vs SBV-5-15 month-over-month drift of §5.5).
+//
+//	vp-dataset info run.vpds
+//	vp-dataset diff april.vpds may.vpds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"verfploeter/internal/dataset"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage:\n  vp-dataset info <file>\n  vp-dataset diff <fileA> <fileB>\n")
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "info":
+		if err := info(args[1]); err != nil {
+			fatal(err)
+		}
+	case "diff":
+		if len(args) != 3 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := diff(args[1], args[2]); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func info(path string) error {
+	ds, err := dataset.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s (scenario %s, round %d, seed %d)\n",
+		ds.Meta.ID, ds.Meta.Scenario, ds.Meta.RoundID, ds.Meta.Seed)
+	if ds.Meta.CreatedUnix != 0 {
+		fmt.Printf("created: %s\n", time.Unix(ds.Meta.CreatedUnix, 0).UTC().Format(time.RFC3339))
+	}
+	fmt.Printf("probes sent: %d; replies kept: %d (dups %d, unsolicited %d, late %d)\n",
+		ds.Stats.Sent, ds.Stats.Clean.Kept, ds.Stats.Clean.Duplicates,
+		ds.Stats.Clean.Unsolicited, ds.Stats.Clean.Late)
+	if ds.Stats.MedianRTT > 0 {
+		fmt.Printf("median RTT: %v\n", ds.Stats.MedianRTT.Round(time.Millisecond))
+	}
+	fmt.Printf("\n%-6s %10s %8s\n", "site", "blocks", "share")
+	counts := ds.Catchment.Counts()
+	for i, code := range ds.Meta.Sites {
+		if i >= len(counts) {
+			break
+		}
+		fmt.Printf("%-6s %10d %7.1f%%\n", code, counts[i], 100*ds.Catchment.Fraction(i))
+	}
+	return nil
+}
+
+func diff(pathA, pathB string) error {
+	a, err := dataset.ReadFile(pathA)
+	if err != nil {
+		return fmt.Errorf("%s: %w", pathA, err)
+	}
+	b, err := dataset.ReadFile(pathB)
+	if err != nil {
+		return fmt.Errorf("%s: %w", pathB, err)
+	}
+	rep, err := dataset.Diff(a, b)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("diff %s -> %s\n\n", a.Meta.ID, b.Meta.ID)
+	d := rep.Transitions
+	total := d.Stable + d.Flipped + d.ToNR
+	fmt.Printf("%-22s %10d\n", "stable blocks", d.Stable)
+	fmt.Printf("%-22s %10d\n", "flipped site", d.Flipped)
+	fmt.Printf("%-22s %10d\n", "went silent (to-NR)", d.ToNR)
+	fmt.Printf("%-22s %10d\n", "appeared (from-NR)", d.FromNR)
+	if total > 0 {
+		fmt.Printf("\nstability: %.1f%% of A's blocks kept their site in B\n",
+			100*float64(d.Stable)/float64(total))
+	}
+	fmt.Printf("\n%-6s %12s\n", "site", "share delta")
+	for i, code := range a.Meta.Sites {
+		if i >= len(rep.ShareDelta) {
+			break
+		}
+		fmt.Printf("%-6s %+11.1fpp\n", code, 100*rep.ShareDelta[i])
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vp-dataset:", err)
+	os.Exit(1)
+}

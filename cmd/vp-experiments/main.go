@@ -1,0 +1,100 @@
+// Command vp-experiments regenerates the paper's tables and figures.
+//
+//	vp-experiments -run all
+//	vp-experiments -run table4,fig5 -size large -seed 7
+//	vp-experiments -list
+//
+// Each experiment prints its data next to the paper's numbers and a set
+// of shape checks (who wins, by what factor). See EXPERIMENTS.md for the
+// checked-in results.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"verfploeter/internal/experiments"
+	"verfploeter/internal/topology"
+)
+
+func main() {
+	var (
+		runList  = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		sizeName = flag.String("size", "medium", "topology size: tiny, small, medium, large")
+		seed     = flag.Uint64("seed", 7, "scenario seed")
+		atlasVPs = flag.Int("atlas-vps", 300, "simulated RIPE Atlas platform size")
+		rounds   = flag.Int("rounds", 24, "rounds for multi-round campaigns (paper: 96)")
+		asJSON   = flag.Bool("json", false, "emit results as JSON (id, title, metrics, shape misses)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-22s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	size, err := parseSize(*sizeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Size: size, Seed: *seed, AtlasVPs: *atlasVPs, Rounds: *rounds}
+
+	ids := experiments.IDs()
+	if *runList != "all" {
+		ids = strings.Split(*runList, ",")
+	}
+	failures := 0
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failures++
+			continue
+		}
+		misses := strings.Count(res.Text, "shape[MISS]")
+		if *asJSON {
+			if err := enc.Encode(map[string]any{
+				"id":           res.ID,
+				"title":        res.Title,
+				"metrics":      res.Metrics,
+				"shape_misses": misses,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failures++
+			}
+		} else {
+			fmt.Printf("=== %s: %s ===\n%s\n", res.ID, res.Title, res.Text)
+		}
+		if misses > 0 {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) with errors or missed shapes\n", failures)
+		os.Exit(1)
+	}
+}
+
+func parseSize(s string) (topology.Size, error) {
+	switch strings.ToLower(s) {
+	case "tiny":
+		return topology.SizeTiny, nil
+	case "small":
+		return topology.SizeSmall, nil
+	case "medium":
+		return topology.SizeMedium, nil
+	case "large":
+		return topology.SizeLarge, nil
+	}
+	return 0, fmt.Errorf("unknown size %q (tiny, small, medium, large)", s)
+}

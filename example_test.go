@@ -1,0 +1,41 @@
+package verfploeter_test
+
+import (
+	"fmt"
+
+	"verfploeter"
+)
+
+// Example walks the paper's core loop: map an anycast catchment with
+// Verfploeter, calibrate it with a day of query logs, and evaluate a
+// prepending change. Everything is deterministic, so the output is too.
+func Example() {
+	// B-Root after its May 2017 anycast deployment: LAX + MIA.
+	d := verfploeter.BRoot(verfploeter.SizeTiny, 1)
+
+	// One measurement round: ICMP probes to every hitlist /24, sourced
+	// from the anycast prefix; the capturing site names each block's
+	// catchment (§3.1).
+	catch, stats, err := d.Map(1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mapped %d of %d probed blocks\n", catch.Len(), stats.Sent)
+	fmt.Printf("lax %.1f%%, mia %.1f%%\n", 100*catch.Fraction(0), 100*catch.Fraction(1))
+
+	// Calibrate block counts into load with historical traffic (§3.2).
+	log := d.RootLog()
+	est := d.PredictLoad(catch, log, verfploeter.ByQueries)
+	fmt.Printf("predicted lax load share %.1f%%\n", 100*est.Fraction(0))
+
+	// Traffic engineering (§6.1): prepend MIA once and re-measure.
+	d.SetPrepends([]int{0, 1})
+	catch2, _, _ := d.Map(2)
+	fmt.Printf("after mia+1: lax %.1f%%\n", 100*catch2.Fraction(0))
+
+	// Output:
+	// mapped 2011 of 3478 probed blocks
+	// lax 57.4%, mia 42.6%
+	// predicted lax load share 58.5%
+	// after mia+1: lax 85.0%
+}

@@ -1,0 +1,87 @@
+// B-Root case study (paper §5-6.1): compare Verfploeter against RIPE
+// Atlas coverage, calibrate the catchment with query-log load, validate
+// the prediction against measured truth, and sweep AS-path prepending.
+//
+//	go run ./examples/broot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"verfploeter"
+)
+
+func main() {
+	log.SetFlags(0)
+	d := verfploeter.BRoot(verfploeter.SizeMedium, 7)
+
+	// --- Coverage: Verfploeter vs a RIPE-Atlas-style platform ---
+	catch, _, err := d.Map(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	atlasPlatform := d.NewAtlas(300) // scaled-down stand-in for 9.8k VPs
+	ar := d.MapAtlas(atlasPlatform, 0)
+	cov := d.CompareCoverage(ar, catch)
+
+	fmt.Println("== coverage (paper Table 4) ==")
+	fmt.Printf("%-28s %10s %12s\n", "", "Atlas", "Verfploeter")
+	fmt.Printf("%-28s %10d %12d\n", "considered (VPs / blocks)", cov.AtlasVPsConsidered, cov.VerfConsidered)
+	fmt.Printf("%-28s %10d %12d\n", "non-responding", cov.AtlasVPsNonResponding, cov.VerfNonResponding)
+	fmt.Printf("%-28s %10d %12d\n", "responding", cov.AtlasVPsResponding, cov.VerfResponding)
+	fmt.Printf("%-28s %10d %12d\n", "geolocatable blocks", cov.AtlasBlocksResponding, cov.VerfGeolocatable)
+	fmt.Printf("%-28s %10d %12d\n", "unique blocks", cov.AtlasUnique, cov.VerfUnique)
+	fmt.Printf("coverage ratio: %.0fx (paper: 430x at full Internet scale)\n\n", cov.Ratio)
+
+	// --- Load calibration (paper §5.4-5.5, Table 6) ---
+	dayLog := d.RootLog()
+	est := d.PredictLoad(catch, dayLog, verfploeter.ByQueries)
+	actual := d.ActualLoad(dayLog, verfploeter.ByQueries)
+	actualLAX := actual[0] / (actual[0] + actual[1])
+
+	fmt.Println("== percent-to-LAX by method (paper Table 6) ==")
+	fmt.Printf("%-32s %6.1f%%\n", "Atlas VPs", 100*ar.SiteFractions()[0])
+	fmt.Printf("%-32s %6.1f%%\n", "Verfploeter blocks", 100*catch.Fraction(0))
+	fmt.Printf("%-32s %6.1f%%\n", "Verfploeter + load weighting", 100*est.Fraction(0))
+	fmt.Printf("%-32s %6.1f%%  <- ground truth\n", "actual measured load", 100*actualLAX)
+	fmt.Printf("mapped %.1f%% of traffic-sending blocks carrying %.1f%% of queries (paper: 87.1%% / 82.4%%)\n\n",
+		100*est.MappedBlockFraction(), 100*est.MappedQueryFraction())
+
+	// --- AS-path prepending sweep (paper Figure 5) ---
+	fmt.Println("== prepending sweep: fraction to LAX (paper Figure 5) ==")
+	fmt.Printf("%-10s %12s %14s\n", "config", "Atlas VPs", "Verfploeter")
+	configs := []struct {
+		name string
+		pp   []int
+	}{
+		{"+1 LAX", []int{1, 0}},
+		{"equal", []int{0, 0}},
+		{"+1 MIA", []int{0, 1}},
+		{"+2 MIA", []int{0, 2}},
+		{"+3 MIA", []int{0, 3}},
+	}
+	for i, cfg := range configs {
+		d.SetPrepends(cfg.pp)
+		c, _, err := d.Map(uint16(10 + i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := d.MapAtlas(atlasPlatform, uint32(10+i))
+		atlasLAX := 0.0
+		if f := a.SiteFractions(); len(f) > 0 {
+			atlasLAX = f[0]
+		}
+		fmt.Printf("%-10s %11.1f%% %13.1f%%\n", cfg.name, 100*atlasLAX, 100*c.Fraction(0))
+	}
+	d.SetPrepends(nil)
+
+	// --- Hourly load projection (paper Figure 6) ---
+	fmt.Println("\n== predicted load by hour, equal announcement (paper Figure 6) ==")
+	h := d.PredictHourly(catch, dayLog, verfploeter.ByQueries)
+	fmt.Printf("%4s %10s %10s %10s\n", "hour", "LAX q/s", "MIA q/s", "unknown")
+	for hour := 0; hour < 24; hour += 3 {
+		fmt.Printf("%4d %10.0f %10.0f %10.0f\n",
+			hour, h.QPS[hour][0], h.QPS[hour][1], h.QPS[hour][2])
+	}
+}

@@ -1,0 +1,50 @@
+// Regional load study (paper §5.4, Figure 4): why catchment maps must be
+// calibrated with load. A root server's clients look like the whole
+// Internet; a ccTLD's clients cluster at home. The same catchment split
+// can carry wildly different load splits depending on the service.
+//
+//	go run ./examples/nl-load
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"verfploeter"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The .nl-style deployment: four name-server sites, European and US.
+	d := verfploeter.NL(verfploeter.SizeMedium, 13)
+	catch, _, err := d.Map(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	regional := d.NLLog() // .nl-style: strongly Dutch/European clients
+	global := d.RootLog() // root-style: clients everywhere
+
+	fmt.Println("== block catchment vs load split, per weighting (paper §5.4) ==")
+	fmt.Printf("%-8s %10s %14s %14s\n", "site", "blocks", "root-style", ".nl-style")
+	estG := d.PredictLoad(catch, global, verfploeter.ByQueries)
+	estR := d.PredictLoad(catch, regional, verfploeter.ByQueries)
+	for i, code := range d.SiteCodes() {
+		fmt.Printf("%-8s %9.1f%% %13.1f%% %13.1f%%\n",
+			code, 100*catch.Fraction(i), 100*estG.Fraction(i), 100*estR.Fraction(i))
+	}
+	fmt.Println("\nThe further a service's client base is from uniform, the more")
+	fmt.Println("block-counting misleads: calibration with real load is essential.")
+
+	fmt.Println("\n== geography of .nl-style load (paper Figure 4b) ==")
+	if err := d.RenderLoadMap(os.Stdout, catch, regional, verfploeter.ByQueries); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== geography of root-style load for the same sites (paper Figure 4a) ==")
+	if err := d.RenderLoadMap(os.Stdout, catch, global, verfploeter.ByQueries); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+// Site planning (paper §7): use the RTTs measured during catchment
+// mapping to decide where the next anycast sites should go, and how the
+// accuracy of load predictions decays as the measurement data ages.
+//
+//	go run ./examples/site-planning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"verfploeter"
+)
+
+func main() {
+	log.SetFlags(0)
+	d := verfploeter.BRoot(verfploeter.SizeMedium, 17)
+
+	catch, stats, err := d.Map(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dayLog := d.RootLog()
+
+	fmt.Printf("measured %d blocks; median probe RTT %v\n\n",
+		catch.Len(), stats.MedianRTT.Round(time.Millisecond))
+
+	// --- Where should B-Root's next sites go? (§7) ---
+	recs, model, err := d.RecommendSites(catch, dayLog, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RTT model calibrated from %d measured blocks: %.0fms base + %.2fms per degree-unit\n\n",
+		model.Samples, float64(model.Base)/1e6, float64(model.PerUnit)/1e6)
+	fmt.Println("greedy expansion plan (load-weighted mean RTT):")
+	fmt.Printf("%-14s %14s %14s %14s\n", "add site", "before", "after", "load improved")
+	for _, r := range recs {
+		fmt.Printf("%-14s %14v %14v %13.0f%%\n", r.Name,
+			r.MeanRTTBefore.Round(time.Millisecond),
+			r.MeanRTTAfter.Round(time.Millisecond),
+			100*r.LoadImproved)
+	}
+
+	// --- How fast do measurements go stale? (§5.5) ---
+	fmt.Println("\nprediction accuracy vs measurement age:")
+	est0 := d.PredictLoad(catch, dayLog, verfploeter.ByQueries)
+
+	// A "month" later the Internet's tie-breaks have drifted.
+	d.SetEpoch(1)
+	freshCatch, _, err := d.Map(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual := d.ActualLoad(dayLog, verfploeter.ByQueries)
+	actualLAX := actual[0] / (actual[0] + actual[1])
+	estFresh := d.PredictLoad(freshCatch, dayLog, verfploeter.ByQueries)
+
+	fmt.Printf("%-40s %6.1f%%\n", "stale prediction (month-old catchment)", 100*est0.Fraction(0))
+	fmt.Printf("%-40s %6.1f%%\n", "fresh prediction (current catchment)", 100*estFresh.Fraction(0))
+	fmt.Printf("%-40s %6.1f%%   <- ground truth\n", "actual load now", 100*actualLAX)
+	fmt.Println("\nthe paper's advice holds: re-measure before you re-engineer.")
+}

@@ -1,0 +1,72 @@
+// Tangled stability study (paper §6.2-6.3): run a multi-round campaign
+// over the nine-site testbed, classify VP transitions (Figure 9),
+// attribute catchment flips to ASes (Table 7), and count ASes that are
+// split across sites (Figures 7-8).
+//
+//	go run ./examples/tangled-stability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"verfploeter"
+)
+
+func main() {
+	log.SetFlags(0)
+	d := verfploeter.Tangled(verfploeter.SizeMedium, 11)
+
+	const nRounds = 12 // the paper runs 96 over 24h; same machinery
+	rounds, err := d.MapRounds(nRounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== per-site catchment, round 0 (paper Figure 3b) ==\n")
+	counts := rounds[0].Counts()
+	for i, code := range d.SiteCodes() {
+		fmt.Printf("%-4s %7d blocks (%5.1f%%)\n", code, counts[i], 100*rounds[0].Fraction(i))
+	}
+
+	fmt.Printf("\n== stability across %d rounds (paper Figure 9) ==\n", nRounds)
+	fmt.Printf("%6s %9s %8s %8s %8s\n", "round", "stable", "flipped", "to-NR", "from-NR")
+	for _, sr := range d.StabilitySeries(rounds) {
+		fmt.Printf("%6d %9d %8d %8d %8d\n",
+			sr.Round, sr.Diff.Stable, sr.Diff.Flipped, sr.Diff.ToNR, sr.Diff.FromNR)
+	}
+
+	fmt.Println("\n== top ASes involved in site flips (paper Table 7) ==")
+	rows := d.FlipASes(rounds)
+	fmt.Printf("%8s %-12s %8s %8s %6s\n", "ASN", "name", "blocks", "flips", "frac")
+	shown := 0
+	for _, r := range rows {
+		if shown >= 5 {
+			break
+		}
+		fmt.Printf("%8d %-12s %8d %8d %5.2f\n", r.ASN, r.Name, r.Blocks, r.Flips, r.Frac)
+		shown++
+	}
+
+	fmt.Println("\n== AS divisions after removing unstable blocks (paper §6.2) ==")
+	div := d.Divisions(rounds[0], rounds)
+	fmt.Printf("mapped ASes: %d, split across multiple sites: %d (%.1f%%; paper: 12.7%%)\n",
+		div.MappedASes, div.SplitASes, 100*div.SplitFrac())
+	fmt.Printf("sites-seen histogram: ")
+	for k, n := range div.SitesHist {
+		fmt.Printf("%d:%d ", k+1, n)
+	}
+	fmt.Println()
+
+	fmt.Println("\n== announced prefixes vs sites seen (paper Figure 7) ==")
+	fmt.Printf("%6s %6s %8s %8s %8s\n", "sites", "ASes", "p25", "median", "p75")
+	for _, r := range d.PrefixSpread(rounds[0], rounds) {
+		fmt.Printf("%6d %6d %8.1f %8.1f %8.1f\n", r.Sites, r.ASes, r.P25, r.Median, r.P75)
+	}
+
+	fmt.Println("\n== sites seen per announced prefix, by prefix length (paper Figure 8) ==")
+	fmt.Printf("%6s %9s %12s\n", "len", "prefixes", "multi-site")
+	for _, r := range d.SitesByPrefixLen(rounds[0], rounds) {
+		fmt.Printf("   /%-3d %9d %11.1f%%\n", r.Bits, r.Prefixes, 100*r.FracMultiSite())
+	}
+}

@@ -1,0 +1,3 @@
+module verfploeter
+
+go 1.22

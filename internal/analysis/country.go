@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"sort"
+
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/topology"
+	"verfploeter/internal/verfploeter"
+)
+
+// §5.1 asks questions like "how a host in China might select a B-Root
+// site: Atlas cannot comment, but Verfploeter shows most of China selects
+// the MIA site". CountryBreakdown answers them in general: per-country
+// block counts split by site.
+
+// CountryRow is one country's catchment split.
+type CountryRow struct {
+	Country string
+	Blocks  int
+	// BySite[s] is the number of mapped blocks reaching site s.
+	BySite []int
+}
+
+// DominantSite returns the site serving most of the country's blocks
+// (-1 if empty).
+func (r CountryRow) DominantSite() int {
+	best, bestN := -1, 0
+	for s, n := range r.BySite {
+		if n > bestN {
+			best, bestN = s, n
+		}
+	}
+	return best
+}
+
+// Share returns site s's share of the country's mapped blocks.
+func (r CountryRow) Share(s int) float64 {
+	if r.Blocks == 0 || s < 0 || s >= len(r.BySite) {
+		return 0
+	}
+	return float64(r.BySite[s]) / float64(r.Blocks)
+}
+
+// CountryBreakdown tallies the catchment by client country, descending by
+// mapped blocks.
+func CountryBreakdown(top *topology.Topology, catch *verfploeter.Catchment) []CountryRow {
+	byCountry := map[uint16]*CountryRow{}
+	catch.Range(func(b ipv4.Block, site int) bool {
+		bi := top.BlockIndex(b)
+		if bi < 0 {
+			return true
+		}
+		ci := top.Blocks[bi].CountryIdx
+		row := byCountry[ci]
+		if row == nil {
+			row = &CountryRow{
+				Country: topology.Countries[ci].Code,
+				BySite:  make([]int, catch.NSite),
+			}
+			byCountry[ci] = row
+		}
+		row.Blocks++
+		row.BySite[site]++
+		return true
+	})
+	out := make([]CountryRow, 0, len(byCountry))
+	for _, row := range byCountry {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Blocks != out[j].Blocks {
+			return out[i].Blocks > out[j].Blocks
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}

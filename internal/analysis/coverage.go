@@ -1,0 +1,79 @@
+// Package analysis turns raw measurement output into the paper's tables
+// and figures: coverage accounting (Table 4-5), per-site shares (Table 6),
+// AS-division statistics (§6.2, Figures 7-8), catchment stability (§6.3,
+// Figure 9, Table 7), and the two-degree geographic maps (Figures 2-4).
+package analysis
+
+import (
+	"verfploeter/internal/atlas"
+	"verfploeter/internal/geo"
+	"verfploeter/internal/hitlist"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/verfploeter"
+)
+
+// Coverage reproduces Table 4: how much of the Internet each measurement
+// system observes, in VPs (Atlas) and /24 blocks (both).
+type Coverage struct {
+	// Atlas side, in VPs and in distinct blocks.
+	AtlasVPsConsidered    int
+	AtlasVPsResponding    int
+	AtlasVPsNonResponding int
+	AtlasBlocksConsidered int
+	AtlasBlocksResponding int
+
+	// Verfploeter side, in /24 blocks.
+	VerfConsidered    int // hitlist targets probed
+	VerfNonResponding int
+	VerfResponding    int
+	VerfNoLocation    int // responding but not geolocatable
+	VerfGeolocatable  int
+
+	// Cross coverage among responding blocks.
+	Overlap     int // blocks seen by both systems
+	AtlasUnique int // blocks only Atlas sees
+	VerfUnique  int // blocks only Verfploeter sees
+
+	// Ratio is the paper's headline 430×: Verfploeter geolocatable
+	// blocks per Atlas responding block.
+	Ratio float64
+}
+
+// CompareCoverage assembles the Table 4 comparison from one Atlas
+// measurement and one Verfploeter catchment over the same deployment.
+func CompareCoverage(ar *atlas.Result, catch *verfploeter.Catchment, hl *hitlist.Hitlist, db *geo.DB) Coverage {
+	var c Coverage
+	c.AtlasVPsConsidered = ar.Considered
+	c.AtlasVPsResponding = ar.Responding
+	c.AtlasVPsNonResponding = ar.NonResponding
+
+	allAtlasBlocks := ipv4.NewBlockSet(ar.Considered)
+	for _, pr := range ar.PerVP {
+		allAtlasBlocks.Add(pr.VP.Addr.Block())
+	}
+	c.AtlasBlocksConsidered = allAtlasBlocks.Len()
+	c.AtlasBlocksResponding = ar.Blocks.Len()
+
+	c.VerfConsidered = hl.Len()
+	c.VerfResponding = catch.Len()
+	c.VerfNonResponding = c.VerfConsidered - c.VerfResponding
+
+	verfBlocks := ipv4.NewBlockSet(catch.Len())
+	catch.Range(func(b ipv4.Block, _ int) bool {
+		verfBlocks.Add(b)
+		if _, ok := db.Lookup(b); ok {
+			c.VerfGeolocatable++
+		} else {
+			c.VerfNoLocation++
+		}
+		return true
+	})
+
+	c.Overlap = verfBlocks.IntersectCount(ar.Blocks)
+	c.AtlasUnique = ar.Blocks.Len() - c.Overlap
+	c.VerfUnique = verfBlocks.Len() - c.Overlap
+	if c.AtlasBlocksResponding > 0 {
+		c.Ratio = float64(c.VerfGeolocatable) / float64(c.AtlasBlocksResponding)
+	}
+	return c
+}

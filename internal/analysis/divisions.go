@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"sort"
+
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/topology"
+	"verfploeter/internal/verfploeter"
+)
+
+// §6.2: prior work often assumed one VP can stand in for its whole AS.
+// Verfploeter's density lets us count how many ASes are actually served
+// by more than one site. Unstable blocks are removed first, "to prevent
+// unstable routing from being classified as a division within the AS"
+// (the paper measures the difference at about 2%).
+
+// DivisionStats summarizes split ASes.
+type DivisionStats struct {
+	MappedASes int // ASes with at least one mapped block
+	SplitASes  int // of those, ASes seeing more than one site
+	// SitesHist[k] = number of ASes seeing exactly k+1 sites.
+	SitesHist []int
+}
+
+// SplitFrac returns the fraction of mapped ASes that are split.
+func (d DivisionStats) SplitFrac() float64 {
+	if d.MappedASes == 0 {
+		return 0
+	}
+	return float64(d.SplitASes) / float64(d.MappedASes)
+}
+
+// asSites collects, for every AS index, the distinct sites its stable
+// blocks mapped to.
+func asSites(top *topology.Topology, catch *verfploeter.Catchment, unstable *ipv4.BlockSet) map[int32]map[int]bool {
+	out := map[int32]map[int]bool{}
+	catch.Range(func(b ipv4.Block, site int) bool {
+		if unstable != nil && unstable.Contains(b) {
+			return true
+		}
+		bi := top.BlockIndex(b)
+		if bi < 0 {
+			return true
+		}
+		asIdx := top.Blocks[bi].ASIdx
+		m := out[asIdx]
+		if m == nil {
+			m = map[int]bool{}
+			out[asIdx] = m
+		}
+		m[site] = true
+		return true
+	})
+	return out
+}
+
+// Divisions counts ASes served by multiple sites.
+func Divisions(top *topology.Topology, catch *verfploeter.Catchment, unstable *ipv4.BlockSet) DivisionStats {
+	perAS := asSites(top, catch, unstable)
+	var d DivisionStats
+	maxSites := 0
+	for _, sites := range perAS {
+		if len(sites) > maxSites {
+			maxSites = len(sites)
+		}
+	}
+	d.SitesHist = make([]int, maxSites)
+	for _, sites := range perAS {
+		d.MappedASes++
+		d.SitesHist[len(sites)-1]++
+		if len(sites) > 1 {
+			d.SplitASes++
+		}
+	}
+	return d
+}
+
+// PrefixesVsSites is one row of Figure 7: among ASes seeing exactly
+// Sites sites, the distribution of how many prefixes they announce.
+type PrefixesVsSites struct {
+	Sites                     int
+	ASes                      int
+	P5, P25, Median, P75, P95 float64
+}
+
+// PrefixSpread builds Figure 7's series: ASes that announce more
+// prefixes tend to be seen by more sites.
+func PrefixSpread(top *topology.Topology, catch *verfploeter.Catchment, unstable *ipv4.BlockSet) []PrefixesVsSites {
+	perAS := asSites(top, catch, unstable)
+	byCount := map[int][]float64{}
+	for asIdx, sites := range perAS {
+		byCount[len(sites)] = append(byCount[len(sites)], float64(len(top.ASes[asIdx].Prefixes)))
+	}
+	counts := make([]int, 0, len(byCount))
+	for k := range byCount {
+		counts = append(counts, k)
+	}
+	sort.Ints(counts)
+	out := make([]PrefixesVsSites, 0, len(counts))
+	for _, k := range counts {
+		v := byCount[k]
+		sort.Float64s(v)
+		out = append(out, PrefixesVsSites{
+			Sites: k, ASes: len(v),
+			P5: percentile(v, 0.05), P25: percentile(v, 0.25),
+			Median: percentile(v, 0.5),
+			P75:    percentile(v, 0.75), P95: percentile(v, 0.95),
+		})
+	}
+	return out
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := p * float64(len(sorted)-1)
+	lo := int(idx)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// PrefixLenRow is one panel of Figure 8: for announced prefixes of a
+// given length, how many sites the VPs inside each prefix see.
+type PrefixLenRow struct {
+	Bits     uint8
+	Prefixes int
+	// SitesHist[k] = prefixes whose blocks see exactly k+1 sites.
+	SitesHist []int
+}
+
+// FracMultiSite returns the fraction of this row's prefixes that see
+// more than one site.
+func (r PrefixLenRow) FracMultiSite() float64 {
+	if r.Prefixes == 0 {
+		return 0
+	}
+	multi := 0
+	for k, n := range r.SitesHist {
+		if k >= 1 {
+			multi += n
+		}
+	}
+	return float64(multi) / float64(r.Prefixes)
+}
+
+// SitesByPrefixLen builds Figure 8: larger (shorter) prefixes are more
+// often split across catchments and need multiple VPs to map.
+func SitesByPrefixLen(top *topology.Topology, catch *verfploeter.Catchment, unstable *ipv4.BlockSet) []PrefixLenRow {
+	// Distinct sites per announced prefix.
+	type pfxKey struct {
+		asIdx int32
+		pfx   uint16
+	}
+	sites := map[pfxKey]map[int]bool{}
+	catch.Range(func(b ipv4.Block, site int) bool {
+		if unstable != nil && unstable.Contains(b) {
+			return true
+		}
+		bi := top.BlockIndex(b)
+		if bi < 0 {
+			return true
+		}
+		info := &top.Blocks[bi]
+		k := pfxKey{info.ASIdx, info.PrefixIdx}
+		m := sites[k]
+		if m == nil {
+			m = map[int]bool{}
+			sites[k] = m
+		}
+		m[site] = true
+		return true
+	})
+
+	byLen := map[uint8]*PrefixLenRow{}
+	for k, m := range sites {
+		bits := top.ASes[k.asIdx].Prefixes[k.pfx].Bits
+		row := byLen[bits]
+		if row == nil {
+			row = &PrefixLenRow{Bits: bits}
+			byLen[bits] = row
+		}
+		row.Prefixes++
+		for len(row.SitesHist) < len(m) {
+			row.SitesHist = append(row.SitesHist, 0)
+		}
+		row.SitesHist[len(m)-1]++
+	}
+
+	lens := make([]int, 0, len(byLen))
+	for b := range byLen {
+		lens = append(lens, int(b))
+	}
+	sort.Ints(lens)
+	out := make([]PrefixLenRow, 0, len(lens))
+	for _, b := range lens {
+		out = append(out, *byLen[uint8(b)])
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"verfploeter/internal/atlas"
+	"verfploeter/internal/geo"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/loadmodel"
+	"verfploeter/internal/querylog"
+	"verfploeter/internal/verfploeter"
+)
+
+// Figures 2-4 are world maps of two-degree bins, each a pie of per-site
+// weight. A terminal cannot draw pies, so RenderGrid draws the dominant
+// site per cell as a letter and the tables below carry the exact counts.
+
+// CatchmentGrid bins a Verfploeter catchment by block location, weight 1
+// per mapped block (Figures 2b, 3b).
+func CatchmentGrid(catch *verfploeter.Catchment, db *geo.DB) *geo.Grid {
+	g := geo.NewGrid(catch.NSite)
+	catch.Range(func(b ipv4.Block, site int) bool {
+		if loc, ok := db.Lookup(b); ok {
+			g.Add(loc.Lat, loc.Lon, site, 1)
+		}
+		return true
+	})
+	return g
+}
+
+// AtlasGrid bins an Atlas measurement by VP location, weight 1 per
+// responding VP (Figures 2a, 3a). nSite sizes the unknown slot.
+func AtlasGrid(res *atlas.Result, nSite int) *geo.Grid {
+	g := geo.NewGrid(nSite)
+	for _, pr := range res.PerVP {
+		if pr.Site < 0 {
+			continue
+		}
+		g.Add(pr.VP.Lat, pr.VP.Lon, pr.Site, 1)
+	}
+	return g
+}
+
+// LoadGrid bins query load by block location; unmapped traffic-sending
+// blocks land in the unknown slot (Figure 4a's red slices).
+func LoadGrid(catch *verfploeter.Catchment, log *querylog.Log, db *geo.DB, w loadmodel.Weight) *geo.Grid {
+	g := geo.NewGrid(catch.NSite)
+	for i := range log.Blocks {
+		bl := &log.Blocks[i]
+		loc, ok := db.Lookup(bl.Block)
+		if !ok {
+			continue
+		}
+		slot := catch.NSite
+		if site, mapped := catch.SiteOf(bl.Block); mapped {
+			slot = site
+		}
+		weight := bl.QueriesPerDay
+		if w == loadmodel.ByGoodReplies {
+			weight = bl.GoodQPD()
+		}
+		g.Add(loc.Lat, loc.Lon, slot, weight/86400) // queries/second
+	}
+	return g
+}
+
+// RenderGrid draws an ASCII world map (2-degree bins, 4 degrees per
+// character cell) with each cell showing the dominant site's letter, plus
+// a continent rollup table. siteLetters supplies one letter per site;
+// '?' marks cells dominated by the unknown slot.
+func RenderGrid(w io.Writer, g *geo.Grid, siteLetters []rune) error {
+	cells := map[geo.Bin]*geo.GridCell{}
+	for _, c := range g.Cells() {
+		cells[c.Bin] = c
+	}
+	letter := func(c *geo.GridCell) rune {
+		best, bestW := -1, 0.0
+		for s, wgt := range c.BySite {
+			if wgt > bestW {
+				best, bestW = s, wgt
+			}
+		}
+		if best < 0 {
+			return '.'
+		}
+		if best >= len(siteLetters) {
+			return '?'
+		}
+		return siteLetters[best]
+	}
+	// Latitude 72..-56 covers the populated world; 4° per row/col.
+	for latTop := 72; latTop > -56; latTop -= 4 {
+		row := make([]rune, 0, 90)
+		for lon := -180; lon < 180; lon += 4 {
+			// Merge the four 2° bins of this character cell.
+			var merged *geo.GridCell
+			for dla := 0; dla < 2; dla++ {
+				for dlo := 0; dlo < 2; dlo++ {
+					b := geo.BinOf(float64(latTop)-2*float64(dla)-1, float64(lon)+2*float64(dlo)+1)
+					if c := cells[b]; c != nil {
+						if merged == nil {
+							merged = &geo.GridCell{BySite: make([]float64, len(c.BySite))}
+						}
+						for s, wgt := range c.BySite {
+							merged.BySite[s] += wgt
+							merged.Total += wgt
+						}
+					}
+				}
+			}
+			if merged == nil {
+				row = append(row, '.')
+			} else {
+				row = append(row, letter(merged))
+			}
+		}
+		if _, err := fmt.Fprintln(w, string(row)); err != nil {
+			return err
+		}
+	}
+
+	// Continent rollup.
+	totals := g.ContinentTotals()
+	conts := make([]string, 0, len(totals))
+	for c := range totals {
+		conts = append(conts, c)
+	}
+	sort.Strings(conts)
+	if _, err := fmt.Fprintf(w, "\n%-6s", "cont"); err != nil {
+		return err
+	}
+	for s := 0; s < len(siteLetters); s++ {
+		fmt.Fprintf(w, "%12c", siteLetters[s])
+	}
+	fmt.Fprintf(w, "%12s\n", "unknown")
+	for _, c := range conts {
+		row := totals[c]
+		fmt.Fprintf(w, "%-6s", c)
+		for s := 0; s <= len(siteLetters) && s < len(row); s++ {
+			fmt.Fprintf(w, "%12.1f", row[s])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

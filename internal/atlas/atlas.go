@@ -1,0 +1,243 @@
+// Package atlas simulates a RIPE-Atlas-style measurement platform: a few
+// thousand physical vantage points whose deployment is heavily skewed
+// toward Europe ([8], §5.4), each of which can ask the anycast service
+// which site serves it via a CHAOS TXT hostname.bind query (§3.1).
+//
+// This is the paper's baseline method. Its two structural weaknesses are
+// reproduced by construction: VP count is limited (hardware must be
+// physically deployed) and VP placement follows where the platform's
+// community lives, not where Internet users are.
+package atlas
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"verfploeter/internal/dataplane"
+	"verfploeter/internal/dnswire"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/rng"
+	"verfploeter/internal/topology"
+)
+
+// VP is one deployed probe.
+type VP struct {
+	ID      int
+	Addr    ipv4.Addr
+	Lat     float64
+	Lon     float64
+	Country string
+}
+
+// Platform is the set of deployed VPs.
+type Platform struct {
+	VPs []VP
+	// DownFrac is the per-measurement probability that a VP is
+	// unreachable (the paper loses 455 of 9807 VPs, ~4.6%).
+	DownFrac float64
+	seed     uint64
+}
+
+// New places n VPs over the topology, skewed by each country's
+// AtlasWeight. Multiple VPs may share a /24, as on the real platform
+// (9352 VPs in 8677 blocks).
+func New(top *topology.Topology, n int, seed uint64) *Platform {
+	if n <= 0 {
+		panic("atlas: need a positive VP count")
+	}
+	src := rng.New(seed).Derive("atlas-placement")
+
+	// Index blocks by country for weighted placement.
+	byCountry := map[int][]int{}
+	for i := range top.Blocks {
+		ci := int(top.Blocks[i].CountryIdx)
+		byCountry[ci] = append(byCountry[ci], i)
+	}
+	weights := make([]float64, len(topology.Countries))
+	for ci := range topology.Countries {
+		if len(byCountry[ci]) > 0 {
+			weights[ci] = topology.Countries[ci].AtlasWeight
+		}
+	}
+
+	p := &Platform{DownFrac: 0.046, seed: seed}
+	for id := 0; id < n; id++ {
+		ci := src.WeightedChoice(weights)
+		blocks := byCountry[ci]
+		b := &top.Blocks[blocks[src.Intn(len(blocks))]]
+		p.VPs = append(p.VPs, VP{
+			ID:      id,
+			Addr:    b.Block.Addr(uint8(2 + src.Intn(250))),
+			Lat:     float64(b.Lat),
+			Lon:     float64(b.Lon),
+			Country: topology.Countries[b.CountryIdx].Code,
+		})
+	}
+	return p
+}
+
+// VPResult is one VP's catchment observation.
+type VPResult struct {
+	VP   *VP
+	Site int    // -1 if the measurement failed
+	Text string // raw hostname.bind answer
+}
+
+// Result is one platform-wide measurement.
+type Result struct {
+	PerVP []VPResult
+	// Considered/NonResponding/Responding count VPs (Table 4's Atlas
+	// column); Blocks holds the distinct /24s of responding VPs.
+	Considered    int
+	NonResponding int
+	Responding    int
+	Blocks        *ipv4.BlockSet
+	SiteCounts    map[int]int
+}
+
+// SiteNamer translates the hostname.bind TXT payload back to a site
+// index; the anycast service defines the naming.
+type SiteNamer interface {
+	SiteByName(txt string) (int, bool)
+}
+
+// Measure runs one hostname.bind round from every VP through the
+// simulated data plane. round seeds per-VP up/down churn.
+func (p *Platform) Measure(net *dataplane.Net, namer SiteNamer, round uint32) *Result {
+	res := &Result{
+		Considered: len(p.VPs),
+		Blocks:     ipv4.NewBlockSet(len(p.VPs)),
+		SiteCounts: map[int]int{},
+	}
+	down := rng.NewStream(p.seed^uint64(round)*0x9e3779b97f4a7c15, 77)
+	for i := range p.VPs {
+		vp := &p.VPs[i]
+		if down.Bool(p.DownFrac) {
+			res.NonResponding++
+			res.PerVP = append(res.PerVP, VPResult{VP: vp, Site: -1})
+			continue
+		}
+		q := dnswire.NewHostnameBindQuery(uint16(vp.ID))
+		raw, err := q.Marshal()
+		if err != nil {
+			panic(fmt.Sprintf("atlas: marshal hostname.bind: %v", err))
+		}
+		respRaw, _, err := net.QueryAnycast(vp.Addr, raw)
+		if err != nil {
+			res.NonResponding++
+			res.PerVP = append(res.PerVP, VPResult{VP: vp, Site: -1})
+			continue
+		}
+		resp, err := dnswire.Unmarshal(respRaw)
+		if err != nil {
+			res.NonResponding++
+			res.PerVP = append(res.PerVP, VPResult{VP: vp, Site: -1})
+			continue
+		}
+		txt, ok := resp.TXTAnswer()
+		if !ok {
+			res.NonResponding++
+			res.PerVP = append(res.PerVP, VPResult{VP: vp, Site: -1})
+			continue
+		}
+		site, ok := namer.SiteByName(txt)
+		if !ok {
+			res.NonResponding++
+			res.PerVP = append(res.PerVP, VPResult{VP: vp, Site: -1, Text: txt})
+			continue
+		}
+		res.Responding++
+		res.Blocks.Add(vp.Addr.Block())
+		res.SiteCounts[site]++
+		res.PerVP = append(res.PerVP, VPResult{VP: vp, Site: site, Text: txt})
+	}
+	return res
+}
+
+// SiteFractions returns each site's share of responding VPs, sorted by
+// site index.
+func (r *Result) SiteFractions() []float64 {
+	if r.Responding == 0 {
+		return nil
+	}
+	maxSite := -1
+	for s := range r.SiteCounts {
+		if s > maxSite {
+			maxSite = s
+		}
+	}
+	out := make([]float64, maxSite+1)
+	for s, c := range r.SiteCounts {
+		out[s] = float64(c) / float64(r.Responding)
+	}
+	return out
+}
+
+// CountryCounts tallies responding VPs by country code (descending).
+func (r *Result) CountryCounts() []CountryCount {
+	m := map[string]int{}
+	for _, pr := range r.PerVP {
+		if pr.Site >= 0 {
+			m[pr.VP.Country]++
+		}
+	}
+	out := make([]CountryCount, 0, len(m))
+	for c, n := range m {
+		out = append(out, CountryCount{Country: c, VPs: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].VPs != out[j].VPs {
+			return out[i].VPs > out[j].VPs
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}
+
+// CountryCount pairs a country with its responding-VP tally.
+type CountryCount struct {
+	Country string
+	VPs     int
+}
+
+// LatencySample is one VP's measured RTT to its catchment site.
+type LatencySample struct {
+	VP   *VP
+	Site int
+	RTT  time.Duration
+}
+
+// MeasureLatency runs the platform's latency view: each up VP pings the
+// anycast service and reports the round-trip time to whichever site
+// serves it (the DNSMON/Atlas methodology of [43]). Samples exclude VPs
+// that are down this round.
+func (p *Platform) MeasureLatency(net *dataplane.Net, round uint32) []LatencySample {
+	down := rng.NewStream(p.seed^uint64(round)*0x9e3779b97f4a7c15, 77)
+	var out []LatencySample
+	for i := range p.VPs {
+		vp := &p.VPs[i]
+		if down.Bool(p.DownFrac) {
+			continue
+		}
+		rtt, site, ok := net.PathRTT(vp.Addr)
+		if !ok {
+			continue
+		}
+		out = append(out, LatencySample{VP: vp, Site: site, RTT: rtt})
+	}
+	return out
+}
+
+// MedianLatency returns the median RTT over samples (0 when empty).
+func MedianLatency(samples []LatencySample) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	v := make([]time.Duration, len(samples))
+	for i, s := range samples {
+		v[i] = s.RTT
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v[len(v)/2]
+}

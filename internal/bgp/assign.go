@@ -1,0 +1,179 @@
+package bgp
+
+import (
+	"math"
+
+	"verfploeter/internal/topology"
+)
+
+// Assignment maps every /24 block to its anycast site, including the
+// per-round instability the paper studies in §6.3: blocks whose AS keeps
+// several equal-cost exits may flip between two sites round to round
+// (load-balanced or flappy egress links, heavily concentrated in a few
+// ASes — Table 7).
+type Assignment struct {
+	Table *Table
+	// Primary[i] is the steady-state site of Top.Blocks[i]; -1 when the
+	// owning AS received no route at all.
+	Primary []int16
+	// Secondary[i] is the alternate site a flapping block swings to;
+	// -1 when the block is firmly single-homed onto Primary.
+	Secondary []int16
+	// FlipProb[i] is the per-round probability of using Secondary.
+	FlipProb []float32
+}
+
+// flip tuning: see §6.3 calibration notes in EXPERIMENTS.md.
+const (
+	flapProbPerWeight = 0.0016
+	flapProbCap       = 0.25
+	baselineFlipProb  = 0.0002 // split blocks at near-tied distance
+	nearTieRatio      = 1.15
+)
+
+// Assign computes per-block sites via hot-potato selection: each block
+// exits its AS at the block's own PoP, choosing the candidate route whose
+// entry point is geographically nearest.
+func (t *Table) Assign() *Assignment {
+	blocks := t.Top.Blocks
+	a := &Assignment{
+		Table:     t,
+		Primary:   make([]int16, len(blocks)),
+		Secondary: make([]int16, len(blocks)),
+		FlipProb:  make([]float32, len(blocks)),
+	}
+	for i := range blocks {
+		b := &blocks[i]
+		cands := t.Cands[b.ASIdx]
+		if len(cands) == 0 {
+			a.Primary[i], a.Secondary[i] = -1, -1
+			continue
+		}
+		owner := &t.Top.ASes[b.ASIdx]
+
+		// Rank candidates by distance from the block's own location —
+		// finer-grained than its PoP, so borderline blocks inside one
+		// AS can straddle two exits.
+		best, second := -1, -1
+		bestD, secondD := math.Inf(1), math.Inf(1)
+		for ci, c := range cands {
+			d := topology.GeoDistance(float64(b.Lat), float64(b.Lon), c.EntryLat, c.EntryLon)
+			switch {
+			case d < bestD || (d == bestD && best >= 0 && c.Site < cands[best].Site):
+				if best >= 0 && cands[best].Site != c.Site {
+					second, secondD = best, bestD
+				}
+				best, bestD = ci, d
+			case c.Site != cands[best].Site && d < secondD:
+				second, secondD = ci, d
+			}
+		}
+		a.Primary[i] = int16(cands[best].Site)
+		if second >= 0 {
+			a.Secondary[i] = int16(cands[second].Site)
+		} else if owner.FlapWeight > 0 && t.AltSite[b.ASIdx] >= 0 {
+			// Flap-prone AS with a single best site: its unstable
+			// links divert traffic onto the next-best RIB entry.
+			a.Secondary[i] = t.AltSite[b.ASIdx]
+		} else {
+			a.Secondary[i] = -1
+			continue
+		}
+
+		switch {
+		case owner.FlapWeight > 0:
+			p := owner.FlapWeight * flapProbPerWeight
+			if p > flapProbCap {
+				p = flapProbCap
+			}
+			a.FlipProb[i] = float32(p)
+		case bestD == 0 || secondD <= bestD*nearTieRatio:
+			// Equal-cost multipath territory even for stable ASes.
+			a.FlipProb[i] = baselineFlipProb
+		}
+	}
+	return a
+}
+
+// AssignFlat is the hot-potato ablation: every block inherits its AS's
+// single deterministic best site, with no per-PoP egress diversity and
+// no flip instability. Comparing against Assign shows how much of the
+// paper's §6.2 AS-division phenomenon hot-potato routing produces.
+func (t *Table) AssignFlat() *Assignment {
+	blocks := t.Top.Blocks
+	a := &Assignment{
+		Table:     t,
+		Primary:   make([]int16, len(blocks)),
+		Secondary: make([]int16, len(blocks)),
+		FlipProb:  make([]float32, len(blocks)),
+	}
+	perAS := make(map[int32]int16)
+	for i := range blocks {
+		asIdx := blocks[i].ASIdx
+		site, ok := perAS[asIdx]
+		if !ok {
+			site = int16(t.SiteOfAS(int(asIdx)))
+			perAS[asIdx] = site
+		}
+		a.Primary[i] = site
+		a.Secondary[i] = -1
+	}
+	return a
+}
+
+// SiteAt returns the site serving block index i during the given round.
+// Rounds are the paper's repeated measurements (96 over 24 hours); the
+// flip decision is a deterministic hash so identical runs reproduce.
+func (a *Assignment) SiteAt(i int, round uint32, seed uint64) int {
+	p := a.Primary[i]
+	if p < 0 {
+		return -1
+	}
+	fp := a.FlipProb[i]
+	if fp == 0 || a.Secondary[i] < 0 {
+		return int(p)
+	}
+	h := seed ^ uint64(a.Table.Top.Blocks[i].Block)<<20 ^ uint64(round)
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	if float32(h&0xffffff)/float32(1<<24) < fp {
+		return int(a.Secondary[i])
+	}
+	return int(p)
+}
+
+// SiteOfAS returns the deterministic single best site for an AS (the
+// lowest-numbered site among its retained candidates), or -1 if the AS
+// has no route. Per-block assignment can differ inside multi-PoP ASes.
+func (t *Table) SiteOfAS(asIdx int) int {
+	cands := t.Cands[asIdx]
+	if len(cands) == 0 {
+		return -1
+	}
+	best := cands[0].Site
+	for _, c := range cands[1:] {
+		if c.Site < best {
+			best = c.Site
+		}
+	}
+	return best
+}
+
+// SplitASCount returns how many ASes retain routes to more than one
+// distinct site — an upper bound on §6.2's divided-AS phenomenon before
+// per-block assignment.
+func (t *Table) SplitASCount() int {
+	n := 0
+	for _, cands := range t.Cands {
+		sites := map[int]bool{}
+		for _, c := range cands {
+			sites[c.Site] = true
+		}
+		if len(sites) > 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,574 @@
+// Package bgp computes anycast catchments over the synthetic topology:
+// which anycast site every AS — and every /24 block — routes to.
+//
+// The model is standard Gao–Rexford policy routing, the same forces that
+// shape real catchments in the paper:
+//
+//   - valley-free export: routes learned from customers are announced to
+//     everyone; routes learned from peers or providers only to customers;
+//   - local preference: customer routes beat peer routes beat provider
+//     routes regardless of AS-path length;
+//   - AS-path length decides within a class, and origin-side prepending
+//     (§6.1's traffic-engineering experiment) inflates it;
+//   - deterministic tie-breaks stand in for router IDs;
+//   - hot-potato egress: a multi-PoP AS with several equally good routes
+//     exits at the PoP closest to each traffic source, which is what
+//     splits large ASes across catchments (§6.2);
+//   - a small set of ASes ignores prepending (§6.1 observes traffic that
+//     stays at MIA even at MIA+3).
+//
+// The paper emphasizes that Verfploeter does not model BGP to predict
+// catchments — it measures a deployment. Here the roles are inverted:
+// this package is the "real Internet" being measured, and the Verfploeter
+// core on top of it genuinely measures rather than inspecting this
+// package's tables (see DESIGN.md §2).
+package bgp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"verfploeter/internal/topology"
+)
+
+// RelClass ranks how a route was learned; higher is preferred.
+type RelClass uint8
+
+const (
+	// FromProvider routes are learned from a transit provider.
+	FromProvider RelClass = iota + 1
+	// FromPeer routes are learned across a settlement-free peering.
+	FromPeer
+	// FromCustomer routes are learned from a paying customer (or are the
+	// site's own origination) and are always preferred.
+	FromCustomer
+)
+
+func (c RelClass) String() string {
+	switch c {
+	case FromCustomer:
+		return "customer"
+	case FromPeer:
+		return "peer"
+	case FromProvider:
+		return "provider"
+	}
+	return fmt.Sprintf("relclass(%d)", uint8(c))
+}
+
+// Announcement is one anycast site's BGP origination: the service AS
+// announces the shared prefix to UpstreamASN at the site's location,
+// optionally prepending its own AS several extra times.
+type Announcement struct {
+	Site        int    // site index, dense from 0
+	UpstreamASN uint32 // host network the site connects through
+	Lat, Lon    float64
+	Prepend     int // extra path elements (0 = no prepending)
+}
+
+// Route is one usable path to the anycast prefix as seen by some AS.
+type Route struct {
+	Site    int
+	Len     int    // AS-path length including prepending
+	BaseLen int    // AS-path length without prepending
+	From    uint32 // neighbor ASN the route was learned from (0 = origin)
+	Class   RelClass
+	// EntryLat/Lon is where traffic following this route leaves the AS —
+	// the coordinate hot-potato selection measures distance to.
+	EntryLat, EntryLon float64
+}
+
+// Table holds the converged routing state for one configuration of
+// announcements. Compute builds it; it is immutable afterwards.
+type Table struct {
+	Top   *topology.Topology
+	Anns  []Announcement
+	NSite int
+	// Cands[i] lists the equally-best routes AS i retains after policy
+	// selection (usually one; several when hot-potato splits apply).
+	Cands [][]Route
+	// AltSite[i] is the best *losing* route's site for AS i — the next
+	// entry in its RIB, reached when a flapping or load-balanced link
+	// diverts traffic off the best path (§6.3). -1 when every offer
+	// leads to the same site.
+	AltSite []int16
+
+	epoch uint64 // tie-break generation; see ComputeEpoch
+}
+
+type state struct {
+	class RelClass
+	len   int
+	cands []Route
+}
+
+// Compute runs route propagation for the given announcements and returns
+// the converged table. It panics on unknown upstream ASNs: scenario
+// wiring errors should fail fast.
+func Compute(top *topology.Topology, anns []Announcement) *Table {
+	return ComputeEpoch(top, anns, 0)
+}
+
+// ComputeEpoch computes routing for a given epoch. Epochs model the
+// Internet's slow drift (§5.5 observes B-Root's catchment moving 5.4
+// points in a month): the same topology and announcements, but
+// equal-cost tie-breaks — the IGP costs, router IDs, and fine-grained
+// policies that shuffle underneath BGP — re-rolled per epoch.
+func ComputeEpoch(top *topology.Topology, anns []Announcement, epoch uint64) *Table {
+	nSite := 0
+	for _, a := range anns {
+		if top.ASIndex(a.UpstreamASN) < 0 {
+			panic(fmt.Sprintf("bgp: announcement for site %d references unknown ASN %d", a.Site, a.UpstreamASN))
+		}
+		if a.Prepend < 0 {
+			panic("bgp: negative prepend")
+		}
+		if a.Site+1 > nSite {
+			nSite = a.Site + 1
+		}
+	}
+	n := len(top.ASes)
+	t := &Table{Top: top, Anns: anns, NSite: nSite, epoch: epoch}
+	states := make([]state, n)
+
+	t.phaseCustomer(states)
+	t.phasePeer(states)
+	t.phaseProvider(states)
+
+	// The three phases settle each AS's class and path length exactly,
+	// but tie *diversity* — which equally-good sites an AS retains —
+	// only disseminates one export per neighbor per settle event. A
+	// shared upstream hosting three sites would otherwise leak only its
+	// first-seeded site to the rest of the world. Iterating the local
+	// re-selection to a fixed point (class/len frozen, candidate sets
+	// refreshed from neighbors) propagates tie diversity any number of
+	// hops; it converges quickly because classes and lengths are fixed.
+	for pass := 0; pass < maxRefinePasses; pass++ {
+		t.finalSelection(states)
+		changed := false
+		for i := range states {
+			if !sameCandSites(states[i].cands, t.Cands[i]) {
+				changed = true
+			}
+			if len(t.Cands[i]) > 0 {
+				states[i].cands = t.Cands[i]
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return t
+}
+
+// maxRefinePasses bounds the tie-diversity fixed-point iteration; the
+// catchment graph's diameter is small, so a handful of passes suffices.
+const maxRefinePasses = 8
+
+// sessionRadius (in GeoDistance degree-units) is how close two networks'
+// PoPs must be to interconnect there; roughly metro-to-country scale.
+const sessionRadius = 20.0
+
+func sameCandSites(a, b []Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Site != b[i].Site || a[i].From != b[i].From {
+			return false
+		}
+	}
+	return true
+}
+
+// pqItem orders propagation by advertised path length.
+type pqItem struct {
+	len   int
+	asIdx int
+	route Route
+	seq   uint64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].len != q[j].len {
+		return q[i].len < q[j].len
+	}
+	return q[i].seq < q[j].seq
+}
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// phaseCustomer floods customer-learned routes upward (customer→provider),
+// cheapest path length first.
+func (t *Table) phaseCustomer(states []state) {
+	var q pq
+	var seq uint64
+	push := func(asIdx int, r Route) {
+		q = append(q, pqItem{len: r.Len, asIdx: asIdx, route: r, seq: seq})
+		seq++
+	}
+	for _, a := range t.Anns {
+		idx := t.Top.ASIndex(a.UpstreamASN)
+		push(idx, Route{
+			Site: a.Site, Len: 1 + a.Prepend, BaseLen: 1,
+			From: 0, Class: FromCustomer,
+			EntryLat: a.Lat, EntryLon: a.Lon,
+		})
+	}
+	heap.Init(&q)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		st := &states[it.asIdx]
+		switch {
+		case st.class == FromCustomer && it.len > st.len:
+			continue // already settled cheaper
+		case st.class == FromCustomer && it.len == st.len:
+			addCand(st, it.route)
+			continue
+		case st.class == FromCustomer && it.len < st.len:
+			// impossible under Dijkstra order, but be safe
+			st.cands = st.cands[:0]
+		}
+		st.class = FromCustomer
+		st.len = it.len
+		addCand(st, it.route)
+		// Export upward to providers.
+		x := &t.Top.ASes[it.asIdx]
+		for _, provASN := range x.Providers {
+			pi := t.Top.ASIndex(provASN)
+			if pi < 0 {
+				continue
+			}
+			if states[pi].class == FromCustomer && states[pi].len <= it.len {
+				continue // provider already settled as cheap or cheaper
+			}
+			for _, r := range t.exportRoutes(it.asIdx, pi, states) {
+				heap.Push(&q, pqItem{len: r.Len, asIdx: pi, route: r, seq: seq})
+				seq++
+			}
+		}
+	}
+}
+
+// phasePeer hands customer routes one hop across peerings to ASes that
+// have no customer route of their own.
+func (t *Table) phasePeer(states []state) {
+	type offer struct {
+		asIdx int
+		r     Route
+	}
+	var offers []offer
+	for i := range t.Top.ASes {
+		if states[i].class != FromCustomer {
+			continue
+		}
+		for _, peerASN := range t.Top.ASes[i].Peers {
+			pi := t.Top.ASIndex(peerASN)
+			if pi < 0 || states[pi].class == FromCustomer {
+				continue
+			}
+			for _, r := range t.exportRoutes(i, pi, states) {
+				offers = append(offers, offer{pi, r})
+			}
+		}
+	}
+	for _, o := range offers {
+		st := &states[o.asIdx]
+		switch {
+		case st.class == FromPeer && o.r.Len > st.len:
+		case st.class == FromPeer && o.r.Len == st.len:
+			addCand(st, o.r)
+		default: // unset, or better length
+			if st.class == FromPeer {
+				st.cands = st.cands[:0]
+			}
+			st.class = FromPeer
+			st.len = o.r.Len
+			st.cands = st.cands[:0]
+			addCand(st, o.r)
+		}
+	}
+}
+
+// phaseProvider floods routes downward (provider→customer) to ASes that
+// still have nothing better.
+func (t *Table) phaseProvider(states []state) {
+	var q pq
+	var seq uint64
+	for i := range t.Top.ASes {
+		if states[i].class == 0 {
+			continue
+		}
+		for _, custASN := range t.Top.ASes[i].Customers {
+			ci := t.Top.ASIndex(custASN)
+			if ci < 0 || states[ci].class >= FromPeer || states[ci].class == FromCustomer {
+				continue
+			}
+			for _, r := range t.exportRoutes(i, ci, states) {
+				q = append(q, pqItem{len: r.Len, asIdx: ci, route: r, seq: seq})
+				seq++
+			}
+		}
+	}
+	heap.Init(&q)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		st := &states[it.asIdx]
+		if st.class > FromProvider {
+			continue // got a customer/peer route; provider offers lose
+		}
+		switch {
+		case st.class == FromProvider && it.len > st.len:
+			continue
+		case st.class == FromProvider && it.len == st.len:
+			addCand(st, it.route)
+			continue
+		}
+		st.class = FromProvider
+		st.len = it.len
+		st.cands = st.cands[:0]
+		addCand(st, it.route)
+		for _, custASN := range t.Top.ASes[it.asIdx].Customers {
+			ci := t.Top.ASIndex(custASN)
+			if ci < 0 || states[ci].class >= FromPeer {
+				continue
+			}
+			for _, r := range t.exportRoutes(it.asIdx, ci, states) {
+				heap.Push(&q, pqItem{len: r.Len, asIdx: ci, route: r, seq: seq})
+				seq++
+			}
+		}
+	}
+}
+
+// finalSelection rebuilds every AS's candidate set from its neighbors'
+// converged states, applying the AS's own policy (including prepend
+// blindness). One local refinement pass over the converged global state:
+// it keeps all equal-cost winners so hot-potato block assignment can
+// split the AS, and lets prepend-ignoring ASes re-rank by BaseLen.
+func (t *Table) finalSelection(states []state) {
+	n := len(t.Top.ASes)
+	t.Cands = make([][]Route, n)
+	t.AltSite = make([]int16, n)
+	for i := 0; i < n; i++ {
+		x := &t.Top.ASes[i]
+		var offers []Route
+
+		// Own origination(s): the service AS is a direct customer.
+		for _, a := range t.Anns {
+			if t.Top.ASIndex(a.UpstreamASN) == i {
+				offers = append(offers, Route{
+					Site: a.Site, Len: 1 + a.Prepend, BaseLen: 1,
+					From: 0, Class: FromCustomer,
+					EntryLat: a.Lat, EntryLon: a.Lon,
+				})
+			}
+		}
+		for _, cASN := range x.Customers {
+			ci := t.Top.ASIndex(cASN)
+			if ci >= 0 && states[ci].class == FromCustomer {
+				for _, r := range t.exportRoutes(ci, i, states) {
+					r.Class = FromCustomer
+					offers = append(offers, r)
+				}
+			}
+		}
+		for _, pASN := range x.Peers {
+			pi := t.Top.ASIndex(pASN)
+			if pi >= 0 && states[pi].class == FromCustomer {
+				for _, r := range t.exportRoutes(pi, i, states) {
+					r.Class = FromPeer
+					offers = append(offers, r)
+				}
+			}
+		}
+		for _, vASN := range x.Providers {
+			vi := t.Top.ASIndex(vASN)
+			if vi >= 0 && states[vi].class != 0 {
+				for _, r := range t.exportRoutes(vi, i, states) {
+					r.Class = FromProvider
+					offers = append(offers, r)
+				}
+			}
+		}
+		t.AltSite[i] = -1
+		if len(offers) == 0 {
+			continue
+		}
+		t.Cands[i] = selectBest(offers, x.IgnorePrepend)
+		t.AltSite[i] = altSite(offers, t.Cands[i])
+	}
+}
+
+// altSite finds the preferred fallback site: the best offer whose site
+// differs from every winning candidate (by class, then length).
+func altSite(offers, winners []Route) int16 {
+	winning := map[int]bool{}
+	for _, w := range winners {
+		winning[w.Site] = true
+	}
+	best := -1
+	var bestR Route
+	for _, o := range offers {
+		if winning[o.Site] {
+			continue
+		}
+		if best < 0 || o.Class > bestR.Class ||
+			(o.Class == bestR.Class && o.Len < bestR.Len) {
+			best = o.Site
+			bestR = o
+		}
+	}
+	return int16(best)
+}
+
+// selectBest applies local-pref then path length (BaseLen for
+// prepend-ignoring ASes), retaining all ties.
+func selectBest(offers []Route, ignorePrepend bool) []Route {
+	cmpLen := func(r Route) int {
+		if ignorePrepend {
+			return r.BaseLen
+		}
+		return r.Len
+	}
+	best := offers[0]
+	for _, r := range offers[1:] {
+		if r.Class > best.Class || (r.Class == best.Class && cmpLen(r) < cmpLen(best)) {
+			best = r
+		}
+	}
+	var out []Route
+	for _, r := range offers {
+		if r.Class == best.Class && cmpLen(r) == cmpLen(best) {
+			out = append(out, r)
+		}
+	}
+	// Deterministic order; also dedupe identical (Site, From) pairs.
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Site != out[b].Site {
+			return out[a].Site < out[b].Site
+		}
+		return out[a].From < out[b].From
+	})
+	dedup := out[:0]
+	for i, r := range out {
+		if i == 0 || r.Site != out[i-1].Site || r.From != out[i-1].From {
+			dedup = append(dedup, r)
+		}
+	}
+	return dedup
+}
+
+// addCand records a route, keeping at most one per announcing neighbor —
+// a BGP session carries a single best route, so a re-announcement from
+// the same neighbor replaces the old one.
+// addCand records a route, deduplicating by announcing neighbor and
+// site (one multi-PoP neighbor can legitimately announce several sites,
+// one per session region).
+func addCand(st *state, r Route) {
+	for i := range st.cands {
+		if st.cands[i].From == r.From && st.cands[i].Site == r.Site {
+			return
+		}
+	}
+	st.cands = append(st.cands, r)
+}
+
+// exportRoutes computes what src announces to dst, one route per BGP
+// session. Two networks interconnect wherever their footprints meet:
+// each dst PoP forms a session with src's nearest PoP, and over that
+// session src announces the candidate whose own exit is nearest the
+// session (src hot-potatoes too). A multi-PoP neighbor therefore hears
+// several equally long routes — possibly toward different sites — which
+// is exactly how site diversity disseminates on the real Internet.
+// Exact-distance ties break by a deterministic per-session hash standing
+// in for IGP metrics and router IDs, so one site doesn't globally win
+// every tie.
+func (t *Table) exportRoutes(srcIdx, dstIdx int, states []state) []Route {
+	src := &t.Top.ASes[srcIdx]
+	dst := &t.Top.ASes[dstIdx]
+	cands := states[srcIdx].cands
+	if len(cands) == 0 {
+		return nil
+	}
+	// A session exists at a dst PoP only where src is also present
+	// (within sessionRadius), and always at the overall nearest pair —
+	// two networks interconnect somewhere even with disjoint footprints.
+	minD := math.Inf(1)
+	dists := make([]float64, len(dst.PoPs))
+	meets := make([][2]float64, len(dst.PoPs))
+	for pi, dp := range dst.PoPs {
+		bestD := math.Inf(1)
+		for _, sp := range src.PoPs {
+			if d := topology.GeoDistance(dp.Lat, dp.Lon, sp.Lat, sp.Lon); d < bestD {
+				bestD = d
+				meets[pi] = [2]float64{sp.Lat, sp.Lon}
+			}
+		}
+		dists[pi] = bestD
+		if bestD < minD {
+			minD = bestD
+		}
+	}
+	out := make([]Route, 0, 2)
+	for pi, dp := range dst.PoPs {
+		if dists[pi] > sessionRadius && dists[pi] > minD {
+			continue
+		}
+		meetLat, meetLon := meets[pi][0], meets[pi][1]
+		// src's announcement over this session.
+		best := cands[0]
+		bd := math.Inf(1)
+		bh := ^uint64(0)
+		for _, c := range cands {
+			d := topology.GeoDistance(meetLat, meetLon, c.EntryLat, c.EntryLon)
+			h := tieHash(src.ASN, dst.ASN, c.Site, t.epoch)
+			if d < bd || (d == bd && h < bh) {
+				bd, bh = d, h
+				best = c
+			}
+		}
+		r := Route{
+			Site:     best.Site,
+			Len:      states[srcIdx].len + 1,
+			BaseLen:  best.BaseLen + 1,
+			From:     src.ASN,
+			Class:    best.Class, // caller overrides with receiver's view
+			EntryLat: dp.Lat,
+			EntryLon: dp.Lon,
+		}
+		dup := false
+		for _, prev := range out {
+			if prev.Site == r.Site && prev.EntryLat == r.EntryLat && prev.EntryLon == r.EntryLon {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// tieHash breaks exact-distance export ties deterministically but
+// diversely across (src, dst, site) triples; epoch re-rolls every tie,
+// modeling month-scale routing drift.
+func tieHash(src, dst uint32, site int, epoch uint64) uint64 {
+	h := uint64(src)<<40 ^ uint64(dst)<<8 ^ uint64(site) ^ epoch<<52
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	return h ^ h>>32
+}

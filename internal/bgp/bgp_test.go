@@ -1,0 +1,346 @@
+package bgp
+
+import (
+	"testing"
+
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/topology"
+)
+
+// buildFixture wires a small hand-made Internet:
+//
+//	    T1 (ASN 1, tier-1)
+//	   /  \
+//	  A    B          A hosts site 0 ("LAX"), B hosts site 1 ("MIA")
+//	 /|     \
+//	C E------+        C: customer of A; E: customer of A and B
+//	P ~ A (peer)      P: peer of A, customer of B
+//	Q ~ P (peer)      Q: peer of P only (valley-free dead end)
+func buildFixture() *topology.Topology {
+	us := topology.CountryIndex("US")
+	pop := func(lat, lon float64) []topology.PoP {
+		return []topology.PoP{{CountryIdx: us, Lat: lat, Lon: lon}}
+	}
+	top := &topology.Topology{}
+	top.AddAS(topology.AS{ASN: 1, Class: topology.Tier1, CountryIdx: us, PoPs: pop(40, -100)})
+	top.AddAS(topology.AS{ASN: 10, Class: topology.Transit, CountryIdx: us, PoPs: pop(34, -118)}) // A, west
+	top.AddAS(topology.AS{ASN: 20, Class: topology.Transit, CountryIdx: us, PoPs: pop(26, -80)})  // B, east
+	top.AddAS(topology.AS{ASN: 30, Class: topology.Stub, CountryIdx: us, PoPs: pop(37, -122)})    // C
+	top.AddAS(topology.AS{ASN: 40, Class: topology.Stub, CountryIdx: us, PoPs: pop(33, -97)})     // E
+	top.AddAS(topology.AS{ASN: 50, Class: topology.Stub, CountryIdx: us, PoPs: pop(45, -122)})    // P
+	top.AddAS(topology.AS{ASN: 60, Class: topology.Stub, CountryIdx: us, PoPs: pop(47, -122)})    // Q
+	top.Link(1, 10, "customer")
+	top.Link(1, 20, "customer")
+	top.Link(10, 30, "customer")
+	top.Link(10, 40, "customer")
+	top.Link(20, 40, "customer")
+	top.Link(10, 50, "peer")
+	top.Link(20, 50, "customer")
+	top.Link(50, 60, "peer")
+	top.Finalize()
+	return top
+}
+
+func fixtureAnns(prependLAX, prependMIA int) []Announcement {
+	return []Announcement{
+		{Site: 0, UpstreamASN: 10, Lat: 34, Lon: -118, Prepend: prependLAX},
+		{Site: 1, UpstreamASN: 20, Lat: 26, Lon: -80, Prepend: prependMIA},
+	}
+}
+
+func sitesOf(t *Table, asn uint32) map[int]bool {
+	idx := t.Top.ASIndex(asn)
+	out := map[int]bool{}
+	for _, c := range t.Cands[idx] {
+		out[c.Site] = true
+	}
+	return out
+}
+
+func TestSingleHomedCustomerFollowsItsProvider(t *testing.T) {
+	top := buildFixture()
+	tbl := Compute(top, fixtureAnns(0, 0))
+	if s := sitesOf(tbl, 30); len(s) != 1 || !s[0] {
+		t.Errorf("C (customer of A) sites = %v, want {0}", s)
+	}
+}
+
+func TestTier1RetainsBothEqualCustomerRoutes(t *testing.T) {
+	top := buildFixture()
+	tbl := Compute(top, fixtureAnns(0, 0))
+	if s := sitesOf(tbl, 1); len(s) != 2 {
+		t.Errorf("T1 sites = %v, want both (equal-length customer routes)", s)
+	}
+}
+
+func TestMultihomedTieRetained(t *testing.T) {
+	top := buildFixture()
+	tbl := Compute(top, fixtureAnns(0, 0))
+	// E buys from both A and B at equal path length.
+	if s := sitesOf(tbl, 40); len(s) != 2 {
+		t.Errorf("E sites = %v, want both", s)
+	}
+}
+
+func TestLocalPrefBeatsLength(t *testing.T) {
+	top := buildFixture()
+	// Even with MIA 5 hops "better" for P via its provider B, the peer
+	// route from A must win on local-pref.
+	tbl := Compute(top, fixtureAnns(0, 0))
+	if s := sitesOf(tbl, 50); len(s) != 1 || !s[0] {
+		t.Errorf("P sites = %v, want {0} via peer", s)
+	}
+}
+
+func TestValleyFreePeerRouteNotReExported(t *testing.T) {
+	top := buildFixture()
+	tbl := Compute(top, fixtureAnns(0, 0))
+	// Q only peers with P; P's best is a peer route, which must not
+	// cross a second peering... but P also has a customer-side? No:
+	// P's providers: B. P's route via B is provider-class; its peer
+	// route via A is peer-class. Neither may be exported to peer Q.
+	if s := sitesOf(tbl, 60); len(s) != 0 {
+		t.Errorf("Q sites = %v, want unreachable (valley-free)", s)
+	}
+}
+
+func TestPrependShiftsTier1(t *testing.T) {
+	top := buildFixture()
+	tbl := Compute(top, fixtureAnns(1, 0)) // prepend LAX once
+	if s := sitesOf(tbl, 1); len(s) != 1 || !s[1] {
+		t.Errorf("T1 sites with LAX+1 = %v, want {1}", s)
+	}
+	// And the other way.
+	tbl = Compute(top, fixtureAnns(0, 2))
+	if s := sitesOf(tbl, 1); len(s) != 1 || !s[0] {
+		t.Errorf("T1 sites with MIA+2 = %v, want {0}", s)
+	}
+}
+
+func TestPrependDoesNotMoveDirectCustomer(t *testing.T) {
+	top := buildFixture()
+	// C is single-homed behind A: no matter how much LAX prepends,
+	// C has no alternative route.
+	tbl := Compute(top, fixtureAnns(3, 0))
+	if s := sitesOf(tbl, 30); len(s) != 1 || !s[0] {
+		t.Errorf("C sites with LAX+3 = %v, want {0}", s)
+	}
+}
+
+func TestIgnorePrependAS(t *testing.T) {
+	top := buildFixture()
+	idx := top.ASIndex(40) // E, multihomed to A and B
+	top.ASes[idx].IgnorePrepend = true
+	tbl := Compute(top, fixtureAnns(2, 0))
+	// Normal ASes would abandon LAX at +2; E compares BaseLen and keeps
+	// both routes tied.
+	if s := sitesOf(tbl, 40); !s[0] {
+		t.Errorf("prepend-ignoring E sites = %v, want LAX retained", s)
+	}
+
+	top.ASes[idx].IgnorePrepend = false
+	tbl = Compute(top, fixtureAnns(2, 0))
+	if s := sitesOf(tbl, 40); s[0] || !s[1] {
+		t.Errorf("normal E sites with LAX+2 = %v, want {1}", s)
+	}
+}
+
+func TestRouteLengths(t *testing.T) {
+	top := buildFixture()
+	tbl := Compute(top, fixtureAnns(2, 0))
+	// A's own origination: Len 3 (1+2 prepend), BaseLen 1.
+	aCands := tbl.Cands[top.ASIndex(10)]
+	if len(aCands) != 1 || aCands[0].Len != 3 || aCands[0].BaseLen != 1 {
+		t.Errorf("A cands = %+v, want own origin Len 3 BaseLen 1", aCands)
+	}
+	// C learns it one hop further.
+	cCands := tbl.Cands[top.ASIndex(30)]
+	if len(cCands) != 1 || cCands[0].Len != 4 || cCands[0].BaseLen != 2 {
+		t.Errorf("C cands = %+v, want Len 4 BaseLen 2", cCands)
+	}
+	if cCands[0].From != 10 || cCands[0].Class != FromProvider {
+		t.Errorf("C route provenance = %+v", cCands[0])
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	top := buildFixture()
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown upstream ASN should panic")
+		}
+	}()
+	Compute(top, []Announcement{{Site: 0, UpstreamASN: 424242}})
+}
+
+// --- Generated-topology invariants ---
+
+func TestGeneratedTopologyFullCoverage(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeTiny, 5))
+	// Announce from two transit ASes.
+	var ups []uint32
+	for i := range top.ASes {
+		if top.ASes[i].Class == topology.Transit {
+			ups = append(ups, top.ASes[i].ASN)
+			if len(ups) == 2 {
+				break
+			}
+		}
+	}
+	anns := []Announcement{
+		{Site: 0, UpstreamASN: ups[0], Lat: 34, Lon: -118},
+		{Site: 1, UpstreamASN: ups[1], Lat: 26, Lon: -80},
+	}
+	tbl := Compute(top, anns)
+	unreached := 0
+	for i := range top.ASes {
+		if len(tbl.Cands[i]) == 0 {
+			unreached++
+		}
+	}
+	// Every generated AS has a provider chain to the tier-1 clique, so
+	// everything must hear the announcement.
+	if unreached != 0 {
+		t.Errorf("%d ASes unreached", unreached)
+	}
+	asg := tbl.Assign()
+	for i := range top.Blocks {
+		if asg.Primary[i] < 0 || int(asg.Primary[i]) >= tbl.NSite {
+			t.Fatalf("block %d primary site %d out of range", i, asg.Primary[i])
+		}
+	}
+}
+
+func TestAssignDeterministic(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeTiny, 6))
+	anns := []Announcement{
+		{Site: 0, UpstreamASN: top.ASes[0].ASN, Lat: 40, Lon: -100},
+		{Site: 1, UpstreamASN: top.ASes[1].ASN, Lat: 50, Lon: 10},
+	}
+	a1 := Compute(top, anns).Assign()
+	a2 := Compute(top, anns).Assign()
+	for i := range a1.Primary {
+		if a1.Primary[i] != a2.Primary[i] || a1.Secondary[i] != a2.Secondary[i] {
+			t.Fatalf("assignment differs at block %d", i)
+		}
+	}
+}
+
+func TestSiteAtFlipsOnlyFlaggedBlocks(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeSmall, 6))
+	anns := []Announcement{
+		{Site: 0, UpstreamASN: top.ASes[0].ASN, Lat: 40, Lon: -100},
+		{Site: 1, UpstreamASN: top.ASes[1].ASN, Lat: 50, Lon: 10},
+	}
+	asg := Compute(top, anns).Assign()
+	flippable, flipped := 0, 0
+	for i := range asg.Primary {
+		if asg.FlipProb[i] > 0 {
+			flippable++
+		}
+		prev := asg.SiteAt(i, 0, 42)
+		for r := uint32(1); r < 8; r++ {
+			cur := asg.SiteAt(i, r, 42)
+			if cur != prev {
+				if asg.FlipProb[i] == 0 {
+					t.Fatalf("block %d flipped without FlipProb", i)
+				}
+				flipped++
+				break
+			}
+			prev = cur
+		}
+	}
+	if flippable > 0 && flipped == 0 {
+		t.Errorf("no flips observed among %d flippable blocks over 8 rounds", flippable)
+	}
+	// Determinism of the flip hash.
+	for i := 0; i < len(asg.Primary); i += 97 {
+		if asg.SiteAt(i, 3, 42) != asg.SiteAt(i, 3, 42) {
+			t.Fatal("SiteAt not deterministic")
+		}
+	}
+}
+
+func TestHotPotatoSplitsMultiPoPAS(t *testing.T) {
+	// A giant AS with PoPs on both coasts, buying from both A and B,
+	// must send west-coast blocks to LAX and east-coast blocks to MIA.
+	us := topology.CountryIndex("US")
+	top := &topology.Topology{}
+	top.AddAS(topology.AS{ASN: 10, Class: topology.Transit, CountryIdx: us,
+		PoPs: []topology.PoP{{CountryIdx: us, Lat: 34, Lon: -118}}})
+	top.AddAS(topology.AS{ASN: 20, Class: topology.Transit, CountryIdx: us,
+		PoPs: []topology.PoP{{CountryIdx: us, Lat: 26, Lon: -80}}})
+	giant := topology.AS{ASN: 7922, Class: topology.Stub, CountryIdx: us,
+		PoPs: []topology.PoP{
+			{CountryIdx: us, Lat: 37, Lon: -122}, // west
+			{CountryIdx: us, Lat: 28, Lon: -81},  // east
+		},
+	}
+	gi := top.AddAS(giant)
+	top.Link(10, 7922, "customer")
+	top.Link(20, 7922, "customer")
+	top.Link(10, 20, "peer")
+	// Hand the giant two blocks, one per PoP.
+	pfx := mustPrefix(t, "100.0.0.0/23")
+	top.ASes[gi].Prefixes = append(top.ASes[gi].Prefixes, pfx)
+	top.Blocks = append(top.Blocks,
+		topology.BlockInfo{Block: pfx.FirstBlock(), ASIdx: int32(gi), PoP: 0, Lat: 37, Lon: -122, Responsive: 1},
+		topology.BlockInfo{Block: pfx.FirstBlock() + 1, ASIdx: int32(gi), PoP: 1, Lat: 28, Lon: -81, Responsive: 1},
+	)
+	top.Finalize()
+
+	tbl := Compute(top, fixtureAnns(0, 0))
+	if s := sitesOf(tbl, 7922); len(s) != 2 {
+		t.Fatalf("giant candidates = %v, want both sites", s)
+	}
+	asg := tbl.Assign()
+	west := top.BlockIndex(pfx.FirstBlock())
+	east := top.BlockIndex(pfx.FirstBlock() + 1)
+	if asg.Primary[west] != 0 {
+		t.Errorf("west block site = %d, want 0 (LAX)", asg.Primary[west])
+	}
+	if asg.Primary[east] != 1 {
+		t.Errorf("east block site = %d, want 1 (MIA)", asg.Primary[east])
+	}
+	if tbl.SplitASCount() < 1 {
+		t.Error("SplitASCount should count the giant")
+	}
+}
+
+func mustPrefix(t *testing.T, s string) ipv4.Prefix {
+	t.Helper()
+	return ipv4.MustParsePrefix(s)
+}
+
+func TestAssignFlat(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeTiny, 9))
+	anns := []Announcement{
+		{Site: 0, UpstreamASN: top.ASes[0].ASN, Lat: 34, Lon: -118},
+		{Site: 1, UpstreamASN: top.ASes[1].ASN, Lat: 50, Lon: 10},
+	}
+	tbl := Compute(top, anns)
+	flat := tbl.AssignFlat()
+	for i := range top.Blocks {
+		if flat.Secondary[i] != -1 || flat.FlipProb[i] != 0 {
+			t.Fatal("flat assignment must not flip")
+		}
+		if int(flat.Primary[i]) != tbl.SiteOfAS(int(top.Blocks[i].ASIdx)) {
+			t.Fatal("flat assignment must follow the AS-level best site")
+		}
+	}
+	// Flat kills intra-AS splits by construction.
+	perAS := map[int32]map[int16]bool{}
+	for i := range top.Blocks {
+		asIdx := top.Blocks[i].ASIdx
+		if perAS[asIdx] == nil {
+			perAS[asIdx] = map[int16]bool{}
+		}
+		perAS[asIdx][flat.Primary[i]] = true
+	}
+	for asIdx, sites := range perAS {
+		if len(sites) != 1 {
+			t.Fatalf("AS idx %d split under flat assignment", asIdx)
+		}
+	}
+}

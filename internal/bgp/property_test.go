@@ -1,0 +1,167 @@
+package bgp
+
+import (
+	"testing"
+
+	"verfploeter/internal/topology"
+)
+
+// Property tests over randomly generated topologies: the routing
+// invariants that every seed must satisfy.
+
+func randomWorld(t *testing.T, seed uint64) (*topology.Topology, []Announcement) {
+	t.Helper()
+	top := topology.Generate(topology.DefaultParams(topology.SizeTiny, seed))
+	// Announce from two generated transits chosen by seed.
+	var transits []uint32
+	for i := range top.ASes {
+		if top.ASes[i].Class == topology.Transit {
+			transits = append(transits, top.ASes[i].ASN)
+		}
+	}
+	if len(transits) < 2 {
+		t.Skip("degenerate topology")
+	}
+	u0 := transits[int(seed)%len(transits)]
+	u1 := transits[int(seed/7+1)%len(transits)]
+	if u1 == u0 {
+		u1 = transits[(int(seed)+1)%len(transits)]
+	}
+	if u1 == u0 {
+		t.Skip("could not pick two distinct upstreams")
+	}
+	anns := []Announcement{
+		{Site: 0, UpstreamASN: u0, Lat: 34, Lon: -118},
+		{Site: 1, UpstreamASN: u1, Lat: 50, Lon: 9},
+	}
+	return top, anns
+}
+
+// Totality: every generated AS hears the announcement (the generator
+// guarantees provider paths to the tier-1 clique), and every block gets
+// a valid site.
+func TestPropertyTotality(t *testing.T) {
+	for seed := uint64(100); seed < 112; seed++ {
+		top, anns := randomWorld(t, seed)
+		tbl := Compute(top, anns)
+		for i := range top.ASes {
+			if len(tbl.Cands[i]) == 0 {
+				t.Fatalf("seed %d: AS%d unreached", seed, top.ASes[i].ASN)
+			}
+			for _, c := range tbl.Cands[i] {
+				if c.Site < 0 || c.Site >= tbl.NSite {
+					t.Fatalf("seed %d: site %d out of range", seed, c.Site)
+				}
+				if c.Len < c.BaseLen {
+					t.Fatalf("seed %d: Len %d < BaseLen %d", seed, c.Len, c.BaseLen)
+				}
+			}
+		}
+		asg := tbl.Assign()
+		for i := range top.Blocks {
+			if asg.Primary[i] < 0 || int(asg.Primary[i]) >= tbl.NSite {
+				t.Fatalf("seed %d: block %d unassigned", seed, i)
+			}
+			if asg.FlipProb[i] > 0 && asg.Secondary[i] < 0 {
+				t.Fatalf("seed %d: flip probability without secondary", seed)
+			}
+			if asg.Secondary[i] >= 0 && asg.Secondary[i] == asg.Primary[i] {
+				t.Fatalf("seed %d: secondary equals primary", seed)
+			}
+		}
+	}
+}
+
+// Determinism: identical inputs give identical tables.
+func TestPropertyDeterminism(t *testing.T) {
+	for seed := uint64(200); seed < 206; seed++ {
+		top, anns := randomWorld(t, seed)
+		a := Compute(top, anns)
+		b := Compute(top, anns)
+		for i := range a.Cands {
+			if len(a.Cands[i]) != len(b.Cands[i]) {
+				t.Fatalf("seed %d: candidate counts differ at AS %d", seed, i)
+			}
+			for j := range a.Cands[i] {
+				if a.Cands[i][j] != b.Cands[i][j] {
+					t.Fatalf("seed %d: candidates differ at AS %d", seed, i)
+				}
+			}
+			if a.AltSite[i] != b.AltSite[i] {
+				t.Fatalf("seed %d: AltSite differs at AS %d", seed, i)
+			}
+		}
+	}
+}
+
+// Prepending monotonicity: increasing site 0's prepend never grows its
+// aggregate block share.
+func TestPropertyPrependMonotone(t *testing.T) {
+	for seed := uint64(300); seed < 308; seed++ {
+		top, anns := randomWorld(t, seed)
+		prev := 2.0
+		for prepend := 0; prepend <= 3; prepend++ {
+			a := anns
+			a[0].Prepend = prepend
+			asg := Compute(top, a).Assign()
+			n0 := 0
+			for i := range top.Blocks {
+				if asg.Primary[i] == 0 {
+					n0++
+				}
+			}
+			frac := float64(n0) / float64(len(top.Blocks))
+			if frac > prev+0.01 {
+				t.Fatalf("seed %d: share of prepended site grew: %.3f -> %.3f at +%d",
+					seed, prev, frac, prepend)
+			}
+			prev = frac
+		}
+	}
+}
+
+// Local preference dominance: an AS holding any customer-class candidate
+// holds no lower-class candidate.
+func TestPropertyClassPurity(t *testing.T) {
+	for seed := uint64(400); seed < 406; seed++ {
+		top, anns := randomWorld(t, seed)
+		tbl := Compute(top, anns)
+		for i, cands := range tbl.Cands {
+			if len(cands) == 0 {
+				continue
+			}
+			cls := cands[0].Class
+			for _, c := range cands[1:] {
+				if c.Class != cls {
+					t.Fatalf("seed %d: AS %d mixes classes %v and %v", seed, i, cls, c.Class)
+				}
+			}
+		}
+	}
+}
+
+// Epoch perturbation: different epochs may move blocks, but totality and
+// determinism still hold, and an epoch diff only affects equal-cost
+// decisions (every block still gets a valid site).
+func TestPropertyEpochStability(t *testing.T) {
+	top, anns := randomWorld(t, 501)
+	e0 := ComputeEpoch(top, anns, 0).Assign()
+	e1 := ComputeEpoch(top, anns, 1).Assign()
+	e0b := ComputeEpoch(top, anns, 0).Assign()
+	moved := 0
+	for i := range top.Blocks {
+		if e0.Primary[i] != e0b.Primary[i] {
+			t.Fatal("same epoch not deterministic")
+		}
+		if e0.Primary[i] != e1.Primary[i] {
+			moved++
+		}
+		if e1.Primary[i] < 0 {
+			t.Fatal("epoch 1 lost a block")
+		}
+	}
+	// Drift should be partial: neither frozen nor a total reshuffle.
+	if moved > len(top.Blocks)*3/4 {
+		t.Fatalf("epoch change moved %d of %d blocks — too chaotic", moved, len(top.Blocks))
+	}
+}

@@ -1,0 +1,378 @@
+// Package dataplane simulates packet delivery between the anycast service
+// and the rest of the (synthetic) Internet.
+//
+// The control plane — which site a block's traffic reaches — comes from a
+// bgp.Assignment. This package adds everything the paper's data cleaning
+// has to cope with (§4 "Data cleaning"):
+//
+//   - unresponsive targets: only ~55% of probed blocks answer;
+//   - duplicate replies: "systems replying multiple times to a single
+//     echo request, in some cases up to thousands of times", ~2% of
+//     replies;
+//   - aliased replies from a different address than the one probed;
+//   - late replies arriving after the measurement cutoff;
+//   - geographic round-trip delays, so reply timing is meaningful.
+//
+// All impairments are deterministic functions of (seed, block, round), so
+// identical runs produce identical packet streams.
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"verfploeter/internal/bgp"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/packet"
+	"verfploeter/internal/topology"
+	"verfploeter/internal/vclock"
+)
+
+// Impairments tunes the data plane's misbehavior.
+type Impairments struct {
+	DupFrac      float64       // fraction of replying blocks that duplicate
+	DupMax       int           // max duplicates from one pathological host
+	AliasFrac    float64       // fraction replying from a different address
+	CrossAlias   float64       // of the aliased, fraction replying from another block
+	LateFrac     float64       // fraction of replies delayed past any cutoff
+	LateDelay    time.Duration // how late those replies are
+	BaseRTT      time.Duration // fixed per-reply latency floor
+	RTTPerDegree time.Duration // added latency per degree-unit of distance
+}
+
+// DefaultImpairments mirrors the magnitudes the paper reports (~2%
+// duplicates; rare but extreme repeaters; a sliver of late traffic).
+func DefaultImpairments() Impairments {
+	return Impairments{
+		DupFrac:      0.02,
+		DupMax:       200,
+		AliasFrac:    0.01,
+		CrossAlias:   0.3,
+		LateFrac:     0.0015,
+		LateDelay:    16 * time.Minute,
+		BaseRTT:      8 * time.Millisecond,
+		RTTPerDegree: 1200 * time.Microsecond,
+	}
+}
+
+// Config assembles a Net.
+type Config struct {
+	Top    *topology.Topology
+	Clock  *vclock.Clock
+	Seed   uint64
+	Impair Impairments
+	// AnycastPrefix is the service prefix; probe sources and anycast
+	// query destinations must fall inside it.
+	AnycastPrefix ipv4.Prefix
+	// TestPrefix is the parallel measurement prefix of §3.1: operators
+	// announce the anycast /24 plus a covering /23, and "the
+	// non-operational portion of the /23 could serve as the test
+	// prefix". Probes sourced from it route by the test assignment,
+	// leaving production routing untouched. Zero value disables it.
+	TestPrefix ipv4.Prefix
+}
+
+// Stats counts data-plane events, for tests and reports.
+type Stats struct {
+	ProbesSent     uint64
+	BadPackets     uint64
+	UnknownBlocks  uint64
+	Unresponsive   uint64
+	Replies        uint64
+	Duplicates     uint64
+	Aliased        uint64
+	Late           uint64
+	QueriesRouted  uint64
+	QueriesDropped uint64
+}
+
+// Net is the simulated data plane. Not safe for concurrent use; the
+// simulation is single-threaded over the virtual clock.
+type Net struct {
+	cfg     Config
+	asg     *bgp.Assignment
+	testAsg *bgp.Assignment
+	round   uint32
+	taps    []func(pkt []byte)
+	dns     []func(query []byte) []byte
+	stats   Stats
+}
+
+// Errors surfaced to callers.
+var (
+	ErrNoAssignment = errors.New("dataplane: no routing assignment installed")
+	ErrBadSource    = errors.New("dataplane: probe source outside anycast prefix")
+	ErrNoRoute      = errors.New("dataplane: destination has no route to the service")
+)
+
+// New builds a Net. Sites are attached afterwards.
+func New(cfg Config) *Net {
+	if cfg.Top == nil || cfg.Clock == nil {
+		panic("dataplane: Config needs Top and Clock")
+	}
+	return &Net{cfg: cfg}
+}
+
+// AttachSite registers the capture tap and DNS handler for a site. Either
+// handler may be nil. Sites must be attached densely from 0.
+func (n *Net) AttachSite(site int, tap func(pkt []byte), dns func(query []byte) []byte) {
+	n.grow(site)
+	n.taps[site] = tap
+	n.dns[site] = dns
+}
+
+// SetTap replaces only the capture tap of a site — measurements swap taps
+// per round without disturbing the service's DNS front end.
+func (n *Net) SetTap(site int, tap func(pkt []byte)) {
+	n.grow(site)
+	n.taps[site] = tap
+}
+
+// SetDNS replaces only the DNS handler of a site.
+func (n *Net) SetDNS(site int, dns func(query []byte) []byte) {
+	n.grow(site)
+	n.dns[site] = dns
+}
+
+func (n *Net) grow(site int) {
+	if site < 0 {
+		panic("dataplane: negative site")
+	}
+	for len(n.taps) <= site {
+		n.taps = append(n.taps, nil)
+		n.dns = append(n.dns, nil)
+	}
+}
+
+// SetAssignment installs the routing epoch (which catchment each block
+// belongs to). Changing it mid-run models a BGP policy change.
+func (n *Net) SetAssignment(a *bgp.Assignment) { n.asg = a }
+
+// SetTestAssignment installs routing for the test prefix — the §3.1
+// pre-deployment planning workflow announces candidate configurations
+// there while production routing stays on the main assignment.
+func (n *Net) SetTestAssignment(a *bgp.Assignment) { n.testAsg = a }
+
+// SetRound advances the measurement round used for per-round
+// responsiveness churn and catchment flips.
+func (n *Net) SetRound(r uint32) { n.round = r }
+
+// Round returns the current round.
+func (n *Net) Round() uint32 { return n.round }
+
+// Stats returns a copy of the counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// hash mixes identifiers into a uniform [0,1) float, the deterministic
+// coin every impairment flips.
+func (n *Net) hash(kind string, block ipv4.Block, round uint32) float64 {
+	h := n.cfg.Seed
+	for i := 0; i < len(kind); i++ {
+		h = h*1099511628211 + uint64(kind[i])
+	}
+	h ^= uint64(block) << 24
+	h ^= uint64(round)
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return float64(h&0xfffffffffffff) / float64(1<<52)
+}
+
+// SendProbe injects one marshaled IPv4+ICMP echo request from the anycast
+// measurement address (at originSite) toward a hitlist target. Replies —
+// zero, one, or many — are scheduled onto the catchment site's tap.
+func (n *Net) SendProbe(originSite int, raw []byte) error {
+	n.stats.ProbesSent++
+	if n.asg == nil {
+		return ErrNoAssignment
+	}
+	probe, err := packet.UnmarshalEcho(raw)
+	if err != nil {
+		n.stats.BadPackets++
+		return fmt.Errorf("dataplane: malformed probe: %w", err)
+	}
+	asg := n.asg
+	switch {
+	case n.cfg.AnycastPrefix.Contains(probe.IP.Src):
+		// production prefix
+	case n.cfg.TestPrefix.Bits > 0 && n.cfg.TestPrefix.Contains(probe.IP.Src):
+		if n.testAsg == nil {
+			return ErrNoAssignment
+		}
+		asg = n.testAsg
+	default:
+		n.stats.BadPackets++
+		return ErrBadSource
+	}
+	target := probe.IP.Dst
+	bi := n.cfg.Top.BlockIndex(target.Block())
+	if bi < 0 {
+		n.stats.UnknownBlocks++
+		return nil // probing unrouted space: silence, like the real thing
+	}
+	binfo := &n.cfg.Top.Blocks[bi]
+
+	// Does the representative answer this round?
+	if !n.responds(binfo) {
+		n.stats.Unresponsive++
+		return nil
+	}
+
+	site := asg.SiteAt(bi, n.round, n.cfg.Seed)
+	if site < 0 || site >= len(n.taps) || n.taps[site] == nil {
+		// The block's AS heard no announcement; its reply dies in the
+		// void. (With full propagation this is unreachable, but
+		// partial announcements are a legitimate scenario.)
+		n.stats.Unresponsive++
+		return nil
+	}
+
+	// Source address: usually the probed address, sometimes an alias.
+	from := target
+	if n.hash("alias", binfo.Block, n.round) < n.cfg.Impair.AliasFrac {
+		n.stats.Aliased++
+		if n.hash("xalias", binfo.Block, n.round) < n.cfg.Impair.CrossAlias && bi+1 < len(n.cfg.Top.Blocks) {
+			from = n.cfg.Top.Blocks[bi+1].Block.Addr(uint8(target) & 0xff)
+		} else {
+			from = target.Block().Addr(uint8(target) + 101)
+		}
+	}
+	reply := packet.ReplyTo(probe, from)
+
+	// Latency: origin→target plus target→catchment-site legs.
+	delay := n.cfg.Impair.BaseRTT + n.replyDelay(asg, binfo, originSite, site)
+	if n.hash("late", binfo.Block, n.round) < n.cfg.Impair.LateFrac {
+		n.stats.Late++
+		delay += n.cfg.Impair.LateDelay
+	}
+
+	copies := 1
+	if n.hash("dup", binfo.Block, n.round) < n.cfg.Impair.DupFrac {
+		// Mostly one extra; occasionally a pathological repeater.
+		extra := 1
+		if r := n.hash("dupn", binfo.Block, n.round); r < 0.05 {
+			extra = 2 + int(r*20*float64(n.cfg.Impair.DupMax))
+			if extra > n.cfg.Impair.DupMax {
+				extra = n.cfg.Impair.DupMax
+			}
+		}
+		copies += extra
+		n.stats.Duplicates += uint64(extra)
+	}
+
+	tap := n.taps[site]
+	for c := 0; c < copies; c++ {
+		d := delay + time.Duration(c)*50*time.Microsecond
+		n.stats.Replies++
+		pkt := reply
+		n.cfg.Clock.After(d, func() { tap(pkt) })
+	}
+	return nil
+}
+
+func (n *Net) replyDelay(asg *bgp.Assignment, b *topology.BlockInfo, originSite, catchSite int) time.Duration {
+	// Geographic legs using the announcement coordinates of both sites.
+	anns := asg.Table.Anns
+	var d1, d2 float64
+	for _, a := range anns {
+		if a.Site == originSite {
+			d1 = topology.GeoDistance(float64(b.Lat), float64(b.Lon), a.Lat, a.Lon)
+		}
+		if a.Site == catchSite {
+			d2 = topology.GeoDistance(float64(b.Lat), float64(b.Lon), a.Lat, a.Lon)
+		}
+	}
+	return time.Duration((d1 + d2) / 2 * float64(n.cfg.Impair.RTTPerDegree))
+}
+
+// QueryAnycast routes a DNS query from a client address to its catchment
+// site and returns the site's answer along with the site index. It is
+// synchronous: the simulated Atlas platform and the load generator use it
+// as their resolver path.
+func (n *Net) QueryAnycast(from ipv4.Addr, query []byte) ([]byte, int, error) {
+	if n.asg == nil {
+		return nil, -1, ErrNoAssignment
+	}
+	bi := n.cfg.Top.BlockIndex(from.Block())
+	if bi < 0 {
+		n.stats.QueriesDropped++
+		return nil, -1, fmt.Errorf("%w: %v not in any routed block", ErrNoRoute, from)
+	}
+	site := n.asg.SiteAt(bi, n.round, n.cfg.Seed)
+	if site < 0 || site >= len(n.dns) || n.dns[site] == nil {
+		n.stats.QueriesDropped++
+		return nil, -1, ErrNoRoute
+	}
+	n.stats.QueriesRouted++
+	return n.dns[site](query), site, nil
+}
+
+// SiteOfBlock exposes the current-round catchment of a block — the ground
+// truth an operator does NOT have; only tests and EXPERIMENTS validation
+// may use it.
+func (n *Net) SiteOfBlock(b ipv4.Block) int {
+	if n.asg == nil {
+		return -1
+	}
+	bi := n.cfg.Top.BlockIndex(b)
+	if bi < 0 {
+		return -1
+	}
+	return n.asg.SiteAt(bi, n.round, n.cfg.Seed)
+}
+
+// RespChurn is the per-round probability that a block's responsiveness
+// state inverts. The paper observes ~2.4% of VPs going silent (and about
+// as many returning) between 15-minute rounds — hosts are strongly
+// autocorrelated, not re-rolled every round.
+const RespChurn = 0.013
+
+// responds decides whether a block's representative answers this round:
+// a round-independent base state (probability = the block's Responsive
+// score) inverted with small per-round churn.
+func (n *Net) responds(binfo *topology.BlockInfo) bool {
+	base := n.hash("resp", binfo.Block, 0) < float64(binfo.Responsive)
+	if n.hash("resp-churn", binfo.Block, n.round) < RespChurn {
+		return !base
+	}
+	return base
+}
+
+// PathRTT returns the modelled round-trip time between a client address
+// and its current catchment site — what a vantage point measures when it
+// pings the anycast service (the latency view platforms like RIPE Atlas
+// provide, which [43] uses for placement studies).
+func (n *Net) PathRTT(from ipv4.Addr) (time.Duration, int, bool) {
+	if n.asg == nil {
+		return 0, -1, false
+	}
+	bi := n.cfg.Top.BlockIndex(from.Block())
+	if bi < 0 {
+		return 0, -1, false
+	}
+	site := n.asg.SiteAt(bi, n.round, n.cfg.Seed)
+	if site < 0 {
+		return 0, -1, false
+	}
+	b := &n.cfg.Top.Blocks[bi]
+	var d float64
+	for _, a := range n.asg.Table.Anns {
+		if a.Site == site {
+			d = topology.GeoDistance(float64(b.Lat), float64(b.Lon), a.Lat, a.Lon)
+			break
+		}
+	}
+	return n.cfg.Impair.BaseRTT + time.Duration(d*float64(n.cfg.Impair.RTTPerDegree)), site, true
+}
+
+// Responds reports whether the block's representative answers pings this
+// round (ground truth for tests).
+func (n *Net) Responds(b ipv4.Block) bool {
+	bi := n.cfg.Top.BlockIndex(b)
+	if bi < 0 {
+		return false
+	}
+	return n.responds(&n.cfg.Top.Blocks[bi])
+}

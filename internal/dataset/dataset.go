@@ -1,0 +1,332 @@
+// Package dataset persists complete Verfploeter measurement runs the way
+// the paper publishes them (Table 1: SBA-5-15, SBV-5-15, STV-3-23, ...).
+// A dataset file carries the measurement's metadata, its cleaned
+// catchment (with per-block RTTs when recorded), and the round's
+// statistics, so analyses can be re-run and two runs can be diffed —
+// the paper's month-over-month comparison of SBV-4-21 vs SBV-5-15 is
+// exactly such a diff.
+//
+// The format is a gzip-compressed binary record; the paper's own release
+// totals ~128MB per measurement, so compactness matters.
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/verfploeter"
+)
+
+// Format constants.
+var magic = [4]byte{'V', 'P', 'D', 'S'}
+
+const version = 1
+
+// ErrFormat is returned (wrapped) for malformed dataset files.
+var ErrFormat = errors.New("dataset: bad format")
+
+// Meta identifies one measurement run, mirroring the paper's Table 1.
+type Meta struct {
+	// ID names the dataset, e.g. "SBV-5-15" (Scan, B-root, Verfploeter,
+	// May 15).
+	ID       string
+	Scenario string   // "b-root", "tangled", ...
+	Sites    []string // site codes, index = site number
+	RoundID  uint16
+	Seed     uint64
+	// Created is caller-supplied (virtual time offsets serialize fine).
+	CreatedUnix int64
+}
+
+// Dataset is one run's persisted result.
+type Dataset struct {
+	Meta      Meta
+	Catchment *verfploeter.Catchment
+	Stats     verfploeter.Stats
+}
+
+// Write serializes the dataset.
+func Write(w io.Writer, ds *Dataset) error {
+	if ds == nil || ds.Catchment == nil {
+		return fmt.Errorf("%w: nil dataset or catchment", ErrFormat)
+	}
+	zw := gzip.NewWriter(w)
+	bw := bufio.NewWriter(zw)
+
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	writeU16(bw, version)
+	writeString(bw, ds.Meta.ID)
+	writeString(bw, ds.Meta.Scenario)
+	writeU16(bw, uint16(len(ds.Meta.Sites)))
+	for _, s := range ds.Meta.Sites {
+		writeString(bw, s)
+	}
+	writeU16(bw, ds.Meta.RoundID)
+	writeU64(bw, ds.Meta.Seed)
+	writeU64(bw, uint64(ds.Meta.CreatedUnix))
+
+	// Stats block.
+	writeU64(bw, uint64(ds.Stats.Sent))
+	writeU64(bw, uint64(ds.Stats.SendErrs))
+	writeU64(bw, uint64(ds.Stats.Elapsed))
+	writeU64(bw, uint64(ds.Stats.MedianRTT))
+	writeU64(bw, uint64(ds.Stats.Clean.Total))
+	writeU64(bw, uint64(ds.Stats.Clean.WrongRound))
+	writeU64(bw, uint64(ds.Stats.Clean.Late))
+	writeU64(bw, uint64(ds.Stats.Clean.Unsolicited))
+	writeU64(bw, uint64(ds.Stats.Clean.Duplicates))
+	writeU64(bw, uint64(ds.Stats.Clean.Kept))
+
+	// Catchment entries, sorted for deterministic files.
+	writeU32(bw, uint32(ds.Catchment.NSite))
+	blocks := ds.Catchment.Blocks()
+	writeU32(bw, uint32(len(blocks)))
+	for _, b := range blocks {
+		site, _ := ds.Catchment.SiteOf(b)
+		writeU32(bw, uint32(b))
+		writeU16(bw, uint16(site))
+		rttMicros := uint32(0)
+		if rtt, ok := ds.Catchment.RTTOf(b); ok {
+			us := rtt.Microseconds()
+			if us > int64(^uint32(0)) {
+				us = int64(^uint32(0))
+			}
+			rttMicros = uint32(us)
+		}
+		writeU32(bw, rttMicros)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// Read deserializes a dataset.
+func Read(r io.Reader) (*Dataset, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: not gzip: %v", ErrFormat, err)
+	}
+	defer zr.Close()
+	br := bufio.NewReader(zr)
+
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil || m != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	v, err := readU16(br)
+	if err != nil || v != version {
+		return nil, fmt.Errorf("%w: version %d", ErrFormat, v)
+	}
+
+	ds := &Dataset{}
+	if ds.Meta.ID, err = readString(br); err != nil {
+		return nil, err
+	}
+	if ds.Meta.Scenario, err = readString(br); err != nil {
+		return nil, err
+	}
+	nSites, err := readU16(br)
+	if err != nil {
+		return nil, err
+	}
+	if nSites > 4096 {
+		return nil, fmt.Errorf("%w: %d sites", ErrFormat, nSites)
+	}
+	for i := 0; i < int(nSites); i++ {
+		s, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		ds.Meta.Sites = append(ds.Meta.Sites, s)
+	}
+	if ds.Meta.RoundID, err = readU16(br); err != nil {
+		return nil, err
+	}
+	if ds.Meta.Seed, err = readU64(br); err != nil {
+		return nil, err
+	}
+	created, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	ds.Meta.CreatedUnix = int64(created)
+
+	stats := make([]uint64, 10)
+	for i := range stats {
+		if stats[i], err = readU64(br); err != nil {
+			return nil, err
+		}
+	}
+	ds.Stats = verfploeter.Stats{
+		Sent:      int(stats[0]),
+		SendErrs:  int(stats[1]),
+		Elapsed:   time.Duration(stats[2]),
+		MedianRTT: time.Duration(stats[3]),
+		Clean: verfploeter.CleanStats{
+			Total: int(stats[4]), WrongRound: int(stats[5]), Late: int(stats[6]),
+			Unsolicited: int(stats[7]), Duplicates: int(stats[8]), Kept: int(stats[9]),
+		},
+	}
+
+	catchSites, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if catchSites == 0 || catchSites > 1<<16 {
+		return nil, fmt.Errorf("%w: catchment with %d sites", ErrFormat, catchSites)
+	}
+	n, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<27 {
+		return nil, fmt.Errorf("%w: %d entries", ErrFormat, n)
+	}
+	c := verfploeter.NewCatchment(int(catchSites))
+	for i := uint32(0); i < n; i++ {
+		blk, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		site, err := readU16(br)
+		if err != nil {
+			return nil, err
+		}
+		rttMicros, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if int(site) >= int(catchSites) {
+			return nil, fmt.Errorf("%w: entry site %d of %d", ErrFormat, site, catchSites)
+		}
+		if rttMicros > 0 {
+			c.SetRTT(ipv4.Block(blk), int(site), time.Duration(rttMicros)*time.Microsecond)
+		} else {
+			c.Set(ipv4.Block(blk), int(site))
+		}
+	}
+	ds.Catchment = c
+	return ds, nil
+}
+
+// WriteFile saves a dataset to a file.
+func WriteFile(path string, ds *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, ds); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a dataset from a file.
+func ReadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// DiffReport compares two runs — the paper's SBV-4-21 vs SBV-5-15 style
+// month-over-month analysis.
+type DiffReport struct {
+	Transitions verfploeter.DiffStats
+	// ShareDelta[s] is dataset B's site-s block share minus A's, for
+	// sites present in both.
+	ShareDelta []float64
+}
+
+// Diff compares dataset a (earlier) to b (later). The site counts must
+// match; datasets from different deployments do not diff meaningfully.
+func Diff(a, b *Dataset) (DiffReport, error) {
+	if a.Catchment.NSite != b.Catchment.NSite {
+		return DiffReport{}, fmt.Errorf("dataset: diff across %d vs %d sites", a.Catchment.NSite, b.Catchment.NSite)
+	}
+	rep := DiffReport{
+		Transitions: verfploeter.Diff(a.Catchment, b.Catchment),
+		ShareDelta:  make([]float64, a.Catchment.NSite),
+	}
+	for s := 0; s < a.Catchment.NSite; s++ {
+		rep.ShareDelta[s] = b.Catchment.Fraction(s) - a.Catchment.Fraction(s)
+	}
+	return rep, nil
+}
+
+// --- primitive serialization helpers ---
+
+func writeU16(w *bufio.Writer, v uint16) {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	w.Write(b[:])
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeU64(w *bufio.Writer, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	if len(s) > 1<<15 {
+		s = s[:1<<15]
+	}
+	writeU16(w, uint16(len(s)))
+	w.WriteString(s)
+}
+
+func readU16(r *bufio.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return binary.BigEndian.Uint16(b[:]), nil
+}
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+func readU64(r *bufio.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return binary.BigEndian.Uint64(b[:]), nil
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readU16(r)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return string(buf), nil
+}

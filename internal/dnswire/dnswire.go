@@ -1,0 +1,276 @@
+// Package dnswire implements the small slice of the DNS wire format the
+// simulator needs: queries and responses with one question and TXT/A
+// answers, including the CHAOS-class "hostname.bind" TXT query that RIPE
+// Atlas style measurements use to ask an anycast DNS server which site
+// answered ([49], §3.1). The anycast service's DNS front end and the
+// simulated Atlas platform both speak this encoding, so the traditional
+// VP-side measurement path is exercised on real message bytes just like
+// the ICMP path.
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Class and type constants (subset).
+const (
+	ClassIN uint16 = 1
+	ClassCH uint16 = 3
+
+	TypeA   uint16 = 1
+	TypeTXT uint16 = 16
+)
+
+// RCODEs (subset).
+const (
+	RCodeNoError  = 0
+	RCodeNXDomain = 3
+	RCodeRefused  = 5
+)
+
+// HostnameBind is the CHAOS TXT name that returns a server/site identity.
+const HostnameBind = "hostname.bind"
+
+// Errors returned by decoding.
+var (
+	ErrTruncated   = errors.New("dnswire: truncated message")
+	ErrBadName     = errors.New("dnswire: bad name")
+	ErrUnsupported = errors.New("dnswire: unsupported message shape")
+)
+
+// Question is the single question of a message.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// RR is a resource record in the answer section.
+type RR struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	// Data holds the RDATA. For TXT it is the character-string payload
+	// (without the length byte); for A the 4 address bytes.
+	Data []byte
+}
+
+// Message is a DNS query or response with at most one question.
+type Message struct {
+	ID       uint16
+	Response bool
+	RCode    uint8
+	Question Question
+	Answers  []RR
+}
+
+// NewQuery builds a query message.
+func NewQuery(id uint16, name string, qtype, qclass uint16) Message {
+	return Message{ID: id, Question: Question{Name: name, Type: qtype, Class: qclass}}
+}
+
+// NewHostnameBindQuery builds the CHAOS TXT hostname.bind query.
+func NewHostnameBindQuery(id uint16) Message {
+	return NewQuery(id, HostnameBind, TypeTXT, ClassCH)
+}
+
+// Respond builds a response skeleton for a query.
+func (m Message) Respond(rcode uint8) Message {
+	return Message{ID: m.ID, Response: true, RCode: rcode, Question: m.Question}
+}
+
+// AnswerTXT appends a TXT answer echoing the question name.
+func (m *Message) AnswerTXT(text string) {
+	m.Answers = append(m.Answers, RR{
+		Name: m.Question.Name, Type: TypeTXT, Class: m.Question.Class,
+		TTL: 0, Data: []byte(text),
+	})
+}
+
+// TXTAnswer returns the first TXT answer payload, if any.
+func (m *Message) TXTAnswer() (string, bool) {
+	for _, rr := range m.Answers {
+		if rr.Type == TypeTXT {
+			return string(rr.Data), true
+		}
+	}
+	return "", false
+}
+
+// Marshal encodes the message.
+func (m Message) Marshal() ([]byte, error) {
+	buf := make([]byte, 12, 64)
+	binary.BigEndian.PutUint16(buf[0:], m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15
+		flags |= 1 << 10 // AA: the anycast server is authoritative
+	}
+	flags |= uint16(m.RCode) & 0xf
+	binary.BigEndian.PutUint16(buf[2:], flags)
+	binary.BigEndian.PutUint16(buf[4:], 1) // QDCOUNT
+	binary.BigEndian.PutUint16(buf[6:], uint16(len(m.Answers)))
+
+	var err error
+	buf, err = appendName(buf, m.Question.Name)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, m.Question.Type)
+	buf = binary.BigEndian.AppendUint16(buf, m.Question.Class)
+
+	for _, rr := range m.Answers {
+		// Compression pointer to the question name at offset 12: every
+		// answer in this subset names the question owner.
+		buf = append(buf, 0xc0, 0x0c)
+		buf = binary.BigEndian.AppendUint16(buf, rr.Type)
+		buf = binary.BigEndian.AppendUint16(buf, rr.Class)
+		buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
+		switch rr.Type {
+		case TypeTXT:
+			if len(rr.Data) > 255 {
+				return nil, fmt.Errorf("%w: TXT string over 255 bytes", ErrUnsupported)
+			}
+			buf = binary.BigEndian.AppendUint16(buf, uint16(len(rr.Data)+1))
+			buf = append(buf, byte(len(rr.Data)))
+			buf = append(buf, rr.Data...)
+		case TypeA:
+			if len(rr.Data) != 4 {
+				return nil, fmt.Errorf("%w: A record needs 4 data bytes", ErrUnsupported)
+			}
+			buf = binary.BigEndian.AppendUint16(buf, 4)
+			buf = append(buf, rr.Data...)
+		default:
+			buf = binary.BigEndian.AppendUint16(buf, uint16(len(rr.Data)))
+			buf = append(buf, rr.Data...)
+		}
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes a message produced by Marshal (one question, answers
+// that point at the question name).
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) < 12 {
+		return Message{}, fmt.Errorf("%w: header", ErrTruncated)
+	}
+	var m Message
+	m.ID = binary.BigEndian.Uint16(b[0:])
+	flags := binary.BigEndian.Uint16(b[2:])
+	m.Response = flags&(1<<15) != 0
+	m.RCode = uint8(flags & 0xf)
+	qd := binary.BigEndian.Uint16(b[4:])
+	an := binary.BigEndian.Uint16(b[6:])
+	if qd != 1 {
+		return Message{}, fmt.Errorf("%w: QDCOUNT %d", ErrUnsupported, qd)
+	}
+	off := 12
+	name, n, err := readName(b, off)
+	if err != nil {
+		return Message{}, err
+	}
+	off += n
+	if off+4 > len(b) {
+		return Message{}, fmt.Errorf("%w: question", ErrTruncated)
+	}
+	m.Question = Question{
+		Name:  name,
+		Type:  binary.BigEndian.Uint16(b[off:]),
+		Class: binary.BigEndian.Uint16(b[off+2:]),
+	}
+	off += 4
+
+	for i := 0; i < int(an); i++ {
+		rrName, n, err := readName(b, off)
+		if err != nil {
+			return Message{}, err
+		}
+		off += n
+		if off+10 > len(b) {
+			return Message{}, fmt.Errorf("%w: rr header", ErrTruncated)
+		}
+		rr := RR{
+			Name:  rrName,
+			Type:  binary.BigEndian.Uint16(b[off:]),
+			Class: binary.BigEndian.Uint16(b[off+2:]),
+			TTL:   binary.BigEndian.Uint32(b[off+4:]),
+		}
+		rdlen := int(binary.BigEndian.Uint16(b[off+8:]))
+		off += 10
+		if off+rdlen > len(b) {
+			return Message{}, fmt.Errorf("%w: rdata", ErrTruncated)
+		}
+		rdata := b[off : off+rdlen]
+		off += rdlen
+		switch rr.Type {
+		case TypeTXT:
+			if rdlen < 1 || int(rdata[0]) != rdlen-1 {
+				return Message{}, fmt.Errorf("%w: TXT length", ErrTruncated)
+			}
+			rr.Data = append([]byte(nil), rdata[1:]...)
+		default:
+			rr.Data = append([]byte(nil), rdata...)
+		}
+		m.Answers = append(m.Answers, rr)
+	}
+	return m, nil
+}
+
+func appendName(buf []byte, name string) ([]byte, error) {
+	if name == "" || name == "." {
+		return append(buf, 0), nil
+	}
+	name = strings.TrimSuffix(name, ".")
+	for _, label := range strings.Split(name, ".") {
+		if label == "" || len(label) > 63 {
+			return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	return append(buf, 0), nil
+}
+
+// readName reads a (possibly compressed) name starting at off, returning
+// the name and the number of bytes consumed at off.
+func readName(b []byte, off int) (string, int, error) {
+	var labels []string
+	consumed := 0
+	jumped := false
+	pos := off
+	for hops := 0; ; hops++ {
+		if hops > 64 {
+			return "", 0, fmt.Errorf("%w: compression loop", ErrBadName)
+		}
+		if pos >= len(b) {
+			return "", 0, fmt.Errorf("%w: name", ErrTruncated)
+		}
+		l := int(b[pos])
+		switch {
+		case l == 0:
+			if !jumped {
+				consumed = pos - off + 1
+			}
+			return strings.Join(labels, "."), consumed, nil
+		case l&0xc0 == 0xc0:
+			if pos+1 >= len(b) {
+				return "", 0, fmt.Errorf("%w: pointer", ErrTruncated)
+			}
+			if !jumped {
+				consumed = pos - off + 2
+				jumped = true
+			}
+			pos = int(b[pos]&0x3f)<<8 | int(b[pos+1])
+		default:
+			if pos+1+l > len(b) {
+				return "", 0, fmt.Errorf("%w: label", ErrTruncated)
+			}
+			labels = append(labels, string(b[pos+1:pos+1+l]))
+			pos += 1 + l
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package dnswire
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0x1234, "example.com", TypeA, ClassIN)
+	b, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != 0x1234 || m.Response || m.Question.Name != "example.com" ||
+		m.Question.Type != TypeA || m.Question.Class != ClassIN {
+		t.Errorf("round trip = %+v", m)
+	}
+}
+
+func TestHostnameBindExchange(t *testing.T) {
+	q := NewHostnameBindQuery(7)
+	if q.Question.Class != ClassCH || q.Question.Type != TypeTXT {
+		t.Fatalf("hostname.bind query = %+v", q.Question)
+	}
+	resp := q.Respond(RCodeNoError)
+	resp.AnswerTXT("b1-lax")
+	b, err := resp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Response || m.ID != 7 {
+		t.Errorf("response header = %+v", m)
+	}
+	site, ok := m.TXTAnswer()
+	if !ok || site != "b1-lax" {
+		t.Errorf("TXT answer = %q, %v", site, ok)
+	}
+	if m.Answers[0].Name != HostnameBind {
+		t.Errorf("answer owner = %q (compression pointer decode)", m.Answers[0].Name)
+	}
+}
+
+func TestNXDomainResponse(t *testing.T) {
+	q := NewQuery(9, "no.such.zone", TypeA, ClassIN)
+	resp := q.Respond(RCodeNXDomain)
+	b, err := resp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RCode != RCodeNXDomain || len(m.Answers) != 0 {
+		t.Errorf("nxdomain = %+v", m)
+	}
+}
+
+func TestARecord(t *testing.T) {
+	q := NewQuery(1, "b.root-servers.net", TypeA, ClassIN)
+	resp := q.Respond(RCodeNoError)
+	resp.Answers = append(resp.Answers, RR{
+		Name: q.Question.Name, Type: TypeA, Class: ClassIN, TTL: 3600,
+		Data: []byte{199, 9, 14, 201},
+	})
+	b, err := resp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Answers) != 1 || m.Answers[0].TTL != 3600 {
+		t.Fatalf("answers = %+v", m.Answers)
+	}
+	if got := m.Answers[0].Data; len(got) != 4 || got[0] != 199 || got[3] != 201 {
+		t.Errorf("A rdata = %v", got)
+	}
+}
+
+func TestMarshalValidation(t *testing.T) {
+	q := NewQuery(1, "bad..name", TypeA, ClassIN)
+	if _, err := q.Marshal(); !errors.Is(err, ErrBadName) {
+		t.Errorf("empty label: %v", err)
+	}
+	long := make([]byte, 64)
+	for i := range long {
+		long[i] = 'a'
+	}
+	q = NewQuery(1, string(long)+".com", TypeA, ClassIN)
+	if _, err := q.Marshal(); !errors.Is(err, ErrBadName) {
+		t.Errorf("63+ label: %v", err)
+	}
+	resp := NewQuery(1, "x.com", TypeTXT, ClassIN).Respond(0)
+	resp.AnswerTXT(string(make([]byte, 300)))
+	if _, err := resp.Marshal(); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("long TXT: %v", err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: %v", err)
+	}
+	// Valid query, then truncate mid-question.
+	b, _ := NewQuery(1, "example.org", TypeA, ClassIN).Marshal()
+	if _, err := Unmarshal(b[:len(b)-3]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated question: %v", err)
+	}
+	// Compression loop: pointer at 12 pointing to itself.
+	loop := make([]byte, 16)
+	loop[4], loop[5] = 0, 1 // QDCOUNT 1
+	loop[12], loop[13] = 0xc0, 0x0c
+	if _, err := Unmarshal(loop); !errors.Is(err, ErrBadName) {
+		t.Errorf("pointer loop: %v", err)
+	}
+}
+
+func TestRootName(t *testing.T) {
+	q := NewQuery(1, ".", TypeA, ClassIN)
+	b, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Question.Name != "" {
+		t.Errorf("root name decoded as %q", m.Question.Name)
+	}
+}
+
+func TestFuzzNoPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrailingDotEquivalence(t *testing.T) {
+	a, err := NewQuery(1, "example.com.", TypeA, ClassIN).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewQuery(1, "example.com", TypeA, ClassIN).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("trailing dot should not change encoding")
+	}
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"verfploeter/internal/analysis"
+	"verfploeter/internal/atlas"
+)
+
+func init() {
+	register("table4", "Coverage of B-Root: RIPE Atlas vs Verfploeter", runTable4)
+	register("table5", "Coverage of Verfploeter from B-Root's traffic", runTable5)
+	register("fig2", "Geographic coverage of B-Root (Atlas vs Verfploeter)", runFig2)
+	register("fig3", "Catchments of nine-site Tangled (Atlas vs Verfploeter)", runFig3)
+}
+
+// Table 4 (paper): considered 9807 VPs / 6.88M blocks; responding 9352
+// VPs (8677 blocks) vs 3.79M blocks; 678 blocks not geolocatable;
+// Verfploeter sees 430x more blocks; ~77% of Atlas blocks overlap.
+func runTable4(cfg Config) (*Result, error) {
+	s := world("b-root", cfg)
+	catch, _, err := s.Measure(400)
+	if err != nil {
+		return nil, err
+	}
+	plat := atlas.New(s.Top, cfg.AtlasVPs, cfg.Seed)
+	ar := plat.Measure(s.Net, s, 400)
+	cov := analysis.CompareCoverage(ar, catch, s.Hitlist, s.GeoDB)
+
+	r := newReport()
+	r.line("Table 4: coverage of B-Root (paper numbers in brackets)")
+	r.line("%-24s %12s %16s", "", "RIPE Atlas", "Verfploeter")
+	r.line("%-24s %12d %16d   [9807 / 6,877,175]", "considered", cov.AtlasVPsConsidered, cov.VerfConsidered)
+	r.line("%-24s %12d %16d   [455 / 3,090,268]", "non-responding", cov.AtlasVPsNonResponding, cov.VerfNonResponding)
+	r.line("%-24s %12d %16d   [9352 / 3,786,907]", "responding", cov.AtlasVPsResponding, cov.VerfResponding)
+	r.line("%-24s %12s %16d   [0 / 678]", "no location", "0", cov.VerfNoLocation)
+	r.line("%-24s %12d %16d   [8677 / 3,786,229]", "geolocatable (blocks)", cov.AtlasBlocksResponding, cov.VerfGeolocatable)
+	r.line("%-24s %12d %16d   [2079 / 3,606,300]", "unique (blocks)", cov.AtlasUnique, cov.VerfUnique)
+	r.line("")
+	respRate := float64(cov.VerfResponding) / float64(cov.VerfConsidered)
+	overlap := float64(cov.Overlap) / float64(cov.AtlasBlocksResponding)
+	r.line("coverage ratio: %.0fx   [paper: 430x]", cov.Ratio)
+	r.line("hitlist response rate: %.1f%%   [paper: 55%%; prior work 56-59%%]", 100*respRate)
+	r.line("Atlas blocks also seen by Verfploeter: %.0f%%   [paper: 77%%]", 100*overlap)
+
+	r.metric("ratio", cov.Ratio)
+	r.metric("resp_rate", respRate)
+	r.metric("overlap", overlap)
+	r.shape(cov.Ratio > 50, "ratio: Verfploeter sees orders of magnitude more blocks than Atlas")
+	r.shape(respRate > 0.40 && respRate < 0.65, "response: roughly half the hitlist answers")
+	r.shape(overlap > 0.4, "overlap: most Atlas blocks are inside Verfploeter's view")
+	r.shape(cov.VerfUnique > 100*cov.AtlasUnique, "unique: Verfploeter's unique blocks dwarf Atlas's")
+	return r.result("table4", Title("table4")), nil
+}
+
+// Table 5 (paper): B-Root hears from 1.39M blocks; Verfploeter maps
+// 87.1% of them carrying 82.4% of queries.
+func runTable5(cfg Config) (*Result, error) {
+	s := world("b-root", cfg)
+	catch, _, err := s.Measure(500)
+	if err != nil {
+		return nil, err
+	}
+	log := s.RootLog()
+	mappedB, mappedQ := 0, 0.0
+	seenQ := 0.0
+	for i := range log.Blocks {
+		bl := &log.Blocks[i]
+		seenQ += bl.QueriesPerDay
+		if _, ok := catch.SiteOf(bl.Block); ok {
+			mappedB++
+			mappedQ += bl.QueriesPerDay
+		}
+	}
+	seenB := log.Len()
+
+	r := newReport()
+	r.line("Table 5: Verfploeter coverage of B-Root's client blocks")
+	r.line("%-24s %12s %8s %14s %8s", "", "/24s", "%", "q/day", "%")
+	r.line("%-24s %12d %8s %14.3g %8s", "seen at B-Root", seenB, "100%", seenQ, "100%")
+	r.line("%-24s %12d %7.1f%% %14.3g %7.1f%%   [87.1%% / 82.4%%]",
+		"mapped by Verfploeter", mappedB, 100*float64(mappedB)/float64(seenB),
+		mappedQ, 100*mappedQ/seenQ)
+	r.line("%-24s %12d %7.1f%% %14.3g %7.1f%%   [12.9%% / 17.6%%]",
+		"not mappable", seenB-mappedB, 100*float64(seenB-mappedB)/float64(seenB),
+		seenQ-mappedQ, 100*(seenQ-mappedQ)/seenQ)
+
+	blockFrac := float64(mappedB) / float64(seenB)
+	queryFrac := mappedQ / seenQ
+	r.metric("mapped_block_frac", blockFrac)
+	r.metric("mapped_query_frac", queryFrac)
+	r.shape(blockFrac > 0.55, "mapped-blocks: most traffic-sending blocks are mappable")
+	r.shape(queryFrac > 0.55, "mapped-queries: most query volume comes from mappable blocks")
+	r.shape(blockFrac > 0.5 && queryFrac > 0.5,
+		"traffic-bias: clients are far more ping-responsive than the Internet at large")
+	return r.result("table5", Title("table5")), nil
+}
+
+// Figure 2 (paper): Atlas covers Europe well, the rest sparsely, China
+// almost not at all; Verfploeter covers the populated globe at 1000x the
+// scale; only Verfploeter shows most of China and differentiates eastern
+// vs western South America.
+func runFig2(cfg Config) (*Result, error) {
+	s := world("b-root", cfg)
+	catch, _, err := s.Measure(600)
+	if err != nil {
+		return nil, err
+	}
+	plat := atlas.New(s.Top, cfg.AtlasVPs, cfg.Seed)
+	ar := plat.Measure(s.Net, s, 600)
+
+	r := newReport()
+	r.line("Figure 2: geographic coverage of B-Root, 2-degree bins")
+	r.line("(a) RIPE Atlas VPs:")
+	ag := analysis.AtlasGrid(ar, len(s.Sites))
+	if err := analysis.RenderGrid(&r.sb, ag, s.SiteLetters()); err != nil {
+		return nil, err
+	}
+	r.line("")
+	r.line("(b) Verfploeter blocks:")
+	cg := analysis.CatchmentGrid(catch, s.GeoDB)
+	if err := analysis.RenderGrid(&r.sb, cg, s.SiteLetters()); err != nil {
+		return nil, err
+	}
+
+	// Regional accounting for the paper's qualitative claims.
+	atlasCont := ag.ContinentTotals()
+	verfCont := cg.ContinentTotals()
+	sum := func(m map[string][]float64, cont string) float64 {
+		t := 0.0
+		for _, v := range m[cont] {
+			t += v
+		}
+		return t
+	}
+	atlasTotal, verfTotal := 0.0, 0.0
+	for _, c := range []string{"EU", "NA", "SA", "AS", "OC", "AF"} {
+		atlasTotal += sum(atlasCont, c)
+		verfTotal += sum(verfCont, c)
+	}
+	r.line("")
+	r.line("%-6s %14s %14s", "cont", "Atlas share", "Verf share")
+	for _, c := range []string{"EU", "NA", "SA", "AS", "OC", "AF"} {
+		r.line("%-6s %13.1f%% %13.1f%%", c,
+			100*sum(atlasCont, c)/atlasTotal, 100*sum(verfCont, c)/verfTotal)
+	}
+
+	euAtlas := sum(atlasCont, "EU") / atlasTotal
+	asAtlas := sum(atlasCont, "AS") / atlasTotal
+	euVerf := sum(verfCont, "EU") / verfTotal
+	asVerf := sum(verfCont, "AS") / verfTotal
+	r.metric("cells_atlas", float64(ag.Len()))
+	r.metric("cells_verf", float64(cg.Len()))
+	r.shape(euAtlas > 2*asAtlas, "atlas-skew: Atlas is Europe-heavy relative to Asia")
+	r.shape(asVerf > asAtlas && euVerf < euAtlas, "verf-tracks-internet: Verfploeter shifts weight toward Asia")
+	r.shape(cg.Len() > 3*ag.Len(), "density: Verfploeter fills many more map cells")
+	return r.result("fig2", Title("fig2")), nil
+}
+
+// Figure 3 (paper): same comparison over nine-site Tangled; only
+// Verfploeter resolves China and the site mix outside Europe.
+func runFig3(cfg Config) (*Result, error) {
+	s := world("tangled", cfg)
+	catch, _, err := s.Measure(700)
+	if err != nil {
+		return nil, err
+	}
+	plat := atlas.New(s.Top, cfg.AtlasVPs, cfg.Seed)
+	ar := plat.Measure(s.Net, s, 700)
+
+	r := newReport()
+	r.line("Figure 3: Tangled catchments (9 sites)")
+	r.line("(a) RIPE Atlas VPs:")
+	if err := analysis.RenderGrid(&r.sb, analysis.AtlasGrid(ar, len(s.Sites)), s.SiteLetters()); err != nil {
+		return nil, err
+	}
+	r.line("")
+	r.line("(b) Verfploeter blocks:")
+	cg := analysis.CatchmentGrid(catch, s.GeoDB)
+	if err := analysis.RenderGrid(&r.sb, cg, s.SiteLetters()); err != nil {
+		return nil, err
+	}
+	r.line("")
+	r.line("%-5s %10s %12s", "site", "Atlas VPs", "Verf blocks")
+	counts := catch.Counts()
+	activeVerf, activeAtlas := 0, 0
+	for i, code := range s.SiteCodes() {
+		r.line("%-5s %10d %12d", code, ar.SiteCounts[i], counts[i])
+		if counts[i] > catch.Len()/100 {
+			activeVerf++
+		}
+		if ar.SiteCounts[i] > 0 {
+			activeAtlas++
+		}
+	}
+	r.metric("active_sites_verf", float64(activeVerf))
+	r.metric("active_sites_atlas", float64(activeAtlas))
+	r.shape(activeVerf >= 5, "multi-site: a majority of Tangled sites attract measurable catchments")
+	r.shape(counts[s.MustSite("sao")] < counts[s.MustSite("mia")]/4+1,
+		"sao-shadowed: Sao Paulo hides behind Miami's shared link")
+	r.shape(counts[s.MustSite("hnd")] < catch.Len()/20+1,
+		"hnd-weak: Tokyo's connectivity attracts little traffic")
+	return r.result("fig3", Title("fig3")), nil
+}

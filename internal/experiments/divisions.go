@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"sync"
+
+	"verfploeter/internal/analysis"
+	"verfploeter/internal/verfploeter"
+)
+
+func init() {
+	register("fig7", "Announced prefixes vs number of sites seen per AS", runFig7)
+	register("fig8", "Sites seen per announced prefix, by prefix length", runFig8)
+}
+
+// tangledCampaign runs the multi-round Tangled measurement shared by the
+// division and stability experiments, cached per config.
+func tangledCampaign(cfg Config) ([]*verfploeter.Catchment, error) {
+	s := world("tangled", cfg)
+	campaignMu.Lock()
+	defer campaignMu.Unlock()
+	k := worldKey{"tangled-campaign", cfg.Size, cfg.Seed ^ uint64(cfg.Rounds)<<40}
+	if c, ok := campaignCache[k]; ok {
+		return c, nil
+	}
+	rounds, err := s.MeasureRounds(cfg.Rounds, 2000)
+	if err != nil {
+		return nil, err
+	}
+	campaignCache[k] = rounds
+	return rounds, nil
+}
+
+var (
+	campaignMu    sync.Mutex
+	campaignCache = map[worldKey][]*verfploeter.Catchment{}
+)
+
+// Figure 7 (paper): 12.7% of ASes are served by more than one site;
+// ASes announcing more prefixes see more sites (median announced
+// prefixes grows with sites seen, up to ~10^3 for the most split).
+func runFig7(cfg Config) (*Result, error) {
+	rounds, err := tangledCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := world("tangled", cfg)
+	unstable := analysis.UnstableBlocks(rounds)
+	catch := rounds[0]
+
+	div := analysis.Divisions(s.Top, catch, unstable)
+	divNoFilter := analysis.Divisions(s.Top, catch, nil)
+	rows := analysis.PrefixSpread(s.Top, catch, unstable)
+
+	r := newReport()
+	r.line("Figure 7: announced prefixes vs sites seen per AS (unstable VPs removed)")
+	r.line("%6s %8s %8s %8s %8s %8s %8s", "sites", "ASes", "p5", "p25", "median", "p75", "p95")
+	for _, row := range rows {
+		r.line("%6d %8d %8.1f %8.1f %8.1f %8.1f %8.1f",
+			row.Sites, row.ASes, row.P5, row.P25, row.Median, row.P75, row.P95)
+	}
+	r.line("")
+	r.line("split ASes: %d of %d mapped (%.1f%%)   [paper: 7188 ASes, 12.7%%]",
+		div.SplitASes, div.MappedASes, 100*div.SplitFrac())
+	extraWithoutFilter := 0.0
+	if div.SplitASes > 0 {
+		extraWithoutFilter = float64(divNoFilter.SplitASes-div.SplitASes) / float64(div.SplitASes)
+	}
+	r.line("not filtering unstable VPs would add %.1f%% more divisions   [paper: ~2%%]",
+		100*extraWithoutFilter)
+
+	r.metric("split_frac", div.SplitFrac())
+	r.metric("filter_effect", extraWithoutFilter)
+	r.shape(div.SplitFrac() > 0.005 && div.SplitFrac() < 0.5,
+		"splits-exist: a meaningful minority of ASes is split across sites")
+	growing := len(rows) >= 2 && rows[len(rows)-1].Median >= rows[0].Median
+	r.shape(growing, "prefixes-grow: more-split ASes announce more prefixes")
+	r.shape(divNoFilter.SplitASes >= div.SplitASes, "filter: removing unstable VPs never increases divisions")
+	return r.result("fig7", Title("fig7")), nil
+}
+
+// Figure 8 (paper): 80% of routed prefixes are covered by one VP, but
+// larger prefixes split — 75% of prefixes larger than /10 see multiple
+// sites; /24s almost never do.
+func runFig8(cfg Config) (*Result, error) {
+	rounds, err := tangledCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := world("tangled", cfg)
+	unstable := analysis.UnstableBlocks(rounds)
+	rows := analysis.SitesByPrefixLen(s.Top, rounds[0], unstable)
+
+	r := newReport()
+	r.line("Figure 8: sites seen per announced prefix, by prefix length")
+	r.line("%6s %10s %12s %30s", "len", "prefixes", "multi-site", "sites histogram (1,2,3,...)")
+	totalPrefixes, singleVP := 0, 0
+	var shortMulti, longMulti float64
+	var shortSeen, longSeen bool
+	for _, row := range rows {
+		hist := ""
+		for _, n := range row.SitesHist {
+			hist += itoa(n) + " "
+		}
+		r.line("   /%-3d %10d %11.1f%%   %s", row.Bits, row.Prefixes, 100*row.FracMultiSite(), hist)
+		totalPrefixes += row.Prefixes
+		singleVP += row.SitesHist[0]
+		if row.Bits <= 16 && row.Prefixes >= 5 && !shortSeen {
+			shortMulti, shortSeen = row.FracMultiSite(), true
+		}
+		if row.Bits >= 23 {
+			longMulti, longSeen = row.FracMultiSite(), true
+		}
+	}
+	singleFrac := float64(singleVP) / float64(totalPrefixes)
+	r.line("")
+	r.line("prefixes fully covered by one site: %.0f%%   [paper: ~80%%]", 100*singleFrac)
+
+	r.metric("single_site_frac", singleFrac)
+	r.metric("short_multi", shortMulti)
+	r.metric("long_multi", longMulti)
+	r.shape(singleFrac > 0.6, "mostly-single: most routed prefixes see one site")
+	r.shape(shortSeen && longSeen && shortMulti > longMulti+0.05,
+		"size-gradient: large prefixes split far more often than /24s")
+	return r.result("fig8", Title("fig8")), nil
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

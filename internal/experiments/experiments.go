@@ -1,0 +1,176 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5-6) against the synthetic substrate, printing paper
+// values next to measured ones. The benchmark harness (bench_test.go) and
+// the vp-experiments command both drive this package, so the numbers in
+// EXPERIMENTS.md come from exactly the code a user can rerun.
+//
+// Absolute counts differ from the paper — the substrate is a scaled-down
+// synthetic Internet, not the authors' testbed — so each experiment
+// declares shape criteria: who wins, by roughly what factor, where the
+// crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"verfploeter/internal/scenario"
+	"verfploeter/internal/topology"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	Size topology.Size
+	Seed uint64
+	// AtlasVPs is the simulated RIPE Atlas size. The real platform has
+	// ~9.8k VPs against ~6.9M hitlist /24s; scaled topologies scale the
+	// platform too, keeping the contrast honest.
+	AtlasVPs int
+	// Rounds is the length of multi-round campaigns (the paper's
+	// stability study uses 96).
+	Rounds int
+}
+
+// DefaultConfig returns the configuration the checked-in EXPERIMENTS.md
+// numbers were produced with.
+func DefaultConfig() Config {
+	return Config{Size: topology.SizeMedium, Seed: 7, AtlasVPs: 300, Rounds: 24}
+}
+
+func (c Config) fill() Config {
+	if c.AtlasVPs <= 0 {
+		c.AtlasVPs = 300
+	}
+	if c.Rounds < 2 {
+		c.Rounds = 24
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	return c
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID    string
+	Title string
+	// Text is the rendered report: the table/figure data plus the
+	// paper-vs-measured comparison.
+	Text string
+	// Metrics are the headline numbers, for benches to report.
+	Metrics map[string]float64
+}
+
+type runner func(Config) (*Result, error)
+
+var registry = map[string]struct {
+	title string
+	run   runner
+}{}
+
+func register(id, title string, run runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = struct {
+		title string
+		run   runner
+	}{title, run}
+}
+
+// IDs lists all experiment identifiers, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns an experiment's title.
+func Title(id string) string { return registry[id].title }
+
+// Run executes one experiment.
+func Run(id string, cfg Config) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r.run(cfg.fill())
+}
+
+// --- shared, cached scenario construction -------------------------------
+
+type worldKey struct {
+	preset string
+	size   topology.Size
+	seed   uint64
+}
+
+var (
+	worldMu    sync.Mutex
+	worldCache = map[worldKey]*scenario.Scenario{}
+)
+
+// world returns a cached scenario so a full `go test -bench=.` pass
+// builds each (preset, size, seed) Internet once. Callers that mutate
+// routing (prepends) must restore it.
+func world(preset string, cfg Config) *scenario.Scenario {
+	worldMu.Lock()
+	defer worldMu.Unlock()
+	k := worldKey{preset, cfg.Size, cfg.Seed}
+	if s, ok := worldCache[k]; ok {
+		return s
+	}
+	var s *scenario.Scenario
+	switch preset {
+	case "b-root":
+		s = scenario.BRoot(cfg.Size, cfg.Seed)
+	case "tangled":
+		s = scenario.Tangled(cfg.Size, cfg.Seed)
+	case "nl":
+		s = scenario.NL(cfg.Size, cfg.Seed)
+	case "cdn":
+		s = scenario.CDN(cfg.Size, cfg.Seed)
+	default:
+		panic("experiments: unknown preset " + preset)
+	}
+	worldCache[k] = s
+	return s
+}
+
+// report builds Result text with a fluent little writer.
+type report struct {
+	sb      strings.Builder
+	metrics map[string]float64
+}
+
+func newReport() *report { return &report{metrics: map[string]float64{}} }
+
+func (r *report) line(format string, args ...any) {
+	fmt.Fprintf(&r.sb, format+"\n", args...)
+}
+
+func (r *report) metric(name string, v float64) {
+	r.metrics[name] = v
+}
+
+func (r *report) shape(ok bool, desc string) {
+	mark := "PASS"
+	if !ok {
+		mark = "MISS"
+	}
+	fmt.Fprintf(&r.sb, "  shape[%s]: %s\n", mark, desc)
+	v := 0.0
+	if ok {
+		v = 1
+	}
+	r.metrics["shape_"+strings.TrimSuffix(strings.Fields(desc)[0], ":")] = v
+}
+
+func (r *report) result(id, title string) *Result {
+	return &Result{ID: id, Title: title, Text: r.sb.String(), Metrics: r.metrics}
+}

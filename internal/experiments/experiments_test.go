@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"verfploeter/internal/topology"
+)
+
+// smallCfg keeps experiment tests fast; the benchmark harness runs the
+// same experiments at medium scale and enforces every shape criterion.
+func smallCfg() Config {
+	return Config{Size: topology.SizeSmall, Seed: 7, AtlasVPs: 150, Rounds: 6}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper table and figure plus the DESIGN.md ablations.
+	want := []string{
+		"table4", "table5", "table6", "table7",
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"ablation-probe-order", "ablation-retry", "ablation-loadweight", "ablation-hotpotato",
+		"ext-placement", "ext-drift", "ext-sites", "ext-cdn", "ext-testprefix", "ext-ddos", "ext-latency", "validation", "validation-load",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+		if Title(id) == "" {
+			t.Errorf("experiment %q has no title", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, expected %d", len(IDs()), len(want))
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	if _, err := Run("nonsense", smallCfg()); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestAllExperimentsProduceReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := smallCfg()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id || res.Text == "" {
+				t.Fatalf("empty report for %s", id)
+			}
+			if !strings.Contains(res.Text, "shape[") {
+				t.Errorf("%s report lacks shape checks", id)
+			}
+			if len(res.Metrics) == 0 {
+				t.Errorf("%s reports no metrics", id)
+			}
+		})
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := smallCfg()
+	a, err := Run("table6", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("table6", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Text != b.Text {
+		t.Error("same config must reproduce the same report")
+	}
+}
+
+// The experiments that sweep prepending mutate shared scenario routing;
+// they must restore it so later experiments see the default announcement.
+func TestPrependExperimentsRestoreRouting(t *testing.T) {
+	cfg := smallCfg()
+	s := world("b-root", cfg)
+	before := s.Prepends()
+	if _, err := Run("fig5", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run("ablation-loadweight", cfg); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Prepends()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("prepends not restored: %v -> %v", before, after)
+		}
+	}
+}
+
+func TestRobustShapesAtMediumScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// The headline claims must hold at the default configuration; this
+	// is the regression net for calibration changes.
+	cfg := DefaultConfig()
+	for _, id := range []string{"table4", "table6", "fig9"} {
+		res, err := Run(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := strings.Count(res.Text, "shape[MISS]"); n > 0 {
+			t.Errorf("%s misses %d shape criteria:\n%s", id, n, res.Text)
+		}
+	}
+}

@@ -1,0 +1,540 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"verfploeter/internal/analysis"
+	"verfploeter/internal/atlas"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/loadmodel"
+	"verfploeter/internal/placement"
+	"verfploeter/internal/querylog"
+	"verfploeter/internal/verfploeter"
+)
+
+type (
+	blockType       = ipv4.Block
+	catchmentT      = verfploeter.Catchment
+	verfploeterDiff = verfploeter.DiffStats
+)
+
+// Extensions implement the paper's §7 future-work items: RTT-driven
+// site-placement suggestions and the aging of long-duration predictions
+// that §5.5 observes but defers to future study.
+func init() {
+	register("ext-placement", "RTT-driven site placement suggestions (§7)", runExtPlacement)
+	register("ext-drift", "Prediction accuracy vs age of measurement data (§5.5)", runExtDrift)
+	register("ext-sites", "Load-weighted RTT vs number of sites (§7, [43])", runExtSites)
+}
+
+// §7: "it is possible that RTTs of Verfploeter measurements can be used
+// to suggest where new anycast sites would be helpful [43]". B-Root has
+// two US sites; the measured RTTs should point expansion at the regions
+// carrying unserved load.
+func runExtPlacement(cfg Config) (*Result, error) {
+	s := world("b-root", cfg)
+	catch, stats, err := s.Measure(4000)
+	if err != nil {
+		return nil, err
+	}
+	log := s.RootLog()
+	existing := make([]placement.Site, len(s.Sites))
+	for i, site := range s.Sites {
+		existing[i] = placement.Site{Name: site.Code, Lat: site.Lat, Lon: site.Lon}
+	}
+	recs, model, err := placement.Recommend(catch, s.GeoDB, log, existing, placement.DefaultCandidates(), 4)
+	if err != nil {
+		return nil, err
+	}
+
+	r := newReport()
+	r.line("Extension (§7): site placement from measured Verfploeter RTTs")
+	r.line("calibrated RTT model: %.1fms + %.3fms/degree-unit over %d samples; measured median RTT %v",
+		float64(model.Base)/1e6, float64(model.PerUnit)/1e6, model.Samples, stats.MedianRTT.Round(time.Millisecond))
+	r.line("")
+	r.line("%-14s %16s %16s %14s", "add site", "mean RTT before", "mean RTT after", "load improved")
+	for _, rec := range recs {
+		r.line("%-14s %16v %16v %13.0f%%", rec.Name,
+			rec.MeanRTTBefore.Round(time.Millisecond),
+			rec.MeanRTTAfter.Round(time.Millisecond),
+			100*rec.LoadImproved)
+	}
+
+	if len(recs) == 0 {
+		r.shape(false, "recommendations: greedy placement produced nothing")
+		return r.result("ext-placement", Title("ext-placement")), nil
+	}
+	first := recs[0]
+	outsideNA := !(first.Lon > -130 && first.Lon < -50 && first.Lat > 15)
+	totalGain := recs[0].MeanRTTBefore - recs[len(recs)-1].MeanRTTAfter
+	relGain := float64(totalGain) / float64(recs[0].MeanRTTBefore)
+
+	r.line("")
+	r.line("total predicted mean-RTT reduction with %d new sites: %v (%.0f%%)",
+		len(recs), totalGain.Round(time.Millisecond), 100*relGain)
+	r.metric("first_gain_ms", float64(recs[0].MeanRTTBefore-recs[0].MeanRTTAfter)/1e6)
+	r.metric("total_gain_frac", relGain)
+	r.shape(outsideNA, "underserved-first: the top suggestion leaves North America (both B-Root sites are US)")
+	r.shape(relGain > 0.2, "worthwhile: a few well-placed sites cut load-weighted RTT substantially")
+	diminishing := len(recs) < 2 ||
+		recs[0].MeanRTTBefore-recs[0].MeanRTTAfter >= recs[len(recs)-1].MeanRTTBefore-recs[len(recs)-1].MeanRTTAfter
+	r.shape(diminishing, "diminishing: later sites help less (greedy coverage)")
+	return r.result("ext-placement", Title("ext-placement")), nil
+}
+
+// §5.5: predicting with month-old data is worse — the paper finds a
+// prediction from April data (76.2%) undershooting May's measured load
+// (81.6%) because routing shifted in between. We model the month as a
+// routing-epoch change and compare fresh vs stale predictions.
+func runExtDrift(cfg Config) (*Result, error) {
+	s := world("b-root", cfg)
+	defer s.Reannounce(nil)
+
+	// "April": measure the catchment and collect a day of load.
+	s.ReannounceEpoch(nil, 0)
+	oldCatch, _, err := s.Measure(4100)
+	if err != nil {
+		return nil, err
+	}
+	oldLog := querylog.Synthesize(s.Top, querylog.RootProfile(), cfg.Seed)
+
+	// "May": routing has drifted; load patterns too.
+	s.ReannounceEpoch(nil, 1)
+	newCatch, _, err := s.Measure(4101)
+	if err != nil {
+		return nil, err
+	}
+	// A month of load drift: mostly the same clients with churned edges
+	// and jittered rates, not a fresh world.
+	newLog := querylog.Perturb(oldLog, s.Top, cfg.Seed+1, 0.08, 0.25)
+	actual, _ := loadmodel.Actual(s.Net, newLog, loadmodel.ByQueries, len(s.Sites))
+	actualLAX := loadmodel.FractionOf(actual, 0)
+
+	stale := loadmodel.Predict(oldCatch, oldLog, loadmodel.ByQueries)
+	fresh := loadmodel.Predict(newCatch, oldLog, loadmodel.ByQueries)
+
+	// Routing shift magnitude: blocks that changed site between epochs.
+	shifted, both := 0, 0
+	oldCatch.Range(func(b blockType, site int) bool {
+		if s2, ok := newCatch.SiteOf(b); ok {
+			both++
+			if s2 != site {
+				shifted++
+			}
+		}
+		return true
+	})
+	shiftFrac := 0.0
+	if both > 0 {
+		shiftFrac = float64(shifted) / float64(both)
+	}
+
+	r := newReport()
+	r.line("Extension (§5.5): prediction accuracy vs measurement age")
+	r.line("routing drift between epochs: %.1f%% of co-mapped blocks changed site", 100*shiftFrac)
+	r.line("  [paper: Verfploeter's LAX block share moved 82.4%% -> 87.8%% in one month]")
+	r.line("")
+	r.line("%-44s %8s", "prediction of 'May' LAX load share", "value")
+	r.line("%-44s %7.1f%%", "stale: April catchment + April load", 100*stale.Fraction(0))
+	r.line("%-44s %7.1f%%", "fresh: May catchment + April load", 100*fresh.Fraction(0))
+	r.line("%-44s %7.1f%%   <- ground truth", "actual May load", 100*actualLAX)
+	errStale := abs(stale.Fraction(0) - actualLAX)
+	errFresh := abs(fresh.Fraction(0) - actualLAX)
+	r.line("")
+	r.line("error: stale %.1fpp vs fresh %.1fpp   [paper: 5.4pp vs 0.2pp]",
+		100*errStale, 100*errFresh)
+
+	r.metric("shift_frac", shiftFrac)
+	r.metric("err_stale", errStale)
+	r.metric("err_fresh", errFresh)
+	r.shape(shiftFrac > 0.005, "drift-exists: a month of routing churn moves a visible share of blocks")
+	r.shape(errFresh <= errStale+0.005, "freshness: predictions from current catchments beat stale ones")
+	return r.result("ext-drift", Title("ext-drift")), nil
+}
+
+// §7 / [43]: "how many sites are enough?" — the greedy placement curve
+// over candidate cities, starting from B-Root's two US sites.
+func runExtSites(cfg Config) (*Result, error) {
+	s := world("b-root", cfg)
+	catch, _, err := s.Measure(4200)
+	if err != nil {
+		return nil, err
+	}
+	log := s.RootLog()
+	existing := make([]placement.Site, len(s.Sites))
+	for i, site := range s.Sites {
+		existing[i] = placement.Site{Name: site.Code, Lat: site.Lat, Lon: site.Lon}
+	}
+	recs, _, err := placement.Recommend(catch, s.GeoDB, log, existing, placement.DefaultCandidates(), 10)
+	if err != nil {
+		return nil, err
+	}
+	curve := placement.CoverageCurve(recs)
+
+	r := newReport()
+	r.line("Extension (§7/[43]): predicted load-weighted mean RTT vs site count")
+	r.line("%8s %14s %10s", "sites", "mean RTT", "of start")
+	for i, v := range curve {
+		r.line("%8d %14v %9.0f%%", len(existing)+i, v.Round(time.Millisecond),
+			100*float64(v)/float64(curve[0]))
+	}
+	if len(curve) < 2 {
+		r.shape(false, "curve: no placement steps")
+		return r.result("ext-sites", Title("ext-sites")), nil
+	}
+	// Marginal gain of the first added site vs the last.
+	firstGain := float64(curve[0] - curve[1])
+	lastGain := float64(curve[len(curve)-2] - curve[len(curve)-1])
+	half := float64(curve[len(curve)-1]) < 0.75*float64(curve[0])
+	r.line("")
+	r.line("[43]'s finding: a modest number of well-placed sites captures most of the latency benefit")
+	r.metric("curve_points", float64(len(curve)))
+	r.metric("final_frac", float64(curve[len(curve)-1])/float64(curve[0]))
+	r.shape(half, "big-early-wins: the first few sites cut mean RTT by a quarter or more")
+	r.shape(firstGain >= lastGain, "flattens: the curve levels off as sites accumulate")
+	return r.result("ext-sites", Title("ext-sites")), nil
+}
+
+// §7: "we are also interested in studying CDN-based anycast systems...
+// operators of different services may optimize routing and peering
+// differently". The CDN preset deploys 20 sites on one broadly-peered
+// edge network; the comparison against two-site B-Root shows what scale
+// buys (latency) and what it costs (TCP-relevant stability risk across
+// many more catchment boundaries).
+func init() {
+	register("ext-cdn", "CDN-scale anycast: 20 sites vs 2 (§7)", runExtCDN)
+}
+
+func runExtCDN(cfg Config) (*Result, error) {
+	broot := world("b-root", cfg)
+	cdn := world("cdn", cfg)
+
+	bCatch, bStats, err := broot.Measure(4300)
+	if err != nil {
+		return nil, err
+	}
+	cCatch, cStats, err := cdn.Measure(4300)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stability, the TCP question (§6.3): short campaigns on both.
+	bRounds, err := broot.MeasureRounds(6, 4310)
+	if err != nil {
+		return nil, err
+	}
+	cRounds, err := cdn.MeasureRounds(6, 4310)
+	if err != nil {
+		return nil, err
+	}
+	bMed := analysis.MedianStability(analysis.Stability(bRounds))
+	cMed := analysis.MedianStability(analysis.Stability(cRounds))
+	flipFrac := func(d verfploeterDiff) float64 {
+		total := d.Stable + d.Flipped + d.ToNR
+		if total == 0 {
+			return 0
+		}
+		return float64(d.Flipped) / float64(total)
+	}
+
+	activeSites := func(c *catchmentT) int {
+		n := 0
+		for _, cnt := range c.Counts() {
+			if cnt > c.Len()/100 {
+				n++
+			}
+		}
+		return n
+	}
+
+	r := newReport()
+	r.line("Extension (§7): DNS-root vs CDN-scale anycast")
+	r.line("%-26s %14s %14s", "", "B-Root (2)", "CDN (20)")
+	r.line("%-26s %14d %14d", "active sites", activeSites(bCatch), activeSites(cCatch))
+	r.line("%-26s %14v %14v", "median probe RTT",
+		bStats.MedianRTT.Round(time.Millisecond), cStats.MedianRTT.Round(time.Millisecond))
+	r.line("%-26s %13.3f%% %13.3f%%", "per-round flip fraction",
+		100*flipFrac(bMed), 100*flipFrac(cMed))
+	bDiv := analysis.Divisions(broot.Top, bCatch, nil)
+	cDiv := analysis.Divisions(cdn.Top, cCatch, nil)
+	r.line("%-26s %13.1f%% %13.1f%%", "split ASes", 100*bDiv.SplitFrac(), 100*cDiv.SplitFrac())
+
+	r.line("")
+	r.line("[the mechanics are identical (§7); more sites cut latency but multiply")
+	r.line(" catchment boundaries: more split ASes and more flip opportunities —")
+	r.line(" the TCP-affinity concern of par.6.3. CDN flips stay rare, as [48] found.]")
+
+	r.metric("rtt_broot_ms", float64(bStats.MedianRTT)/1e6)
+	r.metric("rtt_cdn_ms", float64(cStats.MedianRTT)/1e6)
+	r.metric("flip_cdn", flipFrac(cMed))
+	r.metric("split_cdn", cDiv.SplitFrac())
+	r.shape(cStats.MedianRTT < bStats.MedianRTT,
+		"latency: twenty sites beat two on median RTT")
+	r.shape(activeSites(cCatch) >= 8, "breadth: a large fraction of CDN sites attract real catchments")
+	r.shape(cDiv.SplitFrac() >= bDiv.SplitFrac(), "splits-grow: more sites divide more ASes")
+	r.shape(flipFrac(cMed) < 0.01, "tcp-safe: flips stay below 1% per round even at CDN scale")
+	return r.result("ext-cdn", Title("ext-cdn")), nil
+}
+
+// §3.1: "To predict possible future catchments from different policies,
+// one must deploy and announce a test prefix that parallels the anycast
+// service... the non-operational portion of the /23 could serve as the
+// test prefix." The workflow: announce the candidate configuration on
+// the test prefix, map it with Verfploeter, predict the load shift —
+// all while production routing is untouched — then apply and verify.
+func init() {
+	register("ext-testprefix", "Pre-deployment planning on the parallel test prefix (§3.1)", runExtTestPrefix)
+}
+
+func runExtTestPrefix(cfg Config) (*Result, error) {
+	s := world("b-root", cfg)
+	defer s.Reannounce(nil)
+	log := s.RootLog()
+
+	// Production baseline.
+	prodBefore, _, err := s.Measure(4500)
+	if err != nil {
+		return nil, err
+	}
+
+	// Candidate change: MIA+2, announced only on the test prefix.
+	candidate := []int{0, 2}
+	s.AnnounceTest(candidate, 0)
+	testCatch, _, err := s.MeasureTest(4501)
+	if err != nil {
+		return nil, err
+	}
+
+	// Production must be unaffected by the test announcement.
+	prodDuring, _, err := s.Measure(4502)
+	if err != nil {
+		return nil, err
+	}
+	prodShift := abs(prodDuring.Fraction(0) - prodBefore.Fraction(0))
+
+	// Prediction from the test prefix.
+	predicted := loadmodel.Predict(testCatch, log, loadmodel.ByQueries)
+
+	// Apply the change to production and measure the truth.
+	s.Reannounce(candidate)
+	actual, _ := loadmodel.Actual(s.Net, log, loadmodel.ByQueries, len(s.Sites))
+	actualLAX := loadmodel.FractionOf(actual, 0)
+	appliedCatch, _, err := s.Measure(4503)
+	if err != nil {
+		return nil, err
+	}
+
+	// Catchment agreement between test-prefix map and applied reality.
+	agree, compared := 0, 0
+	testCatch.Range(func(b blockType, site int) bool {
+		if s2, ok := appliedCatch.SiteOf(b); ok {
+			compared++
+			if s2 == site {
+				agree++
+			}
+		}
+		return true
+	})
+	agreement := 0.0
+	if compared > 0 {
+		agreement = float64(agree) / float64(compared)
+	}
+
+	r := newReport()
+	r.line("Extension (§3.1): plan a MIA+2 change on the test prefix")
+	r.line("%-52s %8.1f%%", "production LAX share before", 100*prodBefore.Fraction(0))
+	r.line("%-52s %8.3fpp", "production shift while test prefix active", 100*prodShift)
+	r.line("%-52s %8.1f%%", "test-prefix catchment LAX share (MIA+2)", 100*testCatch.Fraction(0))
+	r.line("%-52s %8.1f%%", "predicted LAX load share from test prefix", 100*predicted.Fraction(0))
+	r.line("%-52s %8.1f%%   <- after applying", "actual LAX load share", 100*actualLAX)
+	r.line("%-52s %8.1f%%", "block-level agreement test vs applied", 100*agreement)
+
+	errPred := abs(predicted.Fraction(0) - actualLAX)
+	r.metric("pred_err", errPred)
+	r.metric("agreement", agreement)
+	r.metric("prod_shift", prodShift)
+	r.shape(prodShift < 0.02, "non-invasive: the test announcement leaves production routing alone")
+	r.shape(agreement > 0.98, "parallel: the test prefix sees the same policies as production")
+	r.shape(errPred < 0.05, "predictive: test-prefix load prediction lands on the applied truth")
+	return r.result("ext-testprefix", Title("ext-testprefix")), nil
+}
+
+// §1/§6.1: anycast "can blunt DDoS attacks by spreading traffic across
+// different sites", and operators "need to shift load during
+// emergencies, like DDoS attacks that can be absorbed using multiple
+// sites" — matching attack traffic to per-site capacity. The workflow:
+// map the catchment, overlay the attack's origin distribution, sweep
+// prepend configurations on the test prefix, and pick the one that
+// keeps every site under capacity.
+func init() {
+	register("ext-ddos", "DDoS absorption planning across catchments (§1, §6.1)", runExtDDoS)
+}
+
+func runExtDDoS(cfg Config) (*Result, error) {
+	s := world("b-root", cfg)
+	defer s.Reannounce(nil)
+
+	normal := s.RootLog()
+	// A volumetric attack: 5x the service's daily query volume, sourced
+	// from consumer networks everywhere.
+	attack := querylog.Synthesize(s.Top, querylog.BotnetProfile(5*normal.TotalQPD()), cfg.Seed+77)
+
+	// Site capacities: LAX is the big site (~5x normal volume), MIA the
+	// smaller one — together just enough for the 6x combined load, so
+	// only a well-chosen split absorbs the attack.
+	capacity := []float64{5.2 * normal.TotalQPD(), 2.2 * normal.TotalQPD()}
+
+	configs := [][]int{{1, 0}, {0, 0}, {0, 1}, {0, 2}}
+	names := []string{"lax+1", "equal", "mia+1", "mia+2"}
+
+	r := newReport()
+	r.line("Extension (§1/§6.1): plan DDoS absorption with test-prefix sweeps")
+	r.line("attack volume: 5x normal; capacities: LAX %.1fx, MIA %.1fx of normal",
+		capacity[0]/normal.TotalQPD(), capacity[1]/normal.TotalQPD())
+	r.line("")
+	r.line("%-8s %12s %12s %12s %12s %8s", "config", "LAX total", "MIA total", "LAX util", "MIA util", "ok?")
+
+	bestIdx, bestPeak := -1, 0.0
+	for i, pp := range configs {
+		s.AnnounceTest(pp, 0)
+		catch, _, err := s.MeasureTest(uint16(4600 + i))
+		if err != nil {
+			return nil, err
+		}
+		en := loadmodel.Predict(catch, normal, loadmodel.ByQueries)
+		ea := loadmodel.Predict(catch, attack, loadmodel.ByQueries)
+		// Unmapped load follows the mapped proportions — the working
+		// assumption §5.5 validates — so plan against full volumes.
+		var util, totals [2]float64
+		ok := true
+		for site := 0; site < 2; site++ {
+			totals[site] = en.Fraction(site)*normal.TotalQPD() +
+				ea.Fraction(site)*attack.TotalQPD()
+			util[site] = totals[site] / capacity[site]
+			if util[site] > 1 {
+				ok = false
+			}
+		}
+		peak := util[0]
+		if util[1] > peak {
+			peak = util[1]
+		}
+		mark := "OVER"
+		if ok {
+			mark = "ok"
+		}
+		r.line("%-8s %11.2fx %11.2fx %11.0f%% %11.0f%% %8s", names[i],
+			totals[0]/normal.TotalQPD(), totals[1]/normal.TotalQPD(),
+			100*util[0], 100*util[1], mark)
+		if ok && (bestIdx < 0 || peak < bestPeak) {
+			bestIdx, bestPeak = i, peak
+		}
+	}
+	r.line("")
+	if bestIdx >= 0 {
+		r.line("plan: announce %q — peak site utilization %.0f%%, attack absorbed", names[bestIdx], 100*bestPeak)
+	} else {
+		r.line("no configuration keeps every site under capacity; the attack exceeds aggregate capacity")
+	}
+
+	r.metric("best_config", float64(bestIdx))
+	r.metric("best_peak_util", bestPeak)
+	r.shape(bestIdx >= 0, "absorbable: some prepend configuration keeps all sites under capacity")
+	r.shape(bestPeak > 0 && bestPeak < 1, "headroom: the chosen plan leaves margin")
+	return r.result("ext-ddos", Title("ext-ddos")), nil
+}
+
+// [43] measures anycast latency from RIPE Atlas; §7 suggests Verfploeter
+// RTTs can serve the same purpose with 430x the vantage density. This
+// experiment quantifies the difference on the CDN deployment: Atlas's
+// Europe-skewed VPs sit next to the European sites and flatter the
+// deployment, while the service's real (load-weighted) user latency is
+// set by Asia and the Americas. Verfploeter's dense per-block view
+// tracks the truth far better.
+func init() {
+	register("ext-latency", "Latency views: Atlas VPs vs Verfploeter blocks (§7, [43])", runExtLatency)
+}
+
+func runExtLatency(cfg Config) (*Result, error) {
+	s := world("cdn", cfg)
+	catch, _, err := s.Measure(4700)
+	if err != nil {
+		return nil, err
+	}
+	log := querylog.Synthesize(s.Top, querylog.RootProfile(), cfg.Seed)
+
+	// Ground truth: load-weighted median of per-block path RTTs.
+	var weighted []wrPair
+	var unweighted []time.Duration
+	catch.Range(func(b blockType, _ int) bool {
+		rtt, _, ok := s.Net.PathRTT(b.Addr(1))
+		if !ok {
+			return true
+		}
+		unweighted = append(unweighted, rtt)
+		if q := log.QPD(b); q > 0 {
+			weighted = append(weighted, wrPair{rtt, q})
+		}
+		return true
+	})
+	truth := weightedMedian(weighted)
+	verfMedian := durMedian(unweighted)
+
+	plat := atlas.New(s.Top, cfg.AtlasVPs, cfg.Seed)
+	samples := plat.MeasureLatency(s.Net, 4700)
+	atlasMedian := atlas.MedianLatency(samples)
+
+	r := newReport()
+	r.line("Extension (§7/[43]): who measures the CDN's latency correctly?")
+	r.line("%-44s %10v", "load-weighted user latency (ground truth)", truth.Round(time.Millisecond))
+	r.line("%-44s %10v  (%d blocks)", "Verfploeter block-median RTT", verfMedian.Round(time.Millisecond), len(unweighted))
+	r.line("%-44s %10v  (%d VPs)", "Atlas VP-median RTT", atlasMedian.Round(time.Millisecond), len(samples))
+	errVerf := abs(float64(verfMedian-truth)) / float64(truth)
+	errAtlas := abs(float64(atlasMedian-truth)) / float64(truth)
+	r.line("")
+	r.line("relative error vs ground truth: Verfploeter %.0f%%, Atlas %.0f%%", 100*errVerf, 100*errAtlas)
+
+	r.metric("truth_ms", float64(truth)/1e6)
+	r.metric("verf_ms", float64(verfMedian)/1e6)
+	r.metric("atlas_ms", float64(atlasMedian)/1e6)
+	r.shape(errVerf <= errAtlas+0.02, "density-wins: the dense passive-VP view tracks user latency at least as well")
+	r.shape(atlasMedian < truth, "atlas-flatters: Europe-skewed VPs underestimate the CDN's real user latency")
+	return r.result("ext-latency", Title("ext-latency")), nil
+}
+
+func weightedMedian(v []wrPair) time.Duration {
+	if len(v) == 0 {
+		return 0
+	}
+	sortWr(v)
+	total := 0.0
+	for _, x := range v {
+		total += x.w
+	}
+	acc := 0.0
+	for _, x := range v {
+		acc += x.w
+		if acc >= total/2 {
+			return x.rtt
+		}
+	}
+	return v[len(v)-1].rtt
+}
+
+type wrPair = struct {
+	rtt time.Duration
+	w   float64
+}
+
+func sortWr(v []wrPair) {
+	sort.Slice(v, func(i, j int) bool { return v[i].rtt < v[j].rtt })
+}
+
+func durMedian(v []time.Duration) time.Duration {
+	if len(v) == 0 {
+		return 0
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v[len(v)/2]
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"verfploeter/internal/analysis"
+	"verfploeter/internal/atlas"
+	"verfploeter/internal/loadmodel"
+)
+
+func init() {
+	register("table6", "Percent of B-Root at LAX by measurement method", runTable6)
+	register("fig4", "Geographic load distribution: root-style vs .nl-style", runFig4)
+	register("fig6", "Predicted hourly load under prepending configurations", runFig6)
+}
+
+// Table 6 (paper): Atlas 82.4%, Verfploeter blocks 87.8%, Verfploeter +
+// load 81.6%, actual measured load 81.4% — load weighting lands the
+// prediction on the truth; raw block counting over-estimates LAX.
+func runTable6(cfg Config) (*Result, error) {
+	s := world("b-root", cfg)
+	catch, _, err := s.Measure(800)
+	if err != nil {
+		return nil, err
+	}
+	plat := atlas.New(s.Top, cfg.AtlasVPs, cfg.Seed)
+	ar := plat.Measure(s.Net, s, 800)
+	log := s.RootLog()
+	est := loadmodel.Predict(catch, log, loadmodel.ByQueries)
+	actual, _ := loadmodel.Actual(s.Net, log, loadmodel.ByQueries, len(s.Sites))
+
+	atlasLAX := 0.0
+	if f := ar.SiteFractions(); len(f) > 0 {
+		atlasLAX = f[0]
+	}
+	blocksLAX := catch.Fraction(0)
+	loadLAX := est.Fraction(0)
+	actualLAX := loadmodel.FractionOf(actual, 0)
+
+	r := newReport()
+	r.line("Table 6: %% of B-Root traffic to LAX by method")
+	r.line("%-34s %10s %10s", "method", "measured", "[paper]")
+	r.line("%-34s %9.1f%% %10s", "Atlas (VPs)", 100*atlasLAX, "[82.4%]")
+	r.line("%-34s %9.1f%% %10s", "Verfploeter (/24 blocks)", 100*blocksLAX, "[87.8%]")
+	r.line("%-34s %9.1f%% %10s", "Verfploeter + load", 100*loadLAX, "[81.6%]")
+	r.line("%-34s %9.1f%% %10s   <- ground truth", "actual load", 100*actualLAX, "[81.4%]")
+	r.line("")
+	errLoad := abs(loadLAX - actualLAX)
+	errBlocks := abs(blocksLAX - actualLAX)
+	errAtlas := abs(atlasLAX - actualLAX)
+	r.line("absolute error vs truth: load-weighted %.1fpp, blocks %.1fpp, atlas %.1fpp",
+		100*errLoad, 100*errBlocks, 100*errAtlas)
+
+	r.metric("atlas_lax", atlasLAX)
+	r.metric("blocks_lax", blocksLAX)
+	r.metric("load_lax", loadLAX)
+	r.metric("actual_lax", actualLAX)
+	r.shape(errLoad < 0.05, "calibrated: load-weighted prediction lands within 5pp of measured load")
+	r.shape(errLoad <= errBlocks+0.02, "weighting-helps: load weighting is at least as accurate as block counting")
+	r.shape(errAtlas >= errLoad-0.02, "atlas-coarse: the physical-VP estimate is not substantially better than the calibrated one")
+	return r.result("table6", Title("table6")), nil
+}
+
+// Figure 4 (paper): B-Root's load follows global Internet users with
+// hotspots (resolvers concentrate traffic; unmappable load clusters in
+// Korea/Japan/SE Asia); .nl's load is overwhelmingly European.
+func runFig4(cfg Config) (*Result, error) {
+	s := world("b-root", cfg)
+	catch, _, err := s.Measure(900)
+	if err != nil {
+		return nil, err
+	}
+	rootLog := s.RootLog()
+
+	nl := world("nl", cfg)
+	nlCatch, _, err := nl.Measure(901)
+	if err != nil {
+		return nil, err
+	}
+	nlLog := nl.NLLog()
+
+	r := newReport()
+	r.line("Figure 4a: B-Root load by geography (site letters; ?=unmappable)")
+	bg := analysis.LoadGrid(catch, rootLog, s.GeoDB, loadmodel.ByQueries)
+	if err := analysis.RenderGrid(&r.sb, bg, s.SiteLetters()); err != nil {
+		return nil, err
+	}
+	r.line("")
+	r.line("Figure 4b: .nl-style load by geography")
+	ng := analysis.LoadGrid(nlCatch, nlLog, nl.GeoDB, loadmodel.ByQueries)
+	if err := analysis.RenderGrid(&r.sb, ng, nl.SiteLetters()); err != nil {
+		return nil, err
+	}
+
+	// Regional shares.
+	share := func(g interface{ ContinentTotals() map[string][]float64 }, cont string) float64 {
+		totals := g.ContinentTotals()
+		all, c := 0.0, 0.0
+		for k, row := range totals {
+			for _, v := range row {
+				all += v
+				if k == cont {
+					c += v
+				}
+			}
+		}
+		if all == 0 {
+			return 0
+		}
+		return c / all
+	}
+	rootEU := share(bg, "EU")
+	nlEU := share(ng, "EU")
+	r.line("")
+	r.line("EU share of load: root-style %.0f%%, .nl-style %.0f%%", 100*rootEU, 100*nlEU)
+
+	// Unmappable load geography: fraction of unknown-slot load in Asia.
+	unknownTotal, unknownAsia := 0.0, 0.0
+	for i := range rootLog.Blocks {
+		bl := &rootLog.Blocks[i]
+		if _, ok := catch.SiteOf(bl.Block); ok {
+			continue
+		}
+		loc, ok := s.GeoDB.Lookup(bl.Block)
+		if !ok {
+			continue
+		}
+		unknownTotal += bl.QueriesPerDay
+		if loc.Lon > 60 && loc.Lon < 150 && loc.Lat > -10 {
+			unknownAsia += bl.QueriesPerDay
+		}
+	}
+	asiaFrac := 0.0
+	if unknownTotal > 0 {
+		asiaFrac = unknownAsia / unknownTotal
+	}
+	r.line("unmappable load located in East/South/SE Asia: %.0f%%   [paper: 'most in Korea, some in Japan and central/southeast Asia']", 100*asiaFrac)
+
+	r.metric("root_eu_share", rootEU)
+	r.metric("nl_eu_share", nlEU)
+	r.metric("unknown_asia_frac", asiaFrac)
+	r.shape(nlEU > 0.5, "nl-regional: the ccTLD's load majority is European")
+	r.shape(nlEU > rootEU+0.15, "contrast: .nl is far more Europe-concentrated than a root")
+	r.shape(asiaFrac > 0.5, "unmappable-asia: unmappable load clusters in Asia's low-response networks")
+	return r.result("fig4", Title("fig4")), nil
+}
+
+// Figure 6 (paper): per-hour load projections for each prepending
+// configuration; +1 LAX pushes nearly everything to MIA, no prepending
+// mostly to LAX, MIA+1..+3 shift increasingly to LAX with a small
+// residual staying at MIA.
+func runFig6(cfg Config) (*Result, error) {
+	s := world("b-root", cfg)
+	log := s.RootLog()
+
+	configs := []struct {
+		name string
+		pp   []int
+	}{
+		{"lax+1", []int{1, 0}},
+		{"equal", []int{0, 0}},
+		{"mia+1", []int{0, 1}},
+		{"mia+2", []int{0, 2}},
+		{"mia+3", []int{0, 3}},
+	}
+	r := newReport()
+	r.line("Figure 6: predicted load (q/s) per hour for prepending configs")
+	r.line("%-7s %8s %10s %10s %10s %12s", "config", "hour", "LAX", "MIA", "unknown", "LAX share")
+
+	laxShare := make([]float64, len(configs))
+	for ci, c := range configs {
+		s.Reannounce(c.pp)
+		catch, _, err := s.Measure(uint16(1000 + ci))
+		if err != nil {
+			s.Reannounce(nil)
+			return nil, err
+		}
+		h := loadmodel.PredictHourly(catch, log, loadmodel.ByQueries)
+		var lax, mia float64
+		for hour := 0; hour < 24; hour++ {
+			lax += h.QPS[hour][0]
+			mia += h.QPS[hour][1]
+			if hour%6 == 0 {
+				r.line("%-7s %8d %10.0f %10.0f %10.0f", c.name, hour,
+					h.QPS[hour][0], h.QPS[hour][1], h.QPS[hour][2])
+			}
+		}
+		laxShare[ci] = lax / (lax + mia)
+		r.line("%-7s %8s %10s %10s %10s %11.1f%%", c.name, "day", "", "", "", 100*laxShare[ci])
+	}
+	s.Reannounce(nil)
+
+	r.line("")
+	r.line("daily LAX share by config: lax+1 %.2f, equal %.2f, mia+1 %.2f, mia+2 %.2f, mia+3 %.2f",
+		laxShare[0], laxShare[1], laxShare[2], laxShare[3], laxShare[4])
+	for i, c := range configs {
+		r.metric("lax_share_"+c.name, laxShare[i])
+	}
+	monotone := laxShare[0] < laxShare[1] && laxShare[1] < laxShare[2]+0.02 &&
+		laxShare[2] <= laxShare[3]+0.02 && laxShare[3] <= laxShare[4]+0.02
+	r.shape(laxShare[0] < 0.5, "lax+1: prepending LAX hands most load to MIA")
+	r.shape(monotone, "monotone: load share moves monotonically with prepending")
+	r.shape(laxShare[4] < 0.9999, "residual: some networks keep sending to MIA even at mia+3")
+	return r.result("fig6", Title("fig6")), nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"verfploeter/internal/analysis"
+)
+
+func init() {
+	register("fig9", "Catchment stability over a day of repeated rounds", runFig9)
+	register("table7", "Top ASes involved in catchment flips", runTable7)
+}
+
+// Figure 9 (paper): over 96 rounds, a median 3.54M VPs (~95% of
+// responders) stay on their site; ~89k (~2.4%) churn to/from
+// non-responding per round; only ~4.6k (~0.1%) flip sites.
+func runFig9(cfg Config) (*Result, error) {
+	rounds, err := tangledCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	series := analysis.Stability(rounds)
+	med := analysis.MedianStability(series)
+
+	r := newReport()
+	r.line("Figure 9: stability across %d rounds (one row per consecutive pair)", len(rounds))
+	r.line("%6s %10s %9s %9s %9s", "round", "stable", "flipped", "to-NR", "from-NR")
+	for _, sr := range series {
+		r.line("%6d %10d %9d %9d %9d", sr.Round,
+			sr.Diff.Stable, sr.Diff.Flipped, sr.Diff.ToNR, sr.Diff.FromNR)
+	}
+	total := med.Stable + med.Flipped + med.ToNR
+	stableFrac := float64(med.Stable) / float64(total)
+	flipFrac := float64(med.Flipped) / float64(total)
+	churnFrac := float64(med.ToNR) / float64(total)
+	r.line("")
+	r.line("medians: stable %.1f%% [paper ~95%%], to-NR %.1f%% [~2.4%%], flipped %.2f%% [~0.1%%]",
+		100*stableFrac, 100*churnFrac, 100*flipFrac)
+
+	r.metric("stable_frac", stableFrac)
+	r.metric("flip_frac", flipFrac)
+	r.metric("churn_frac", churnFrac)
+	r.shape(stableFrac > 0.90, "stable: the overwhelming majority of VPs keep their site")
+	r.shape(flipFrac < 0.01, "rare-flips: site flips are an order rarer than responsiveness churn")
+	r.shape(churnFrac > 0.005 && churnFrac < 0.10, "churn: a few percent of VPs blink per round")
+	return r.result("fig9", Title("fig9")), nil
+}
+
+// Table 7 (paper): flips concentrate — 51% of all flips inside AS4134
+// (CHINANET), 63% within the top 5 ASes.
+func runTable7(cfg Config) (*Result, error) {
+	rounds, err := tangledCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := world("tangled", cfg)
+	rows := analysis.FlipAttribution(s.Top, rounds)
+
+	r := newReport()
+	r.line("Table 7: top ASes involved in site flips over %d rounds", len(rounds))
+	r.line("%4s %8s %-14s %8s %8s %6s", "#", "ASN", "name", "IPs(/24)", "flips", "frac")
+	totalFlips := 0
+	for _, row := range rows {
+		totalFlips += row.Flips
+	}
+	for i, row := range rows {
+		if i >= 5 {
+			break
+		}
+		r.line("%4d %8d %-14s %8d %8d %6.2f", i+1, row.ASN, row.Name, row.Blocks, row.Flips, row.Frac)
+	}
+	other, otherBlocks := 0, 0
+	for i, row := range rows {
+		if i >= 5 {
+			other += row.Flips
+			otherBlocks += row.Blocks
+		}
+	}
+	if totalFlips > 0 {
+		r.line("%4s %8s %-14s %8d %8d %6.2f", "", "", "other", otherBlocks, other, float64(other)/float64(totalFlips))
+	}
+	r.line("")
+	top1 := analysis.TopFlipShare(rows, 1)
+	top5 := analysis.TopFlipShare(rows, 5)
+	r.line("top-1 share %.0f%% [paper: 51%% in CHINANET], top-5 share %.0f%% [paper: 63%%]",
+		100*top1, 100*top5)
+	chinanetTop := len(rows) > 0 && rows[0].ASN == 4134
+	if chinanetTop {
+		r.line("top flipper: AS4134 CHINANET, as in the paper")
+	}
+
+	r.metric("top1_share", top1)
+	r.metric("top5_share", top5)
+	r.metric("flip_ases", float64(len(rows)))
+	r.shape(len(rows) > 0, "flips-observed: the campaign caught catchment flips")
+	r.shape(top5 > 0.4, "concentration: a handful of ASes carries most flips")
+	r.shape(chinanetTop, "chinanet: the most flip-prone AS is the CHINANET model")
+	return r.result("table7", Title("table7")), nil
+}

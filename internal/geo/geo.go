@@ -1,0 +1,184 @@
+// Package geo is the simulator's stand-in for a MaxMind-style geolocation
+// database: it maps /24 blocks to coordinates and country codes, and bins
+// coordinates into the two-degree geographic cells the paper's maps use
+// (Figures 2-4). The paper notes country-level accuracy is what such
+// databases reliably deliver [35]; this database is exact by construction,
+// with an optional miss rate to model blocks that cannot be geolocated
+// (678 blocks in Table 4).
+package geo
+
+import (
+	"fmt"
+	"sort"
+
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/rng"
+	"verfploeter/internal/topology"
+)
+
+// Location is a geolocation record for one /24 block.
+type Location struct {
+	Lat, Lon float64
+	Country  string
+}
+
+// DB maps blocks to locations.
+type DB struct {
+	blocks map[ipv4.Block]Location
+}
+
+// Build constructs the database from a topology. missRate is the fraction
+// of blocks deliberately absent (un-geolocatable); the paper loses 678 of
+// 3.79M blocks this way.
+func Build(top *topology.Topology, missRate float64, seed uint64) *DB {
+	src := rng.New(seed).Derive("geo-miss")
+	db := &DB{blocks: make(map[ipv4.Block]Location, len(top.Blocks))}
+	for i := range top.Blocks {
+		b := &top.Blocks[i]
+		if missRate > 0 && src.Bool(missRate) {
+			continue
+		}
+		db.blocks[b.Block] = Location{
+			Lat:     float64(b.Lat),
+			Lon:     float64(b.Lon),
+			Country: topology.Countries[b.CountryIdx].Code,
+		}
+	}
+	return db
+}
+
+// Lookup returns the location of a block, if known.
+func (db *DB) Lookup(b ipv4.Block) (Location, bool) {
+	l, ok := db.blocks[b]
+	return l, ok
+}
+
+// LookupAddr geolocates an address via its covering /24.
+func (db *DB) LookupAddr(a ipv4.Addr) (Location, bool) { return db.Lookup(a.Block()) }
+
+// Len returns the number of geolocatable blocks.
+func (db *DB) Len() int { return len(db.blocks) }
+
+// Bin identifies one two-degree geographic cell.
+type Bin struct {
+	LatIdx, LonIdx int16
+}
+
+// BinOf returns the two-degree bin containing a coordinate.
+func BinOf(lat, lon float64) Bin {
+	// Normalize longitude into [-180, 180).
+	for lon < -180 {
+		lon += 360
+	}
+	for lon >= 180 {
+		lon -= 360
+	}
+	if lat > 90 {
+		lat = 90
+	}
+	if lat < -90 {
+		lat = -90
+	}
+	return Bin{LatIdx: int16(floorDiv(lat, 2)), LonIdx: int16(floorDiv(lon, 2))}
+}
+
+func floorDiv(v, d float64) int {
+	q := int(v / d)
+	if v < 0 && float64(q)*d != v {
+		q--
+	}
+	return q
+}
+
+// Center returns the center coordinate of the bin.
+func (b Bin) Center() (lat, lon float64) {
+	return float64(b.LatIdx)*2 + 1, float64(b.LonIdx)*2 + 1
+}
+
+// GridCell aggregates per-site counts within one bin, the unit of the
+// paper's pie-chart maps.
+type GridCell struct {
+	Bin   Bin
+	Total float64
+	// BySite[s] is the weight attributed to site s; index len(BySite)-1
+	// is reserved by callers for "unknown" when they need it.
+	BySite []float64
+}
+
+// Grid accumulates weighted observations into two-degree cells.
+type Grid struct {
+	nSite int
+	cells map[Bin]*GridCell
+}
+
+// NewGrid returns a grid for nSite sites plus an "unknown" slot at index
+// nSite.
+func NewGrid(nSite int) *Grid {
+	return &Grid{nSite: nSite, cells: make(map[Bin]*GridCell)}
+}
+
+// Add accumulates weight for a site (use site == nSite for unknown) at a
+// coordinate.
+func (g *Grid) Add(lat, lon float64, site int, weight float64) {
+	if site < 0 || site > g.nSite {
+		panic(fmt.Sprintf("geo: site %d out of range 0..%d", site, g.nSite))
+	}
+	bin := BinOf(lat, lon)
+	c := g.cells[bin]
+	if c == nil {
+		c = &GridCell{Bin: bin, BySite: make([]float64, g.nSite+1)}
+		g.cells[bin] = c
+	}
+	c.Total += weight
+	c.BySite[site] += weight
+}
+
+// Cells returns all non-empty cells sorted by descending total weight.
+func (g *Grid) Cells() []*GridCell {
+	out := make([]*GridCell, 0, len(g.cells))
+	for _, c := range g.cells {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		if out[i].Bin.LatIdx != out[j].Bin.LatIdx {
+			return out[i].Bin.LatIdx < out[j].Bin.LatIdx
+		}
+		return out[i].Bin.LonIdx < out[j].Bin.LonIdx
+	})
+	return out
+}
+
+// Len returns the number of non-empty cells.
+func (g *Grid) Len() int { return len(g.cells) }
+
+// ContinentTotals rolls cell weights up to continents using the nearest
+// country centroid — a coarse but stable regional summary for reports.
+func (g *Grid) ContinentTotals() map[string][]float64 {
+	out := map[string][]float64{}
+	for _, c := range g.cells {
+		lat, lon := c.Bin.Center()
+		cont := nearestContinent(lat, lon)
+		row := out[cont]
+		if row == nil {
+			row = make([]float64, g.nSite+1)
+			out[cont] = row
+		}
+		for s, w := range c.BySite {
+			row[s] += w
+		}
+	}
+	return out
+}
+
+func nearestContinent(lat, lon float64) string {
+	best, bestD := "??", 1e18
+	for _, c := range topology.Countries {
+		if d := topology.GeoDistance(lat, lon, c.Lat, c.Lon); d < bestD {
+			best, bestD = c.Continent, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,117 @@
+package geo
+
+import (
+	"testing"
+
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/topology"
+)
+
+func TestBuildAndLookup(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeTiny, 1))
+	db := Build(top, 0, 1)
+	if db.Len() != len(top.Blocks) {
+		t.Fatalf("db has %d blocks, topology %d", db.Len(), len(top.Blocks))
+	}
+	b := top.Blocks[0]
+	loc, ok := db.Lookup(b.Block)
+	if !ok {
+		t.Fatal("first block missing")
+	}
+	if loc.Country != topology.Countries[b.CountryIdx].Code {
+		t.Errorf("country = %s, want %s", loc.Country, topology.Countries[b.CountryIdx].Code)
+	}
+	if _, ok := db.LookupAddr(b.Block.Addr(200)); !ok {
+		t.Error("LookupAddr within block should hit")
+	}
+	if _, ok := db.Lookup(ipv4.MustParseAddr("223.255.255.0").Block()); ok {
+		t.Error("unknown block should miss")
+	}
+}
+
+func TestBuildMissRate(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeSmall, 1))
+	db := Build(top, 0.1, 7)
+	frac := float64(db.Len()) / float64(len(top.Blocks))
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("miss rate 0.1 left %.3f of blocks", frac)
+	}
+	// Deterministic.
+	db2 := Build(top, 0.1, 7)
+	if db.Len() != db2.Len() {
+		t.Error("Build not deterministic")
+	}
+}
+
+func TestBinOf(t *testing.T) {
+	cases := []struct {
+		lat, lon float64
+		want     Bin
+	}{
+		{0, 0, Bin{0, 0}},
+		{1.9, 1.9, Bin{0, 0}},
+		{2, 2, Bin{1, 1}},
+		{-0.1, -0.1, Bin{-1, -1}},
+		{-2, -2, Bin{-1, -1}},
+		{-2.1, -2.1, Bin{-2, -2}},
+		{51, 5, Bin{25, 2}},
+		{0, 180, Bin{0, -90}}, // wraps to -180
+		{0, -181, Bin{0, 89}}, // wraps to +179
+		{95, 0, Bin{45, 0}},   // clamped lat
+	}
+	for _, c := range cases {
+		if got := BinOf(c.lat, c.lon); got != c.want {
+			t.Errorf("BinOf(%v,%v) = %v, want %v", c.lat, c.lon, got, c.want)
+		}
+	}
+}
+
+func TestBinCenterInverse(t *testing.T) {
+	for lat := -88.0; lat <= 88; lat += 7.3 {
+		for lon := -179.0; lon < 180; lon += 11.7 {
+			b := BinOf(lat, lon)
+			clat, clon := b.Center()
+			if BinOf(clat, clon) != b {
+				t.Fatalf("center of bin %v maps to different bin", b)
+			}
+			if d := topology.GeoDistance(lat, lon, clat, clon); d > 3 {
+				t.Fatalf("bin center too far from member point: %v", d)
+			}
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := NewGrid(2)
+	g.Add(50, 5, 0, 1)     // site 0, EU
+	g.Add(50.5, 5.5, 1, 3) // site 1, same bin
+	g.Add(-10, -55, 2, 2)  // unknown slot, SA
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	cells := g.Cells()
+	if cells[0].Total != 4 || cells[0].BySite[0] != 1 || cells[0].BySite[1] != 3 {
+		t.Errorf("top cell = %+v", cells[0])
+	}
+	if cells[1].BySite[2] != 2 {
+		t.Errorf("unknown slot = %+v", cells[1])
+	}
+
+	cont := g.ContinentTotals()
+	if cont["EU"] == nil || cont["EU"][1] != 3 {
+		t.Errorf("ContinentTotals EU = %v", cont["EU"])
+	}
+	if cont["SA"] == nil || cont["SA"][2] != 2 {
+		t.Errorf("ContinentTotals SA = %v", cont["SA"])
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	g := NewGrid(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range site should panic")
+		}
+	}()
+	g.Add(0, 0, 5, 1)
+}

@@ -1,0 +1,136 @@
+// Package hitlist builds and serializes the probe target list: one
+// representative IPv4 address per /24 block, the ISI hitlist of the paper
+// ([17], §3.1). Using a single well-chosen address per block cuts probe
+// traffic to 0.4% of a full scan while preserving block-level coverage.
+//
+// The text format mirrors the ISI style: "score address" per line with
+// '#' comments, so lists round-trip through files the way operators move
+// them between machines.
+package hitlist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/rng"
+	"verfploeter/internal/topology"
+)
+
+// Entry is one probe target.
+type Entry struct {
+	Addr ipv4.Addr
+	// Score estimates how likely this representative is to respond,
+	// 0-99 like the ISI lists. Entries with score 0 are kept: probing
+	// them is how the list learns.
+	Score uint8
+}
+
+// Hitlist is an ordered set of probe targets, one per /24.
+type Hitlist struct {
+	Entries []Entry
+}
+
+// Build selects one representative per topology block. The last-octet
+// choice leans on common conventions (.1 gateways, low addresses)
+// keyed deterministically per block; the score reflects the block's
+// responsiveness so analyses can stratify by it.
+func Build(top *topology.Topology, seed uint64) *Hitlist {
+	src := rng.New(seed).Derive("hitlist")
+	h := &Hitlist{Entries: make([]Entry, 0, len(top.Blocks))}
+	for i := range top.Blocks {
+		b := &top.Blocks[i]
+		var last uint8
+		switch r := src.Float64(); {
+		case r < 0.35:
+			last = 1
+		case r < 0.55:
+			last = uint8(2 + src.Intn(8))
+		default:
+			last = uint8(10 + src.Intn(245))
+		}
+		score := uint8(float64(99) * float64(b.Responsive))
+		h.Entries = append(h.Entries, Entry{Addr: b.Block.Addr(last), Score: score})
+	}
+	sort.Slice(h.Entries, func(i, j int) bool { return h.Entries[i].Addr < h.Entries[j].Addr })
+	return h
+}
+
+// Len returns the number of targets.
+func (h *Hitlist) Len() int { return len(h.Entries) }
+
+// Blocks returns the set of covered /24 blocks.
+func (h *Hitlist) Blocks() *ipv4.BlockSet {
+	s := ipv4.NewBlockSet(len(h.Entries))
+	for _, e := range h.Entries {
+		s.Add(e.Addr.Block())
+	}
+	return s
+}
+
+// WriteTo serializes the hitlist in ISI-like text form.
+func (h *Hitlist) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	c, err := fmt.Fprintf(bw, "# verfploeter hitlist: %d entries, one per /24\n", len(h.Entries))
+	n += int64(c)
+	if err != nil {
+		return n, err
+	}
+	for _, e := range h.Entries {
+		c, err = fmt.Fprintf(bw, "%d\t%s\n", e.Score, e.Addr)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ErrFormat is returned (wrapped) for malformed hitlist files.
+var ErrFormat = errors.New("hitlist: bad format")
+
+// Read parses the text form. Duplicate blocks keep the higher score.
+func Read(r io.Reader) (*Hitlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	perBlock := map[ipv4.Block]Entry{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%w: line %d: want 'score addr'", ErrFormat, line)
+		}
+		score, err := strconv.ParseUint(fields[0], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: score: %v", ErrFormat, line, err)
+		}
+		addr, err := ipv4.ParseAddr(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, line, err)
+		}
+		e := Entry{Addr: addr, Score: uint8(score)}
+		if old, ok := perBlock[addr.Block()]; !ok || e.Score > old.Score {
+			perBlock[addr.Block()] = e
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	h := &Hitlist{Entries: make([]Entry, 0, len(perBlock))}
+	for _, e := range perBlock {
+		h.Entries = append(h.Entries, e)
+	}
+	sort.Slice(h.Entries, func(i, j int) bool { return h.Entries[i].Addr < h.Entries[j].Addr })
+	return h, nil
+}

@@ -1,0 +1,120 @@
+package hitlist
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"verfploeter/internal/topology"
+)
+
+func TestBuildOnePerBlock(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeTiny, 2))
+	h := Build(top, 2)
+	if h.Len() != len(top.Blocks) {
+		t.Fatalf("hitlist has %d entries, want %d", h.Len(), len(top.Blocks))
+	}
+	seen := h.Blocks()
+	if seen.Len() != len(top.Blocks) {
+		t.Fatalf("covered %d blocks, want %d (one per block)", seen.Len(), len(top.Blocks))
+	}
+	for i := range top.Blocks {
+		if !seen.Contains(top.Blocks[i].Block) {
+			t.Fatalf("block %v missing from hitlist", top.Blocks[i].Block)
+		}
+	}
+	// Sorted.
+	for i := 1; i < h.Len(); i++ {
+		if h.Entries[i-1].Addr >= h.Entries[i].Addr {
+			t.Fatal("entries not sorted")
+		}
+	}
+	// Deterministic.
+	h2 := Build(top, 2)
+	for i := range h.Entries {
+		if h.Entries[i] != h2.Entries[i] {
+			t.Fatal("Build not deterministic")
+		}
+	}
+}
+
+func TestRoundTripThroughText(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeTiny, 3))
+	h := Build(top, 3)
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != h.Len() {
+		t.Fatalf("round trip lost entries: %d -> %d", h.Len(), back.Len())
+	}
+	for i := range h.Entries {
+		if h.Entries[i] != back.Entries[i] {
+			t.Fatalf("entry %d differs: %v vs %v", i, h.Entries[i], back.Entries[i])
+		}
+	}
+}
+
+func TestReadFormat(t *testing.T) {
+	in := `# comment line
+
+90	192.0.2.1
+10	198.51.100.7
+95	192.0.2.200
+`
+	h, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 192.0.2.1 and 192.0.2.200 share a block; higher score wins.
+	if h.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (dedup by block)", h.Len())
+	}
+	if h.Entries[0].Score != 95 {
+		t.Errorf("kept score %d, want 95", h.Entries[0].Score)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, bad := range []string{
+		"notanumber 1.2.3.4",
+		"50 1.2.3",
+		"50",
+		"300 1.2.3.4", // score out of uint8
+	} {
+		if _, err := Read(strings.NewReader(bad)); !errors.Is(err, ErrFormat) {
+			t.Errorf("Read(%q) err = %v, want ErrFormat", bad, err)
+		}
+	}
+}
+
+func TestScoresTrackResponsiveness(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeSmall, 4))
+	h := Build(top, 4)
+	// Spot-check correlation: average score of responsive blocks should
+	// exceed that of unresponsive blocks by a wide margin.
+	var hiSum, hiN, loSum, loN float64
+	for i := range top.Blocks {
+		b := &top.Blocks[i]
+		idx := i // hitlist is sorted like blocks
+		score := float64(h.Entries[idx].Score)
+		if b.Responsive > 0.7 {
+			hiSum += score
+			hiN++
+		} else if b.Responsive < 0.2 {
+			loSum += score
+			loN++
+		}
+	}
+	if hiN == 0 || loN == 0 {
+		t.Skip("degenerate mixture")
+	}
+	if hiSum/hiN <= loSum/loN+20 {
+		t.Errorf("scores don't track responsiveness: hi=%.1f lo=%.1f", hiSum/hiN, loSum/loN)
+	}
+}

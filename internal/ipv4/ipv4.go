@@ -1,0 +1,226 @@
+// Package ipv4 provides compact IPv4 address, prefix, and /24-block
+// primitives used throughout the simulator and the Verfploeter core.
+//
+// Addresses are represented as uint32 host-order integers so that the
+// millions of blocks a measurement touches stay cache-friendly; conversion
+// to and from the dotted-quad form and net/netip is provided at the edges.
+package ipv4
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// ErrParse is returned (wrapped) by the parsing functions in this package.
+var ErrParse = errors.New("ipv4: parse error")
+
+// MustParseAddr is like ParseAddr but panics on error. Intended for
+// constants in tests and scenario tables.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (Addr, error) {
+	var a uint32
+	rest := s
+	for i := 0; i < 4; i++ {
+		part := rest
+		if i < 3 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, fmt.Errorf("%w: %q: too few octets", ErrParse, s)
+			}
+			part, rest = rest[:dot], rest[dot+1:]
+		}
+		if i == 3 && strings.IndexByte(part, '.') >= 0 {
+			return 0, fmt.Errorf("%w: %q: too many octets", ErrParse, s)
+		}
+		v, err := strconv.ParseUint(part, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %q: bad octet %q", ErrParse, s, part)
+		}
+		a = a<<8 | uint32(v)
+	}
+	return Addr(a), nil
+}
+
+// String returns the dotted-quad form.
+func (a Addr) String() string {
+	var b [15]byte
+	buf := strconv.AppendUint(b[:0], uint64(a>>24), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>16&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>8&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a&0xff), 10)
+	return string(buf)
+}
+
+// Octets returns the four octets most-significant first.
+func (a Addr) Octets() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+// AddrFromOctets assembles an Addr from four octets, most-significant first.
+func AddrFromOctets(o [4]byte) Addr {
+	return Addr(uint32(o[0])<<24 | uint32(o[1])<<16 | uint32(o[2])<<8 | uint32(o[3]))
+}
+
+// Block returns the /24 block containing a.
+func (a Addr) Block() Block { return Block(a >> 8) }
+
+// Block identifies a /24 network: the top 24 bits of its addresses.
+// Block is the unit of catchment mapping — the smallest prefix routable
+// in BGP, as the paper selects its hitlist targets (§3.1).
+type Block uint32
+
+// ParseBlock parses "a.b.c.0/24" or "a.b.c" into a Block.
+func ParseBlock(s string) (Block, error) {
+	s = strings.TrimSuffix(s, "/24")
+	if strings.Count(s, ".") == 2 {
+		s += ".0"
+	}
+	a, err := ParseAddr(s)
+	if err != nil {
+		return 0, err
+	}
+	if a&0xff != 0 {
+		return 0, fmt.Errorf("%w: %q: not a /24 base address", ErrParse, s)
+	}
+	return a.Block(), nil
+}
+
+// Addr returns the i-th address in the block (i in [0,255]).
+func (b Block) Addr(i uint8) Addr { return Addr(uint32(b)<<8 | uint32(i)) }
+
+// First returns the network (.0) address of the block.
+func (b Block) First() Addr { return b.Addr(0) }
+
+// Contains reports whether a falls inside the block.
+func (b Block) Contains(a Addr) bool { return a.Block() == b }
+
+// Prefix returns the block as a /24 Prefix.
+func (b Block) Prefix() Prefix { return Prefix{Base: b.First(), Bits: 24} }
+
+// String returns "a.b.c.0/24".
+func (b Block) String() string { return b.First().String() + "/24" }
+
+// Prefix is a CIDR IPv4 prefix.
+type Prefix struct {
+	Base Addr // network address; bits below Bits are zero
+	Bits uint8
+}
+
+// ParsePrefix parses "a.b.c.d/len".
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("%w: %q: missing /len", ErrParse, s)
+	}
+	a, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.ParseUint(s[slash+1:], 10, 8)
+	if err != nil || bits > 32 {
+		return Prefix{}, fmt.Errorf("%w: %q: bad prefix length", ErrParse, s)
+	}
+	p := Prefix{Base: a, Bits: uint8(bits)}
+	if p.Base&Addr(^p.maskBits()) != 0 {
+		return Prefix{}, fmt.Errorf("%w: %q: host bits set", ErrParse, s)
+	}
+	return p, nil
+}
+
+// MustParsePrefix is like ParsePrefix but panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p Prefix) maskBits() uint32 {
+	if p.Bits == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - p.Bits)
+}
+
+// Mask returns the netmask as an Addr.
+func (p Prefix) Mask() Addr { return Addr(p.maskBits()) }
+
+// Contains reports whether a falls inside the prefix.
+func (p Prefix) Contains(a Addr) bool {
+	return uint32(a)&p.maskBits() == uint32(p.Base)
+}
+
+// ContainsBlock reports whether the whole /24 block falls inside the prefix.
+func (p Prefix) ContainsBlock(b Block) bool {
+	if p.Bits > 24 {
+		return false
+	}
+	return p.Contains(b.First())
+}
+
+// Overlaps reports whether the two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.Contains(q.Base) || q.Contains(p.Base)
+}
+
+// NumBlocks returns how many /24 blocks the prefix spans (0 if longer
+// than /24).
+func (p Prefix) NumBlocks() int {
+	if p.Bits > 24 {
+		return 0
+	}
+	return 1 << (24 - p.Bits)
+}
+
+// FirstBlock returns the first /24 block of the prefix. Only meaningful
+// when Bits <= 24.
+func (p Prefix) FirstBlock() Block { return p.Base.Block() }
+
+// Blocks calls fn for every /24 block in the prefix, in address order,
+// stopping early if fn returns false.
+func (p Prefix) Blocks(fn func(Block) bool) {
+	n := p.NumBlocks()
+	first := p.FirstBlock()
+	for i := 0; i < n; i++ {
+		if !fn(first + Block(i)) {
+			return
+		}
+	}
+}
+
+// String returns the CIDR form.
+func (p Prefix) String() string {
+	return p.Base.String() + "/" + strconv.Itoa(int(p.Bits))
+}
+
+// Compare orders prefixes by base address, then by length (shorter first).
+func (p Prefix) Compare(q Prefix) int {
+	switch {
+	case p.Base < q.Base:
+		return -1
+	case p.Base > q.Base:
+		return 1
+	case p.Bits < q.Bits:
+		return -1
+	case p.Bits > q.Bits:
+		return 1
+	}
+	return 0
+}

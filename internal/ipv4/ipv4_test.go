@@ -1,0 +1,211 @@
+package ipv4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"192.0.2.1", 0xc0000201, true},
+		{"10.20.30.40", 0x0a141e28, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.1", 0, false},
+		{"1.2.3.x", 0, false},
+		{"", 0, false},
+		{"1..2.3", 0, false},
+		{"-1.2.3.4", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseAddr(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseAddr(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		back, err := ParseAddr(addr.String())
+		return err == nil && back == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOctetsRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		return AddrFromOctets(addr.Octets()) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlock(t *testing.T) {
+	a := MustParseAddr("192.0.2.200")
+	b := a.Block()
+	if got := b.String(); got != "192.0.2.0/24" {
+		t.Errorf("block = %s, want 192.0.2.0/24", got)
+	}
+	if !b.Contains(a) {
+		t.Error("block should contain its member address")
+	}
+	if b.Contains(MustParseAddr("192.0.3.1")) {
+		t.Error("block should not contain neighbor block's address")
+	}
+	if got := b.Addr(7); got != MustParseAddr("192.0.2.7") {
+		t.Errorf("Addr(7) = %v", got)
+	}
+	if b.First() != MustParseAddr("192.0.2.0") {
+		t.Errorf("First = %v", b.First())
+	}
+}
+
+func TestParseBlock(t *testing.T) {
+	for _, in := range []string{"10.1.2.0/24", "10.1.2.0", "10.1.2"} {
+		b, err := ParseBlock(in)
+		if err != nil {
+			t.Fatalf("ParseBlock(%q): %v", in, err)
+		}
+		if b.First() != MustParseAddr("10.1.2.0") {
+			t.Errorf("ParseBlock(%q) = %v", in, b)
+		}
+	}
+	if _, err := ParseBlock("10.1.2.5/24"); err == nil {
+		t.Error("ParseBlock with host bits should fail")
+	}
+}
+
+func TestBlockAddrInverse(t *testing.T) {
+	f := func(raw uint32, i uint8) bool {
+		b := Block(raw & 0xffffff)
+		a := b.Addr(i)
+		return a.Block() == b && uint8(a&0xff) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	if p.Bits != 8 || p.Base != MustParseAddr("10.0.0.0") {
+		t.Fatalf("bad prefix %+v", p)
+	}
+	if got := p.String(); got != "10.0.0.0/8" {
+		t.Errorf("String = %q", got)
+	}
+	for _, bad := range []string{"10.0.0.0", "10.0.0.1/8", "10.0.0.0/33", "x/8"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded, want error", bad)
+		}
+	}
+	// /0 covers everything.
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseAddr("255.1.2.3")) {
+		t.Error("/0 must contain every address")
+	}
+	// /32 covers one address.
+	host := MustParsePrefix("1.2.3.4/32")
+	if !host.Contains(MustParseAddr("1.2.3.4")) || host.Contains(MustParseAddr("1.2.3.5")) {
+		t.Error("/32 containment wrong")
+	}
+}
+
+func TestPrefixContainment(t *testing.T) {
+	p := MustParsePrefix("192.168.0.0/16")
+	if !p.Contains(MustParseAddr("192.168.255.255")) {
+		t.Error("should contain top of range")
+	}
+	if p.Contains(MustParseAddr("192.169.0.0")) {
+		t.Error("should not contain next prefix")
+	}
+	if !p.ContainsBlock(MustParseAddr("192.168.7.0").Block()) {
+		t.Error("should contain inner block")
+	}
+	if MustParsePrefix("1.2.3.4/32").ContainsBlock(MustParseAddr("1.2.3.0").Block()) {
+		t.Error("/32 cannot contain a whole /24")
+	}
+}
+
+func TestPrefixNumBlocksAndIteration(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/22")
+	if got := p.NumBlocks(); got != 4 {
+		t.Fatalf("NumBlocks = %d, want 4", got)
+	}
+	var got []Block
+	p.Blocks(func(b Block) bool { got = append(got, b); return true })
+	if len(got) != 4 {
+		t.Fatalf("iterated %d blocks, want 4", len(got))
+	}
+	for i, b := range got {
+		want := MustParseAddr("10.0.0.0").Block() + Block(i)
+		if b != want {
+			t.Errorf("block[%d] = %v, want %v", i, b, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	p.Blocks(func(Block) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early stop iterated %d, want 2", n)
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.1.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("nested prefixes must overlap both ways")
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint prefixes must not overlap")
+	}
+}
+
+func TestPrefixCompare(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.0.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 {
+		t.Error("shorter prefix with same base sorts first")
+	}
+	if a.Compare(c) >= 0 || a.Compare(a) != 0 {
+		t.Error("base address ordering wrong")
+	}
+}
+
+// Property: every block iterated by a prefix is contained by it, and the
+// count matches NumBlocks.
+func TestPrefixBlocksProperty(t *testing.T) {
+	f := func(base uint32, bitsRaw uint8) bool {
+		bits := 8 + bitsRaw%17 // /8../24 keeps iteration small enough
+		p := Prefix{Base: Addr(base) & Addr(^uint32(0)<<(32-bits)), Bits: bits}
+		n := 0
+		ok := true
+		p.Blocks(func(b Block) bool {
+			ok = ok && p.ContainsBlock(b)
+			n++
+			return true
+		})
+		return ok && n == p.NumBlocks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package ipv4
+
+import "math/bits"
+
+// BlockSet is a set of /24 blocks backed by a bitmap over the block space
+// actually in use. The zero value is an empty set ready to use.
+//
+// Verfploeter measurements touch millions of blocks; a map[Block]struct{}
+// costs ~50 B/entry while the bitmap costs 1 bit per block of the covered
+// range, so scans over the hitlist stay allocation-free.
+type BlockSet struct {
+	words map[uint32]uint64 // block>>6 -> 64-block bitmap word
+	n     int
+}
+
+// NewBlockSet returns an empty set with capacity hints for sizeHint blocks.
+func NewBlockSet(sizeHint int) *BlockSet {
+	return &BlockSet{words: make(map[uint32]uint64, sizeHint/64+1)}
+}
+
+func (s *BlockSet) init() {
+	if s.words == nil {
+		s.words = make(map[uint32]uint64)
+	}
+}
+
+// Add inserts b, reporting whether it was newly added.
+func (s *BlockSet) Add(b Block) bool {
+	s.init()
+	w, bit := uint32(b)>>6, uint64(1)<<(uint32(b)&63)
+	old := s.words[w]
+	if old&bit != 0 {
+		return false
+	}
+	s.words[w] = old | bit
+	s.n++
+	return true
+}
+
+// Remove deletes b, reporting whether it was present.
+func (s *BlockSet) Remove(b Block) bool {
+	if s.words == nil {
+		return false
+	}
+	w, bit := uint32(b)>>6, uint64(1)<<(uint32(b)&63)
+	old, ok := s.words[w]
+	if !ok || old&bit == 0 {
+		return false
+	}
+	if old &= ^bit; old == 0 {
+		delete(s.words, w)
+	} else {
+		s.words[w] = old
+	}
+	s.n--
+	return true
+}
+
+// Contains reports whether b is in the set.
+func (s *BlockSet) Contains(b Block) bool {
+	if s.words == nil {
+		return false
+	}
+	return s.words[uint32(b)>>6]&(uint64(1)<<(uint32(b)&63)) != 0
+}
+
+// Len returns the number of blocks in the set.
+func (s *BlockSet) Len() int { return s.n }
+
+// Range calls fn for every block in the set (in no particular order),
+// stopping early if fn returns false.
+func (s *BlockSet) Range(fn func(Block) bool) {
+	for w, bits := range s.words {
+		for bits != 0 {
+			tz := trailingZeros64(bits)
+			if !fn(Block(w<<6 | uint32(tz))) {
+				return
+			}
+			bits &= bits - 1
+		}
+	}
+}
+
+// Union adds every block of t into s.
+func (s *BlockSet) Union(t *BlockSet) {
+	if t == nil {
+		return
+	}
+	t.Range(func(b Block) bool { s.Add(b); return true })
+}
+
+// IntersectCount returns |s ∩ t| without materializing the intersection.
+func (s *BlockSet) IntersectCount(t *BlockSet) int {
+	if s == nil || t == nil {
+		return 0
+	}
+	small, big := s, t
+	if big.n < small.n {
+		small, big = big, small
+	}
+	n := 0
+	for w, bits := range small.words {
+		n += onesCount64(bits & big.words[w])
+	}
+	return n
+}
+
+func trailingZeros64(x uint64) int { return bits.TrailingZeros64(x) }
+
+func onesCount64(x uint64) int { return bits.OnesCount64(x) }

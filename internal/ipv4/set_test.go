@@ -1,0 +1,114 @@
+package ipv4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockSetBasics(t *testing.T) {
+	var s BlockSet // zero value must work
+	b1 := MustParseAddr("10.0.0.0").Block()
+	b2 := MustParseAddr("10.0.1.0").Block()
+
+	if s.Contains(b1) || s.Len() != 0 {
+		t.Fatal("zero set should be empty")
+	}
+	if !s.Add(b1) {
+		t.Fatal("first Add should report new")
+	}
+	if s.Add(b1) {
+		t.Fatal("second Add should report existing")
+	}
+	if !s.Contains(b1) || s.Contains(b2) || s.Len() != 1 {
+		t.Fatal("set contents wrong after Add")
+	}
+	if !s.Remove(b1) || s.Remove(b1) || s.Len() != 0 {
+		t.Fatal("Remove semantics wrong")
+	}
+	if s.Remove(b2) {
+		t.Fatal("Remove of absent block should report false")
+	}
+}
+
+func TestBlockSetRange(t *testing.T) {
+	s := NewBlockSet(100)
+	want := map[Block]bool{}
+	for i := 0; i < 1000; i += 7 {
+		b := Block(i * 131)
+		s.Add(b)
+		want[b] = true
+	}
+	got := map[Block]bool{}
+	s.Range(func(b Block) bool { got[b] = true; return true })
+	if len(got) != len(want) || len(got) != s.Len() {
+		t.Fatalf("Range visited %d blocks, want %d", len(got), len(want))
+	}
+	for b := range want {
+		if !got[b] {
+			t.Fatalf("Range missed %v", b)
+		}
+	}
+	// Early stop.
+	n := 0
+	s.Range(func(Block) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d, want 1", n)
+	}
+}
+
+func TestBlockSetUnionIntersect(t *testing.T) {
+	a, b := NewBlockSet(0), NewBlockSet(0)
+	for i := 0; i < 100; i++ {
+		a.Add(Block(i))
+	}
+	for i := 50; i < 150; i++ {
+		b.Add(Block(i))
+	}
+	if got := a.IntersectCount(b); got != 50 {
+		t.Errorf("IntersectCount = %d, want 50", got)
+	}
+	if got := b.IntersectCount(a); got != 50 {
+		t.Errorf("IntersectCount should be symmetric, got %d", got)
+	}
+	a.Union(b)
+	if a.Len() != 150 {
+		t.Errorf("union Len = %d, want 150", a.Len())
+	}
+	a.Union(nil) // must not panic
+	var nilSafe *BlockSet
+	if nilSafe.IntersectCount(a) != 0 {
+		t.Error("nil receiver IntersectCount should be 0")
+	}
+}
+
+// Property: a BlockSet agrees with a reference map implementation over a
+// random operation sequence.
+func TestBlockSetMatchesMap(t *testing.T) {
+	f := func(ops []uint32) bool {
+		s := NewBlockSet(0)
+		ref := map[Block]bool{}
+		for _, op := range ops {
+			b := Block(op >> 2 & 0x3ff) // small space to force collisions
+			switch op & 3 {
+			case 0, 1:
+				if s.Add(b) == ref[b] {
+					return false
+				}
+				ref[b] = true
+			case 2:
+				if s.Remove(b) != ref[b] {
+					return false
+				}
+				delete(ref, b)
+			case 3:
+				if s.Contains(b) != ref[b] {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

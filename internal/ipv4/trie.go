@@ -1,0 +1,128 @@
+package ipv4
+
+// Trie is a binary (unibit) longest-prefix-match trie over IPv4
+// prefixes — the lookup structure of a routing table. The topology uses
+// it to resolve arbitrary addresses to their covering announced prefix
+// (e.g. attributing aliased replies from unprobed addresses to origin
+// networks), the way a real operator would consult a RIB dump.
+//
+// The zero value is an empty trie ready to use. Values are opaque; a
+// nil value is indistinguishable from absence, so store non-nil.
+type Trie struct {
+	root *trieNode
+	n    int
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	value any
+	set   bool
+}
+
+// Insert stores value at prefix, replacing any existing value. It
+// reports whether the prefix was newly added.
+func (t *Trie) Insert(p Prefix, value any) bool {
+	if t.root == nil {
+		t.root = &trieNode{}
+	}
+	node := t.root
+	for depth := 0; depth < int(p.Bits); depth++ {
+		bit := uint32(p.Base) >> (31 - depth) & 1
+		if node.child[bit] == nil {
+			node.child[bit] = &trieNode{}
+		}
+		node = node.child[bit]
+	}
+	added := !node.set
+	node.value = value
+	node.set = true
+	if added {
+		t.n++
+	}
+	return added
+}
+
+// Len returns the number of stored prefixes.
+func (t *Trie) Len() int { return t.n }
+
+// Lookup returns the value of the longest stored prefix containing a.
+func (t *Trie) Lookup(a Addr) (value any, ok bool) {
+	node := t.root
+	for depth := 0; node != nil; depth++ {
+		if node.set {
+			value, ok = node.value, true
+		}
+		if depth == 32 {
+			break
+		}
+		node = node.child[uint32(a)>>(31-depth)&1]
+	}
+	return value, ok
+}
+
+// LookupPrefix returns both the matched prefix and its value.
+func (t *Trie) LookupPrefix(a Addr) (Prefix, any, bool) {
+	node := t.root
+	var best Prefix
+	var value any
+	ok := false
+	for depth := 0; node != nil; depth++ {
+		if node.set {
+			best = Prefix{Base: Addr(uint32(a) & maskFor(depth)), Bits: uint8(depth)}
+			value = node.value
+			ok = true
+		}
+		if depth == 32 {
+			break
+		}
+		node = node.child[uint32(a)>>(31-depth)&1]
+	}
+	return best, value, ok
+}
+
+func maskFor(bits int) uint32 {
+	if bits == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - bits)
+}
+
+// Exact returns the value stored at exactly prefix p.
+func (t *Trie) Exact(p Prefix) (any, bool) {
+	node := t.root
+	for depth := 0; depth < int(p.Bits); depth++ {
+		if node == nil {
+			return nil, false
+		}
+		node = node.child[uint32(p.Base)>>(31-depth)&1]
+	}
+	if node == nil || !node.set {
+		return nil, false
+	}
+	return node.value, true
+}
+
+// Walk visits every stored prefix in address order (shorter prefixes
+// before their contained longer ones), stopping early if fn returns
+// false.
+func (t *Trie) Walk(fn func(Prefix, any) bool) {
+	var rec func(node *trieNode, base uint32, depth int) bool
+	rec = func(node *trieNode, base uint32, depth int) bool {
+		if node == nil {
+			return true
+		}
+		if node.set {
+			if !fn(Prefix{Base: Addr(base), Bits: uint8(depth)}, node.value) {
+				return false
+			}
+		}
+		if depth == 32 {
+			return true
+		}
+		if !rec(node.child[0], base, depth+1) {
+			return false
+		}
+		return rec(node.child[1], base|1<<(31-depth), depth+1)
+	}
+	rec(t.root, 0, 0)
+}

@@ -1,0 +1,162 @@
+package ipv4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTrieBasics(t *testing.T) {
+	var tr Trie // zero value usable
+	if _, ok := tr.Lookup(MustParseAddr("1.2.3.4")); ok {
+		t.Fatal("empty trie should miss")
+	}
+	if !tr.Insert(MustParsePrefix("10.0.0.0/8"), "ten") {
+		t.Fatal("first insert should be new")
+	}
+	if tr.Insert(MustParsePrefix("10.0.0.0/8"), "ten2") {
+		t.Fatal("re-insert should not be new")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	v, ok := tr.Lookup(MustParseAddr("10.1.2.3"))
+	if !ok || v != "ten2" {
+		t.Fatalf("Lookup = %v, %v (replacement should win)", v, ok)
+	}
+	if _, ok := tr.Lookup(MustParseAddr("11.0.0.1")); ok {
+		t.Fatal("outside prefix should miss")
+	}
+}
+
+func TestTrieLongestMatchWins(t *testing.T) {
+	var tr Trie
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), "/8")
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), "/16")
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), "/24")
+
+	cases := []struct {
+		addr string
+		want string
+	}{
+		{"10.1.2.3", "/24"},
+		{"10.1.9.9", "/16"},
+		{"10.9.9.9", "/8"},
+	}
+	for _, c := range cases {
+		v, ok := tr.Lookup(MustParseAddr(c.addr))
+		if !ok || v != c.want {
+			t.Errorf("Lookup(%s) = %v, want %s", c.addr, v, c.want)
+		}
+	}
+	p, v, ok := tr.LookupPrefix(MustParseAddr("10.1.9.9"))
+	if !ok || v != "/16" || p != MustParsePrefix("10.1.0.0/16") {
+		t.Errorf("LookupPrefix = %v %v %v", p, v, ok)
+	}
+}
+
+func TestTrieDefaultRouteAndHostRoutes(t *testing.T) {
+	var tr Trie
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), "default")
+	tr.Insert(MustParsePrefix("192.0.2.7/32"), "host")
+	if v, _ := tr.Lookup(MustParseAddr("8.8.8.8")); v != "default" {
+		t.Errorf("default route not matched: %v", v)
+	}
+	if v, _ := tr.Lookup(MustParseAddr("192.0.2.7")); v != "host" {
+		t.Errorf("host route not matched: %v", v)
+	}
+	if v, _ := tr.Lookup(MustParseAddr("192.0.2.8")); v != "default" {
+		t.Errorf("neighbor of host route: %v", v)
+	}
+}
+
+func TestTrieExact(t *testing.T) {
+	var tr Trie
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 8)
+	if v, ok := tr.Exact(MustParsePrefix("10.0.0.0/8")); !ok || v != 8 {
+		t.Fatal("Exact miss on stored prefix")
+	}
+	if _, ok := tr.Exact(MustParsePrefix("10.0.0.0/9")); ok {
+		t.Fatal("Exact hit on unstored longer prefix")
+	}
+	if _, ok := tr.Exact(MustParsePrefix("0.0.0.0/0")); ok {
+		t.Fatal("Exact hit on unstored root")
+	}
+}
+
+func TestTrieWalkOrdered(t *testing.T) {
+	var tr Trie
+	ins := []string{"10.1.0.0/16", "10.0.0.0/8", "192.168.0.0/16", "10.1.2.0/24"}
+	for _, s := range ins {
+		tr.Insert(MustParsePrefix(s), s)
+	}
+	var got []string
+	tr.Walk(func(p Prefix, v any) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "192.168.0.0/16"}
+	if len(got) != len(want) {
+		t.Fatalf("Walk visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Walk order %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.Walk(func(Prefix, any) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+// Property: the trie agrees with a brute-force longest-match over a
+// random rule set.
+func TestTriePropertyMatchesBruteForce(t *testing.T) {
+	f := func(rawPrefixes []uint32, probes []uint32) bool {
+		var tr Trie
+		type rule struct {
+			p Prefix
+			v int
+		}
+		var rules []rule
+		for i, raw := range rawPrefixes {
+			bits := uint8(raw % 33)
+			base := Addr(raw) & Addr(maskFor(int(bits)))
+			p := Prefix{Base: base, Bits: bits}
+			tr.Insert(p, i)
+			// Later duplicates replace: mirror that in the rule list.
+			replaced := false
+			for j := range rules {
+				if rules[j].p == p {
+					rules[j].v = i
+					replaced = true
+				}
+			}
+			if !replaced {
+				rules = append(rules, rule{p, i})
+			}
+		}
+		for _, pr := range probes {
+			a := Addr(pr)
+			bestBits, bestVal, found := -1, -1, false
+			for _, r := range rules {
+				if r.p.Contains(a) && int(r.p.Bits) > bestBits {
+					bestBits, bestVal, found = int(r.p.Bits), r.v, true
+				}
+			}
+			v, ok := tr.Lookup(a)
+			if ok != found {
+				return false
+			}
+			if ok && v.(int) != bestVal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package loadgen
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"verfploeter/internal/loadmodel"
+	"verfploeter/internal/querylog"
+	"verfploeter/internal/scenario"
+	"verfploeter/internal/topology"
+)
+
+func TestReplayMatchesComputedActual(t *testing.T) {
+	s := scenario.BRoot(topology.SizeSmall, 1)
+	log := s.RootLog()
+
+	c, err := Replay(s.Net, log, 2, 20000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sampled < 18000 || c.Sampled > 22000 {
+		t.Errorf("sampled %d events for budget 20000", c.Sampled)
+	}
+	// Scaled totals reconstruct the log's daily volume.
+	total := c.Queries[0] + c.Queries[1] + c.Dropped
+	if math.Abs(total-log.TotalQPD())/log.TotalQPD() > 0.05 {
+		t.Errorf("replayed volume %.3g vs log %.3g", total, log.TotalQPD())
+	}
+	if c.Dropped != 0 {
+		t.Errorf("dropped %.0f on a fully routed Internet", c.Dropped)
+	}
+
+	// The measured split agrees with the direct computation within
+	// sampling error.
+	actual, _ := loadmodel.Actual(s.Net, log, loadmodel.ByQueries, 2)
+	want := loadmodel.FractionOf(actual, 0)
+	got := c.Fraction(0)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("replayed LAX share %.3f vs computed %.3f", got, want)
+	}
+
+	// Good/NX split tracks the log's good fraction.
+	good := (c.Good[0] + c.Good[1]) / (c.Queries[0] + c.Queries[1])
+	var wantGood float64
+	for i := range log.Blocks {
+		wantGood += log.Blocks[i].GoodQPD()
+	}
+	wantGood /= log.TotalQPD()
+	if math.Abs(good-wantGood) > 0.03 {
+		t.Errorf("replayed good fraction %.3f vs log %.3f", good, wantGood)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	s := scenario.BRoot(topology.SizeTiny, 2)
+	log := s.RootLog()
+	a, err := Replay(s.Net, log, 2, 5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(s.Net, log, 2, 5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Fatal("replay not deterministic")
+		}
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	s := scenario.BRoot(topology.SizeTiny, 3)
+	log := s.RootLog()
+	if _, err := Replay(s.Net, log, 2, 0, 1); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("zero budget: %v", err)
+	}
+	empty := &querylog.Log{Name: "empty"}
+	if _, err := Replay(s.Net, empty, 2, 100, 1); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("empty log: %v", err)
+	}
+}
+
+func TestReplayFollowsRoutingChanges(t *testing.T) {
+	s := scenario.BRoot(topology.SizeSmall, 4)
+	log := s.RootLog()
+	before, err := Replay(s.Net, log, 2, 10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reannounce([]int{1, 0}) // prepend LAX: load should flee to MIA
+	after, err := Replay(s.Net, log, 2, 10000, 5)
+	s.Reannounce(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Fraction(0) >= before.Fraction(0) {
+		t.Errorf("LAX share should drop after prepending: %.3f -> %.3f",
+			before.Fraction(0), after.Fraction(0))
+	}
+}

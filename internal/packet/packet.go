@@ -1,0 +1,217 @@
+// Package packet implements wire-format encoding and decoding of the IPv4
+// and ICMP echo packets Verfploeter exchanges with its passive vantage
+// points. The design follows the layered decode/serialize style of
+// gopacket: each layer knows how to serialize itself onto a buffer and
+// decode itself from bytes, and a top-level helper assembles the common
+// IPv4+ICMP probe.
+//
+// Although replies travel over a simulated data plane in this repository,
+// they are carried as real packets: the prober marshals byte slices that a
+// real raw socket could transmit, and the per-site collectors parse those
+// bytes back, so the encode/decode path the paper's "custom program"
+// exercises is fully covered.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"verfploeter/internal/ipv4"
+)
+
+// Errors returned by decoding. Callers that inject corrupted packets in
+// tests branch on these.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadChecksum = errors.New("packet: bad checksum")
+	ErrBadVersion  = errors.New("packet: not IPv4")
+)
+
+// Protocol numbers used by the simulator.
+const (
+	ProtoICMP = 1
+	ProtoUDP  = 17
+)
+
+// ICMP types used by Verfploeter.
+const (
+	ICMPEchoReply   = 0
+	ICMPEchoRequest = 8
+)
+
+// IPv4Header is the fixed 20-byte IPv4 header (options unsupported:
+// Verfploeter never emits them and the simulator never synthesizes them).
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Src      ipv4.Addr
+	Dst      ipv4.Addr
+}
+
+// HeaderLen is the length of the fixed IPv4 header this package emits.
+const HeaderLen = 20
+
+// Marshal appends the wire form of h to dst and returns the extended
+// slice. TotalLen must already include the payload length.
+func (h *IPv4Header) Marshal(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderLen)...)
+	b := dst[off:]
+	b[0] = 4<<4 | 5 // version 4, IHL 5 words
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	// flags+fragment offset zero: the probe fits any path MTU.
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	binary.BigEndian.PutUint32(b[12:], uint32(h.Src))
+	binary.BigEndian.PutUint32(b[16:], uint32(h.Dst))
+	binary.BigEndian.PutUint16(b[10:], Checksum(b[:HeaderLen]))
+	return dst
+}
+
+// UnmarshalIPv4 decodes an IPv4 header from b and returns it along with
+// the payload bytes.
+func UnmarshalIPv4(b []byte) (IPv4Header, []byte, error) {
+	if len(b) < HeaderLen {
+		return IPv4Header{}, nil, fmt.Errorf("%w: ipv4 header needs %d bytes, have %d", ErrTruncated, HeaderLen, len(b))
+	}
+	if b[0]>>4 != 4 {
+		return IPv4Header{}, nil, fmt.Errorf("%w: version %d", ErrBadVersion, b[0]>>4)
+	}
+	ihl := int(b[0]&0xf) * 4
+	if ihl < HeaderLen || len(b) < ihl {
+		return IPv4Header{}, nil, fmt.Errorf("%w: IHL %d", ErrTruncated, ihl)
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return IPv4Header{}, nil, fmt.Errorf("%w: ipv4 header", ErrBadChecksum)
+	}
+	h := IPv4Header{
+		TOS:      b[1],
+		TotalLen: binary.BigEndian.Uint16(b[2:]),
+		ID:       binary.BigEndian.Uint16(b[4:]),
+		TTL:      b[8],
+		Protocol: b[9],
+		Src:      ipv4.Addr(binary.BigEndian.Uint32(b[12:])),
+		Dst:      ipv4.Addr(binary.BigEndian.Uint32(b[16:])),
+	}
+	if int(h.TotalLen) < ihl || int(h.TotalLen) > len(b) {
+		return IPv4Header{}, nil, fmt.Errorf("%w: total length %d of %d", ErrTruncated, h.TotalLen, len(b))
+	}
+	return h, b[ihl:h.TotalLen], nil
+}
+
+// ICMPEcho is an ICMP echo request or reply.
+//
+// Verfploeter encodes the measurement round in Ident and the probe
+// sequence in Seq, so a reply can be matched to the round that solicited
+// it even when rounds overlap ("a unique identifier in the ICMP header was
+// used in every measurement round", §4.2).
+type ICMPEcho struct {
+	Type    uint8 // ICMPEchoRequest or ICMPEchoReply
+	Ident   uint16
+	Seq     uint16
+	Payload []byte
+}
+
+// Marshal appends the wire form of e to dst.
+func (e *ICMPEcho) Marshal(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, 8)...)
+	dst = append(dst, e.Payload...)
+	b := dst[off:]
+	b[0] = e.Type
+	// code and checksum zero for now
+	binary.BigEndian.PutUint16(b[4:], e.Ident)
+	binary.BigEndian.PutUint16(b[6:], e.Seq)
+	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	return dst
+}
+
+// UnmarshalICMPEcho decodes an ICMP echo message.
+func UnmarshalICMPEcho(b []byte) (ICMPEcho, error) {
+	if len(b) < 8 {
+		return ICMPEcho{}, fmt.Errorf("%w: icmp needs 8 bytes, have %d", ErrTruncated, len(b))
+	}
+	if Checksum(b) != 0 {
+		return ICMPEcho{}, fmt.Errorf("%w: icmp", ErrBadChecksum)
+	}
+	typ := b[0]
+	if typ != ICMPEchoRequest && typ != ICMPEchoReply {
+		return ICMPEcho{}, fmt.Errorf("packet: unexpected icmp type %d", typ)
+	}
+	e := ICMPEcho{
+		Type:  typ,
+		Ident: binary.BigEndian.Uint16(b[4:]),
+		Seq:   binary.BigEndian.Uint16(b[6:]),
+	}
+	if len(b) > 8 {
+		e.Payload = append([]byte(nil), b[8:]...)
+	}
+	return e, nil
+}
+
+// Checksum computes the RFC 1071 Internet checksum of b. Computing it over
+// bytes that already include a correct checksum field yields zero.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Probe is a decoded Verfploeter probe or reply: the IPv4 header plus the
+// ICMP echo it carries.
+type Probe struct {
+	IP   IPv4Header
+	Echo ICMPEcho
+}
+
+// MarshalEcho builds a complete IPv4+ICMP echo packet.
+func MarshalEcho(src, dst ipv4.Addr, typ uint8, ident, seq uint16, payload []byte) []byte {
+	e := ICMPEcho{Type: typ, Ident: ident, Seq: seq, Payload: payload}
+	h := IPv4Header{
+		TotalLen: uint16(HeaderLen + 8 + len(payload)),
+		TTL:      64,
+		Protocol: ProtoICMP,
+		Src:      src,
+		Dst:      dst,
+	}
+	buf := make([]byte, 0, h.TotalLen)
+	buf = h.Marshal(buf)
+	return e.Marshal(buf)
+}
+
+// UnmarshalEcho parses a complete IPv4+ICMP echo packet.
+func UnmarshalEcho(b []byte) (Probe, error) {
+	h, payload, err := UnmarshalIPv4(b)
+	if err != nil {
+		return Probe{}, err
+	}
+	if h.Protocol != ProtoICMP {
+		return Probe{}, fmt.Errorf("packet: protocol %d is not ICMP", h.Protocol)
+	}
+	e, err := UnmarshalICMPEcho(payload)
+	if err != nil {
+		return Probe{}, err
+	}
+	return Probe{IP: h, Echo: e}, nil
+}
+
+// ReplyTo constructs the echo reply a well-behaved host sends for the
+// given request packet, echoing identifier, sequence, and payload.
+func ReplyTo(req Probe, from ipv4.Addr) []byte {
+	return MarshalEcho(from, req.IP.Src, ICMPEchoReply, req.Echo.Ident, req.Echo.Seq, req.Echo.Payload)
+}

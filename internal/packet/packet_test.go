@@ -1,0 +1,197 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"verfploeter/internal/ipv4"
+)
+
+func TestChecksumKnownVector(t *testing.T) {
+	// Example from RFC 1071 §3: words 0001 f203 f4f5 f6f7 sum to ddf2
+	// after folding; checksum is its complement 220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Errorf("Checksum = %#04x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Odd trailing byte is padded with zero per RFC 1071.
+	if Checksum([]byte{0xff}) != ^uint16(0xff00) {
+		t.Error("odd-length checksum wrong")
+	}
+}
+
+func TestChecksumSelfVerifies(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) < 2 {
+			return true
+		}
+		// Zero a checksum field at offset 0, install checksum, verify.
+		b := append([]byte(nil), data...)
+		b[0], b[1] = 0, 0
+		ck := Checksum(b)
+		b[0], b[1] = byte(ck>>8), byte(ck)
+		return Checksum(b) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	src := ipv4.MustParseAddr("192.0.2.1")
+	dst := ipv4.MustParseAddr("198.51.100.77")
+	payload := []byte("verfploeter-probe")
+	b := MarshalEcho(src, dst, ICMPEchoRequest, 0xbeef, 42, payload)
+
+	p, err := UnmarshalEcho(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IP.Src != src || p.IP.Dst != dst {
+		t.Errorf("addrs = %v -> %v", p.IP.Src, p.IP.Dst)
+	}
+	if p.IP.Protocol != ProtoICMP {
+		t.Errorf("protocol = %d", p.IP.Protocol)
+	}
+	if p.Echo.Type != ICMPEchoRequest || p.Echo.Ident != 0xbeef || p.Echo.Seq != 42 {
+		t.Errorf("echo = %+v", p.Echo)
+	}
+	if string(p.Echo.Payload) != string(payload) {
+		t.Errorf("payload = %q", p.Echo.Payload)
+	}
+}
+
+func TestEchoRoundTripProperty(t *testing.T) {
+	f := func(src, dst uint32, ident, seq uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		b := MarshalEcho(ipv4.Addr(src), ipv4.Addr(dst), ICMPEchoReply, ident, seq, payload)
+		p, err := UnmarshalEcho(b)
+		if err != nil {
+			return false
+		}
+		if p.IP.Src != ipv4.Addr(src) || p.IP.Dst != ipv4.Addr(dst) {
+			return false
+		}
+		if p.Echo.Ident != ident || p.Echo.Seq != seq {
+			return false
+		}
+		if len(p.Echo.Payload) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if p.Echo.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplyTo(t *testing.T) {
+	src := ipv4.MustParseAddr("203.0.113.1") // anycast measurement addr
+	dst := ipv4.MustParseAddr("198.51.100.8")
+	req, err := UnmarshalEcho(MarshalEcho(src, dst, ICMPEchoRequest, 7, 9, []byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := UnmarshalEcho(ReplyTo(req, dst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Echo.Type != ICMPEchoReply {
+		t.Errorf("type = %d", rep.Echo.Type)
+	}
+	if rep.IP.Src != dst || rep.IP.Dst != src {
+		t.Errorf("reply addrs = %v -> %v", rep.IP.Src, rep.IP.Dst)
+	}
+	if rep.Echo.Ident != 7 || rep.Echo.Seq != 9 || string(rep.Echo.Payload) != "x" {
+		t.Errorf("reply echo = %+v", rep.Echo)
+	}
+}
+
+func TestReplyFromAlias(t *testing.T) {
+	// Some hosts reply from a different address than probed (§4, data
+	// cleaning). ReplyTo supports that: 'from' need not equal req dst.
+	src := ipv4.MustParseAddr("203.0.113.1")
+	req, _ := UnmarshalEcho(MarshalEcho(src, ipv4.MustParseAddr("10.0.0.1"), ICMPEchoRequest, 1, 1, nil))
+	alias := ipv4.MustParseAddr("10.0.0.254")
+	rep, err := UnmarshalEcho(ReplyTo(req, alias))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IP.Src != alias {
+		t.Errorf("alias reply src = %v", rep.IP.Src)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good := MarshalEcho(1, 2, ICMPEchoRequest, 3, 4, []byte("abc"))
+
+	if _, _, err := UnmarshalIPv4(good[:10]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header: %v", err)
+	}
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 6 << 4 // IPv6 version
+	if _, _, err := UnmarshalIPv4(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[12] ^= 0xff // corrupt src address -> header checksum fails
+	if _, _, err := UnmarshalIPv4(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupt header: %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xff // corrupt payload -> icmp checksum fails
+	if _, err := UnmarshalEcho(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupt icmp: %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[9] = ProtoUDP
+	// fix the header checksum after editing protocol
+	bad[10], bad[11] = 0, 0
+	ck := Checksum(bad[:HeaderLen])
+	bad[10], bad[11] = byte(ck>>8), byte(ck)
+	if _, err := UnmarshalEcho(bad); err == nil {
+		t.Error("non-ICMP protocol should fail UnmarshalEcho")
+	}
+
+	if _, err := UnmarshalICMPEcho([]byte{0, 0, 0}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short icmp: %v", err)
+	}
+}
+
+func TestUnmarshalRejectsTotalLenLies(t *testing.T) {
+	good := MarshalEcho(1, 2, ICMPEchoRequest, 3, 4, nil)
+	bad := append([]byte(nil), good...)
+	// Claim a longer total length than the buffer holds; re-checksum.
+	bad[2], bad[3] = 0xff, 0xff
+	bad[10], bad[11] = 0, 0
+	ck := Checksum(bad[:HeaderLen])
+	bad[10], bad[11] = byte(ck>>8), byte(ck)
+	if _, _, err := UnmarshalIPv4(bad); !errors.Is(err, ErrTruncated) {
+		t.Errorf("lying TotalLen: %v", err)
+	}
+}
+
+func TestFuzzNoPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = UnmarshalEcho(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package placement implements the paper's closing suggestion (§7, an
+// anonymous reviewer's): "it is possible that RTTs of Verfploeter
+// measurements can be used to suggest where new anycast sites would be
+// helpful [43]".
+//
+// The inputs are exactly what a Verfploeter-running operator has — the
+// measured per-block round-trip times of one catchment round, the
+// blocks' geolocations, the service's query log, and the existing site
+// locations. The method:
+//
+//  1. calibrate a distance→RTT model from the measured pairs (each
+//     mapped block's RTT against its distance to the site that captured
+//     it);
+//  2. for every candidate city, predict each block's RTT if it were
+//     served by the nearest of {existing sites + candidate};
+//  3. greedily pick the candidate with the largest load-weighted RTT
+//     reduction, add it to the site set, and repeat.
+//
+// This mirrors the latency-driven placement question of Schmidt et al.
+// [43] ("how many sites are enough?") using Verfploeter's much denser
+// vantage set.
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"verfploeter/internal/geo"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/querylog"
+	"verfploeter/internal/topology"
+	"verfploeter/internal/verfploeter"
+)
+
+// Site is an existing or candidate anycast site location.
+type Site struct {
+	Name     string
+	Lat, Lon float64
+}
+
+// DefaultCandidates lists major interconnection cities an operator
+// would realistically consider for expansion.
+func DefaultCandidates() []Site {
+	return []Site{
+		{"frankfurt", 50.1, 8.7},
+		{"london", 51.5, -0.1},
+		{"amsterdam", 52.4, 4.9},
+		{"paris", 48.9, 2.4},
+		{"stockholm", 59.3, 18.1},
+		{"new-york", 40.7, -74.0},
+		{"miami", 25.8, -80.2},
+		{"los-angeles", 34.0, -118.3},
+		{"chicago", 41.9, -87.6},
+		{"sao-paulo", -23.5, -46.6},
+		{"buenos-aires", -34.6, -58.4},
+		{"johannesburg", -26.2, 28.0},
+		{"dubai", 25.2, 55.3},
+		{"mumbai", 19.1, 72.9},
+		{"singapore", 1.3, 103.8},
+		{"hong-kong", 22.3, 114.2},
+		{"tokyo", 35.7, 139.7},
+		{"seoul", 37.6, 127.0},
+		{"sydney", -33.9, 151.2},
+		{"moscow", 55.8, 37.6},
+	}
+}
+
+// Model is the calibrated distance→RTT regression rtt ≈ Base + PerUnit·d
+// (d in topology.GeoDistance degree-units).
+type Model struct {
+	Base    time.Duration
+	PerUnit time.Duration
+	Samples int
+}
+
+// Predict estimates the RTT to a site at distance d.
+func (m Model) Predict(d float64) time.Duration {
+	return m.Base + time.Duration(float64(m.PerUnit)*d)
+}
+
+// Calibrate fits the model by least squares over the catchment's
+// measured (distance, RTT) pairs. It needs the existing site locations
+// to compute each block's distance to its capturing site.
+func Calibrate(catch *verfploeter.Catchment, db *geo.DB, sites []Site) (Model, error) {
+	var sumD, sumR, sumDD, sumDR float64
+	n := 0
+	catch.Range(func(b ipv4.Block, site int) bool {
+		rtt, ok := catch.RTTOf(b)
+		if !ok || site >= len(sites) {
+			return true
+		}
+		loc, ok := db.Lookup(b)
+		if !ok {
+			return true
+		}
+		d := topology.GeoDistance(loc.Lat, loc.Lon, sites[site].Lat, sites[site].Lon)
+		r := float64(rtt)
+		sumD += d
+		sumR += r
+		sumDD += d * d
+		sumDR += d * r
+		n++
+		return true
+	})
+	if n < 10 {
+		return Model{}, fmt.Errorf("placement: only %d calibration samples", n)
+	}
+	fn := float64(n)
+	denom := fn*sumDD - sumD*sumD
+	if denom <= 0 {
+		return Model{}, fmt.Errorf("placement: degenerate calibration (all distances equal)")
+	}
+	slope := (fn*sumDR - sumD*sumR) / denom
+	base := (sumR - slope*sumD) / fn
+	if slope <= 0 {
+		return Model{}, fmt.Errorf("placement: non-positive distance coefficient %f", slope)
+	}
+	if base < 0 {
+		base = 0
+	}
+	return Model{Base: time.Duration(base), PerUnit: time.Duration(slope), Samples: n}, nil
+}
+
+// Recommendation is one suggested expansion site.
+type Recommendation struct {
+	Site
+	// MeanRTTBefore/After are load-weighted mean RTTs across mapped
+	// blocks, under the calibrated model, before and after adding the
+	// site (and all earlier recommendations).
+	MeanRTTBefore time.Duration
+	MeanRTTAfter  time.Duration
+	// LoadImproved is the fraction of load whose predicted RTT drops.
+	LoadImproved float64
+}
+
+// Recommend greedily picks up to k candidate sites that most reduce
+// load-weighted predicted RTT. log may be nil for uniform block weights.
+func Recommend(catch *verfploeter.Catchment, db *geo.DB, log *querylog.Log,
+	existing []Site, candidates []Site, k int) ([]Recommendation, Model, error) {
+
+	model, err := Calibrate(catch, db, existing)
+	if err != nil {
+		return nil, Model{}, err
+	}
+
+	// Materialize the evaluation set once: location + weight per block.
+	type point struct {
+		lat, lon float64
+		weight   float64
+		curDist  float64 // distance to nearest current site
+	}
+	var pts []point
+	catch.Range(func(b ipv4.Block, _ int) bool {
+		loc, ok := db.Lookup(b)
+		if !ok {
+			return true
+		}
+		w := 1.0
+		if log != nil {
+			if q := log.QPD(b); q > 0 {
+				w = q
+			} else {
+				w = 0 // placement optimizes for actual clients
+			}
+		}
+		if w == 0 {
+			return true
+		}
+		pts = append(pts, point{lat: loc.Lat, lon: loc.Lon, weight: w, curDist: nearest(loc.Lat, loc.Lon, existing)})
+		return true
+	})
+	if len(pts) == 0 {
+		return nil, model, fmt.Errorf("placement: no weighted blocks to optimize for")
+	}
+
+	meanRTT := func() time.Duration {
+		var num, den float64
+		for _, p := range pts {
+			num += float64(model.Predict(p.curDist)) * p.weight
+			den += p.weight
+		}
+		return time.Duration(num / den)
+	}
+
+	var recs []Recommendation
+	remaining := append([]Site(nil), candidates...)
+	for len(recs) < k && len(remaining) > 0 {
+		before := meanRTT()
+		bestIdx, bestAfter, bestImproved := -1, time.Duration(0), 0.0
+		for ci, c := range remaining {
+			var num, den, improved float64
+			for _, p := range pts {
+				d := p.curDist
+				if dc := topology.GeoDistance(p.lat, p.lon, c.Lat, c.Lon); dc < d {
+					d = dc
+					improved += p.weight
+				}
+				num += float64(model.Predict(d)) * p.weight
+				den += p.weight
+			}
+			after := time.Duration(num / den)
+			if bestIdx < 0 || after < bestAfter {
+				bestIdx, bestAfter, bestImproved = ci, after, improved/den
+			}
+		}
+		if bestIdx < 0 || bestAfter >= before {
+			break // no candidate helps
+		}
+		chosen := remaining[bestIdx]
+		// Commit: update every block's nearest distance.
+		for i := range pts {
+			if dc := topology.GeoDistance(pts[i].lat, pts[i].lon, chosen.Lat, chosen.Lon); dc < pts[i].curDist {
+				pts[i].curDist = dc
+			}
+		}
+		recs = append(recs, Recommendation{
+			Site:          chosen,
+			MeanRTTBefore: before,
+			MeanRTTAfter:  bestAfter,
+			LoadImproved:  bestImproved,
+		})
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return recs, model, nil
+}
+
+func nearest(lat, lon float64, sites []Site) float64 {
+	best := -1.0
+	for _, s := range sites {
+		if d := topology.GeoDistance(lat, lon, s.Lat, s.Lon); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// CoverageCurve evaluates predicted load-weighted mean RTT as a function
+// of the number of sites, following the greedy order — the "how many
+// sites are enough?" curve of [43].
+func CoverageCurve(recs []Recommendation) []time.Duration {
+	out := make([]time.Duration, 0, len(recs)+1)
+	if len(recs) == 0 {
+		return out
+	}
+	out = append(out, recs[0].MeanRTTBefore)
+	for _, r := range recs {
+		out = append(out, r.MeanRTTAfter)
+	}
+	return out
+}
+
+// SortByImprovement orders recommendations by RTT gain, largest first
+// (greedy already emits them in this order; the helper is for merged
+// lists from separate runs).
+func SortByImprovement(recs []Recommendation) {
+	sort.Slice(recs, func(i, j int) bool {
+		gi := recs[i].MeanRTTBefore - recs[i].MeanRTTAfter
+		gj := recs[j].MeanRTTBefore - recs[j].MeanRTTAfter
+		return gi > gj
+	})
+}

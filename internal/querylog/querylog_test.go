@@ -1,0 +1,282 @@
+package querylog
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"verfploeter/internal/topology"
+)
+
+func TestSynthesizeRoot(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeSmall, 1))
+	l := Synthesize(top, RootProfile(), 5)
+	if l.Len() == 0 {
+		t.Fatal("empty log")
+	}
+	if math.Abs(l.TotalQPD()-2.2e9)/2.2e9 > 1e-6 {
+		t.Errorf("TotalQPD = %v, want 2.2e9 after normalization", l.TotalQPD())
+	}
+	frac := float64(l.Len()) / float64(len(top.Blocks))
+	if frac < 0.25 || frac > 0.65 {
+		t.Errorf("coverage = %.2f of blocks, want ~0.4", frac)
+	}
+	// Sorted and indexed.
+	for i := 1; i < l.Len(); i++ {
+		if l.Blocks[i-1].Block >= l.Blocks[i].Block {
+			t.Fatal("blocks not sorted")
+		}
+	}
+	for i := 0; i < l.Len(); i += 37 {
+		if l.QPD(l.Blocks[i].Block) != l.Blocks[i].QueriesPerDay {
+			t.Fatal("index lookup mismatch")
+		}
+	}
+	// Determinism.
+	l2 := Synthesize(top, RootProfile(), 5)
+	if l2.Len() != l.Len() || l2.TotalQPD() != l.TotalQPD() {
+		t.Error("Synthesize not deterministic")
+	}
+}
+
+func TestHeavyTail(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeSmall, 2))
+	l := Synthesize(top, RootProfile(), 6)
+	rates := make([]float64, l.Len())
+	for i := range l.Blocks {
+		rates[i] = l.Blocks[i].QueriesPerDay
+	}
+	// Top 1% of blocks should carry a disproportionate share (resolver
+	// concentration) — far more than 1%.
+	sortDesc(rates)
+	top1 := 0.0
+	for i := 0; i < len(rates)/100+1; i++ {
+		top1 += rates[i]
+	}
+	if share := top1 / l.TotalQPD(); share < 0.10 {
+		t.Errorf("top 1%% of blocks carry %.3f of load, want heavy tail", share)
+	}
+}
+
+func sortDesc(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] > v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func TestNLRegionalBias(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeSmall, 3))
+	l := Synthesize(top, NLProfile(), 7)
+	byCont := map[string]float64{}
+	for i := range l.Blocks {
+		bi := top.BlockIndex(l.Blocks[i].Block)
+		c := topology.Countries[top.Blocks[bi].CountryIdx]
+		byCont[c.Continent] += l.Blocks[i].QueriesPerDay
+	}
+	if byCont["EU"] < l.TotalQPD()*0.5 {
+		t.Errorf("EU share of .nl = %.2f, want majority", byCont["EU"]/l.TotalQPD())
+	}
+	// Compare with root: root must be far less EU-heavy.
+	lr := Synthesize(top, RootProfile(), 7)
+	rootEU := 0.0
+	for i := range lr.Blocks {
+		bi := top.BlockIndex(lr.Blocks[i].Block)
+		if topology.Countries[top.Blocks[bi].CountryIdx].Continent == "EU" {
+			rootEU += lr.Blocks[i].QueriesPerDay
+		}
+	}
+	if rootEU/lr.TotalQPD() > byCont["EU"]/l.TotalQPD() {
+		t.Error("root should be less EU-concentrated than .nl")
+	}
+}
+
+func TestHourWeightsSumToOne(t *testing.T) {
+	bl := BlockLoad{QueriesPerDay: 86400, Diurnal: 0.6, PeakHourUTC: 14}
+	sum := 0.0
+	for h := 0; h < 24; h++ {
+		w := bl.HourWeight(h)
+		if w < 0 {
+			t.Fatalf("negative hour weight at %d", h)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("hour weights sum to %v", sum)
+	}
+	// Peak hour carries the most traffic.
+	if bl.HourWeight(14) <= bl.HourWeight(2) {
+		t.Error("peak hour should beat off-peak")
+	}
+	// QPS at flat rate: 86400 qpd = 1 qps average.
+	flat := BlockLoad{QueriesPerDay: 86400}
+	if q := flat.QPSAt(5); math.Abs(q-1) > 1e-9 {
+		t.Errorf("flat QPS = %v, want 1", q)
+	}
+}
+
+func TestGoodQPD(t *testing.T) {
+	bl := BlockLoad{QueriesPerDay: 1000, GoodFrac: 0.45}
+	if g := bl.GoodQPD(); math.Abs(g-450) > 0.01 {
+		t.Errorf("GoodQPD = %v", g)
+	}
+}
+
+func TestRoundTripThroughText(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeTiny, 4))
+	l := Synthesize(top, RootProfile(), 8)
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, l.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != l.Len() {
+		t.Fatalf("round trip lost blocks: %d -> %d", l.Len(), back.Len())
+	}
+	for i := range l.Blocks {
+		a, b := l.Blocks[i], back.Blocks[i]
+		if a.Block != b.Block || a.PeakHourUTC != b.PeakHourUTC {
+			t.Fatalf("entry %d differs", i)
+		}
+		if math.Abs(a.QueriesPerDay-b.QueriesPerDay) > 0.01 {
+			t.Fatalf("qpd drifted: %v vs %v", a.QueriesPerDay, b.QueriesPerDay)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, bad := range []string{
+		"1.2.3.0/24\t100",               // too few fields
+		"nonsense\t1\t1\t0\t0",          // bad block
+		"1.2.3.0/24\tx\t0.5\t0.5\t3",    // bad number
+		"1.2.3.0/24\t100\t0.5\t0.5\t99", // peak hour out of range
+	} {
+		if _, err := Read(strings.NewReader(bad), "x"); !errors.Is(err, ErrFormat) {
+			t.Errorf("Read(%q) = %v, want ErrFormat", bad, err)
+		}
+	}
+}
+
+func TestNATCountriesCarryMoreLoadPerBlock(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeMedium, 5))
+	l := Synthesize(top, RootProfile(), 9)
+	var inQ, inB, usQ, usB float64
+	for i := range l.Blocks {
+		bi := top.BlockIndex(l.Blocks[i].Block)
+		switch topology.Countries[top.Blocks[bi].CountryIdx].Code {
+		case "IN":
+			inQ += l.Blocks[i].QueriesPerDay
+			inB++
+		case "US":
+			usQ += l.Blocks[i].QueriesPerDay
+			usB++
+		}
+	}
+	if inB == 0 || usB == 0 {
+		t.Skip("sample lacks IN or US blocks")
+	}
+	if inQ/inB <= usQ/usB {
+		t.Errorf("per-block load IN=%.0f <= US=%.0f; NAT weighting missing", inQ/inB, usQ/usB)
+	}
+}
+
+func TestPerturb(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeSmall, 6))
+	l := Synthesize(top, RootProfile(), 11)
+	p := Perturb(l, top, 12, 0.1, 0.2)
+
+	if p.Len() == 0 {
+		t.Fatal("perturbed log empty")
+	}
+	// Size stays in the same ballpark (drops are backfilled).
+	ratio := float64(p.Len()) / float64(l.Len())
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("perturbed size ratio %.2f", ratio)
+	}
+	// Most blocks survive; some churn.
+	surviving, newcomers := 0, 0
+	for i := range p.Blocks {
+		if l.QPD(p.Blocks[i].Block) > 0 {
+			surviving++
+		} else {
+			newcomers++
+		}
+	}
+	if float64(surviving)/float64(p.Len()) < 0.8 {
+		t.Errorf("only %d of %d blocks survived", surviving, p.Len())
+	}
+	if newcomers == 0 {
+		t.Error("no newcomer blocks")
+	}
+	// Total volume drifts but does not explode.
+	vr := p.TotalQPD() / l.TotalQPD()
+	if vr < 0.7 || vr > 1.3 {
+		t.Errorf("volume ratio %.2f", vr)
+	}
+	// Deterministic.
+	p2 := Perturb(l, top, 12, 0.1, 0.2)
+	if p2.Len() != p.Len() || p2.TotalQPD() != p.TotalQPD() {
+		t.Error("Perturb not deterministic")
+	}
+	// Validation.
+	defer func() {
+		if recover() == nil {
+			t.Error("bad churnFrac should panic")
+		}
+	}()
+	Perturb(l, top, 1, 2, 0.1)
+}
+
+func TestRSSACReport(t *testing.T) {
+	top := topology.Generate(topology.DefaultParams(topology.SizeSmall, 7))
+	l := Synthesize(top, RootProfile(), 13)
+	r := Report(l, top)
+
+	if r.Service != "root" || r.UniqueBlocks != l.Len() {
+		t.Fatalf("report header wrong: %+v", r)
+	}
+	if math.Abs(r.Queries-l.TotalQPD()) > 1 {
+		t.Errorf("Queries = %v, want %v", r.Queries, l.TotalQPD())
+	}
+	if r.GoodReplies <= 0 || r.GoodReplies >= r.Queries {
+		t.Errorf("GoodReplies = %v of %v", r.GoodReplies, r.Queries)
+	}
+	if math.Abs(r.GoodReplies+r.NXDomain-r.Queries) > 1 {
+		t.Error("good + nx != queries")
+	}
+	if math.Abs(r.MeanQPS-r.Queries/86400) > 1 {
+		t.Errorf("MeanQPS = %v", r.MeanQPS)
+	}
+	if r.PeakQPS < r.MeanQPS {
+		t.Errorf("peak %v below mean %v", r.PeakQPS, r.MeanQPS)
+	}
+	if len(r.TopCountries) == 0 || len(r.TopCountries) > 10 {
+		t.Fatalf("TopCountries = %d entries", len(r.TopCountries))
+	}
+	for i := 1; i < len(r.TopCountries); i++ {
+		if r.TopCountries[i].Share > r.TopCountries[i-1].Share {
+			t.Fatal("TopCountries not sorted")
+		}
+	}
+	// Large client bases dominate a root's origins.
+	if r.TopCountries[0].Share < 0.05 {
+		t.Errorf("top origin only %.3f", r.TopCountries[0].Share)
+	}
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"rssac-002", "queries/day", "peak hour", "top origins"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report text missing %q", want)
+		}
+	}
+}

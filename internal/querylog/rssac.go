@@ -1,0 +1,130 @@
+package querylog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"verfploeter/internal/topology"
+)
+
+// RSSAC002 is a daily traffic report in the spirit of the RSSAC-002
+// advisory the paper cites for load estimation (§3.2: "all root
+// operators collect this information as part of standard RSSAC-002
+// performance reporting"). It summarizes a day's query log the way an
+// operator's reporting pipeline would, and is what this library's load
+// models would consume at a real deployment.
+type RSSAC002 struct {
+	Service string
+	// Volumes, per day.
+	Queries     float64
+	GoodReplies float64
+	NXDomain    float64
+	// Sources.
+	UniqueBlocks int
+	// Rates.
+	MeanQPS float64
+	PeakQPS float64 // busiest UTC hour's average rate
+	PeakUTC int     // that hour
+	// TopCountries lists the largest origins by query share.
+	TopCountries []CountryShare
+}
+
+// CountryShare pairs a country code with its share of daily queries.
+type CountryShare struct {
+	Country string
+	Share   float64
+}
+
+// Report builds the daily summary for a log. top resolves block
+// geography; pass nil to skip the per-country section.
+func Report(l *Log, top *topology.Topology) RSSAC002 {
+	r := RSSAC002{Service: l.Name, UniqueBlocks: l.Len()}
+	byCountry := map[string]float64{}
+	var hourly [24]float64
+	for i := range l.Blocks {
+		bl := &l.Blocks[i]
+		r.Queries += bl.QueriesPerDay
+		r.GoodReplies += bl.GoodQPD()
+		for h := 0; h < 24; h++ {
+			hourly[h] += bl.QPSAt(h)
+		}
+		if top != nil {
+			if bi := top.BlockIndex(bl.Block); bi >= 0 {
+				byCountry[topology.Countries[top.Blocks[bi].CountryIdx].Code] += bl.QueriesPerDay
+			}
+		}
+	}
+	r.NXDomain = r.Queries - r.GoodReplies
+	r.MeanQPS = r.Queries / 86400
+	for h, qps := range hourly {
+		if qps > r.PeakQPS {
+			r.PeakQPS = qps
+			r.PeakUTC = h
+		}
+	}
+	if r.Queries > 0 {
+		for c, q := range byCountry {
+			r.TopCountries = append(r.TopCountries, CountryShare{Country: c, Share: q / r.Queries})
+		}
+		sort.Slice(r.TopCountries, func(i, j int) bool {
+			if r.TopCountries[i].Share != r.TopCountries[j].Share {
+				return r.TopCountries[i].Share > r.TopCountries[j].Share
+			}
+			return r.TopCountries[i].Country < r.TopCountries[j].Country
+		})
+		if len(r.TopCountries) > 10 {
+			r.TopCountries = r.TopCountries[:10]
+		}
+	}
+	return r
+}
+
+// WriteTo renders the report as text.
+func (r RSSAC002) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	p := func(format string, args ...any) error {
+		c, err := fmt.Fprintf(w, format, args...)
+		n += int64(c)
+		return err
+	}
+	if err := p("rssac-002 style daily report: service %s\n", r.Service); err != nil {
+		return n, err
+	}
+	if err := p("queries/day:      %.3g\n", r.Queries); err != nil {
+		return n, err
+	}
+	if err := p("good replies:     %.3g (%.1f%%)\n", r.GoodReplies, 100*safeDiv(r.GoodReplies, r.Queries)); err != nil {
+		return n, err
+	}
+	if err := p("nxdomain+junk:    %.3g (%.1f%%)\n", r.NXDomain, 100*safeDiv(r.NXDomain, r.Queries)); err != nil {
+		return n, err
+	}
+	if err := p("unique /24s:      %d\n", r.UniqueBlocks); err != nil {
+		return n, err
+	}
+	if err := p("mean rate:        %.0f q/s\n", r.MeanQPS); err != nil {
+		return n, err
+	}
+	if err := p("peak hour:        %02d:00 UTC at %.0f q/s\n", r.PeakUTC, r.PeakQPS); err != nil {
+		return n, err
+	}
+	if len(r.TopCountries) > 0 {
+		if err := p("top origins:\n"); err != nil {
+			return n, err
+		}
+		for _, cs := range r.TopCountries {
+			if err := p("  %-4s %5.1f%%\n", cs.Country, 100*cs.Share); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

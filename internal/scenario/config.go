@@ -1,0 +1,230 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"verfploeter/internal/topology"
+)
+
+// Config declares a custom deployment in JSON — the adoption path for
+// operators who want to model *their* anycast instead of the paper's
+// presets: declare your host networks (how they attach to the synthetic
+// Internet) and your sites, then measure, sweep prepends, and predict
+// load exactly as the presets do.
+//
+// Example:
+//
+//	{
+//	  "name": "my-dns",
+//	  "size": "medium",
+//	  "seed": 7,
+//	  "hosts": [
+//	    {"asn": 64500, "name": "WEST-HOST", "country": "US",
+//	     "lat": 37.3, "lon": -121.9, "tier1_providers": 2},
+//	    {"asn": 64501, "name": "EU-HOST", "country": "DE",
+//	     "lat": 50.1, "lon": 8.7, "tier1_providers": 1,
+//	     "peer_transit_countries": ["DE", "NL", "FR"]}
+//	  ],
+//	  "sites": [
+//	    {"code": "sjc", "host_asn": 64500, "lat": 37.3, "lon": -121.9},
+//	    {"code": "fra", "host_asn": 64501, "lat": 50.1, "lon": 8.7,
+//	     "base_prepend": 0}
+//	  ]
+//	}
+type Config struct {
+	Name  string       `json:"name"`
+	Size  string       `json:"size"` // tiny, small, medium, large
+	Seed  uint64       `json:"seed"`
+	Hosts []HostConfig `json:"hosts"`
+	Sites []SiteConfig `json:"sites"`
+}
+
+// HostConfig declares one host network to graft onto the generated
+// Internet: where it is and how it connects.
+type HostConfig struct {
+	ASN     uint32  `json:"asn"`
+	Name    string  `json:"name"`
+	Country string  `json:"country"`
+	Lat     float64 `json:"lat"`
+	Lon     float64 `json:"lon"`
+	// Tier1Providers is how many tier-1s the host buys transit from
+	// (1..4; default 1).
+	Tier1Providers int `json:"tier1_providers"`
+	// PeerTransitCountries lists countries whose transit networks the
+	// host peers with (an AMPATH-style regional footprint).
+	PeerTransitCountries []string `json:"peer_transit_countries"`
+	// ExtraPoPs places additional PoPs (multi-site hosts like Vultr).
+	ExtraPoPs []PoPConfig `json:"extra_pops"`
+}
+
+// PoPConfig is one extra point of presence.
+type PoPConfig struct {
+	Country string  `json:"country"`
+	Lat     float64 `json:"lat"`
+	Lon     float64 `json:"lon"`
+}
+
+// SiteConfig declares one anycast site.
+type SiteConfig struct {
+	Code        string  `json:"code"`
+	HostASN     uint32  `json:"host_asn"`
+	Lat         float64 `json:"lat"`
+	Lon         float64 `json:"lon"`
+	BasePrepend int     `json:"base_prepend"`
+}
+
+// ParseSize maps a size name to its preset.
+func ParseSize(s string) (topology.Size, error) {
+	switch s {
+	case "tiny":
+		return topology.SizeTiny, nil
+	case "small":
+		return topology.SizeSmall, nil
+	case "medium", "":
+		return topology.SizeMedium, nil
+	case "large":
+		return topology.SizeLarge, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown size %q (tiny, small, medium, large)", s)
+}
+
+// Validate checks the configuration for wiring mistakes.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("scenario config: missing name")
+	}
+	if _, err := ParseSize(c.Size); err != nil {
+		return err
+	}
+	if len(c.Hosts) == 0 {
+		return fmt.Errorf("scenario config %q: no hosts", c.Name)
+	}
+	if len(c.Sites) == 0 {
+		return fmt.Errorf("scenario config %q: no sites", c.Name)
+	}
+	hosts := map[uint32]bool{}
+	for i, h := range c.Hosts {
+		if h.ASN == 0 {
+			return fmt.Errorf("scenario config %q: host %d has no ASN", c.Name, i)
+		}
+		if hosts[h.ASN] {
+			return fmt.Errorf("scenario config %q: duplicate host ASN %d", c.Name, h.ASN)
+		}
+		hosts[h.ASN] = true
+		if topology.CountryIndex(h.Country) < 0 {
+			return fmt.Errorf("scenario config %q: host AS%d: unknown country %q", c.Name, h.ASN, h.Country)
+		}
+		if h.Tier1Providers < 0 || h.Tier1Providers > 4 {
+			return fmt.Errorf("scenario config %q: host AS%d: tier1_providers %d out of 0..4", c.Name, h.ASN, h.Tier1Providers)
+		}
+		for _, cc := range h.PeerTransitCountries {
+			if topology.CountryIndex(cc) < 0 {
+				return fmt.Errorf("scenario config %q: host AS%d: unknown peer country %q", c.Name, h.ASN, cc)
+			}
+		}
+		for _, p := range h.ExtraPoPs {
+			if topology.CountryIndex(p.Country) < 0 {
+				return fmt.Errorf("scenario config %q: host AS%d: unknown PoP country %q", c.Name, h.ASN, p.Country)
+			}
+		}
+	}
+	codes := map[string]bool{}
+	for i, s := range c.Sites {
+		if s.Code == "" {
+			return fmt.Errorf("scenario config %q: site %d has no code", c.Name, i)
+		}
+		if codes[s.Code] {
+			return fmt.Errorf("scenario config %q: duplicate site code %q", c.Name, s.Code)
+		}
+		codes[s.Code] = true
+		if !hosts[s.HostASN] {
+			return fmt.Errorf("scenario config %q: site %q references undeclared host ASN %d", c.Name, s.Code, s.HostASN)
+		}
+		if s.BasePrepend < 0 {
+			return fmt.Errorf("scenario config %q: site %q: negative base_prepend", c.Name, s.Code)
+		}
+	}
+	return nil
+}
+
+// FromConfig builds a fully wired scenario from a declaration.
+func FromConfig(c *Config) (*Scenario, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	size, _ := ParseSize(c.Size)
+	top := topology.Generate(topology.DefaultParams(size, c.Seed))
+
+	for _, h := range c.Hosts {
+		pops := []topology.PoP{popAt(h.Country, h.Lat, h.Lon)}
+		for _, p := range h.ExtraPoPs {
+			pops = append(pops, popAt(p.Country, p.Lat, p.Lon))
+		}
+		name := h.Name
+		if name == "" {
+			name = fmt.Sprintf("HOST-%d", h.ASN)
+		}
+		if top.ASByASN(h.ASN) != nil {
+			return nil, fmt.Errorf("scenario config %q: host ASN %d collides with a generated AS", c.Name, h.ASN)
+		}
+		top.AddAS(topology.AS{
+			ASN: h.ASN, Name: name, Class: topology.Transit,
+			CountryIdx: topology.CountryIndex(h.Country), PoPs: pops,
+		})
+	}
+	top.Finalize()
+	for _, h := range c.Hosts {
+		n := h.Tier1Providers
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			top.Link(firstTier1(top, i), h.ASN, "customer")
+		}
+		if len(h.PeerTransitCountries) > 0 {
+			for _, asn := range transitsIn(top, h.PeerTransitCountries...) {
+				top.Link(h.ASN, asn, "peer")
+			}
+		}
+	}
+	top.Finalize()
+
+	sites := make([]Site, len(c.Sites))
+	for i, s := range c.Sites {
+		host := ""
+		for _, h := range c.Hosts {
+			if h.ASN == s.HostASN {
+				host = h.Name
+			}
+		}
+		sites[i] = Site{
+			Code: s.Code, Host: host, UpstreamASN: s.HostASN,
+			Lat: s.Lat, Lon: s.Lon, BasePrepend: s.BasePrepend,
+		}
+	}
+	return build(c.Name, c.Seed, top, sites), nil
+}
+
+// LoadConfig reads a JSON declaration.
+func LoadConfig(r io.Reader) (*Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("scenario config: %w", err)
+	}
+	return &c, nil
+}
+
+// LoadConfigFile reads a JSON declaration from a file.
+func LoadConfigFile(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadConfig(f)
+}

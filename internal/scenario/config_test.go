@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleConfig = `{
+  "name": "my-dns",
+  "size": "tiny",
+  "seed": 7,
+  "hosts": [
+    {"asn": 64500, "name": "WEST", "country": "US", "lat": 37.3, "lon": -121.9,
+     "tier1_providers": 2},
+    {"asn": 64501, "name": "EU", "country": "DE", "lat": 50.1, "lon": 8.7,
+     "tier1_providers": 1, "peer_transit_countries": ["DE", "NL"],
+     "extra_pops": [{"country": "GB", "lat": 51.5, "lon": -0.1}]}
+  ],
+  "sites": [
+    {"code": "sjc", "host_asn": 64500, "lat": 37.3, "lon": -121.9},
+    {"code": "fra", "host_asn": 64501, "lat": 50.1, "lon": 8.7, "base_prepend": 1}
+  ]
+}`
+
+func TestLoadConfigAndBuild(t *testing.T) {
+	c, err := LoadConfig(strings.NewReader(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromConfig(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "my-dns" || len(s.Sites) != 2 {
+		t.Fatalf("scenario = %s, %d sites", s.Name, len(s.Sites))
+	}
+	if s.Sites[1].BasePrepend != 1 {
+		t.Error("base_prepend lost")
+	}
+	// The hosts exist and are wired.
+	west := s.Top.ASByASN(64500)
+	if west == nil || len(west.Providers) != 2 {
+		t.Fatalf("west host wiring: %+v", west)
+	}
+	eu := s.Top.ASByASN(64501)
+	if eu == nil || len(eu.Providers) != 1 {
+		t.Fatalf("eu host wiring: %+v", eu)
+	}
+	if len(eu.Peers) == 0 {
+		t.Error("eu host has no peers despite peer_transit_countries")
+	}
+	if len(eu.PoPs) != 2 {
+		t.Errorf("eu host has %d PoPs, want 2", len(eu.PoPs))
+	}
+
+	// And the scenario measures end to end.
+	catch, _, err := s.Measure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if catch.Len() == 0 {
+		t.Fatal("empty catchment from config-built scenario")
+	}
+	if catch.Fraction(0)+catch.Fraction(1) < 0.999 {
+		t.Error("fractions broken")
+	}
+	// fra has a base prepend: sjc should dominate.
+	if catch.Fraction(0) < 0.5 {
+		t.Errorf("sjc share %.3f; prepended fra should not dominate", catch.Fraction(0))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no name", func(c *Config) { c.Name = "" }},
+		{"bad size", func(c *Config) { c.Size = "huge" }},
+		{"no hosts", func(c *Config) { c.Hosts = nil }},
+		{"no sites", func(c *Config) { c.Sites = nil }},
+		{"zero asn", func(c *Config) { c.Hosts[0].ASN = 0 }},
+		{"dup asn", func(c *Config) { c.Hosts[1].ASN = c.Hosts[0].ASN }},
+		{"bad country", func(c *Config) { c.Hosts[0].Country = "XX" }},
+		{"bad tier1 count", func(c *Config) { c.Hosts[0].Tier1Providers = 9 }},
+		{"bad peer country", func(c *Config) { c.Hosts[1].PeerTransitCountries = []string{"XX"} }},
+		{"bad pop country", func(c *Config) { c.Hosts[1].ExtraPoPs[0].Country = "XX" }},
+		{"no site code", func(c *Config) { c.Sites[0].Code = "" }},
+		{"dup site code", func(c *Config) { c.Sites[1].Code = c.Sites[0].Code }},
+		{"unknown host", func(c *Config) { c.Sites[0].HostASN = 99999 }},
+		{"negative prepend", func(c *Config) { c.Sites[0].BasePrepend = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := LoadConfig(strings.NewReader(sampleConfig))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(c)
+			if err := c.Validate(); err == nil {
+				t.Errorf("%s: validation passed", tc.name)
+			}
+		})
+	}
+}
+
+func TestLoadConfigRejectsUnknownFields(t *testing.T) {
+	if _, err := LoadConfig(strings.NewReader(`{"name":"x","bogus":1}`)); err == nil {
+		t.Error("unknown fields should be rejected")
+	}
+	if _, err := LoadConfig(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}
+
+func TestFromConfigCollidingASN(t *testing.T) {
+	c, err := LoadConfig(strings.NewReader(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Hosts[0].ASN = 4134 // CHINANET exists in every generated topology
+	if _, err := FromConfig(c); err == nil {
+		t.Error("colliding ASN should fail")
+	}
+}

@@ -1,0 +1,229 @@
+package scenario
+
+import (
+	"verfploeter/internal/querylog"
+	"verfploeter/internal/topology"
+)
+
+// BRoot builds the paper's primary target (§4.1): B-Root after its May
+// 2017 move to anycast, with two sites —
+//
+//	LAX hosted by USC/ISI (AS226), MIA hosted by FIU/AMPATH (AS20080).
+//
+// AMPATH's real-world footprint matters for Figure 2: it is "very well
+// connected in Brazil and Argentina, but does not have direct ties to
+// the west coast of South America", which shows as MIA dominating
+// eastern South America while Peru/Chile lean LAX. The preset wires
+// AMPATH as a peer of the Brazilian/Argentinian transit networks only.
+func BRoot(size topology.Size, seed uint64) *Scenario {
+	top := topology.Generate(topology.DefaultParams(size, seed))
+
+	// LAX host: USC/ISI, a southern-California network buying from two
+	// tier-1s.
+	top.AddAS(topology.AS{
+		ASN: 226, Name: "ISI", Class: topology.Transit,
+		CountryIdx: topology.CountryIndex("US"),
+		PoPs:       []topology.PoP{popAt("US", 34.0, -118.3)},
+	})
+	top.Link(firstTier1(top, 0), 226, "customer")
+	top.Link(firstTier1(top, 1), 226, "customer")
+
+	// MIA host: AMPATH at FIU, the academic exchange toward South
+	// America.
+	top.AddAS(topology.AS{
+		ASN: 20080, Name: "AMPATH", Class: topology.Transit,
+		CountryIdx: topology.CountryIndex("US"),
+		PoPs:       []topology.PoP{popAt("US", 25.8, -80.2)},
+	})
+	top.Link(firstTier1(top, 0), 20080, "customer")
+	top.Finalize()
+
+	// AMPATH peers with eastern South America's transits (BR, AR) but
+	// not the west coast (PE, CL, CO).
+	for _, asn := range transitsIn(top, "BR", "AR") {
+		top.Link(20080, asn, "peer")
+	}
+	top.Finalize()
+
+	return build("b-root", seed, top, []Site{
+		{Code: "lax", Host: "USC/ISI", UpstreamASN: 226, Lat: 34.0, Lon: -118.3},
+		{Code: "mia", Host: "FIU/AMPATH", UpstreamASN: 20080, Lat: 25.8, Lon: -80.2},
+	})
+}
+
+// Tangled builds the nine-site testbed of Table 3, including its
+// documented limitations (§4.2):
+//
+//   - SYD, CDG, and LHR share one upstream (Vultr AS20473), which can
+//     shadow each other's announcements;
+//   - São Paulo's traffic rides the same link as Miami (AS1251 is
+//     single-homed behind AMPATH), so its announcement is often hidden;
+//   - Tokyo's connectivity (WIDE AS2500) rarely wins, modeled as a
+//     permanent prepend.
+func Tangled(size topology.Size, seed uint64) *Scenario {
+	top := topology.Generate(topology.DefaultParams(size, seed))
+
+	add := func(asn uint32, name, country string, pops ...topology.PoP) {
+		top.AddAS(topology.AS{
+			ASN: asn, Name: name, Class: topology.Transit,
+			CountryIdx: pops[0].CountryIdx, PoPs: pops,
+		})
+	}
+
+	// Vultr: one AS, PoPs at each hosted site city.
+	add(20473, "VULTR", "US",
+		popAt("AU", -33.9, 151.2), // Sydney
+		popAt("FR", 48.9, 2.4),    // Paris
+		popAt("GB", 51.5, -0.1),   // London
+	)
+	add(2500, "WIDE", "JP", popAt("JP", 35.7, 139.7))     // Tokyo
+	add(1103, "SURFNET", "NL", popAt("NL", 52.2, 6.9))    // Enschede
+	add(20080, "AMPATH", "US", popAt("US", 25.8, -80.2))  // Miami
+	add(1972, "ISI-EAST", "US", popAt("US", 38.9, -77.0)) // Washington
+	add(1251, "FIU-SAO", "BR", popAt("BR", -23.5, -46.6)) // São Paulo
+	add(39839, "DK-HOST", "DK", popAt("DK", 55.7, 12.6))  // Copenhagen
+	top.Finalize()
+
+	// Upstream wiring.
+	top.Link(firstTier1(top, 0), 20473, "customer")
+	top.Link(firstTier1(top, 1), 20473, "customer")
+	top.Link(firstTier1(top, 0), 2500, "customer")
+	top.Link(firstTier1(top, 1), 1103, "customer")
+	top.Link(firstTier1(top, 0), 20080, "customer")
+	top.Link(firstTier1(top, 1), 1972, "customer")
+	top.Link(20080, 1251, "customer") // SAO rides MIA's link
+	top.Link(firstTier1(top, 0), 39839, "customer")
+	for _, asn := range transitsIn(top, "BR", "AR") {
+		top.Link(20080, asn, "peer")
+	}
+	for _, asn := range transitsOnContinent(top, "EU") {
+		if asn%3 == 0 { // a subset of European transits peer with SURFnet
+			top.Link(1103, asn, "peer")
+		}
+	}
+	top.Finalize()
+
+	return build("tangled", seed, top, []Site{
+		{Code: "syd", Host: "Vultr", UpstreamASN: 20473, Lat: -33.9, Lon: 151.2},
+		{Code: "cdg", Host: "Vultr", UpstreamASN: 20473, Lat: 48.9, Lon: 2.4},
+		{Code: "hnd", Host: "WIDE", UpstreamASN: 2500, Lat: 35.7, Lon: 139.7, BasePrepend: 2},
+		{Code: "ens", Host: "U.Twente", UpstreamASN: 1103, Lat: 52.2, Lon: 6.9},
+		{Code: "lhr", Host: "Vultr", UpstreamASN: 20473, Lat: 51.5, Lon: -0.1},
+		{Code: "mia", Host: "FIU", UpstreamASN: 20080, Lat: 25.8, Lon: -80.2},
+		{Code: "iad", Host: "USC/ISI", UpstreamASN: 1972, Lat: 38.9, Lon: -77.0},
+		{Code: "sao", Host: "FIU", UpstreamASN: 1251, Lat: -23.5, Lon: -46.6},
+		{Code: "cph", Host: "DK Hostmaster", UpstreamASN: 39839, Lat: 55.7, Lon: 12.6},
+	})
+}
+
+// NL builds the regional-service comparison of Figure 4b: a ccTLD-style
+// deployment whose load is strongly European. The four "sites" stand in
+// for the .nl unicast name servers ns1-ns4; resolvers spread across them,
+// which the scenario models as four sites hosted on Dutch and nearby
+// networks.
+func NL(size topology.Size, seed uint64) *Scenario {
+	top := topology.Generate(topology.DefaultParams(size, seed))
+
+	add := func(asn uint32, name, country string, lat, lon float64) {
+		top.AddAS(topology.AS{
+			ASN: asn, Name: name, Class: topology.Transit,
+			CountryIdx: topology.CountryIndex(country),
+			PoPs:       []topology.PoP{popAt(country, lat, lon)},
+		})
+	}
+	add(1140, "SIDN-NS1", "NL", 52.1, 5.2)
+	add(1141, "SIDN-NS2", "NL", 52.4, 4.9)
+	add(1142, "SIDN-NS3", "US", 40.7, -74.0)
+	add(1143, "SIDN-NS4", "DE", 50.1, 8.7)
+	top.Finalize()
+	for i, asn := range []uint32{1140, 1141, 1142, 1143} {
+		top.Link(firstTier1(top, i%2), asn, "customer")
+	}
+	top.Finalize()
+
+	return build("nl", seed, top, []Site{
+		{Code: "ns1", Host: "SIDN", UpstreamASN: 1140, Lat: 52.1, Lon: 5.2},
+		{Code: "ns2", Host: "SIDN", UpstreamASN: 1141, Lat: 52.4, Lon: 4.9},
+		{Code: "ns3", Host: "SIDN", UpstreamASN: 1142, Lat: 40.7, Lon: -74.0},
+		{Code: "ns4", Host: "SIDN", UpstreamASN: 1143, Lat: 50.1, Lon: 8.7},
+	})
+}
+
+// NLLog synthesizes the .nl-style regional query log for the scenario.
+func (s *Scenario) NLLog() *querylog.Log {
+	return querylogSynthNL(s)
+}
+
+func querylogSynthNL(s *Scenario) *querylog.Log {
+	return querylog.Synthesize(s.Top, querylog.NLProfile(), s.Seed)
+}
+
+// CDN builds the paper's §7 target for future study: a commercial
+// CDN-style anycast deployment with many sites on cloud/colo providers.
+// The mechanics of anycast are identical to DNS; what changes is scale
+// (20 sites), and the operational concern: CDNs carry long-lived TCP
+// connections, so §6.3's catchment stability question is existential
+// rather than cosmetic.
+func CDN(size topology.Size, seed uint64) *Scenario {
+	top := topology.Generate(topology.DefaultParams(size, seed))
+
+	type pop struct {
+		code    string
+		country string
+		lat     float64
+		lon     float64
+	}
+	pops := []pop{
+		{"lax", "US", 34.0, -118.3}, {"sjc", "US", 37.3, -121.9},
+		{"ord", "US", 41.9, -87.6}, {"iad", "US", 38.9, -77.0},
+		{"mia", "US", 25.8, -80.2}, {"yyz", "CA", 43.7, -79.4},
+		{"gru", "BR", -23.5, -46.6}, {"eze", "AR", -34.6, -58.4},
+		{"lhr", "GB", 51.5, -0.1}, {"fra", "DE", 50.1, 8.7},
+		{"ams", "NL", 52.4, 4.9}, {"cdg", "FR", 48.9, 2.4},
+		{"arn", "SE", 59.3, 18.1}, {"waw", "PL", 52.2, 21.0},
+		{"bom", "IN", 19.1, 72.9}, {"sin", "SG", 1.3, 103.8},
+		{"hkg", "HK", 22.3, 114.2}, {"nrt", "JP", 35.7, 139.7},
+		{"icn", "KR", 37.6, 127.0}, {"syd", "AU", -33.9, 151.2},
+	}
+
+	// One global edge provider (a Cloudflare/Fastly-style network) with
+	// a PoP per site; every site announces through it.
+	edge := topology.AS{
+		ASN: 13335, Name: "EDGE-CDN", Class: topology.Transit,
+		CountryIdx: topology.CountryIndex("US"),
+	}
+	for _, p := range pops {
+		ci := topology.CountryIndex(p.country)
+		if ci < 0 {
+			ci = topology.CountryIndex("US")
+		}
+		edge.PoPs = append(edge.PoPs, topology.PoP{CountryIdx: ci, Lat: p.lat, Lon: p.lon})
+	}
+	top.AddAS(edge)
+	top.Finalize()
+	top.Link(firstTier1(top, 0), 13335, "customer")
+	top.Link(firstTier1(top, 1), 13335, "customer")
+	// Edge networks peer broadly at exchanges worldwide.
+	for i, asn := range transitsOnContinent(top, "EU") {
+		if i%2 == 0 {
+			top.Link(13335, asn, "peer")
+		}
+	}
+	for i, asn := range transitsOnContinent(top, "AS") {
+		if i%2 == 0 {
+			top.Link(13335, asn, "peer")
+		}
+	}
+	for i, asn := range transitsOnContinent(top, "NA") {
+		if i%3 == 0 {
+			top.Link(13335, asn, "peer")
+		}
+	}
+	top.Finalize()
+
+	sites := make([]Site, len(pops))
+	for i, p := range pops {
+		sites[i] = Site{Code: p.code, Host: "EdgeCDN", UpstreamASN: 13335, Lat: p.lat, Lon: p.lon}
+	}
+	return build("cdn", seed, top, sites)
+}

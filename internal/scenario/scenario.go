@@ -1,0 +1,332 @@
+// Package scenario assembles complete deployments: a generated Internet,
+// the anycast service's host networks wired into it, BGP announcements,
+// the data plane, hitlist, geolocation, and DNS front ends. The presets
+// mirror the paper's measurement targets (§4, Table 3): B-Root's two-site
+// deployment, the nine-site Tangled testbed with its documented routing
+// quirks, and the .nl-style regional service used for load calibration.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"verfploeter/internal/bgp"
+	"verfploeter/internal/dataplane"
+	"verfploeter/internal/dnswire"
+	"verfploeter/internal/geo"
+	"verfploeter/internal/hitlist"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/querylog"
+	"verfploeter/internal/topology"
+	"verfploeter/internal/vclock"
+	"verfploeter/internal/verfploeter"
+)
+
+// Site is one anycast site of the scenario's service.
+type Site struct {
+	Code        string // short site code answered via hostname.bind
+	Host        string // hosting organization, for reports
+	UpstreamASN uint32
+	Lat, Lon    float64
+	// BasePrepend models permanently weak connectivity (Tangled's
+	// Tokyo site rarely attracts traffic); experiment prepends add to
+	// it.
+	BasePrepend int
+}
+
+// Scenario is a fully wired deployment ready to measure.
+type Scenario struct {
+	Name  string
+	Seed  uint64
+	Top   *topology.Topology
+	Sites []Site
+
+	Prefix      ipv4.Prefix // the anycast service prefix
+	MeasureAddr ipv4.Addr   // designated measurement address (§3.1)
+	// TestPfx is the parallel test prefix (§3.1); TestMeasureAddr the
+	// measurement address inside it.
+	TestPfx         ipv4.Prefix
+	TestMeasureAddr ipv4.Addr
+
+	Clock   *vclock.Clock
+	Net     *dataplane.Net
+	Table   *bgp.Table
+	Asg     *bgp.Assignment
+	Hitlist *hitlist.Hitlist
+	GeoDB   *geo.DB
+
+	prepends []int
+}
+
+// AnycastPrefix is the service prefix all presets announce. The covering
+// /23's other half is the test prefix of §3.1 ("the non-operational
+// portion of the /23 could serve as the test prefix").
+const (
+	AnycastPrefix = "198.18.0.0/24"
+	TestPrefix    = "198.18.1.0/24"
+)
+
+// GeoMissRate approximates the paper's 678 un-geolocatable blocks out of
+// 3.79M responding.
+const GeoMissRate = 0.0005
+
+// build wires the common machinery once the topology and sites exist.
+func build(name string, seed uint64, top *topology.Topology, sites []Site) *Scenario {
+	s := &Scenario{
+		Name: name, Seed: seed, Top: top, Sites: sites,
+		Prefix:          ipv4.MustParsePrefix(AnycastPrefix),
+		MeasureAddr:     ipv4.MustParseAddr("198.18.0.1"),
+		TestPfx:         ipv4.MustParsePrefix(TestPrefix),
+		TestMeasureAddr: ipv4.MustParseAddr("198.18.1.1"),
+		Clock:           vclock.New(),
+		Hitlist:         hitlist.Build(top, seed),
+		GeoDB:           geo.Build(top, GeoMissRate, seed),
+		prepends:        make([]int, len(sites)),
+	}
+	s.Net = dataplane.New(dataplane.Config{
+		Top: top, Clock: s.Clock, Seed: seed,
+		Impair:        dataplane.DefaultImpairments(),
+		AnycastPrefix: s.Prefix,
+		TestPrefix:    s.TestPfx,
+	})
+	s.Reannounce(nil)
+	for i := range sites {
+		i := i
+		s.Net.AttachSite(i, nil, s.dnsHandler(i))
+	}
+	return s
+}
+
+// Reannounce recomputes routing with the given per-site extra prepends
+// (nil = all zero). This is the traffic-engineering knob of §6.1.
+func (s *Scenario) Reannounce(extraPrepend []int) {
+	s.ReannounceEpoch(extraPrepend, 0)
+}
+
+// ReannounceEpoch recomputes routing for a later routing epoch: same
+// announcements, but the Internet's equal-cost tie-breaks have drifted
+// (§5.5's month-scale catchment shift). Epoch 0 is the present.
+func (s *Scenario) ReannounceEpoch(extraPrepend []int, epoch uint64) {
+	if extraPrepend == nil {
+		extraPrepend = make([]int, len(s.Sites))
+	}
+	if len(extraPrepend) != len(s.Sites) {
+		panic(fmt.Sprintf("scenario: %d prepends for %d sites", len(extraPrepend), len(s.Sites)))
+	}
+	copy(s.prepends, extraPrepend)
+	anns := make([]bgp.Announcement, len(s.Sites))
+	for i, site := range s.Sites {
+		anns[i] = bgp.Announcement{
+			Site: i, UpstreamASN: site.UpstreamASN,
+			Lat: site.Lat, Lon: site.Lon,
+			Prepend: site.BasePrepend + extraPrepend[i],
+		}
+	}
+	s.Table = bgp.ComputeEpoch(s.Top, anns, epoch)
+	s.Asg = s.Table.Assign()
+	s.Net.SetAssignment(s.Asg)
+}
+
+// Prepends returns the current extra-prepend configuration.
+func (s *Scenario) Prepends() []int { return append([]int(nil), s.prepends...) }
+
+// AnnounceTest announces the test prefix with a candidate configuration
+// (§3.1's pre-deployment planning: "deploy and announce a test prefix
+// that parallels the anycast service, then measure its routes and
+// catchments" — the test prefix encounters the same policies as
+// production, so its catchment predicts the change). Production routing
+// is untouched.
+func (s *Scenario) AnnounceTest(extraPrepend []int, epoch uint64) {
+	if extraPrepend == nil {
+		extraPrepend = make([]int, len(s.Sites))
+	}
+	if len(extraPrepend) != len(s.Sites) {
+		panic(fmt.Sprintf("scenario: %d test prepends for %d sites", len(extraPrepend), len(s.Sites)))
+	}
+	anns := make([]bgp.Announcement, len(s.Sites))
+	for i, site := range s.Sites {
+		anns[i] = bgp.Announcement{
+			Site: i, UpstreamASN: site.UpstreamASN,
+			Lat: site.Lat, Lon: site.Lon,
+			Prepend: site.BasePrepend + extraPrepend[i],
+		}
+	}
+	s.Net.SetTestAssignment(bgp.ComputeEpoch(s.Top, anns, epoch).Assign())
+}
+
+// MeasureTest runs a Verfploeter round sourced from the test prefix,
+// mapping the candidate configuration's catchment without touching
+// production. AnnounceTest must have been called.
+func (s *Scenario) MeasureTest(roundID uint16) (*verfploeter.Catchment, verfploeter.Stats, error) {
+	return verfploeter.Run(verfploeter.Config{
+		Hitlist: s.Hitlist, Net: s.Net, Clock: s.Clock,
+		NSite: len(s.Sites), OriginSite: 0, SourceAddr: s.TestMeasureAddr,
+		RoundID: roundID, Seed: s.Seed ^ uint64(roundID)<<32 ^ 0x7e57,
+	})
+}
+
+// SiteByName implements atlas.SiteNamer over the site codes.
+func (s *Scenario) SiteByName(txt string) (int, bool) {
+	for i, site := range s.Sites {
+		if strings.EqualFold(site.Code, txt) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// MustSite returns the index of a site code, panicking on unknown codes —
+// experiment wiring errors should fail fast.
+func (s *Scenario) MustSite(code string) int {
+	i, ok := s.SiteByName(code)
+	if !ok {
+		panic(fmt.Sprintf("scenario %s: no site %q", s.Name, code))
+	}
+	return i
+}
+
+// SiteCodes returns the per-site short codes.
+func (s *Scenario) SiteCodes() []string {
+	out := make([]string, len(s.Sites))
+	for i, site := range s.Sites {
+		out[i] = site.Code
+	}
+	return out
+}
+
+// SiteLetters returns one distinct letter per site for map rendering.
+func (s *Scenario) SiteLetters() []rune {
+	out := make([]rune, len(s.Sites))
+	for i, site := range s.Sites {
+		out[i] = rune(strings.ToUpper(site.Code)[0])
+		for j := 0; j < i; j++ {
+			if out[j] == out[i] {
+				// Collide: fall back to the site's index digit.
+				out[i] = rune('0' + i%10)
+			}
+		}
+	}
+	return out
+}
+
+// dnsHandler answers the site's DNS front end: CHAOS TXT hostname.bind
+// returns the site code (what Atlas measures); everything else gets a
+// minimal authoritative answer or NXDOMAIN.
+func (s *Scenario) dnsHandler(site int) func([]byte) []byte {
+	return func(raw []byte) []byte {
+		q, err := dnswire.Unmarshal(raw)
+		if err != nil {
+			return nil
+		}
+		var resp dnswire.Message
+		switch {
+		case q.Question.Class == dnswire.ClassCH &&
+			q.Question.Type == dnswire.TypeTXT &&
+			strings.EqualFold(q.Question.Name, dnswire.HostnameBind):
+			resp = q.Respond(dnswire.RCodeNoError)
+			resp.AnswerTXT(s.Sites[site].Code)
+		case q.Question.Class == dnswire.ClassIN && q.Question.Type == dnswire.TypeA:
+			if strings.HasPrefix(q.Question.Name, "nx.") {
+				resp = q.Respond(dnswire.RCodeNXDomain)
+			} else {
+				resp = q.Respond(dnswire.RCodeNoError)
+				resp.Answers = append(resp.Answers, dnswire.RR{
+					Name: q.Question.Name, Type: dnswire.TypeA,
+					Class: dnswire.ClassIN, TTL: 3600,
+					Data: []byte{198, 18, 0, 53},
+				})
+			}
+		default:
+			resp = q.Respond(dnswire.RCodeRefused)
+		}
+		out, err := resp.Marshal()
+		if err != nil {
+			return nil
+		}
+		return out
+	}
+}
+
+// Measure runs one Verfploeter round from origin site 0 and returns the
+// catchment.
+func (s *Scenario) Measure(roundID uint16) (*verfploeter.Catchment, verfploeter.Stats, error) {
+	return verfploeter.Run(verfploeter.Config{
+		Hitlist: s.Hitlist, Net: s.Net, Clock: s.Clock,
+		NSite: len(s.Sites), OriginSite: 0, SourceAddr: s.MeasureAddr,
+		RoundID: roundID, Seed: s.Seed ^ uint64(roundID)<<32,
+	})
+}
+
+// MeasureRounds performs n back-to-back rounds, advancing the data
+// plane's round counter (catchment flips, responsiveness churn) between
+// them — the §6.3 stability campaign.
+func (s *Scenario) MeasureRounds(n int, firstRoundID uint16) ([]*verfploeter.Catchment, error) {
+	out := make([]*verfploeter.Catchment, 0, n)
+	for r := 0; r < n; r++ {
+		s.Net.SetRound(uint32(r))
+		c, _, err := s.Measure(firstRoundID + uint16(r))
+		if err != nil {
+			return nil, fmt.Errorf("round %d: %w", r, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// RootLog synthesizes the service's day of root-style query traffic.
+func (s *Scenario) RootLog() *querylog.Log {
+	return querylog.Synthesize(s.Top, querylog.RootProfile(), s.Seed)
+}
+
+// --- topology helpers for preset wiring ---
+
+// firstTier1 returns the ASN of the i-th tier-1.
+func firstTier1(top *topology.Topology, i int) uint32 {
+	n := 0
+	for idx := range top.ASes {
+		if top.ASes[idx].Class == topology.Tier1 {
+			if n == i {
+				return top.ASes[idx].ASN
+			}
+			n++
+		}
+	}
+	panic("scenario: not enough tier-1 ASes")
+}
+
+// transitsIn returns transit ASNs whose primary country matches any of
+// the given codes (in topology order).
+func transitsIn(top *topology.Topology, codes ...string) []uint32 {
+	want := map[string]bool{}
+	for _, c := range codes {
+		want[c] = true
+	}
+	var out []uint32
+	for idx := range top.ASes {
+		a := &top.ASes[idx]
+		if a.Class == topology.Transit && want[topology.Countries[a.CountryIdx].Code] {
+			out = append(out, a.ASN)
+		}
+	}
+	return out
+}
+
+// transitsOnContinent returns transit ASNs on a continent.
+func transitsOnContinent(top *topology.Topology, continent string) []uint32 {
+	var out []uint32
+	for idx := range top.ASes {
+		a := &top.ASes[idx]
+		if a.Class == topology.Transit && topology.Countries[a.CountryIdx].Continent == continent {
+			out = append(out, a.ASN)
+		}
+	}
+	return out
+}
+
+func popAt(country string, lat, lon float64) topology.PoP {
+	ci := topology.CountryIndex(country)
+	if ci < 0 {
+		panic("scenario: unknown country " + country)
+	}
+	return topology.PoP{CountryIdx: ci, Lat: lat, Lon: lon}
+}

@@ -1,0 +1,337 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"verfploeter/internal/dnswire"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/topology"
+	"verfploeter/internal/verfploeter"
+)
+
+func TestBRootShape(t *testing.T) {
+	s := BRoot(topology.SizeSmall, 1)
+	if len(s.Sites) != 2 || s.Sites[0].Code != "lax" || s.Sites[1].Code != "mia" {
+		t.Fatalf("sites = %+v", s.Sites)
+	}
+	catch, stats, err := s.Measure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sent != s.Hitlist.Len() {
+		t.Errorf("sent %d of %d", stats.Sent, s.Hitlist.Len())
+	}
+	// Response rate ~45-60% (paper: 55%).
+	frac := float64(catch.Len()) / float64(len(s.Top.Blocks))
+	if frac < 0.35 || frac > 0.70 {
+		t.Errorf("response rate %.2f", frac)
+	}
+	// LAX majority, both sites present (paper: 78-88%% of blocks to LAX).
+	lax := catch.Fraction(0)
+	if lax < 0.6 || lax > 0.95 {
+		t.Errorf("LAX share %.3f, want 0.6-0.95", lax)
+	}
+
+	// Eastern South America leans MIA (AMPATH peering), western less so.
+	var brMIA, brTot, weMIA, weTot float64
+	for i := range s.Top.Blocks {
+		b := &s.Top.Blocks[i]
+		site, ok := catch.SiteOf(b.Block)
+		if !ok {
+			continue
+		}
+		switch topology.Countries[b.CountryIdx].Code {
+		case "BR", "AR":
+			brTot++
+			if site == 1 {
+				brMIA++
+			}
+		case "PE", "CL":
+			weTot++
+			if site == 1 {
+				weMIA++
+			}
+		}
+	}
+	if brTot == 0 || weTot == 0 {
+		t.Skip("no SA blocks in sample")
+	}
+	if brMIA/brTot <= weMIA/weTot {
+		t.Errorf("BR/AR MIA share %.2f should exceed PE/CL %.2f (AMPATH effect)",
+			brMIA/brTot, weMIA/weTot)
+	}
+}
+
+func TestBRootPrependingMonotone(t *testing.T) {
+	s := BRoot(topology.SizeSmall, 1)
+	// Figure 5's x-axis: +1 LAX, equal, +1 MIA, +2 MIA, +3 MIA.
+	configs := [][]int{{1, 0}, {0, 0}, {0, 1}, {0, 2}, {0, 3}}
+	var frac []float64
+	for i, pp := range configs {
+		s.Reannounce(pp)
+		catch, _, err := s.Measure(uint16(10 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac = append(frac, catch.Fraction(0))
+	}
+	for i := 1; i < len(frac); i++ {
+		if frac[i] < frac[i-1]-0.01 {
+			t.Errorf("fraction to LAX not monotone: %v", frac)
+			break
+		}
+	}
+	if frac[0] > 0.5 {
+		t.Errorf("LAX+1 should push most traffic to MIA, got %.3f to LAX", frac[0])
+	}
+	// Even at MIA+3, some networks stick with MIA (customers of its
+	// ISP and prepend-ignoring ASes).
+	if frac[len(frac)-1] >= 1.0 {
+		t.Error("MIA+3 should leave a residual MIA catchment")
+	}
+}
+
+func TestTangledShape(t *testing.T) {
+	s := Tangled(topology.SizeSmall, 2)
+	if len(s.Sites) != 9 {
+		t.Fatalf("%d sites", len(s.Sites))
+	}
+	catch, _, err := s.Measure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := catch.Counts()
+	// The paper's limitations: SAO (7) is mostly hidden behind MIA,
+	// HND (2) attracts little.
+	mia, sao, hnd := counts[5], counts[7], counts[2]
+	if sao > mia/4 {
+		t.Errorf("SAO=%d should be largely shadowed by MIA=%d", sao, mia)
+	}
+	if hnd > catch.Len()/10 {
+		t.Errorf("HND=%d of %d should be small (weak connectivity)", hnd, catch.Len())
+	}
+	// At least 5 sites see meaningful traffic.
+	active := 0
+	for _, c := range counts {
+		if c > catch.Len()/100 {
+			active++
+		}
+	}
+	if active < 5 {
+		t.Errorf("only %d sites active: %v", active, counts)
+	}
+}
+
+func TestSiteNamerAndDNS(t *testing.T) {
+	s := BRoot(topology.SizeTiny, 3)
+	if i, ok := s.SiteByName("MIA"); !ok || i != 1 {
+		t.Errorf("SiteByName(MIA) = %d, %v", i, ok)
+	}
+	if _, ok := s.SiteByName("xyz"); ok {
+		t.Error("unknown site name should miss")
+	}
+
+	// hostname.bind through the real data plane.
+	q, err := dnswire.NewHostnameBindQuery(1).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := s.Top.Blocks[0].Block.Addr(7)
+	resp, site, err := s.Net.QueryAnycast(from, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dnswire.Unmarshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, ok := m.TXTAnswer()
+	if !ok {
+		t.Fatal("no TXT answer")
+	}
+	if want := s.Sites[site].Code; txt != want {
+		t.Errorf("hostname.bind = %q at site %d (%q)", txt, site, want)
+	}
+
+	// IN A query resolves; nx. names get NXDOMAIN.
+	qa, _ := dnswire.NewQuery(2, "example.org", dnswire.TypeA, dnswire.ClassIN).Marshal()
+	resp, _, err = s.Net.QueryAnycast(from, qa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ = dnswire.Unmarshal(resp)
+	if m.RCode != dnswire.RCodeNoError || len(m.Answers) != 1 {
+		t.Errorf("A answer = %+v", m)
+	}
+	qn, _ := dnswire.NewQuery(3, "nx.example.org", dnswire.TypeA, dnswire.ClassIN).Marshal()
+	resp, _, _ = s.Net.QueryAnycast(from, qn)
+	m, _ = dnswire.Unmarshal(resp)
+	if m.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("nx. rcode = %d", m.RCode)
+	}
+}
+
+func TestMeasureRoundsProduceChurn(t *testing.T) {
+	s := Tangled(topology.SizeTiny, 5)
+	rounds, err := s.MeasureRounds(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 4 {
+		t.Fatalf("%d rounds", len(rounds))
+	}
+	d := verfploeter.Diff(rounds[0], rounds[1])
+	if d.Stable == 0 {
+		t.Error("no stable VPs between rounds")
+	}
+	if d.ToNR == 0 && d.FromNR == 0 {
+		t.Error("expected responsiveness churn between rounds")
+	}
+	// Stability dominates (paper: ~95% stable).
+	total := d.Stable + d.Flipped + d.ToNR
+	if float64(d.Stable)/float64(total) < 0.80 {
+		t.Errorf("stable fraction %.3f too low", float64(d.Stable)/float64(total))
+	}
+}
+
+func TestSiteLettersDistinct(t *testing.T) {
+	s := Tangled(topology.SizeTiny, 6)
+	letters := s.SiteLetters()
+	seen := map[rune]bool{}
+	for _, l := range letters {
+		if seen[l] {
+			t.Fatalf("duplicate site letter %c in %q", l, string(letters))
+		}
+		seen[l] = true
+	}
+	codes := s.SiteCodes()
+	if len(codes) != 9 || !strings.EqualFold(codes[0], "syd") {
+		t.Errorf("codes = %v", codes)
+	}
+}
+
+func TestNLScenario(t *testing.T) {
+	s := NL(topology.SizeTiny, 7)
+	if len(s.Sites) != 4 {
+		t.Fatalf("%d sites", len(s.Sites))
+	}
+	log := s.NLLog()
+	if log.Len() == 0 {
+		t.Fatal("empty NL log")
+	}
+	catch, _, err := s.Measure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if catch.Len() == 0 {
+		t.Fatal("empty catchment")
+	}
+}
+
+func TestReannounceValidation(t *testing.T) {
+	s := BRoot(topology.SizeTiny, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong prepend count should panic")
+		}
+	}()
+	s.Reannounce([]int{1})
+}
+
+func TestCDNShape(t *testing.T) {
+	s := CDN(topology.SizeSmall, 1)
+	if len(s.Sites) != 20 {
+		t.Fatalf("%d sites", len(s.Sites))
+	}
+	catch, stats, err := s.Measure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := 0
+	for i := range s.Sites {
+		if catch.Fraction(i) > 0.01 {
+			active++
+		}
+	}
+	if active < 8 {
+		t.Errorf("only %d of 20 CDN sites active", active)
+	}
+	// Many nearby sites should beat B-Root's two on latency.
+	broot := BRoot(topology.SizeSmall, 1)
+	_, bStats, err := broot.Measure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MedianRTT >= bStats.MedianRTT {
+		t.Errorf("CDN median RTT %v should beat B-Root %v", stats.MedianRTT, bStats.MedianRTT)
+	}
+}
+
+func TestTestPrefixWorkflow(t *testing.T) {
+	s := BRoot(topology.SizeSmall, 1)
+	prodBefore, _, err := s.Measure(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without an announcement the test prefix is unroutable.
+	if _, _, err := s.MeasureTest(31); err == nil {
+		t.Fatal("MeasureTest before AnnounceTest should fail")
+	}
+
+	s.AnnounceTest([]int{0, 2}, 0)
+	testCatch, _, err := s.MeasureTest(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testCatch.Len() == 0 {
+		t.Fatal("empty test catchment")
+	}
+	// The candidate config must differ from production...
+	if testCatch.Fraction(0) <= prodBefore.Fraction(0) {
+		t.Errorf("MIA+2 on test prefix should raise LAX share: %.3f vs %.3f",
+			testCatch.Fraction(0), prodBefore.Fraction(0))
+	}
+	// ...while production stays put.
+	prodAfter, _, err := s.Measure(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := verfploeter.Diff(prodBefore, prodAfter)
+	total := diff.Stable + diff.Flipped
+	if total > 0 && float64(diff.Flipped)/float64(total) > 0.02 {
+		t.Errorf("test announcement perturbed production: %d of %d flipped", diff.Flipped, total)
+	}
+
+	// Applying the candidate to production matches the test map.
+	s.Reannounce([]int{0, 2})
+	applied, _, err := s.Measure(34)
+	s.Reannounce(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, compared := 0, 0
+	testCatch.Range(func(b ipv4.Block, site int) bool {
+		if s2, ok := applied.SiteOf(b); ok {
+			compared++
+			if s2 == site {
+				agree++
+			}
+		}
+		return true
+	})
+	if compared == 0 || float64(agree)/float64(compared) < 0.98 {
+		t.Errorf("test-prefix map agrees %d/%d with applied change", agree, compared)
+	}
+}
+
+func TestAnnounceTestValidation(t *testing.T) {
+	s := BRoot(topology.SizeTiny, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong test prepend count should panic")
+		}
+	}()
+	s.AnnounceTest([]int{1}, 0)
+}

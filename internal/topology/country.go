@@ -1,0 +1,85 @@
+package topology
+
+// Country describes one country used for geographic placement of ASes,
+// points of presence, and address blocks. Weights are coarse shares used
+// by the generator; they only need to be *relatively* right, reproducing
+// the paper's qualitative geography: many Internet users and blocks in
+// East/South Asia and the Americas, but RIPE Atlas vantage points heavily
+// concentrated in Europe (a known skew the paper leans on, §5.4 [8]).
+type Country struct {
+	Code      string
+	Continent string // EU, NA, SA, AS, OC, AF
+	Lat, Lon  float64
+	// UserWeight is the relative share of Internet users (drives query
+	// load), IPWeight the relative share of routed /24 blocks (drives
+	// block allocation), AtlasWeight the relative share of RIPE Atlas
+	// VPs (drives the simulated Atlas platform's skew).
+	UserWeight  float64
+	IPWeight    float64
+	AtlasWeight float64
+	// NATFactor scales users-per-block: >1 means many users behind few
+	// blocks (the paper calls out India, §5.4).
+	NATFactor float64
+}
+
+// Countries is the static placement table. Lat/Lon are rough centroids.
+var Countries = []Country{
+	{"US", "NA", 39, -98, 9.0, 22.0, 10.0, 1.0},
+	{"CA", "NA", 56, -106, 1.2, 2.5, 1.5, 1.0},
+	{"MX", "NA", 23, -102, 2.5, 1.2, 0.2, 1.3},
+	{"BR", "SA", -10, -55, 4.5, 2.8, 0.6, 1.2},
+	{"AR", "SA", -34, -64, 1.3, 0.9, 0.2, 1.2},
+	{"CL", "SA", -30, -71, 0.6, 0.5, 0.15, 1.1},
+	{"PE", "SA", -10, -76, 0.7, 0.3, 0.05, 1.3},
+	{"CO", "SA", 4, -72, 1.1, 0.5, 0.1, 1.3},
+	{"GB", "EU", 54, -2, 2.0, 3.5, 9.0, 1.0},
+	{"DE", "EU", 51, 9, 2.4, 4.0, 14.0, 1.0},
+	{"FR", "EU", 46, 2, 1.8, 3.0, 8.0, 1.0},
+	{"NL", "EU", 52, 5, 0.6, 1.8, 6.0, 1.0},
+	{"BE", "EU", 50, 4, 0.35, 0.6, 2.0, 1.0},
+	{"ES", "EU", 40, -4, 1.3, 1.5, 2.5, 1.0},
+	{"IT", "EU", 43, 12, 1.5, 1.8, 3.0, 1.0},
+	{"CH", "EU", 47, 8, 0.3, 0.7, 2.5, 1.0},
+	{"AT", "EU", 47, 14, 0.3, 0.5, 1.8, 1.0},
+	{"SE", "EU", 62, 15, 0.3, 0.8, 2.0, 1.0},
+	{"NO", "EU", 62, 10, 0.2, 0.5, 1.2, 1.0},
+	{"FI", "EU", 64, 26, 0.2, 0.5, 1.2, 1.0},
+	{"DK", "EU", 56, 10, 0.2, 0.5, 1.5, 1.0},
+	{"PL", "EU", 52, 20, 1.1, 1.2, 1.8, 1.0},
+	{"CZ", "EU", 50, 15, 0.35, 0.6, 2.2, 1.0},
+	{"RO", "EU", 46, 25, 0.55, 0.6, 0.8, 1.0},
+	{"UA", "EU", 49, 32, 0.9, 0.9, 0.8, 1.0},
+	{"RU", "EU", 60, 90, 3.3, 3.5, 2.5, 1.0},
+	{"TR", "AS", 39, 35, 1.7, 1.0, 0.5, 1.2},
+	{"IR", "AS", 32, 53, 1.8, 0.8, 0.1, 1.4},
+	{"IN", "AS", 21, 78, 13.0, 2.2, 0.5, 4.0},
+	{"PK", "AS", 30, 70, 2.0, 0.4, 0.05, 3.0},
+	{"BD", "AS", 24, 90, 1.6, 0.3, 0.05, 3.0},
+	{"CN", "AS", 35, 105, 18.0, 9.0, 0.15, 2.2},
+	{"HK", "AS", 22, 114, 0.3, 0.9, 0.3, 1.0},
+	{"TW", "AS", 24, 121, 0.6, 1.0, 0.2, 1.0},
+	{"JP", "AS", 36, 138, 3.0, 5.0, 0.8, 1.0},
+	{"KR", "AS", 36, 128, 1.4, 2.8, 0.2, 1.1},
+	{"SG", "AS", 1, 104, 0.2, 0.5, 0.4, 1.0},
+	{"MY", "AS", 4, 110, 0.8, 0.5, 0.1, 1.3},
+	{"TH", "AS", 15, 101, 1.5, 0.7, 0.1, 1.4},
+	{"VN", "AS", 16, 108, 1.9, 0.6, 0.08, 1.6},
+	{"ID", "AS", -2, 118, 4.5, 0.9, 0.15, 2.2},
+	{"PH", "AS", 13, 122, 1.9, 0.5, 0.08, 2.0},
+	{"AU", "OC", -25, 134, 0.7, 1.5, 1.2, 1.0},
+	{"NZ", "OC", -42, 174, 0.15, 0.4, 0.4, 1.0},
+	{"ZA", "AF", -29, 24, 0.9, 0.5, 0.3, 1.3},
+	{"NG", "AF", 9, 8, 2.2, 0.3, 0.05, 2.5},
+	{"KE", "AF", 0, 38, 0.8, 0.2, 0.06, 2.0},
+	{"EG", "AF", 27, 30, 1.4, 0.4, 0.05, 1.8},
+}
+
+// CountryIndex returns the index of a country code in Countries, or -1.
+func CountryIndex(code string) int {
+	for i, c := range Countries {
+		if c.Code == code {
+			return i
+		}
+	}
+	return -1
+}

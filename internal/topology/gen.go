@@ -1,0 +1,695 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/rng"
+)
+
+// Size selects a preset scale for the generated Internet. The real
+// Internet has ~6.9M probed /24s (Table 4); we generate a structurally
+// similar graph at a fraction of that so the full pipeline runs in tests
+// and benchmarks. Shapes, not absolute counts, are the reproduction target.
+type Size int
+
+const (
+	// SizeTiny is for unit tests: a few hundred ASes, ~1-2k blocks.
+	SizeTiny Size = iota
+	// SizeSmall is for integration tests: ~5-8k blocks.
+	SizeSmall
+	// SizeMedium is for examples and fast benchmarks: ~30k blocks.
+	SizeMedium
+	// SizeLarge is for the headline coverage benchmarks: ~100k blocks.
+	SizeLarge
+)
+
+func (s Size) String() string {
+	switch s {
+	case SizeTiny:
+		return "tiny"
+	case SizeSmall:
+		return "small"
+	case SizeMedium:
+		return "medium"
+	case SizeLarge:
+		return "large"
+	}
+	return fmt.Sprintf("size(%d)", int(s))
+}
+
+// GiantSpec describes a large eyeball/content AS modeled after the
+// networks the paper names (Table 7): many PoPs, many prefixes, and in
+// some cases heavy catchment flapping or poor ping responsiveness.
+type GiantSpec struct {
+	ASN         uint32
+	Name        string
+	Country     string
+	FlapWeight  float64
+	RespFactor  float64 // multiplies block responsiveness; 1.0 = normal
+	PrefixScale float64 // multiplies the prefix-plan size
+	IgnorePrep  bool
+}
+
+// DefaultGiants mirrors the ASes the paper's flip table highlights plus a
+// few regional heavyweights that shape load geography.
+var DefaultGiants = []GiantSpec{
+	{ASN: 4134, Name: "CHINANET", Country: "CN", FlapWeight: 2.6, RespFactor: 0.9, PrefixScale: 2.0},
+	{ASN: 7922, Name: "COMCAST", Country: "US", FlapWeight: 1.2, RespFactor: 1.0, PrefixScale: 1.4},
+	{ASN: 6983, Name: "ITCDELTA", Country: "US", FlapWeight: 1.0, RespFactor: 1.0, PrefixScale: 0.5},
+	{ASN: 6739, Name: "ONO-AS", Country: "ES", FlapWeight: 0.9, RespFactor: 1.0, PrefixScale: 0.4},
+	{ASN: 37963, Name: "ALIBABA", Country: "CN", FlapWeight: 0.8, RespFactor: 1.0, PrefixScale: 0.5},
+	{ASN: 4766, Name: "KT", Country: "KR", FlapWeight: 0.1, RespFactor: 0.22, PrefixScale: 1.0},
+	{ASN: 4713, Name: "OCN", Country: "JP", FlapWeight: 0.1, RespFactor: 0.55, PrefixScale: 1.0},
+	{ASN: 45609, Name: "AIRTEL", Country: "IN", FlapWeight: 0.1, RespFactor: 0.8, PrefixScale: 0.8},
+	{ASN: 28573, Name: "CLARO-BR", Country: "BR", FlapWeight: 0.1, RespFactor: 0.9, PrefixScale: 0.7},
+	{ASN: 9121, Name: "TTNET", Country: "TR", FlapWeight: 0.1, RespFactor: 0.9, PrefixScale: 0.5},
+	{ASN: 17974, Name: "TELKOMNET", Country: "ID", FlapWeight: 0.2, RespFactor: 0.6, PrefixScale: 0.5},
+	{ASN: 3320, Name: "DTAG", Country: "DE", FlapWeight: 0.05, RespFactor: 1.0, PrefixScale: 0.8},
+}
+
+// countryRespFactor lowers ping responsiveness where the paper finds
+// unmappable traffic concentrated: "most are in Korea, with some in Japan
+// and central and southeast Asia" (§5.4, Figure 4a).
+var countryRespFactor = map[string]float64{
+	"KR": 0.30, "JP": 0.70, "VN": 0.55, "TH": 0.60, "ID": 0.60,
+	"PH": 0.65, "MY": 0.70, "BD": 0.65, "PK": 0.70,
+}
+
+// Params controls generation. Zero values are filled by DefaultParams.
+type Params struct {
+	Seed    uint64
+	Tier1   int
+	Transit int
+	Stubs   int
+	Giants  []GiantSpec
+	// GiantScale multiplies every giant's prefix plan (size presets use
+	// it to keep block counts in budget).
+	GiantScale float64
+	// MaxBlocksPerPrefix caps materialized /24s inside very large
+	// prefixes; the rest of the prefix exists in BGP but holds no
+	// hitlist targets.
+	MaxBlocksPerPrefix int
+	// IgnorePrependFrac is the fraction of stub ASes that disregard
+	// AS-path prepending (§6.1's residual MIA traffic at MIA+3).
+	IgnorePrependFrac float64
+	// FlapFrac is the fraction of stub ASes with unstable egress.
+	FlapFrac float64
+}
+
+// DefaultParams returns the preset parameters for a size.
+func DefaultParams(size Size, seed uint64) Params {
+	p := Params{
+		Seed:               seed,
+		Giants:             DefaultGiants,
+		MaxBlocksPerPrefix: 1024,
+		IgnorePrependFrac:  0.04,
+		FlapFrac:           0.015,
+	}
+	switch size {
+	case SizeTiny:
+		p.Tier1, p.Transit, p.Stubs = 3, 12, 120
+		p.Giants = DefaultGiants[:4]
+		p.GiantScale = 0.05
+		p.MaxBlocksPerPrefix = 128
+	case SizeSmall:
+		p.Tier1, p.Transit, p.Stubs = 5, 32, 600
+		p.Giants = DefaultGiants[:8]
+		p.GiantScale = 0.15
+		p.MaxBlocksPerPrefix = 256
+	case SizeMedium:
+		p.Tier1, p.Transit, p.Stubs = 8, 100, 3000
+		p.GiantScale = 0.6
+		p.MaxBlocksPerPrefix = 512
+	case SizeLarge:
+		p.Tier1, p.Transit, p.Stubs = 10, 220, 9000
+		p.GiantScale = 2.0
+	default:
+		panic(fmt.Sprintf("topology: unknown size %d", size))
+	}
+	return p
+}
+
+var tier1ASNs = []uint32{174, 701, 1299, 2914, 3257, 3356, 3491, 5511, 6453, 6762, 6939, 7018}
+
+// Generate builds a Topology from params. The result is Finalized.
+func Generate(p Params) *Topology {
+	if p.Tier1 < 1 || p.Transit < 1 || p.Stubs < 1 {
+		panic("topology: Generate needs at least one AS per class")
+	}
+	if p.Tier1 > len(tier1ASNs) {
+		p.Tier1 = len(tier1ASNs)
+	}
+	if p.MaxBlocksPerPrefix <= 0 {
+		p.MaxBlocksPerPrefix = 1024
+	}
+	if p.GiantScale <= 0 {
+		p.GiantScale = 1
+	}
+
+	root := rng.New(p.Seed)
+	g := &generator{
+		p:      p,
+		t:      &Topology{},
+		graph:  root.Derive("graph"),
+		addr:   root.Derive("addr"),
+		blocks: root.Derive("blocks"),
+		cursor: ipv4.MustParseAddr("1.0.0.0").Block(),
+	}
+	g.makeTier1s()
+	g.makeTransits()
+	g.makeGiants()
+	g.makeStubs()
+	g.t.Finalize()
+	return g.t
+}
+
+type generator struct {
+	p      Params
+	t      *Topology
+	graph  *rng.Source // relationship wiring
+	addr   *rng.Source // prefix plans
+	blocks *rng.Source // block metadata
+	cursor ipv4.Block  // next unallocated /24
+
+	transitIdx []int // indexes of transit ASes in t.ASes
+	transitCap []float64
+	asnIdx     map[uint32]int
+}
+
+func (g *generator) makeTier1s() {
+	for i := 0; i < g.p.Tier1; i++ {
+		ci := sampleCountry(g.graph, func(c Country) float64 {
+			if c.Continent == "EU" || c.Continent == "NA" {
+				return c.IPWeight
+			}
+			return c.IPWeight * 0.3
+		})
+		a := AS{
+			ASN:        tier1ASNs[i],
+			Name:       fmt.Sprintf("TIER1-%d", tier1ASNs[i]),
+			Class:      Tier1,
+			CountryIdx: ci,
+		}
+		g.addGlobalPoPs(&a)
+		g.originate(&a, g.prefixPlan(12+g.graph.Intn(20), planTransit))
+		g.appendAS(a)
+	}
+	// Full-mesh peering among tier-1s.
+	for i := 0; i < g.p.Tier1; i++ {
+		for j := i + 1; j < g.p.Tier1; j++ {
+			g.t.ASes[i].Peers = append(g.t.ASes[i].Peers, g.t.ASes[j].ASN)
+			g.t.ASes[j].Peers = append(g.t.ASes[j].Peers, g.t.ASes[i].ASN)
+		}
+	}
+}
+
+// coreTransitCountries guarantees that even small topologies have
+// transit presence in the countries the paper's scenarios lean on
+// (AMPATH's South American peers, Chinese carriers, European hosts).
+var coreTransitCountries = []string{
+	"US", "US", "DE", "GB", "NL", "FR", "CN", "CN", "JP", "BR", "BR",
+	"AR", "AU", "IN", "RU", "KR", "SG", "IT", "ES", "PL", "MX", "CL",
+	"CO", "ID", "TR", "CA", "SE", "ZA", "TH", "DK",
+}
+
+func (g *generator) makeTransits() {
+	for i := 0; i < g.p.Transit; i++ {
+		var ci int
+		if i < len(coreTransitCountries) {
+			ci = CountryIndex(coreTransitCountries[i])
+		} else {
+			ci = sampleCountry(g.graph, func(c Country) float64 { return c.IPWeight })
+		}
+		a := AS{
+			ASN:        uint32(2000 + i*3),
+			Name:       fmt.Sprintf("TRANSIT-%s-%d", Countries[ci].Code, 2000+i*3),
+			Class:      Transit,
+			CountryIdx: ci,
+		}
+		cont := Countries[ci].Continent
+		g.addPoPs(&a, 1+g.graph.Intn(4), func(c Country) float64 {
+			if c.Continent == cont {
+				return c.IPWeight
+			}
+			return 0.01 * c.IPWeight
+		})
+		g.originate(&a, g.prefixPlan(4+g.graph.Intn(16), planTransit))
+		if g.graph.Bool(0.02) {
+			a.IgnorePrepend = true
+		}
+		idx := g.appendAS(a)
+		g.transitIdx = append(g.transitIdx, idx)
+		g.transitCap = append(g.transitCap, g.graph.Pareto(1.1, 1))
+
+		// Providers: 1-2 tier-1s, and sometimes a larger transit.
+		nProv := 1 + g.graph.Intn(2)
+		seen := map[uint32]bool{}
+		for k := 0; k < nProv; k++ {
+			t1 := &g.t.ASes[g.graph.Intn(g.p.Tier1)]
+			if !seen[t1.ASN] {
+				seen[t1.ASN] = true
+				g.link(t1.ASN, a.ASN)
+			}
+		}
+		if i > 4 && g.graph.Bool(0.3) {
+			parent := g.transitIdx[g.graph.Intn(i)]
+			pASN := g.t.ASes[parent].ASN
+			if !seen[pASN] {
+				g.link(pASN, a.ASN)
+			}
+		}
+	}
+	// Peering among transits, continent-biased.
+	for _, i := range g.transitIdx {
+		nPeer := 1 + g.graph.Intn(5)
+		for k := 0; k < nPeer; k++ {
+			j := g.transitIdx[g.graph.Intn(len(g.transitIdx))]
+			if i == j {
+				continue
+			}
+			sameCont := Countries[g.t.ASes[i].CountryIdx].Continent == Countries[g.t.ASes[j].CountryIdx].Continent
+			if !sameCont && !g.graph.Bool(0.25) {
+				continue
+			}
+			if !hasRel(g.t.ASes[i].Peers, g.t.ASes[j].ASN) {
+				g.t.ASes[i].Peers = append(g.t.ASes[i].Peers, g.t.ASes[j].ASN)
+				g.t.ASes[j].Peers = append(g.t.ASes[j].Peers, g.t.ASes[i].ASN)
+			}
+		}
+	}
+}
+
+func (g *generator) makeGiants() {
+	for _, spec := range g.p.Giants {
+		ci := CountryIndex(spec.Country)
+		if ci < 0 {
+			panic("topology: giant with unknown country " + spec.Country)
+		}
+		a := AS{
+			ASN:           spec.ASN,
+			Name:          spec.Name,
+			Class:         Stub,
+			CountryIdx:    ci,
+			FlapWeight:    spec.FlapWeight,
+			IgnorePrepend: spec.IgnorePrep,
+		}
+		// Giants sprawl: many PoPs jittered across their country.
+		nPoP := 6 + g.graph.Intn(10)
+		c := Countries[ci]
+		for k := 0; k < nPoP; k++ {
+			a.PoPs = append(a.PoPs, PoP{
+				CountryIdx: ci,
+				Lat:        clampLat(c.Lat + (g.graph.Float64()-0.5)*14),
+				Lon:        c.Lon + (g.graph.Float64()-0.5)*18,
+			})
+		}
+		// Heavily flap-prone carriers are the big international ones
+		// (China Telecom runs PoPs in the US and Europe); overseas
+		// presence also diversifies which sites their RIBs hold, the
+		// raw material for the paper's Table 7 flips.
+		if spec.FlapWeight >= 1 {
+			for _, abroad := range []string{"US", "DE", "SG"} {
+				if ai := CountryIndex(abroad); ai >= 0 && ai != ci {
+					ac := Countries[ai]
+					a.PoPs = append(a.PoPs, PoP{
+						CountryIdx: ai,
+						Lat:        clampLat(ac.Lat + (g.graph.Float64()-0.5)*4),
+						Lon:        ac.Lon + (g.graph.Float64()-0.5)*6,
+					})
+				}
+			}
+		}
+		scale := spec.PrefixScale * g.p.GiantScale
+		n := int(math.Max(4, 120*scale))
+		g.originate(&a, g.prefixPlan(n, planGiant))
+
+		g.appendAS(a)
+		// Providers: two tier-1s plus a home-continent transit.
+		t1a := g.t.ASes[g.graph.Intn(g.p.Tier1)].ASN
+		g.link(t1a, spec.ASN)
+		t1b := g.t.ASes[g.graph.Intn(g.p.Tier1)].ASN
+		if t1b != t1a {
+			g.link(t1b, spec.ASN)
+		}
+		if tr := g.pickTransit(Countries[ci].Continent); tr >= 0 {
+			g.link(g.t.ASes[tr].ASN, spec.ASN)
+		}
+	}
+}
+
+func (g *generator) makeStubs() {
+	for i := 0; i < g.p.Stubs; i++ {
+		ci := sampleCountry(g.graph, func(c Country) float64 { return c.IPWeight })
+		c := Countries[ci]
+		a := AS{
+			ASN:        uint32(100000 + i),
+			Class:      Stub,
+			CountryIdx: ci,
+			PoPs: []PoP{{
+				CountryIdx: ci,
+				Lat:        clampLat(c.Lat + (g.graph.Float64()-0.5)*8),
+				Lon:        c.Lon + (g.graph.Float64()-0.5)*10,
+			}},
+		}
+		// A sizable minority of stubs are regional ISPs with a second
+		// service region — raw material for intra-AS catchment splits.
+		if g.graph.Bool(0.18) {
+			a.PoPs = append(a.PoPs, PoP{
+				CountryIdx: ci,
+				Lat:        clampLat(c.Lat + (g.graph.Float64()-0.5)*10),
+				Lon:        c.Lon + (g.graph.Float64()-0.5)*14,
+			})
+		}
+		nPfx := 1
+		r := g.graph.Float64()
+		switch {
+		case r < 0.10:
+			nPfx = 3 + g.graph.Intn(8)
+		case r < 0.35:
+			nPfx = 2
+		}
+		g.originate(&a, g.prefixPlan(nPfx, planStub))
+		if g.graph.Bool(g.p.IgnorePrependFrac) {
+			a.IgnorePrepend = true
+		}
+		if g.graph.Bool(g.p.FlapFrac) {
+			a.FlapWeight = 0.5 + g.graph.Float64()
+		}
+		g.appendAS(a)
+
+		// Providers: 1-3 transits, home-continent biased.
+		nProv := 1
+		switch r := g.graph.Float64(); {
+		case r < 0.08:
+			nProv = 3
+		case r < 0.35:
+			nProv = 2
+		}
+		seen := map[uint32]bool{}
+		for k := 0; k < nProv; k++ {
+			tr := g.pickTransit(c.Continent)
+			if tr < 0 {
+				tr = g.transitIdx[g.graph.Intn(len(g.transitIdx))]
+			}
+			asn := g.t.ASes[tr].ASN
+			if !seen[asn] {
+				seen[asn] = true
+				g.link(asn, a.ASN)
+			}
+		}
+	}
+}
+
+// pickTransit samples a transit AS index, preferring the given continent
+// and weighting by capacity. Returns -1 if none exists at all.
+func (g *generator) pickTransit(continent string) int {
+	if len(g.transitIdx) == 0 {
+		return -1
+	}
+	w := make([]float64, len(g.transitIdx))
+	total := 0.0
+	for k, idx := range g.transitIdx {
+		cw := g.transitCap[k]
+		if Countries[g.t.ASes[idx].CountryIdx].Continent != continent {
+			cw *= 0.05
+		}
+		w[k] = cw
+		total += cw
+	}
+	if total <= 0 {
+		return g.transitIdx[g.graph.Intn(len(g.transitIdx))]
+	}
+	return g.transitIdx[g.graph.WeightedChoice(w)]
+}
+
+// appendAS adds a to the topology keeping the generator's ASN index hot.
+func (g *generator) appendAS(a AS) int {
+	if g.asnIdx == nil {
+		g.asnIdx = make(map[uint32]int)
+	}
+	idx := len(g.t.ASes)
+	g.t.ASes = append(g.t.ASes, a)
+	g.asnIdx[a.ASN] = idx
+	return idx
+}
+
+func (g *generator) link(provider, customer uint32) {
+	pi, pok := g.asnIdx[provider]
+	ci, cok := g.asnIdx[customer]
+	if !pok || !cok {
+		panic(fmt.Sprintf("topology: link %d->%d before both ASes exist", provider, customer))
+	}
+	g.t.ASes[pi].Customers = append(g.t.ASes[pi].Customers, customer)
+	g.t.ASes[ci].Providers = append(g.t.ASes[ci].Providers, provider)
+}
+
+func hasRel(list []uint32, asn uint32) bool {
+	for _, v := range list {
+		if v == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// bigCountry spans a continent: PoPs inside it spread far apart, and a
+// network may keep several (a tier-1 has both coasts of the US).
+var bigCountry = map[string]bool{
+	"US": true, "CA": true, "BR": true, "RU": true,
+	"CN": true, "IN": true, "AU": true,
+}
+
+// addGlobalPoPs gives a tier-1 the footprint of a global backbone: one
+// PoP on every continent (weighted by address mass within it), plus
+// second PoPs in the continent-spanning countries.
+func (g *generator) addGlobalPoPs(a *AS) {
+	place := func(ci int, latSpread, lonSpread float64) {
+		c := Countries[ci]
+		a.PoPs = append(a.PoPs, PoP{
+			CountryIdx: ci,
+			Lat:        clampLat(c.Lat + (g.graph.Float64()-0.5)*latSpread),
+			Lon:        c.Lon + (g.graph.Float64()-0.5)*lonSpread,
+		})
+	}
+	place(a.CountryIdx, 5, 7) // primary at home
+	for _, cont := range []string{"NA", "EU", "AS", "SA", "OC", "AF"} {
+		ci := sampleCountry(g.graph, func(c Country) float64 {
+			if c.Continent == cont {
+				return c.IPWeight
+			}
+			return 0
+		})
+		place(ci, 5, 7)
+		if bigCountry[Countries[ci].Code] {
+			place(ci, 12, 34) // a second PoP across the big country
+		}
+	}
+}
+
+func (g *generator) addPoPs(a *AS, n int, weight func(Country) float64) {
+	seen := map[int]int{}
+	place := func(ci int) {
+		c := Countries[ci]
+		latSpread, lonSpread := 5.0, 7.0
+		if bigCountry[c.Code] {
+			latSpread, lonSpread = 12.0, 34.0
+		}
+		a.PoPs = append(a.PoPs, PoP{
+			CountryIdx: ci,
+			Lat:        clampLat(c.Lat + (g.graph.Float64()-0.5)*latSpread),
+			Lon:        c.Lon + (g.graph.Float64()-0.5)*lonSpread,
+		})
+		seen[ci]++
+	}
+	place(a.CountryIdx) // primary PoP at home
+	for tries := 0; len(a.PoPs) < n && tries < n*10; tries++ {
+		ci := sampleCountry(g.graph, weight)
+		limit := 1
+		if bigCountry[Countries[ci].Code] {
+			limit = 3
+		}
+		if seen[ci] >= limit {
+			continue
+		}
+		place(ci)
+	}
+}
+
+func clampLat(l float64) float64 {
+	if l > 85 {
+		return 85
+	}
+	if l < -85 {
+		return -85
+	}
+	return l
+}
+
+// Prefix planning ------------------------------------------------------
+
+type planKind int
+
+const (
+	planStub planKind = iota
+	planTransit
+	planGiant
+)
+
+// prefixPlan returns n prefix lengths drawn from the class distribution.
+// The mixes roughly follow the routed-prefix length histogram the paper
+// reports in Figure 8 (/24 dominant, counts falling toward /8).
+func (g *generator) prefixPlan(n int, kind planKind) []uint8 {
+	lens := make([]uint8, 0, n)
+	for i := 0; i < n; i++ {
+		r := g.addr.Float64()
+		var l uint8
+		switch kind {
+		case planStub:
+			switch {
+			case r < 0.55:
+				l = 24
+			case r < 0.75:
+				l = 23
+			case r < 0.88:
+				l = 22
+			case r < 0.95:
+				l = 21
+			default:
+				l = 20
+			}
+		case planTransit:
+			switch {
+			case r < 0.40:
+				l = 24
+			case r < 0.60:
+				l = 22
+			case r < 0.75:
+				l = 21
+			case r < 0.86:
+				l = 20
+			case r < 0.93:
+				l = 19
+			case r < 0.97:
+				l = 18
+			default:
+				l = 16
+			}
+		case planGiant:
+			switch {
+			case r < 0.30:
+				l = 24
+			case r < 0.48:
+				l = 22
+			case r < 0.62:
+				l = 20
+			case r < 0.74:
+				l = 19
+			case r < 0.84:
+				l = 18
+			case r < 0.91:
+				l = 17
+			case r < 0.96:
+				l = 16
+			case r < 0.985:
+				l = 14
+			default:
+				l = 12
+			}
+		}
+		lens = append(lens, l)
+	}
+	return lens
+}
+
+// originate allocates address space for the planned prefix lengths,
+// attaches the prefixes to the AS, and materializes block metadata.
+func (g *generator) originate(a *AS, lens []uint8) {
+	for _, l := range lens {
+		pfx := g.allocate(l)
+		pfxIdx := len(a.Prefixes)
+		a.Prefixes = append(a.Prefixes, pfx)
+		g.materialize(a, pfx, uint16(pfxIdx))
+	}
+}
+
+// allocate carves the next aligned prefix of the given length.
+func (g *generator) allocate(l uint8) ipv4.Prefix {
+	span := ipv4.Block(1) << (24 - l)
+	// Align the cursor.
+	if rem := g.cursor % span; rem != 0 {
+		g.cursor += span - rem
+	}
+	p := ipv4.Prefix{Base: g.cursor.First(), Bits: l}
+	g.cursor += span
+	if g.cursor.First() >= ipv4.MustParseAddr("224.0.0.0") {
+		panic("topology: address space exhausted; reduce scale")
+	}
+	return p
+}
+
+// materialize creates BlockInfo entries for (a sample of) the /24s in pfx.
+func (g *generator) materialize(a *AS, pfx ipv4.Prefix, pfxIdx uint16) {
+	n := pfx.NumBlocks()
+	stride := 1
+	if n > g.p.MaxBlocksPerPrefix {
+		stride = n / g.p.MaxBlocksPerPrefix
+	}
+	asIdx := int32(len(g.t.ASes)) // a will be appended at this index
+	first := pfx.FirstBlock()
+	respBase := 1.0
+	if f, ok := countryRespFactor[Countries[a.CountryIdx].Code]; ok {
+		respBase = f
+	}
+	for i := 0; i < n; i += stride {
+		b := first + ipv4.Block(i)
+		popIdx := g.blocks.Intn(len(a.PoPs))
+		pop := a.PoPs[popIdx]
+		c := Countries[pop.CountryIdx]
+
+		resp := g.sampleResponsiveness() * respBase
+		if gf := giantRespFactor(a); gf != 1 {
+			resp *= gf
+		}
+		if resp > 1 {
+			resp = 1
+		}
+		uw := c.NATFactor * (0.25 + g.blocks.ExpFloat64())
+		g.t.Blocks = append(g.t.Blocks, BlockInfo{
+			Block:      b,
+			ASIdx:      asIdx,
+			PoP:        uint8(popIdx),
+			PrefixIdx:  pfxIdx,
+			CountryIdx: uint16(pop.CountryIdx),
+			Lat:        float32(clampLat(pop.Lat + (g.blocks.Float64()-0.5)*3)),
+			Lon:        float32(pop.Lon + (g.blocks.Float64()-0.5)*3),
+			Responsive: float32(resp),
+			UserWeight: float32(uw),
+		})
+	}
+}
+
+// sampleResponsiveness draws a block's ping-response probability from a
+// three-way mixture tuned so that ~55% of probed blocks answer in a round
+// (Table 4 sees 3.79M of 6.88M respond; [17] reports 56-59%).
+func (g *generator) sampleResponsiveness() float64 {
+	r := g.blocks.Float64()
+	switch {
+	case r < 0.46:
+		return 0.88 + g.blocks.Float64()*0.10
+	case r < 0.72:
+		return 0.45 + g.blocks.Float64()*0.20
+	default:
+		return 0.05 + g.blocks.Float64()*0.12
+	}
+}
+
+func giantRespFactor(a *AS) float64 {
+	for _, spec := range DefaultGiants {
+		if spec.ASN == a.ASN && spec.RespFactor > 0 {
+			return spec.RespFactor
+		}
+	}
+	return 1
+}

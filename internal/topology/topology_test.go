@@ -1,0 +1,354 @@
+package topology
+
+import (
+	"testing"
+
+	"verfploeter/internal/ipv4"
+)
+
+func genTiny(t *testing.T) *Topology {
+	t.Helper()
+	return Generate(DefaultParams(SizeTiny, 1))
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultParams(SizeTiny, 7))
+	b := Generate(DefaultParams(SizeTiny, 7))
+	if len(a.ASes) != len(b.ASes) || len(a.Blocks) != len(b.Blocks) {
+		t.Fatalf("sizes differ: %d/%d ASes, %d/%d blocks",
+			len(a.ASes), len(b.ASes), len(a.Blocks), len(b.Blocks))
+	}
+	for i := range a.ASes {
+		if a.ASes[i].ASN != b.ASes[i].ASN || len(a.ASes[i].Prefixes) != len(b.ASes[i].Prefixes) {
+			t.Fatalf("AS %d differs between runs", i)
+		}
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i] != b.Blocks[i] {
+			t.Fatalf("block %d differs between runs", i)
+		}
+	}
+	c := Generate(DefaultParams(SizeTiny, 8))
+	if len(c.Blocks) == len(a.Blocks) && c.Blocks[0] == a.Blocks[0] && c.Blocks[len(c.Blocks)-1] == a.Blocks[len(a.Blocks)-1] {
+		t.Error("different seeds produced suspiciously identical topologies")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	top := genTiny(t)
+	var nT1, nTransit, nStub int
+	for i := range top.ASes {
+		switch top.ASes[i].Class {
+		case Tier1:
+			nT1++
+		case Transit:
+			nTransit++
+		case Stub:
+			nStub++
+		}
+	}
+	if nT1 != 3 || nTransit != 12 {
+		t.Errorf("tier1=%d transit=%d, want 3/12", nT1, nTransit)
+	}
+	if nStub != 120+4 { // stubs + giants
+		t.Errorf("stubs=%d, want 124", nStub)
+	}
+	if len(top.Blocks) < 300 {
+		t.Errorf("only %d blocks generated", len(top.Blocks))
+	}
+}
+
+func TestRelationshipsSymmetric(t *testing.T) {
+	top := genTiny(t)
+	for i := range top.ASes {
+		a := &top.ASes[i]
+		for _, p := range a.Providers {
+			prov := top.ASByASN(p)
+			if prov == nil {
+				t.Fatalf("AS%d has unknown provider %d", a.ASN, p)
+			}
+			if !hasRel(prov.Customers, a.ASN) {
+				t.Fatalf("AS%d lists provider %d, but not vice versa", a.ASN, p)
+			}
+		}
+		for _, p := range a.Peers {
+			peer := top.ASByASN(p)
+			if peer == nil {
+				t.Fatalf("AS%d has unknown peer %d", a.ASN, p)
+			}
+			if !hasRel(peer.Peers, a.ASN) {
+				t.Fatalf("AS%d peers with %d, but not vice versa", a.ASN, p)
+			}
+		}
+	}
+}
+
+func TestEveryNonTier1HasProviderPathToTier1(t *testing.T) {
+	top := genTiny(t)
+	// Walk up providers with memoization; must reach a Tier1 from any AS.
+	memo := map[uint32]bool{}
+	var reaches func(asn uint32, depth int) bool
+	reaches = func(asn uint32, depth int) bool {
+		if depth > 30 {
+			return false
+		}
+		if v, ok := memo[asn]; ok {
+			return v
+		}
+		a := top.ASByASN(asn)
+		if a == nil {
+			return false
+		}
+		if a.Class == Tier1 {
+			return true
+		}
+		memo[asn] = false // cycle guard
+		for _, p := range a.Providers {
+			if reaches(p, depth+1) {
+				memo[asn] = true
+				return true
+			}
+		}
+		return false
+	}
+	for i := range top.ASes {
+		if !reaches(top.ASes[i].ASN, 0) {
+			t.Fatalf("AS%d (%s) cannot reach a tier-1 via providers",
+				top.ASes[i].ASN, top.ASes[i].Class)
+		}
+	}
+}
+
+func TestPrefixesDisjoint(t *testing.T) {
+	top := genTiny(t)
+	var all []ipv4.Prefix
+	for i := range top.ASes {
+		all = append(all, top.ASes[i].Prefixes...)
+	}
+	// Sorted allocation means sorting by base and checking neighbors
+	// suffices, but do the O(n^2) check at tiny scale for rigor.
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[i].Overlaps(all[j]) {
+				t.Fatalf("prefixes overlap: %v and %v", all[i], all[j])
+			}
+		}
+	}
+}
+
+func TestBlocksBelongToOwnersPrefix(t *testing.T) {
+	top := genTiny(t)
+	for _, b := range top.Blocks {
+		owner := &top.ASes[b.ASIdx]
+		if int(b.PrefixIdx) >= len(owner.Prefixes) {
+			t.Fatalf("block %v has prefix index %d of %d", b.Block, b.PrefixIdx, len(owner.Prefixes))
+		}
+		if !owner.Prefixes[b.PrefixIdx].ContainsBlock(b.Block) {
+			t.Fatalf("block %v not inside its prefix %v", b.Block, owner.Prefixes[b.PrefixIdx])
+		}
+		if int(b.PoP) >= len(owner.PoPs) {
+			t.Fatalf("block %v has PoP %d of %d", b.Block, b.PoP, len(owner.PoPs))
+		}
+		if b.Responsive < 0 || b.Responsive > 1 {
+			t.Fatalf("block %v responsiveness %v out of range", b.Block, b.Responsive)
+		}
+	}
+}
+
+func TestBlocksSortedAndIndexed(t *testing.T) {
+	top := genTiny(t)
+	for i := 1; i < len(top.Blocks); i++ {
+		if top.Blocks[i-1].Block >= top.Blocks[i].Block {
+			t.Fatal("blocks not strictly sorted")
+		}
+	}
+	for i, b := range top.Blocks {
+		if got := top.BlockIndex(b.Block); got != i {
+			t.Fatalf("BlockIndex(%v) = %d, want %d", b.Block, got, i)
+		}
+		if top.BlockOwner(b.Block) != &top.ASes[b.ASIdx] {
+			t.Fatalf("BlockOwner(%v) wrong", b.Block)
+		}
+	}
+	if top.BlockIndex(ipv4.MustParseAddr("223.255.255.0").Block()) != -1 {
+		t.Error("BlockIndex of unallocated block should be -1")
+	}
+}
+
+func TestMeanResponsivenessNear55Percent(t *testing.T) {
+	top := Generate(DefaultParams(SizeSmall, 3))
+	sum := 0.0
+	for _, b := range top.Blocks {
+		sum += float64(b.Responsive)
+	}
+	mean := sum / float64(len(top.Blocks))
+	// Country factors pull the global mean a little below the 0.55
+	// mixture mean; the paper's range is 55-59% with some countries dark.
+	if mean < 0.42 || mean > 0.62 {
+		t.Errorf("mean responsiveness = %.3f, want ~0.45-0.60", mean)
+	}
+}
+
+func TestGiantsPresent(t *testing.T) {
+	top := genTiny(t)
+	chinanet := top.ASByASN(4134)
+	if chinanet == nil {
+		t.Fatal("CHINANET giant missing")
+	}
+	if chinanet.FlapWeight < 1 {
+		t.Error("CHINANET should be strongly flap-prone")
+	}
+	if len(chinanet.PoPs) < 4 {
+		t.Errorf("giant has %d PoPs, want several", len(chinanet.PoPs))
+	}
+	if Countries[chinanet.CountryIdx].Code != "CN" {
+		t.Errorf("CHINANET country = %s", Countries[chinanet.CountryIdx].Code)
+	}
+}
+
+func TestAddASAndLink(t *testing.T) {
+	top := genTiny(t)
+	nBefore := len(top.ASes)
+	top.AddAS(AS{ASN: 226, Name: "ISI", Class: Stub, CountryIdx: CountryIndex("US"),
+		PoPs: []PoP{{CountryIdx: CountryIndex("US"), Lat: 34, Lon: -118}}})
+	top.Link(top.ASes[0].ASN, 226, "customer")
+	top.Finalize()
+	if len(top.ASes) != nBefore+1 {
+		t.Fatal("AddAS did not add")
+	}
+	svc := top.ASByASN(226)
+	if svc == nil || len(svc.Providers) != 1 || svc.Providers[0] != top.ASes[0].ASN {
+		t.Fatalf("Link did not wire provider: %+v", svc)
+	}
+	if !hasRel(top.ASes[0].Customers, 226) {
+		t.Fatal("Link did not wire customer side")
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	top := genTiny(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Link with unknown ASN should panic")
+		}
+	}()
+	top.Link(999999, 888888, "customer")
+}
+
+func TestGeoDistance(t *testing.T) {
+	if d := GeoDistance(0, 0, 0, 0); d != 0 {
+		t.Errorf("zero distance = %v", d)
+	}
+	// Longitude wraparound: 179 and -179 are 2 degrees apart.
+	if d := GeoDistance(0, 179, 0, -179); d > 3 {
+		t.Errorf("wraparound distance = %v, want ~2", d)
+	}
+	// High-latitude longitude compression.
+	equator := GeoDistance(0, 0, 0, 10)
+	arctic := GeoDistance(80, 0, 80, 10)
+	if arctic >= equator {
+		t.Errorf("longitude at 80N (%v) should be shorter than at equator (%v)", arctic, equator)
+	}
+}
+
+func TestNearestPoP(t *testing.T) {
+	a := AS{PoPs: []PoP{{Lat: 40, Lon: -100}, {Lat: 50, Lon: 10}, {Lat: -30, Lon: 140}}}
+	if got := a.NearestPoP(48, 5); got != 1 {
+		t.Errorf("NearestPoP(EU) = %d, want 1", got)
+	}
+	if got := a.NearestPoP(35, -90); got != 0 {
+		t.Errorf("NearestPoP(NA) = %d, want 0", got)
+	}
+	if got := a.NearestPoP(-35, 150); got != 2 {
+		t.Errorf("NearestPoP(AU) = %d, want 2", got)
+	}
+}
+
+func TestCountryIndex(t *testing.T) {
+	if CountryIndex("US") < 0 || CountryIndex("CN") < 0 {
+		t.Error("known countries missing")
+	}
+	if CountryIndex("XX") != -1 {
+		t.Error("unknown country should be -1")
+	}
+	// Sanity: weights positive, continents valid.
+	valid := map[string]bool{"EU": true, "NA": true, "SA": true, "AS": true, "OC": true, "AF": true}
+	for _, c := range Countries {
+		if !valid[c.Continent] {
+			t.Errorf("%s: bad continent %q", c.Code, c.Continent)
+		}
+		if c.UserWeight <= 0 || c.IPWeight <= 0 || c.AtlasWeight <= 0 || c.NATFactor <= 0 {
+			t.Errorf("%s: non-positive weight", c.Code)
+		}
+	}
+}
+
+func TestDuplicateASNPanics(t *testing.T) {
+	top := genTiny(t)
+	top.AddAS(AS{ASN: 4134}) // CHINANET already exists
+	defer func() {
+		if recover() == nil {
+			t.Error("Finalize with duplicate ASN should panic")
+		}
+	}()
+	top.Finalize()
+}
+
+func TestEuropeAtlasSkew(t *testing.T) {
+	// The Atlas weights must be Europe-dominated relative to user share —
+	// that skew is what the whole coverage comparison rests on.
+	var euAtlas, totalAtlas, euUsers, totalUsers float64
+	for _, c := range Countries {
+		totalAtlas += c.AtlasWeight
+		totalUsers += c.UserWeight
+		if c.Continent == "EU" {
+			euAtlas += c.AtlasWeight
+			euUsers += c.UserWeight
+		}
+	}
+	if euAtlas/totalAtlas < 2*euUsers/totalUsers {
+		t.Errorf("Atlas EU share %.2f should far exceed user EU share %.2f",
+			euAtlas/totalAtlas, euUsers/totalUsers)
+	}
+}
+
+func TestResolveAddr(t *testing.T) {
+	top := genTiny(t)
+	// Every materialized block resolves to its owner, even from a
+	// random host address inside the block.
+	for i := 0; i < len(top.Blocks); i += 53 {
+		b := &top.Blocks[i]
+		asIdx, pfx, ok := top.ResolveAddr(b.Block.Addr(200))
+		if !ok {
+			t.Fatalf("ResolveAddr missed block %v", b.Block)
+		}
+		if int32(asIdx) != b.ASIdx {
+			t.Fatalf("block %v resolved to AS idx %d, want %d", b.Block, asIdx, b.ASIdx)
+		}
+		if !pfx.Contains(b.Block.First()) {
+			t.Fatalf("resolved prefix %v does not contain %v", pfx, b.Block)
+		}
+		if pfx != top.ASes[asIdx].Prefixes[b.PrefixIdx] {
+			t.Fatalf("resolved %v, want %v", pfx, top.ASes[asIdx].Prefixes[b.PrefixIdx])
+		}
+	}
+	// Unannounced space misses.
+	if _, _, ok := top.ResolveAddr(ipv4.MustParseAddr("223.255.255.1")); ok {
+		t.Error("unannounced address should miss")
+	}
+	// Addresses in unsampled /24s of a large prefix still resolve to
+	// the announcing AS (the prefix is routed even if no hitlist target
+	// was materialized there).
+	for i := range top.ASes {
+		for _, p := range top.ASes[i].Prefixes {
+			if p.Bits <= 14 {
+				last := p.FirstBlock() + ipv4.Block(p.NumBlocks()-1)
+				asIdx, _, ok := top.ResolveAddr(last.Addr(1))
+				if !ok || asIdx != i {
+					t.Fatalf("tail of %v resolved to %d, %v; want %d", p, asIdx, ok, i)
+				}
+				return
+			}
+		}
+	}
+}

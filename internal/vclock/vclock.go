@@ -1,0 +1,192 @@
+// Package vclock provides a deterministic virtual clock, an event
+// scheduler, and a token-bucket rate limiter driven by it.
+//
+// The paper's mechanics are steeped in wall-clock time — probing at 6–10k
+// packets/s for 10–20 minutes, discarding replies that arrive more than
+// 15 minutes after a round starts, 96 rounds spaced 15 minutes apart over
+// 24 hours. Running those on a real clock would make the test suite take a
+// day; the virtual clock advances only when the simulation says so, keeping
+// every run deterministic and instantaneous.
+package vclock
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Clock is a virtual clock. The zero value starts at time zero; it is not
+// safe for concurrent use — the simulator is single-threaded by design so
+// that runs are reproducible.
+type Clock struct {
+	now    time.Duration
+	events eventQueue
+	seq    uint64
+}
+
+// New returns a Clock starting at time zero.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current virtual time as an offset from the start.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves time forward by d, firing due events in timestamp order.
+// Events scheduled by fired callbacks within the window also fire.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("vclock: negative Advance")
+	}
+	target := c.now + d
+	for len(c.events) > 0 && c.events[0].at <= target {
+		ev := heap.Pop(&c.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		c.now = ev.at
+		ev.fn()
+	}
+	c.now = target
+}
+
+// RunUntilIdle fires all pending events regardless of timestamp, advancing
+// the clock to the last event's time.
+func (c *Clock) RunUntilIdle() {
+	for len(c.events) > 0 {
+		ev := heap.Pop(&c.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		c.now = ev.at
+		ev.fn()
+	}
+}
+
+// Pending returns the number of scheduled, uncancelled events.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, ev := range c.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Timer cancels a scheduled callback.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer; it is safe to call multiple times. It reports
+// whether the callback had not yet fired.
+func (t *Timer) Stop() bool {
+	if t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// After schedules fn to run d from now. d must be non-negative.
+func (c *Clock) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		panic("vclock: negative After")
+	}
+	ev := &event{at: c.now + d, seq: c.seq, fn: func() {}}
+	ev.fn = func() { ev.fired = true; fn() }
+	c.seq++
+	heap.Push(&c.events, ev)
+	return &Timer{ev: ev}
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64 // FIFO among same-timestamp events
+	fn        func()
+	index     int
+	cancelled bool
+	fired     bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index, q[j].index = i, j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// RateLimiter is a token bucket tied to a Clock. Verfploeter probes at a
+// configured packets-per-second rate "to spread traffic, limiting traffic
+// to any given network" (§3.1).
+type RateLimiter struct {
+	clock      *Clock
+	perToken   time.Duration
+	burst      float64
+	tokens     float64
+	lastRefill time.Duration
+}
+
+// NewRateLimiter returns a limiter allowing rate events per second with
+// the given burst size. rate must be positive; burst at least 1.
+func NewRateLimiter(clock *Clock, rate float64, burst int) *RateLimiter {
+	if rate <= 0 {
+		panic("vclock: non-positive rate")
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		clock:      clock,
+		perToken:   time.Duration(float64(time.Second) / rate),
+		burst:      float64(burst),
+		tokens:     float64(burst),
+		lastRefill: clock.Now(),
+	}
+}
+
+func (r *RateLimiter) refill() {
+	elapsed := r.clock.Now() - r.lastRefill
+	r.lastRefill = r.clock.Now()
+	r.tokens += float64(elapsed) / float64(r.perToken)
+	if r.tokens > r.burst {
+		r.tokens = r.burst
+	}
+}
+
+// Allow consumes a token if one is available.
+func (r *RateLimiter) Allow() bool {
+	r.refill()
+	if r.tokens >= 1 {
+		r.tokens--
+		return true
+	}
+	return false
+}
+
+// Delay returns how long from now until the next token is available
+// (zero if one is available immediately). It does not consume a token.
+func (r *RateLimiter) Delay() time.Duration {
+	r.refill()
+	if r.tokens >= 1 {
+		return 0
+	}
+	need := 1 - r.tokens
+	return time.Duration(need * float64(r.perToken))
+}

@@ -1,0 +1,170 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdvanceFiresInOrder(t *testing.T) {
+	c := New()
+	var order []int
+	c.After(3*time.Second, func() { order = append(order, 3) })
+	c.After(1*time.Second, func() { order = append(order, 1) })
+	c.After(2*time.Second, func() { order = append(order, 2) })
+	c.Advance(10 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v", order)
+	}
+	if c.Now() != 10*time.Second {
+		t.Errorf("Now = %v, want 10s", c.Now())
+	}
+}
+
+func TestAdvancePartial(t *testing.T) {
+	c := New()
+	fired := false
+	c.After(5*time.Second, func() { fired = true })
+	c.Advance(4 * time.Second)
+	if fired {
+		t.Fatal("event fired early")
+	}
+	c.Advance(1 * time.Second)
+	if !fired {
+		t.Fatal("event did not fire at its deadline")
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.After(time.Second, func() { order = append(order, i) })
+	}
+	c.Advance(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	c := New()
+	var log []time.Duration
+	c.After(time.Second, func() {
+		log = append(log, c.Now())
+		c.After(time.Second, func() { log = append(log, c.Now()) })
+	})
+	c.Advance(5 * time.Second)
+	if len(log) != 2 || log[0] != time.Second || log[1] != 2*time.Second {
+		t.Fatalf("nested events: %v", log)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	c := New()
+	fired := false
+	tm := c.After(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	c.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Stop after firing reports false.
+	tm2 := c.After(time.Second, func() {})
+	c.Advance(time.Second)
+	if tm2.Stop() {
+		t.Fatal("Stop after fire should report false")
+	}
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	c := New()
+	n := 0
+	c.After(time.Hour, func() { n++ })
+	c.After(24*time.Hour, func() { n++ })
+	c.RunUntilIdle()
+	if n != 2 {
+		t.Fatalf("fired %d, want 2", n)
+	}
+	if c.Now() != 24*time.Hour {
+		t.Errorf("Now = %v, want 24h", c.Now())
+	}
+	if c.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", c.Pending())
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Advance should panic")
+		}
+	}()
+	New().Advance(-time.Second)
+}
+
+func TestRateLimiterSteadyRate(t *testing.T) {
+	c := New()
+	rl := NewRateLimiter(c, 1000, 1) // 1k/s, burst 1
+	sent := 0
+	for c.Now() < time.Second {
+		if rl.Allow() {
+			sent++
+		}
+		c.Advance(rl.Delay() + time.Microsecond)
+	}
+	if sent < 990 || sent > 1010 {
+		t.Errorf("sent %d in 1s at 1k/s, want ~1000", sent)
+	}
+}
+
+func TestRateLimiterBurst(t *testing.T) {
+	c := New()
+	rl := NewRateLimiter(c, 10, 5)
+	got := 0
+	for rl.Allow() {
+		got++
+	}
+	if got != 5 {
+		t.Errorf("initial burst = %d, want 5", got)
+	}
+	if rl.Delay() <= 0 {
+		t.Error("exhausted bucket should report positive delay")
+	}
+	c.Advance(100 * time.Millisecond) // one token at 10/s
+	if !rl.Allow() {
+		t.Error("token should be available after refill interval")
+	}
+	if rl.Allow() {
+		t.Error("only one token should have refilled")
+	}
+}
+
+func TestRateLimiterCapsAtBurst(t *testing.T) {
+	c := New()
+	rl := NewRateLimiter(c, 100, 3)
+	c.Advance(time.Hour) // long idle must not over-accumulate
+	got := 0
+	for rl.Allow() {
+		got++
+	}
+	if got != 3 {
+		t.Errorf("tokens after idle = %d, want burst cap 3", got)
+	}
+}
+
+func TestRateLimiterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero rate should panic")
+		}
+	}()
+	NewRateLimiter(New(), 0, 1)
+}

@@ -1,0 +1,176 @@
+// Package verfploeter implements the paper's primary contribution: anycast
+// catchment mapping by active probing from the anycast service itself
+// (§3.1).
+//
+// Rather than deploying physical vantage points that query the service,
+// Verfploeter sends ICMP Echo Requests sourced from an address inside the
+// anycast prefix to one representative per /24 block (the hitlist). Each
+// reply is routed by BGP to whichever anycast site serves that block — so
+// the site that captures the reply identifies the block's catchment, and
+// every ping-responsive host on the Internet becomes a free, passive
+// vantage point. The packet flow:
+//
+//	prober (site s0)             passive VP (block b)         site s?
+//	  echo request, src=anycast ───────────▶ replies
+//	                                            └── echo reply, dst=anycast ──▶ captured at b's
+//	                                                                            catchment site
+//
+// The package provides the prober, the per-site reply collectors
+// (including a TCP forwarder to a central analysis host, the "custom
+// program that does packet capture and forwards responses" of §3.1), the
+// data-cleaning pass of §4, and the Catchment table the analyses consume.
+package verfploeter
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"verfploeter/internal/ipv4"
+)
+
+// Catchment maps /24 blocks to the anycast site that captured their
+// replies during one measurement round, optionally with the reply's
+// round-trip time (the raw material for §7's site-placement suggestion).
+type Catchment struct {
+	NSite int
+	sites map[ipv4.Block]int16
+	rtts  map[ipv4.Block]time.Duration
+}
+
+// NewCatchment returns an empty catchment table for nSite sites.
+func NewCatchment(nSite int) *Catchment {
+	return &Catchment{NSite: nSite, sites: make(map[ipv4.Block]int16)}
+}
+
+// Set records block b as belonging to site s. The first observation of a
+// block wins: a block answering twice inside one round (flip mid-round)
+// keeps its first site, like a first-reply-wins packet capture merge.
+func (c *Catchment) Set(b ipv4.Block, s int) {
+	if s < 0 || s >= c.NSite {
+		panic(fmt.Sprintf("verfploeter: site %d out of range 0..%d", s, c.NSite-1))
+	}
+	if _, ok := c.sites[b]; !ok {
+		c.sites[b] = int16(s)
+	}
+}
+
+// SetRTT records block b's site along with the probe's measured
+// round-trip time. First observation wins, as with Set.
+func (c *Catchment) SetRTT(b ipv4.Block, s int, rtt time.Duration) {
+	if _, ok := c.sites[b]; ok {
+		return
+	}
+	c.Set(b, s)
+	if rtt > 0 {
+		if c.rtts == nil {
+			c.rtts = make(map[ipv4.Block]time.Duration)
+		}
+		c.rtts[b] = rtt
+	}
+}
+
+// RTTOf returns the measured round-trip time for a block, if recorded.
+func (c *Catchment) RTTOf(b ipv4.Block) (time.Duration, bool) {
+	d, ok := c.rtts[b]
+	return d, ok
+}
+
+// RTTCount returns how many blocks carry a recorded RTT.
+func (c *Catchment) RTTCount() int { return len(c.rtts) }
+
+// MedianRTT returns the median recorded RTT (0 when none recorded).
+func (c *Catchment) MedianRTT() time.Duration {
+	if len(c.rtts) == 0 {
+		return 0
+	}
+	v := make([]time.Duration, 0, len(c.rtts))
+	for _, d := range c.rtts {
+		v = append(v, d)
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v[len(v)/2]
+}
+
+// SiteOf returns the catchment site for a block.
+func (c *Catchment) SiteOf(b ipv4.Block) (int, bool) {
+	s, ok := c.sites[b]
+	return int(s), ok
+}
+
+// Len returns the number of mapped blocks.
+func (c *Catchment) Len() int { return len(c.sites) }
+
+// Counts returns mapped-block tallies per site.
+func (c *Catchment) Counts() []int {
+	out := make([]int, c.NSite)
+	for _, s := range c.sites {
+		out[s]++
+	}
+	return out
+}
+
+// Fraction returns site s's share of mapped blocks (0 when empty).
+func (c *Catchment) Fraction(s int) float64 {
+	if len(c.sites) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range c.sites {
+		if int(v) == s {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.sites))
+}
+
+// Range iterates the catchment (order unspecified); return false to stop.
+func (c *Catchment) Range(fn func(b ipv4.Block, site int) bool) {
+	for b, s := range c.sites {
+		if !fn(b, int(s)) {
+			return
+		}
+	}
+}
+
+// Blocks returns the mapped blocks, sorted — for deterministic reports.
+func (c *Catchment) Blocks() []ipv4.Block {
+	out := make([]ipv4.Block, 0, len(c.sites))
+	for b := range c.sites {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DiffStats classifies every VP across two consecutive rounds the way
+// Figure 9 does: stable (same site twice), flipped (site changed), to-NR
+// (answered then went silent), from-NR (newly answering).
+type DiffStats struct {
+	Stable  int
+	Flipped int
+	ToNR    int
+	FromNR  int
+}
+
+// Diff compares consecutive rounds prev → cur.
+func Diff(prev, cur *Catchment) DiffStats {
+	var d DiffStats
+	for b, ps := range prev.sites {
+		if cs, ok := cur.sites[b]; ok {
+			if cs == ps {
+				d.Stable++
+			} else {
+				d.Flipped++
+			}
+		} else {
+			d.ToNR++
+		}
+	}
+	for b := range cur.sites {
+		if _, ok := prev.sites[b]; !ok {
+			d.FromNR++
+		}
+	}
+	return d
+}

@@ -1,0 +1,243 @@
+package verfploeter
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"verfploeter/internal/dataplane"
+	"verfploeter/internal/hitlist"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/packet"
+	"verfploeter/internal/rng"
+	"verfploeter/internal/vclock"
+)
+
+// Config describes one measurement round (§3.1, §4.2):
+//
+//   - probes go to every hitlist target, in pseudorandom order, rate
+//     limited "to prevent overloading networks or network equipment";
+//   - they carry the round identifier in the ICMP Ident field so
+//     overlapping rounds separate cleanly;
+//   - replies are captured at every site and cleaned with the paper's
+//     15-minute cutoff.
+type Config struct {
+	Hitlist *hitlist.Hitlist
+	Net     *dataplane.Net
+	Clock   *vclock.Clock
+	NSite   int
+
+	// OriginSite is where the prober runs; SourceAddr is the designated
+	// measurement address inside the anycast prefix.
+	OriginSite int
+	SourceAddr ipv4.Addr
+
+	// Rate is probes/second (paper: 6-10k q/s); Burst the token-bucket
+	// depth. Zero values take defaults.
+	Rate  float64
+	Burst int
+
+	// RoundID tags this measurement's probes.
+	RoundID uint16
+
+	// Cutoff discards replies arriving later than this after the round
+	// starts (paper: 15 minutes).
+	Cutoff time.Duration
+
+	// Seed keys the pseudorandom probe order.
+	Seed uint64
+
+	// Collector overrides the reply sink. When nil, Run uses an
+	// in-process Central and returns a complete catchment. When set
+	// (e.g. a ForwardClient), Run only probes — collection, cleaning,
+	// and catchment building happen wherever the frames land.
+	Collector Collector
+}
+
+// Stats summarizes one round.
+type Stats struct {
+	Sent     int
+	SendErrs int
+	Elapsed  time.Duration // virtual time the probing took
+	Clean    CleanStats
+	// MedianRTT is the median probe round-trip time over kept replies;
+	// the paper (§7) suggests these RTTs can drive site placement.
+	MedianRTT time.Duration
+}
+
+// Default tuning.
+const (
+	DefaultRate   = 10000.0
+	DefaultBurst  = 64
+	DefaultCutoff = 15 * time.Minute
+)
+
+// ErrConfig reports invalid measurement configuration.
+var ErrConfig = errors.New("verfploeter: bad config")
+
+func (cfg *Config) fill() error {
+	if cfg.Hitlist == nil || cfg.Hitlist.Len() == 0 {
+		return fmt.Errorf("%w: empty hitlist", ErrConfig)
+	}
+	if cfg.Net == nil || cfg.Clock == nil {
+		return fmt.Errorf("%w: need Net and Clock", ErrConfig)
+	}
+	if cfg.NSite <= 0 {
+		return fmt.Errorf("%w: NSite must be positive", ErrConfig)
+	}
+	if cfg.OriginSite < 0 || cfg.OriginSite >= cfg.NSite {
+		return fmt.Errorf("%w: origin site %d of %d", ErrConfig, cfg.OriginSite, cfg.NSite)
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = DefaultRate
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = DefaultBurst
+	}
+	if cfg.Cutoff <= 0 {
+		cfg.Cutoff = DefaultCutoff
+	}
+	return nil
+}
+
+// Run performs one full measurement round: probe, capture, clean, map.
+// It returns the catchment of every responsive block.
+func Run(cfg Config) (*Catchment, Stats, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, Stats{}, err
+	}
+	central, external := (*Central)(nil), false
+	sink := cfg.Collector
+	if sink == nil {
+		central = &Central{}
+		sink = central
+	} else {
+		external = true
+	}
+
+	// Point every site's tap at the collector for this round.
+	for s := 0; s < cfg.NSite; s++ {
+		cfg.Net.SetTap(s, Tap(sink, s, cfg.Clock.Now))
+	}
+
+	start := cfg.Clock.Now()
+	stats := Stats{}
+	sendAt := make(map[ipv4.Addr]time.Duration, cfg.Hitlist.Len())
+	if err := probe(&cfg, &stats, sendAt); err != nil {
+		return nil, stats, err
+	}
+	// Let every reply (including deliberately late ones) land; the
+	// cleaner applies the cutoff on capture timestamps.
+	cfg.Clock.RunUntilIdle()
+	stats.Elapsed = cfg.Clock.Now() - start
+
+	if external {
+		// Frames went elsewhere; the caller owns cleaning and mapping.
+		return nil, stats, nil
+	}
+	catch, cstats := buildCatchment(central.Replies, cfg.Hitlist, cfg.NSite, cfg.RoundID, start+cfg.Cutoff, sendAt)
+	stats.Clean = cstats
+	stats.MedianRTT = catch.MedianRTT()
+	return catch, stats, nil
+}
+
+// probe schedules all echo requests onto the virtual clock, paced by a
+// token bucket, in full-cycle pseudorandom order.
+func probe(cfg *Config, stats *Stats, sendAt map[ipv4.Addr]time.Duration) error {
+	n := cfg.Hitlist.Len()
+	perm := rng.NewPermutation(rng.New(cfg.Seed).Derive("probe-order"), n)
+	rl := vclock.NewRateLimiter(cfg.Clock, cfg.Rate, cfg.Burst)
+
+	var firstErr error
+	i := 0
+	var step func()
+	step = func() {
+		for i < n && rl.Allow() {
+			e := cfg.Hitlist.Entries[perm.Index(i)]
+			raw := packet.MarshalEcho(cfg.SourceAddr, e.Addr,
+				packet.ICMPEchoRequest, cfg.RoundID, uint16(i), nil)
+			if sendAt != nil {
+				sendAt[e.Addr] = cfg.Clock.Now()
+			}
+			if err := cfg.Net.SendProbe(cfg.OriginSite, raw); err != nil {
+				stats.SendErrs++
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+			stats.Sent++
+			i++
+		}
+		if i < n {
+			cfg.Clock.After(rl.Delay(), step)
+		}
+	}
+	step()
+	// Drain the send schedule before reporting scheduling errors; the
+	// clock also delivers replies interleaved with sending, as on a
+	// real network.
+	for i < n {
+		cfg.Clock.Advance(rl.Delay() + time.Millisecond)
+	}
+	return firstErr
+}
+
+// CleanStats accounts for the paper's data-cleaning pass (§4): about 2%
+// of replies are duplicates, some replies come from addresses that were
+// never probed, and replies after the cutoff are dropped.
+type CleanStats struct {
+	Total       int
+	WrongRound  int
+	Late        int
+	Unsolicited int
+	Duplicates  int
+	Kept        int
+}
+
+// Clean filters raw replies: wrong round ident, late arrival, sources we
+// never probed, and duplicates (first reply per source wins).
+func Clean(replies []Reply, probed map[ipv4.Addr]bool, roundID uint16, cutoff time.Duration) ([]Reply, CleanStats) {
+	stats := CleanStats{Total: len(replies)}
+	seen := make(map[ipv4.Addr]bool, len(replies))
+	out := make([]Reply, 0, len(replies))
+	for _, r := range replies {
+		switch {
+		case r.Ident != roundID:
+			stats.WrongRound++
+		case r.At > cutoff:
+			stats.Late++
+		case !probed[r.Src]:
+			stats.Unsolicited++
+		case seen[r.Src]:
+			stats.Duplicates++
+		default:
+			seen[r.Src] = true
+			out = append(out, r)
+		}
+	}
+	stats.Kept = len(out)
+	return out, stats
+}
+
+// BuildCatchment cleans raw replies against the hitlist and folds the
+// survivors into a catchment table.
+func BuildCatchment(replies []Reply, hl *hitlist.Hitlist, nSite int, roundID uint16, cutoff time.Duration) (*Catchment, CleanStats) {
+	return buildCatchment(replies, hl, nSite, roundID, cutoff, nil)
+}
+
+func buildCatchment(replies []Reply, hl *hitlist.Hitlist, nSite int, roundID uint16, cutoff time.Duration, sendAt map[ipv4.Addr]time.Duration) (*Catchment, CleanStats) {
+	probed := make(map[ipv4.Addr]bool, hl.Len())
+	for _, e := range hl.Entries {
+		probed[e.Addr] = true
+	}
+	kept, stats := Clean(replies, probed, roundID, cutoff)
+	c := NewCatchment(nSite)
+	for _, r := range kept {
+		if t0, ok := sendAt[r.Src]; ok && r.At > t0 {
+			c.SetRTT(r.Src.Block(), r.Site, r.At-t0)
+		} else {
+			c.Set(r.Src.Block(), r.Site)
+		}
+	}
+	return c, stats
+}

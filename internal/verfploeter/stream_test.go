@@ -1,0 +1,126 @@
+package verfploeter
+
+import (
+	"testing"
+	"time"
+
+	"verfploeter/internal/dataplane"
+	"verfploeter/internal/hitlist"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/packet"
+)
+
+// The streaming builder must produce exactly the batch pipeline's result.
+func TestStreamBuilderMatchesBatch(t *testing.T) {
+	// Batch reference.
+	w := newWorld(t, 41, dataplane.DefaultImpairments())
+	ref, refStats, err := Run(w.config(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming run over an identical world: collect via StreamBuilder
+	// through the external-collector path, with the same send-time map
+	// rebuilt by re-running the prober.
+	w2 := newWorld(t, 41, dataplane.DefaultImpairments())
+	sb := NewStreamBuilder(w2.hl, 2, 7, DefaultCutoff, nil)
+	cfg := w2.config(7)
+	cfg.Collector = sb
+	if _, _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	catch, stats := sb.Finish()
+
+	if catch.Len() != ref.Len() {
+		t.Fatalf("stream mapped %d, batch %d", catch.Len(), ref.Len())
+	}
+	ref.Range(func(b ipv4.Block, site int) bool {
+		if s2, ok := catch.SiteOf(b); !ok || s2 != site {
+			t.Fatalf("stream differs at %v", b)
+		}
+		return true
+	})
+	if stats != refStats.Clean {
+		t.Fatalf("clean stats differ: %+v vs %+v", stats, refStats.Clean)
+	}
+}
+
+func TestStreamBuilderCleaning(t *testing.T) {
+	hlAddr := ipv4.MustParseAddr("10.0.0.1")
+	hl := hitlistOf(hlAddr)
+	sendAt := map[ipv4.Addr]time.Duration{hlAddr: 5 * time.Millisecond}
+	sb := NewStreamBuilder(hl, 2, 9, time.Minute, sendAt)
+
+	mk := func(src ipv4.Addr, ident uint16) []byte {
+		return packet.MarshalEcho(src, ipv4.MustParseAddr("198.18.0.1"),
+			packet.ICMPEchoReply, ident, 0, nil)
+	}
+	sb.Record(0, 10*time.Millisecond, mk(hlAddr, 9))                        // kept, RTT 5ms
+	sb.Record(1, 11*time.Millisecond, mk(hlAddr, 9))                        // dup
+	sb.Record(0, 12*time.Millisecond, mk(hlAddr, 8))                        // wrong round
+	sb.Record(0, 2*time.Minute, mk(hlAddr, 9))                              // late
+	sb.Record(0, 13*time.Millisecond, mk(ipv4.MustParseAddr("9.9.9.9"), 9)) // unsolicited
+	sb.Record(0, 0, []byte{1, 2, 3})                                        // malformed
+	req := packet.MarshalEcho(ipv4.MustParseAddr("198.18.0.1"), hlAddr, packet.ICMPEchoRequest, 9, 0, nil)
+	sb.Record(0, 0, req) // echo request, not a reply
+
+	catch, stats := sb.Finish()
+	if stats.Kept != 1 || stats.Duplicates != 1 || stats.WrongRound != 1 ||
+		stats.Late != 1 || stats.Unsolicited != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if sb.Malformed != 1 || sb.NonReply != 1 {
+		t.Fatalf("malformed=%d nonreply=%d", sb.Malformed, sb.NonReply)
+	}
+	if site, ok := catch.SiteOf(hlAddr.Block()); !ok || site != 0 {
+		t.Fatalf("block not mapped to first site")
+	}
+	if rtt, ok := catch.RTTOf(hlAddr.Block()); !ok || rtt != 5*time.Millisecond {
+		t.Fatalf("RTT = %v, %v", rtt, ok)
+	}
+}
+
+func hitlistOf(addrs ...ipv4.Addr) *hitlistT {
+	h := &hitlistT{}
+	for _, a := range addrs {
+		h.Entries = append(h.Entries, hitlistEntry{Addr: a, Score: 99})
+	}
+	return h
+}
+
+// Origin independence: the catchment is a property of BGP, not of where
+// the prober runs (§3.1: queries are sent from the anycast prefix; the
+// reply path alone decides the site). Probing from site 1 must map every
+// block identically to probing from site 0.
+func TestOriginSiteDoesNotChangeCatchment(t *testing.T) {
+	a := newWorld(t, 43, dataplane.DefaultImpairments())
+	cfgA := a.config(3)
+	cfgA.OriginSite = 0
+	fromLAX, _, err := Run(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := newWorld(t, 43, dataplane.DefaultImpairments())
+	cfgB := b.config(3)
+	cfgB.OriginSite = 1
+	fromMIA, _, err := Run(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fromLAX.Len() != fromMIA.Len() {
+		t.Fatalf("origin changed coverage: %d vs %d", fromLAX.Len(), fromMIA.Len())
+	}
+	fromLAX.Range(func(blk ipv4.Block, site int) bool {
+		if s2, ok := fromMIA.SiteOf(blk); !ok || s2 != site {
+			t.Fatalf("origin changed catchment at %v: %d vs %d", blk, site, s2)
+		}
+		return true
+	})
+}
+
+type (
+	hitlistT     = hitlist.Hitlist
+	hitlistEntry = hitlist.Entry
+)

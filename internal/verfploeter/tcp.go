@@ -1,0 +1,214 @@
+package verfploeter
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file implements the paper's first response-collection system: "a
+// custom program that does packet capture and forwards responses to a
+// central site in near-real-time" (§3.1). Each anycast site runs a
+// ForwardClient next to its capture tap; the analysis host runs a
+// CollectorServer that feeds a Collector sink. Capture timestamps ride in
+// the frame so the central record preserves per-site capture time ("time
+// synchronized across all sites", §3.1 — trivially true under the
+// simulator's single virtual clock).
+//
+// Wire format, all big-endian:
+//
+//	u8  version (1)
+//	u16 site
+//	i64 capture time, nanoseconds
+//	u32 payload length
+//	... payload (raw captured packet)
+
+const (
+	frameVersion    = 1
+	maxFramePayload = 64 * 1024
+)
+
+// ErrFrame is returned for malformed forwarder frames.
+var ErrFrame = errors.New("verfploeter: bad forwarder frame")
+
+// ForwardClient forwards capture records from one site to the central
+// collector over TCP. It implements Collector; Record never blocks on the
+// network longer than the OS send buffer allows (writes are buffered,
+// Flush/Close drain). Not safe for concurrent use, matching the
+// single-threaded per-site tap.
+type ForwardClient struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	err  error
+	hdr  [15]byte
+}
+
+// DialForwarder connects a site's forwarder to the central collector.
+// It blocks until the server has actually accepted the connection (a
+// one-byte hello), so a subsequent server shutdown cannot strand frames
+// in the listen backlog.
+func DialForwarder(addr string) (*ForwardClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("verfploeter: dial collector: %w", err)
+	}
+	var hello [1]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil || hello[0] != frameVersion {
+		conn.Close()
+		return nil, fmt.Errorf("verfploeter: collector handshake: %w", err)
+	}
+	return &ForwardClient{conn: conn, bw: bufio.NewWriterSize(conn, 64*1024)}, nil
+}
+
+// Record implements Collector by framing the capture onto the wire.
+// After a transport error it becomes a no-op; the error surfaces on
+// Flush/Close (a site losing its uplink mid-measurement loses frames,
+// not the whole run).
+func (f *ForwardClient) Record(site int, at time.Duration, raw []byte) {
+	if f.err != nil {
+		return
+	}
+	if len(raw) > maxFramePayload {
+		f.err = fmt.Errorf("%w: payload %d bytes", ErrFrame, len(raw))
+		return
+	}
+	f.hdr[0] = frameVersion
+	binary.BigEndian.PutUint16(f.hdr[1:], uint16(site))
+	binary.BigEndian.PutUint64(f.hdr[3:], uint64(at.Nanoseconds()))
+	binary.BigEndian.PutUint32(f.hdr[11:], uint32(len(raw)))
+	if _, err := f.bw.Write(f.hdr[:]); err != nil {
+		f.err = err
+		return
+	}
+	if _, err := f.bw.Write(raw); err != nil {
+		f.err = err
+	}
+}
+
+// Flush pushes buffered frames to the wire.
+func (f *ForwardClient) Flush() error {
+	if f.err != nil {
+		return f.err
+	}
+	return f.bw.Flush()
+}
+
+// Close flushes and closes the connection.
+func (f *ForwardClient) Close() error {
+	flushErr := f.Flush()
+	closeErr := f.conn.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// CollectorServer accepts forwarder connections and replays their frames
+// into a sink Collector.
+type CollectorServer struct {
+	ln   net.Listener
+	sink Collector
+
+	mu        sync.Mutex // serializes sink access across connections
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+
+	FramesIn  uint64
+	FrameErrs uint64
+}
+
+// ListenCollector starts a collector server on addr (use "127.0.0.1:0"
+// for tests).
+func ListenCollector(addr string, sink Collector) (*CollectorServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("verfploeter: listen: %w", err)
+	}
+	s := &CollectorServer{ln: ln, sink: sink, closed: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *CollectorServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *CollectorServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				// Transient accept error; keep serving.
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *CollectorServer) serve(conn net.Conn) {
+	defer conn.Close()
+	// Hello byte: tells the dialing forwarder it has been accepted.
+	if _, err := conn.Write([]byte{frameVersion}); err != nil {
+		return
+	}
+	br := bufio.NewReaderSize(conn, 64*1024)
+	var hdr [15]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return // EOF or broken peer: stream over
+		}
+		if hdr[0] != frameVersion {
+			s.bumpErr()
+			return
+		}
+		site := int(binary.BigEndian.Uint16(hdr[1:]))
+		at := time.Duration(binary.BigEndian.Uint64(hdr[3:]))
+		n := binary.BigEndian.Uint32(hdr[11:])
+		if n > maxFramePayload {
+			s.bumpErr()
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			s.bumpErr()
+			return
+		}
+		s.mu.Lock()
+		s.sink.Record(site, at, payload)
+		s.FramesIn++
+		s.mu.Unlock()
+	}
+}
+
+func (s *CollectorServer) bumpErr() {
+	s.mu.Lock()
+	s.FrameErrs++
+	s.mu.Unlock()
+}
+
+// Close stops accepting and waits for in-flight connections to drain.
+// It is idempotent; reading the sink after Close returns is race-free.
+func (s *CollectorServer) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.closeErr = s.ln.Close()
+		s.wg.Wait()
+	})
+	return s.closeErr
+}

@@ -1,0 +1,217 @@
+package verfploeter
+
+import (
+	"testing"
+	"time"
+
+	"verfploeter/internal/dataplane"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/packet"
+)
+
+func TestTCPForwarderPipeline(t *testing.T) {
+	// Full pipeline over real sockets: probe -> site taps -> per-site
+	// ForwardClients -> CollectorServer -> Central; then verify the
+	// result matches the in-memory pipeline exactly.
+	w := newWorld(t, 23, dataplane.DefaultImpairments())
+
+	// Reference: in-memory run.
+	ref, _, err := Run(w.config(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reset clock/net state for a comparable second run: rebuild world
+	// with identical seed (deterministic).
+	w2 := newWorld(t, 23, dataplane.DefaultImpairments())
+
+	central := &Central{}
+	srv, err := ListenCollector("127.0.0.1:0", central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// One forwarder per site, like the paper's per-site capture program.
+	fwds := make([]*ForwardClient, 2)
+	for s := 0; s < 2; s++ {
+		fwds[s], err = DialForwarder(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cfg := w2.config(6)
+	cfg.Collector = multiSite{fwds}
+	if _, _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fwds {
+		if err := f.Close(); err != nil {
+			t.Fatalf("forwarder close: %v", err)
+		}
+	}
+	// Close waits for in-flight connections to drain, so reading the
+	// central sink afterwards is race-free.
+	srv.Close()
+	if len(central.Replies) == 0 {
+		t.Fatal("central collector got no replies over TCP")
+	}
+
+	catch, _ := BuildCatchment(central.Replies, w2.hl, 2, 6, DefaultCutoff)
+	if catch.Len() != ref.Len() {
+		t.Fatalf("TCP pipeline mapped %d blocks, in-memory %d", catch.Len(), ref.Len())
+	}
+	ref.Range(func(b ipv4.Block, site int) bool {
+		if s2, ok := catch.SiteOf(b); !ok || s2 != site {
+			t.Fatalf("TCP pipeline differs at %v", b)
+		}
+		return true
+	})
+}
+
+// multiSite routes Record calls to the per-site forwarder.
+type multiSite struct{ fwds []*ForwardClient }
+
+func (m multiSite) Record(site int, at time.Duration, raw []byte) {
+	m.fwds[site].Record(site, at, raw)
+}
+
+func TestForwarderFrameRoundTrip(t *testing.T) {
+	central := &Central{}
+	srv, err := ListenCollector("127.0.0.1:0", central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	f, err := DialForwarder(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := packet.MarshalEcho(
+		ipv4.MustParseAddr("198.51.100.7"), ipv4.MustParseAddr("198.18.0.1"),
+		packet.ICMPEchoReply, 77, 3, []byte("pl"))
+	f.Record(1, 123*time.Millisecond, raw)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if len(central.Replies) != 1 {
+		t.Fatalf("got %d replies", len(central.Replies))
+	}
+	r := central.Replies[0]
+	if r.Site != 1 || r.At != 123*time.Millisecond || r.Ident != 77 || r.Seq != 3 {
+		t.Errorf("reply = %+v", r)
+	}
+	if r.Src != ipv4.MustParseAddr("198.51.100.7") {
+		t.Errorf("src = %v", r.Src)
+	}
+}
+
+func TestForwarderRejectsOversizedPayload(t *testing.T) {
+	central := &Central{}
+	srv, err := ListenCollector("127.0.0.1:0", central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	f, err := DialForwarder(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Record(0, 0, make([]byte, 100*1024))
+	if err := f.Close(); err == nil {
+		t.Error("oversized payload should surface an error on Close")
+	}
+}
+
+func TestCollectorServerIgnoresGarbageConnections(t *testing.T) {
+	central := &Central{}
+	srv, err := ListenCollector("127.0.0.1:0", central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A client speaking the wrong protocol must not wedge the server.
+	f, err := DialForwarder(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write garbage directly through a fresh record with a bogus
+	// version by corrupting through a raw dial instead.
+	f.conn.Write([]byte{0xff, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.conn.Close()
+
+	// The server should still accept good clients afterwards.
+	g, err := DialForwarder(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := packet.MarshalEcho(1, 2, packet.ICMPEchoReply, 9, 9, nil)
+	g.Record(0, time.Second, raw)
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if len(central.Replies) != 1 {
+		t.Fatalf("got %d replies after garbage client", len(central.Replies))
+	}
+}
+
+// Many sites forwarding concurrently must not lose or corrupt frames.
+func TestCollectorServerConcurrentForwarders(t *testing.T) {
+	central := &Central{}
+	srv, err := ListenCollector("127.0.0.1:0", central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const nSites, perSite = 8, 500
+	done := make(chan error, nSites)
+	for s := 0; s < nSites; s++ {
+		s := s
+		go func() {
+			f, err := DialForwarder(srv.Addr())
+			if err != nil {
+				done <- err
+				return
+			}
+			for i := 0; i < perSite; i++ {
+				src := ipv4.Addr(uint32(s)<<16 | uint32(i)) // unique per frame
+				raw := packet.MarshalEcho(src, ipv4.MustParseAddr("198.18.0.1"),
+					packet.ICMPEchoReply, uint16(s), uint16(i), nil)
+				f.Record(s, time.Duration(i)*time.Millisecond, raw)
+			}
+			done <- f.Close()
+		}()
+	}
+	for s := 0; s < nSites; s++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Close()
+
+	if len(central.Replies) != nSites*perSite {
+		t.Fatalf("central got %d replies, want %d", len(central.Replies), nSites*perSite)
+	}
+	if central.Malformed != 0 || central.NonReply != 0 {
+		t.Fatalf("corrupted frames: %d malformed, %d non-reply", central.Malformed, central.NonReply)
+	}
+	// Per-site accounting intact.
+	perSiteGot := map[int]int{}
+	for _, r := range central.Replies {
+		perSiteGot[r.Site]++
+		if r.Ident != uint16(r.Site) {
+			t.Fatalf("frame mixed up: site %d ident %d", r.Site, r.Ident)
+		}
+	}
+	for s := 0; s < nSites; s++ {
+		if perSiteGot[s] != perSite {
+			t.Fatalf("site %d delivered %d of %d", s, perSiteGot[s], perSite)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+// Package verfploeter is a library reproduction of "Broad and Load-Aware
+// Anycast Mapping with Verfploeter" (de Vries et al., IMC 2017).
+//
+// Verfploeter maps IP anycast catchments by inverting the usual
+// measurement direction: instead of thousands of deployed vantage points
+// querying the service, the anycast service itself pings one
+// representative address in (nearly) every /24 block on the Internet,
+// sourcing the probes from the anycast prefix. BGP routes each reply to
+// the site serving that block, so the capturing site identifies the
+// block's catchment — turning every ping-responsive host into a free
+// passive vantage point (millions of them, versus ~10k physical VPs on
+// platforms like RIPE Atlas). Weighting the resulting catchment map with
+// historical query logs yields calibrated predictions of per-site load
+// under routing changes such as AS-path prepending.
+//
+// Because the real experiments need a production root DNS service and a
+// global BGP anycast deployment, this library ships a complete synthetic
+// Internet as its substrate: an AS-level topology with Gao-Rexford policy
+// routing, hot-potato multi-PoP egress, a packet-level data plane with
+// realistic impairments, an ISI-style hitlist, a RIPE-Atlas-model
+// platform, and DITL-style query-log synthesis. The Verfploeter core
+// measures that world exactly the way the paper measures the Internet —
+// it never peeks at the routing tables. See DESIGN.md for the full
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+//
+// # Quick start
+//
+//	d := verfploeter.BRoot(verfploeter.SizeSmall, 1)
+//	catch, _, err := d.Map(1)
+//	if err != nil { ... }
+//	fmt.Printf("%.1f%% of blocks reach LAX\n", 100*catch.Fraction(0))
+//
+// The Deployment type wraps a fully wired scenario; the re-exported
+// types below cover the measurement, analysis, and load-modeling
+// surfaces.
+package verfploeter
+
+import (
+	"io"
+
+	"verfploeter/internal/analysis"
+	"verfploeter/internal/atlas"
+	"verfploeter/internal/dataset"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/loadgen"
+	"verfploeter/internal/loadmodel"
+	"verfploeter/internal/placement"
+	"verfploeter/internal/querylog"
+	"verfploeter/internal/scenario"
+	"verfploeter/internal/topology"
+	vp "verfploeter/internal/verfploeter"
+)
+
+// Size selects the scale of the synthetic Internet.
+type Size = topology.Size
+
+// Preset sizes: tests use Tiny, examples Small or Medium, the headline
+// coverage benchmarks Large.
+const (
+	SizeTiny   = topology.SizeTiny
+	SizeSmall  = topology.SizeSmall
+	SizeMedium = topology.SizeMedium
+	SizeLarge  = topology.SizeLarge
+)
+
+// Measurement-side types.
+type (
+	// Catchment maps /24 blocks to anycast sites (one measurement round).
+	Catchment = vp.Catchment
+	// Stats summarizes one measurement round.
+	Stats = vp.Stats
+	// DiffStats classifies VPs between consecutive rounds (Figure 9).
+	DiffStats = vp.DiffStats
+	// Block is a /24 network, the catchment-mapping unit.
+	Block = ipv4.Block
+	// Addr is an IPv4 address.
+	Addr = ipv4.Addr
+)
+
+// Load-modeling types.
+type (
+	// Log is a day of per-block query traffic.
+	Log = querylog.Log
+	// Estimate is a per-site daily load prediction.
+	Estimate = loadmodel.Estimate
+	// Hourly is a 24-hour per-site load projection (Figure 6).
+	Hourly = loadmodel.Hourly
+	// Weight selects queries vs good replies (§3.2).
+	Weight = loadmodel.Weight
+)
+
+// Weighting choices.
+const (
+	ByQueries     = loadmodel.ByQueries
+	ByGoodReplies = loadmodel.ByGoodReplies
+)
+
+// Analysis types.
+type (
+	// AtlasResult is one RIPE-Atlas-style measurement.
+	AtlasResult = atlas.Result
+	// Coverage is the Table 4 comparison.
+	Coverage = analysis.Coverage
+	// DivisionStats counts ASes split across sites (§6.2).
+	DivisionStats = analysis.DivisionStats
+	// StabilityRound is one Figure 9 data point.
+	StabilityRound = analysis.StabilityRound
+	// FlipAS is one Table 7 row.
+	FlipAS = analysis.FlipAS
+	// PrefixesVsSites is one Figure 7 row.
+	PrefixesVsSites = analysis.PrefixesVsSites
+	// PrefixLenRow is one Figure 8 panel.
+	PrefixLenRow = analysis.PrefixLenRow
+)
+
+// Deployment is a fully wired anycast service over a synthetic Internet:
+// sites, BGP announcements, data plane, hitlist, geolocation, and DNS
+// front ends.
+type Deployment struct {
+	*scenario.Scenario
+}
+
+// BRoot builds the paper's two-site B-Root deployment (LAX + MIA, §4.1).
+func BRoot(size Size, seed uint64) *Deployment {
+	return &Deployment{scenario.BRoot(size, seed)}
+}
+
+// Tangled builds the paper's nine-site testbed (§4.2) including its
+// documented routing quirks.
+func Tangled(size Size, seed uint64) *Deployment {
+	return &Deployment{scenario.Tangled(size, seed)}
+}
+
+// NL builds a regional ccTLD-style service for load-geography
+// comparisons (Figure 4b).
+func NL(size Size, seed uint64) *Deployment {
+	return &Deployment{scenario.NL(size, seed)}
+}
+
+// Map runs one Verfploeter measurement round and returns the catchment.
+func (d *Deployment) Map(roundID uint16) (*Catchment, Stats, error) {
+	return d.Measure(roundID)
+}
+
+// MapRounds runs n back-to-back rounds with routing churn between them
+// (the §6.3 stability campaign).
+func (d *Deployment) MapRounds(n int) ([]*Catchment, error) {
+	return d.MeasureRounds(n, 1)
+}
+
+// NewAtlas deploys a RIPE-Atlas-style platform of n physical VPs over
+// the deployment's Internet (Europe-skewed placement).
+func (d *Deployment) NewAtlas(n int) *atlas.Platform {
+	return atlas.New(d.Top, n, d.Seed)
+}
+
+// MapAtlas measures the catchment the traditional way: every Atlas VP
+// sends a CHAOS hostname.bind query through the data plane.
+func (d *Deployment) MapAtlas(p *atlas.Platform, round uint32) *AtlasResult {
+	return p.Measure(d.Net, d.Scenario, round)
+}
+
+// SetPrepends re-announces the service with per-site extra prepending
+// (§6.1's traffic-engineering experiment).
+func (d *Deployment) SetPrepends(pp []int) { d.Reannounce(pp) }
+
+// PredictLoad joins a catchment with a query log (§3.2).
+func (d *Deployment) PredictLoad(c *Catchment, log *Log, w Weight) *Estimate {
+	return loadmodel.Predict(c, log, w)
+}
+
+// PredictHourly projects per-site load over 24 hours (Figure 6).
+func (d *Deployment) PredictHourly(c *Catchment, log *Log, w Weight) *Hourly {
+	return loadmodel.PredictHourly(c, log, w)
+}
+
+// ActualLoad measures ground-truth per-site load from the operator's
+// viewpoint (per-site traffic logs).
+func (d *Deployment) ActualLoad(log *Log, w Weight) []float64 {
+	bySite, _ := loadmodel.Actual(d.Net, log, w, len(d.Sites))
+	return bySite
+}
+
+// CompareCoverage builds the Table 4 Atlas-vs-Verfploeter comparison.
+func (d *Deployment) CompareCoverage(ar *AtlasResult, c *Catchment) Coverage {
+	return analysis.CompareCoverage(ar, c, d.Hitlist, d.GeoDB)
+}
+
+// Divisions counts ASes split across sites (§6.2), optionally excluding
+// blocks that flipped during a multi-round campaign.
+func (d *Deployment) Divisions(c *Catchment, rounds []*Catchment) DivisionStats {
+	var unstable *ipv4.BlockSet
+	if len(rounds) > 1 {
+		unstable = analysis.UnstableBlocks(rounds)
+	}
+	return analysis.Divisions(d.Top, c, unstable)
+}
+
+// StabilitySeries classifies consecutive rounds (Figure 9).
+func (d *Deployment) StabilitySeries(rounds []*Catchment) []StabilityRound {
+	return analysis.Stability(rounds)
+}
+
+// FlipASes attributes catchment flips to origin ASes (Table 7).
+func (d *Deployment) FlipASes(rounds []*Catchment) []FlipAS {
+	return analysis.FlipAttribution(d.Top, rounds)
+}
+
+// PrefixSpread builds Figure 7's prefixes-vs-sites distribution.
+func (d *Deployment) PrefixSpread(c *Catchment, rounds []*Catchment) []PrefixesVsSites {
+	var unstable *ipv4.BlockSet
+	if len(rounds) > 1 {
+		unstable = analysis.UnstableBlocks(rounds)
+	}
+	return analysis.PrefixSpread(d.Top, c, unstable)
+}
+
+// SitesByPrefixLen builds Figure 8's per-prefix-length split histogram.
+func (d *Deployment) SitesByPrefixLen(c *Catchment, rounds []*Catchment) []PrefixLenRow {
+	var unstable *ipv4.BlockSet
+	if len(rounds) > 1 {
+		unstable = analysis.UnstableBlocks(rounds)
+	}
+	return analysis.SitesByPrefixLen(d.Top, c, unstable)
+}
+
+// RenderCatchmentMap writes an ASCII world map of the catchment
+// (Figures 2b/3b).
+func (d *Deployment) RenderCatchmentMap(w io.Writer, c *Catchment) error {
+	return analysis.RenderGrid(w, analysis.CatchmentGrid(c, d.GeoDB), d.SiteLetters())
+}
+
+// RenderAtlasMap writes an ASCII world map of an Atlas measurement
+// (Figures 2a/3a).
+func (d *Deployment) RenderAtlasMap(w io.Writer, ar *AtlasResult) error {
+	return analysis.RenderGrid(w, analysis.AtlasGrid(ar, len(d.Sites)), d.SiteLetters())
+}
+
+// RenderLoadMap writes an ASCII world map of load by geography
+// (Figure 4).
+func (d *Deployment) RenderLoadMap(w io.Writer, c *Catchment, log *Log, wt Weight) error {
+	return analysis.RenderGrid(w, analysis.LoadGrid(c, log, d.GeoDB, wt), d.SiteLetters())
+}
+
+// GeoLocate exposes the deployment's geolocation database.
+func (d *Deployment) GeoLocate(b Block) (lat, lon float64, country string, ok bool) {
+	loc, ok := d.GeoDB.Lookup(b)
+	return loc.Lat, loc.Lon, loc.Country, ok
+}
+
+// Placement types (§7's site-expansion suggestion).
+type (
+	// PlacementSite is an existing or candidate site location.
+	PlacementSite = placement.Site
+	// PlacementModel is the calibrated distance-to-RTT regression.
+	PlacementModel = placement.Model
+	// Recommendation is one suggested expansion site.
+	Recommendation = placement.Recommendation
+)
+
+// CandidateCities lists the default expansion candidates.
+func CandidateCities() []PlacementSite { return placement.DefaultCandidates() }
+
+// ExistingSites returns the deployment's sites as placement inputs.
+func (d *Deployment) ExistingSites() []PlacementSite {
+	out := make([]PlacementSite, len(d.Sites))
+	for i, s := range d.Sites {
+		out[i] = PlacementSite{Name: s.Code, Lat: s.Lat, Lon: s.Lon}
+	}
+	return out
+}
+
+// RecommendSites implements §7's future-work suggestion: from one
+// measurement's RTTs, the geolocation database, and (optionally) the
+// query log, greedily suggest up to k expansion sites that most reduce
+// load-weighted RTT.
+func (d *Deployment) RecommendSites(c *Catchment, log *Log, k int) ([]Recommendation, PlacementModel, error) {
+	return placement.Recommend(c, d.GeoDB, log, d.ExistingSites(), placement.DefaultCandidates(), k)
+}
+
+// SetEpoch re-announces under a drifted routing epoch (§5.5's month-old
+// measurement study); epoch 0 is the present.
+func (d *Deployment) SetEpoch(epoch uint64) {
+	d.ReannounceEpoch(d.Prepends(), epoch)
+}
+
+// CDN builds a 20-site commercial-CDN-style deployment (§7's suggested
+// future study target).
+func CDN(size Size, seed uint64) *Deployment {
+	return &Deployment{scenario.CDN(size, seed)}
+}
+
+// MeasurementDataset is a persisted measurement run (paper Table 1 style).
+type MeasurementDataset = dataset.Dataset
+
+// DatasetMeta identifies a persisted run.
+type DatasetMeta = dataset.Meta
+
+// SaveDataset persists a measurement to a .vpds file.
+func (d *Deployment) SaveDataset(path, id string, roundID uint16, c *Catchment, st Stats) error {
+	return dataset.WriteFile(path, &dataset.Dataset{
+		Meta: dataset.Meta{
+			ID: id, Scenario: d.Name, Sites: d.SiteCodes(),
+			RoundID: roundID, Seed: d.Seed,
+		},
+		Catchment: c,
+		Stats:     st,
+	})
+}
+
+// LoadDataset reads a .vpds file.
+func LoadDataset(path string) (*MeasurementDataset, error) {
+	return dataset.ReadFile(path)
+}
+
+// DiffDatasets compares two persisted runs (the paper's month-over-month
+// SBV-4-21 vs SBV-5-15 analysis).
+func DiffDatasets(a, b *MeasurementDataset) (dataset.DiffReport, error) {
+	return dataset.Diff(a, b)
+}
+
+// LoadCounters are per-site traffic logs from a DNS replay.
+type LoadCounters = loadgen.Counters
+
+// ReplayLoad importance-samples ~budget query events from the log and
+// replays them as real DNS packets through the data plane, returning the
+// per-site counters an operator would read off their servers.
+func (d *Deployment) ReplayLoad(log *Log, budget int) (*LoadCounters, error) {
+	return loadgen.Replay(d.Net, log, len(d.Sites), budget, d.Seed)
+}
+
+// CountryRow is one country's catchment split (§5.1's per-region view).
+type CountryRow = analysis.CountryRow
+
+// CountryBreakdown tallies the catchment by client country, largest
+// first — answering §5.1-style questions ("which site serves China?").
+func (d *Deployment) CountryBreakdown(c *Catchment) []CountryRow {
+	return analysis.CountryBreakdown(d.Top, c)
+}
+
+// BotnetLog synthesizes a DDoS attack's origin distribution: broad,
+// flat, consumer-network traffic at the given daily volume (§1's
+// absorption use case).
+func (d *Deployment) BotnetLog(attackQPD float64) *Log {
+	return querylog.Synthesize(d.Top, querylog.BotnetProfile(attackQPD), d.Seed+0xdd05)
+}
+
+// ConsensusCatchment folds a multi-round campaign into one flip-robust
+// map: each block takes its modal site, and blocks seen in fewer than
+// minRounds rounds are dropped.
+func (d *Deployment) ConsensusCatchment(rounds []*Catchment, minRounds int) *Catchment {
+	return analysis.Consensus(rounds, minRounds)
+}
+
+// DeploymentConfig declares a custom deployment in JSON (hosts, their
+// attachment to the synthetic Internet, and sites). See
+// internal/scenario.Config for the schema.
+type DeploymentConfig = scenario.Config
+
+// FromConfig builds a custom deployment from a declaration.
+func FromConfig(c *DeploymentConfig) (*Deployment, error) {
+	s, err := scenario.FromConfig(c)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{s}, nil
+}
+
+// FromConfigFile builds a custom deployment from a JSON file.
+func FromConfigFile(path string) (*Deployment, error) {
+	c, err := scenario.LoadConfigFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromConfig(c)
+}

@@ -1,0 +1,182 @@
+package verfploeter
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// The facade test drives the whole public surface end to end at tiny
+// scale; per-module behavior is covered in internal package tests.
+func TestPublicAPI(t *testing.T) {
+	d := BRoot(SizeTiny, 1)
+	catch, stats, err := d.Map(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if catch.Len() == 0 || stats.Sent == 0 {
+		t.Fatal("empty measurement")
+	}
+
+	plat := d.NewAtlas(60)
+	ar := d.MapAtlas(plat, 0)
+	cov := d.CompareCoverage(ar, catch)
+	if cov.Ratio <= 1 {
+		t.Errorf("coverage ratio %.1f", cov.Ratio)
+	}
+
+	log := d.RootLog()
+	est := d.PredictLoad(catch, log, ByQueries)
+	if est.Fraction(0)+est.Fraction(1) < 0.999 {
+		t.Error("load fractions do not sum")
+	}
+	actual := d.ActualLoad(log, ByQueries)
+	if len(actual) != 2 {
+		t.Fatalf("actual = %v", actual)
+	}
+	hourly := d.PredictHourly(catch, log, ByQueries)
+	if len(hourly.QPS[0]) != 3 {
+		t.Error("hourly slots wrong")
+	}
+
+	d.SetPrepends([]int{1, 0})
+	catch2, _, err := d.Map(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if catch2.Fraction(0) >= catch.Fraction(0) {
+		t.Error("prepending LAX should shrink its catchment")
+	}
+	d.SetPrepends(nil)
+
+	rounds, err := d.MapRounds(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.StabilitySeries(rounds)) != 2 {
+		t.Error("stability series wrong length")
+	}
+	_ = d.FlipASes(rounds)
+	div := d.Divisions(rounds[0], rounds)
+	if div.MappedASes == 0 {
+		t.Error("no mapped ASes")
+	}
+	_ = d.PrefixSpread(rounds[0], rounds)
+	_ = d.SitesByPrefixLen(rounds[0], rounds)
+
+	var buf bytes.Buffer
+	if err := d.RenderCatchmentMap(&buf, catch); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RenderAtlasMap(&buf, ar); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RenderLoadMap(&buf, catch, log, ByQueries); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no map output")
+	}
+
+	if _, _, _, ok := d.GeoLocate(catch.Blocks()[0]); !ok {
+		t.Error("GeoLocate miss on a mapped block")
+	}
+}
+
+func TestTangledAndNLFacade(t *testing.T) {
+	tg := Tangled(SizeTiny, 2)
+	if len(tg.Sites) != 9 {
+		t.Fatal("tangled sites")
+	}
+	c, _, err := tg.Map(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NSite != 9 {
+		t.Error("NSite != 9")
+	}
+
+	nl := NL(SizeTiny, 3)
+	if nl.NLLog().Len() == 0 {
+		t.Error("empty NL log")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	d := BRoot(SizeSmall, 5)
+	catch, stats, err := d.Map(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := d.RootLog()
+
+	// Placement recommendations from recorded RTTs.
+	recs, model, err := d.RecommendSites(catch, log, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || model.Samples == 0 {
+		t.Fatal("no recommendations")
+	}
+	if len(d.ExistingSites()) != 2 || len(CandidateCities()) == 0 {
+		t.Fatal("site listings broken")
+	}
+
+	// DNS replay counters.
+	counters, err := d.ReplayLoad(log, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.Sampled == 0 || counters.Fraction(0)+counters.Fraction(1) < 0.999 {
+		t.Fatalf("counters = %+v", counters)
+	}
+
+	// Dataset save / load / diff.
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.vpds")
+	if err := d.SaveDataset(pathA, "TEST-A", 1, catch, stats); err != nil {
+		t.Fatal(err)
+	}
+	d.SetEpoch(1)
+	catch2, stats2, err := d.Map(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathB := filepath.Join(dir, "b.vpds")
+	if err := d.SaveDataset(pathB, "TEST-B", 2, catch2, stats2); err != nil {
+		t.Fatal(err)
+	}
+	a, err := LoadDataset(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadDataset(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DiffDatasets(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transitions.Stable == 0 {
+		t.Error("diff found nothing stable")
+	}
+	if rep.Transitions.Flipped == 0 {
+		t.Error("epoch change should flip blocks")
+	}
+	d.SetEpoch(0)
+}
+
+func TestFacadeCDN(t *testing.T) {
+	d := CDN(SizeTiny, 4)
+	if len(d.Sites) != 20 {
+		t.Fatalf("%d sites", len(d.Sites))
+	}
+	c, _, err := d.Map(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NSite != 20 || c.Len() == 0 {
+		t.Fatal("CDN measurement broken")
+	}
+}
