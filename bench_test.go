@@ -97,6 +97,41 @@ func BenchmarkAblationRetry(b *testing.B)      { benchExperiment(b, "ablation-re
 func BenchmarkAblationLoadWeight(b *testing.B) { benchExperiment(b, "ablation-loadweight") }
 func BenchmarkAblationHotPotato(b *testing.B)  { benchExperiment(b, "ablation-hotpotato") }
 
+// --- parallel-engine contrast ---
+
+// BenchmarkTable4CoverageSerial pins the coverage experiment to one
+// worker. The delta against BenchmarkTable4Coverage (default: one worker
+// per CPU) is the parallel engine's speedup; the outputs are identical
+// by construction, which TestExperimentsByteIdenticalAcrossWorkers
+// enforces.
+func BenchmarkTable4CoverageSerial(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Workers = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("table4", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasurementRoundSerial is BenchmarkMeasurementRound with the
+// worker pool pinned to 1.
+func BenchmarkMeasurementRoundSerial(b *testing.B) {
+	s := scenario.BRoot(topology.SizeSmall, 1)
+	s.Workers = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		catch, _, err := s.Measure(uint16(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if catch.Len() == 0 {
+			b.Fatal("empty catchment")
+		}
+	}
+}
+
 // --- pipeline hot paths ---
 
 // BenchmarkMeasurementRound times one full Verfploeter round (probe,

@@ -35,6 +35,7 @@ func main() {
 		catchOut     = flag.String("catchment-out", "", "write the catchment (block\\tsite TSV) to this file")
 		datasetOut   = flag.String("save-dataset", "", "save the full measurement as a .vpds dataset file")
 		datasetID    = flag.String("dataset-id", "", "dataset id stored in -save-dataset (default scenario-round)")
+		workers      = flag.Int("workers", 0, "parallel engine width; 0 = one worker per CPU (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	d.Workers = *workers
 	if *prepends != "" {
 		pp, err := parsePrepends(*prepends, len(d.Sites))
 		if err != nil {

@@ -28,6 +28,7 @@ func main() {
 		seed     = flag.Uint64("seed", 7, "scenario seed")
 		atlasVPs = flag.Int("atlas-vps", 300, "simulated RIPE Atlas platform size")
 		rounds   = flag.Int("rounds", 24, "rounds for multi-round campaigns (paper: 96)")
+		workers  = flag.Int("workers", 0, "parallel engine width; 0 = one worker per CPU (results are identical for any value)")
 		asJSON   = flag.Bool("json", false, "emit results as JSON (id, title, metrics, shape misses)")
 	)
 	flag.Parse()
@@ -44,7 +45,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Size: size, Seed: *seed, AtlasVPs: *atlasVPs, Rounds: *rounds}
+	cfg := experiments.Config{Size: size, Seed: *seed, AtlasVPs: *atlasVPs, Rounds: *rounds, Workers: *workers}
 
 	ids := experiments.IDs()
 	if *runList != "all" {

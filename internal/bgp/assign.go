@@ -3,6 +3,7 @@ package bgp
 import (
 	"math"
 
+	"verfploeter/internal/parallel"
 	"verfploeter/internal/topology"
 )
 
@@ -33,8 +34,17 @@ const (
 
 // Assign computes per-block sites via hot-potato selection: each block
 // exits its AS at the block's own PoP, choosing the candidate route whose
-// entry point is geographically nearest.
+// entry point is geographically nearest. It runs on all CPUs; use
+// AssignWorkers to bound the pool.
 func (t *Table) Assign() *Assignment {
+	return t.AssignWorkers(0)
+}
+
+// AssignWorkers is Assign with an explicit worker-pool bound (<= 0 means
+// one worker per CPU). Every block's selection is independent and writes
+// only its own slice index, so the result is identical for any worker
+// count.
+func (t *Table) AssignWorkers(workers int) *Assignment {
 	blocks := t.Top.Blocks
 	a := &Assignment{
 		Table:     t,
@@ -42,56 +52,74 @@ func (t *Table) Assign() *Assignment {
 		Secondary: make([]int16, len(blocks)),
 		FlipProb:  make([]float32, len(blocks)),
 	}
-	for i := range blocks {
-		b := &blocks[i]
-		cands := t.Cands[b.ASIdx]
-		if len(cands) == 0 {
-			a.Primary[i], a.Secondary[i] = -1, -1
-			continue
-		}
-		owner := &t.Top.ASes[b.ASIdx]
+	parallel.Chunked(workers, len(blocks), func(lo, hi int) {
+		var dist []float64 // per-chunk scratch, reused across blocks
+		for i := lo; i < hi; i++ {
+			b := &blocks[i]
+			cands := t.Cands[b.ASIdx]
+			if len(cands) == 0 {
+				a.Primary[i], a.Secondary[i] = -1, -1
+				continue
+			}
+			owner := &t.Top.ASes[b.ASIdx]
 
-		// Rank candidates by distance from the block's own location —
-		// finer-grained than its PoP, so borderline blocks inside one
-		// AS can straddle two exits.
-		best, second := -1, -1
-		bestD, secondD := math.Inf(1), math.Inf(1)
-		for ci, c := range cands {
-			d := topology.GeoDistance(float64(b.Lat), float64(b.Lon), c.EntryLat, c.EntryLon)
-			switch {
-			case d < bestD || (d == bestD && best >= 0 && c.Site < cands[best].Site):
-				if best >= 0 && cands[best].Site != c.Site {
-					second, secondD = best, bestD
+			// Rank candidates by distance from the block's own location —
+			// finer-grained than its PoP, so borderline blocks inside one
+			// AS can straddle two exits.
+			dist = dist[:0]
+			for _, c := range cands {
+				dist = append(dist, topology.GeoDistance(float64(b.Lat), float64(b.Lon), c.EntryLat, c.EntryLon))
+			}
+
+			// Pass 1: the hot-potato winner — nearest entry, lower site
+			// number on exact distance ties.
+			best, bestD := 0, dist[0]
+			for ci := 1; ci < len(cands); ci++ {
+				d := dist[ci]
+				if d < bestD || (d == bestD && cands[ci].Site < cands[best].Site) {
+					best, bestD = ci, d
 				}
-				best, bestD = ci, d
-			case c.Site != cands[best].Site && d < secondD:
-				second, secondD = ci, d
 			}
-		}
-		a.Primary[i] = int16(cands[best].Site)
-		if second >= 0 {
-			a.Secondary[i] = int16(cands[second].Site)
-		} else if owner.FlapWeight > 0 && t.AltSite[b.ASIdx] >= 0 {
-			// Flap-prone AS with a single best site: its unstable
-			// links divert traffic onto the next-best RIB entry.
-			a.Secondary[i] = t.AltSite[b.ASIdx]
-		} else {
-			a.Secondary[i] = -1
-			continue
-		}
+			// Pass 2: nearest candidate at any *other* site. Scanning
+			// only after the winner is fixed makes the choice independent
+			// of candidate order: a one-pass scan can discard a
+			// distinct-site candidate against a provisional best that a
+			// same-site closer candidate later replaces.
+			second, secondD := -1, math.Inf(1)
+			for ci, c := range cands {
+				if c.Site == cands[best].Site {
+					continue
+				}
+				d := dist[ci]
+				if d < secondD || (d == secondD && c.Site < cands[second].Site) {
+					second, secondD = ci, d
+				}
+			}
+			a.Primary[i] = int16(cands[best].Site)
+			if second >= 0 {
+				a.Secondary[i] = int16(cands[second].Site)
+			} else if owner.FlapWeight > 0 && t.AltSite[b.ASIdx] >= 0 {
+				// Flap-prone AS with a single best site: its unstable
+				// links divert traffic onto the next-best RIB entry.
+				a.Secondary[i] = t.AltSite[b.ASIdx]
+			} else {
+				a.Secondary[i] = -1
+				continue
+			}
 
-		switch {
-		case owner.FlapWeight > 0:
-			p := owner.FlapWeight * flapProbPerWeight
-			if p > flapProbCap {
-				p = flapProbCap
+			switch {
+			case owner.FlapWeight > 0:
+				p := owner.FlapWeight * flapProbPerWeight
+				if p > flapProbCap {
+					p = flapProbCap
+				}
+				a.FlipProb[i] = float32(p)
+			case bestD == 0 || secondD <= bestD*nearTieRatio:
+				// Equal-cost multipath territory even for stable ASes.
+				a.FlipProb[i] = baselineFlipProb
 			}
-			a.FlipProb[i] = float32(p)
-		case bestD == 0 || secondD <= bestD*nearTieRatio:
-			// Equal-cost multipath territory even for stable ASes.
-			a.FlipProb[i] = baselineFlipProb
 		}
-	}
+	})
 	return a
 }
 

@@ -20,6 +20,7 @@ package dataplane
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"verfploeter/internal/bgp"
@@ -87,8 +88,24 @@ type Stats struct {
 	QueriesDropped uint64
 }
 
-// Net is the simulated data plane. Not safe for concurrent use; the
-// simulation is single-threaded over the virtual clock.
+// Net is the simulated data plane.
+//
+// # Concurrency contract
+//
+// A Net is confined to one goroutine at a time: it shares a virtual
+// clock with its callers, and every packet path (SendProbe,
+// QueryAnycast, tap delivery during clock advancement) mutates counters
+// and the event queue without locks, by design — single-threaded
+// execution over a virtual clock is what makes runs reproducible.
+// Parallelism happens *around* the Net, never inside it: the parallel
+// mapping engine gives each probe chunk, measurement round, and
+// experiment its own Fork and merges results deterministically. The
+// immutable inputs a Net reads (Config.Top, an installed
+// *bgp.Assignment) may be shared freely across forks.
+//
+// The contract is asserted cheaply: re-entering a Net from a second
+// goroutine mid-operation panics (see enter), and the package's tests
+// run under the race detector.
 type Net struct {
 	cfg     Config
 	asg     *bgp.Assignment
@@ -97,6 +114,7 @@ type Net struct {
 	taps    []func(pkt []byte)
 	dns     []func(query []byte) []byte
 	stats   Stats
+	busy    atomic.Bool
 }
 
 // Errors surfaced to callers.
@@ -113,6 +131,36 @@ func New(cfg Config) *Net {
 	}
 	return &Net{cfg: cfg}
 }
+
+// Fork returns an independent Net over the same topology, seed,
+// impairments, and prefixes, driven by its own clock: same routing state
+// (assignments, round), fresh taps, DNS handlers, and counters. The
+// parallel mapping engine forks the Net once per probe chunk or round so
+// each worker owns a whole single-threaded simulation; because every
+// impairment is a deterministic function of (seed, block, round), a fork
+// delivers exactly the packets the parent would.
+func (n *Net) Fork(clock *vclock.Clock) *Net {
+	cfg := n.cfg
+	cfg.Clock = clock
+	f := New(cfg)
+	f.asg, f.testAsg, f.round = n.asg, n.testAsg, n.round
+	if len(n.taps) > 0 {
+		f.grow(len(n.taps) - 1)
+	}
+	return f
+}
+
+// enter asserts the single-goroutine contract on packet paths; leave is
+// its counterpart. One uncontended atomic CAS per packet — noise next to
+// parsing and delivery — buys a crash instead of silent corruption when
+// two goroutines share a Net.
+func (n *Net) enter() {
+	if !n.busy.CompareAndSwap(false, true) {
+		panic("dataplane: concurrent use of Net — fork it per goroutine (see Net's concurrency contract)")
+	}
+}
+
+func (n *Net) leave() { n.busy.Store(false) }
 
 // AttachSite registers the capture tap and DNS handler for a site. Either
 // handler may be nil. Sites must be attached densely from 0.
@@ -184,6 +232,8 @@ func (n *Net) hash(kind string, block ipv4.Block, round uint32) float64 {
 // measurement address (at originSite) toward a hitlist target. Replies —
 // zero, one, or many — are scheduled onto the catchment site's tap.
 func (n *Net) SendProbe(originSite int, raw []byte) error {
+	n.enter()
+	defer n.leave()
 	n.stats.ProbesSent++
 	if n.asg == nil {
 		return ErrNoAssignment
@@ -292,6 +342,8 @@ func (n *Net) replyDelay(asg *bgp.Assignment, b *topology.BlockInfo, originSite,
 // synchronous: the simulated Atlas platform and the load generator use it
 // as their resolver path.
 func (n *Net) QueryAnycast(from ipv4.Addr, query []byte) ([]byte, int, error) {
+	n.enter()
+	defer n.leave()
 	if n.asg == nil {
 		return nil, -1, ErrNoAssignment
 	}

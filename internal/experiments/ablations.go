@@ -128,7 +128,6 @@ func runAblationLoadWeight(cfg Config) (*Result, error) {
 		s.Reannounce(e.pp)
 		catch, _, err := s.Measure(uint16(3000 + i))
 		if err != nil {
-			s.Reannounce(nil)
 			return nil, err
 		}
 		est := loadmodel.Predict(catch, log, loadmodel.ByQueries)
@@ -144,7 +143,6 @@ func runAblationLoadWeight(cfg Config) (*Result, error) {
 		}
 		r.line("%-10s %11.1fpp %13.1fpp %12s", e.name, 100*errB, 100*errW, winner)
 	}
-	s.Reannounce(nil)
 	r.line("")
 	r.line("mean error: blocks %.1fpp, weighted %.1fpp", 100*sumB/3, 100*sumW/3)
 

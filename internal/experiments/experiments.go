@@ -31,6 +31,10 @@ type Config struct {
 	// Rounds is the length of multi-round campaigns (the paper's
 	// stability study uses 96).
 	Rounds int
+	// Workers bounds the parallel engine for measurements and campaigns
+	// (<= 0 means one worker per CPU). Every experiment's Result is
+	// byte-identical for every value.
+	Workers int
 }
 
 // DefaultConfig returns the configuration the checked-in EXPERIMENTS.md
@@ -115,31 +119,36 @@ var (
 	worldCache = map[worldKey]*scenario.Scenario{}
 )
 
-// world returns a cached scenario so a full `go test -bench=.` pass
-// builds each (preset, size, seed) Internet once. Callers that mutate
-// routing (prepends) must restore it.
+// world returns a private fork of a cached base scenario. The expensive
+// substrate — topology, hitlist, geo database, routing tables — is built
+// once per (preset, size, seed) and shared read-only; every caller gets
+// its own clock, data plane, and routing state. Experiments may mutate
+// routing (prepend studies) or run concurrently without restoring
+// anything: the cached base is never handed out.
 func world(preset string, cfg Config) *scenario.Scenario {
 	worldMu.Lock()
-	defer worldMu.Unlock()
 	k := worldKey{preset, cfg.Size, cfg.Seed}
-	if s, ok := worldCache[k]; ok {
-		return s
+	base, ok := worldCache[k]
+	if !ok {
+		switch preset {
+		case "b-root":
+			base = scenario.BRoot(cfg.Size, cfg.Seed)
+		case "tangled":
+			base = scenario.Tangled(cfg.Size, cfg.Seed)
+		case "nl":
+			base = scenario.NL(cfg.Size, cfg.Seed)
+		case "cdn":
+			base = scenario.CDN(cfg.Size, cfg.Seed)
+		default:
+			worldMu.Unlock()
+			panic("experiments: unknown preset " + preset)
+		}
+		worldCache[k] = base
 	}
-	var s *scenario.Scenario
-	switch preset {
-	case "b-root":
-		s = scenario.BRoot(cfg.Size, cfg.Seed)
-	case "tangled":
-		s = scenario.Tangled(cfg.Size, cfg.Seed)
-	case "nl":
-		s = scenario.NL(cfg.Size, cfg.Seed)
-	case "cdn":
-		s = scenario.CDN(cfg.Size, cfg.Seed)
-	default:
-		panic("experiments: unknown preset " + preset)
-	}
-	worldCache[k] = s
-	return s
+	worldMu.Unlock()
+	f := base.Fork()
+	f.Workers = cfg.Workers
+	return f
 }
 
 // report builds Result text with a fluent little writer.
@@ -168,7 +177,36 @@ func (r *report) shape(ok bool, desc string) {
 	if ok {
 		v = 1
 	}
-	r.metrics["shape_"+strings.TrimSuffix(strings.Fields(desc)[0], ":")] = v
+	key := "shape_" + shapeSlug(desc)
+	if _, dup := r.metrics[key]; dup {
+		panic(fmt.Sprintf("experiments: duplicate shape slug %q — give the description a unique leading clause", key))
+	}
+	r.metrics[key] = v
+}
+
+// shapeSlug derives a stable metric key from a shape description: the
+// clause before the first colon, lowercased, non-alphanumerics dashed.
+// Keying by the whole clause (not the first word) keeps two checks that
+// merely share a leading word from overwriting each other's metric;
+// shape() panics if two descriptions still collide.
+func shapeSlug(desc string) string {
+	if i := strings.IndexByte(desc, ':'); i >= 0 {
+		desc = desc[:i]
+	}
+	var b strings.Builder
+	dash := false
+	for _, c := range strings.ToLower(strings.TrimSpace(desc)) {
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' {
+			if dash && b.Len() > 0 {
+				b.WriteByte('-')
+			}
+			dash = false
+			b.WriteRune(c)
+		} else {
+			dash = true
+		}
+	}
+	return b.String()
 }
 
 func (r *report) result(id, title string) *Result {

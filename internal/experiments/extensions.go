@@ -89,7 +89,6 @@ func runExtPlacement(cfg Config) (*Result, error) {
 // routing-epoch change and compare fresh vs stale predictions.
 func runExtDrift(cfg Config) (*Result, error) {
 	s := world("b-root", cfg)
-	defer s.Reannounce(nil)
 
 	// "April": measure the catchment and collect a day of load.
 	s.ReannounceEpoch(nil, 0)
@@ -289,7 +288,6 @@ func init() {
 
 func runExtTestPrefix(cfg Config) (*Result, error) {
 	s := world("b-root", cfg)
-	defer s.Reannounce(nil)
 	log := s.RootLog()
 
 	// Production baseline.
@@ -373,7 +371,6 @@ func init() {
 
 func runExtDDoS(cfg Config) (*Result, error) {
 	s := world("b-root", cfg)
-	defer s.Reannounce(nil)
 
 	normal := s.RootLog()
 	// A volumetric attack: 5x the service's daily query volume, sourced

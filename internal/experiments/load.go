@@ -170,7 +170,6 @@ func runFig6(cfg Config) (*Result, error) {
 		s.Reannounce(c.pp)
 		catch, _, err := s.Measure(uint16(1000 + ci))
 		if err != nil {
-			s.Reannounce(nil)
 			return nil, err
 		}
 		h := loadmodel.PredictHourly(catch, log, loadmodel.ByQueries)
@@ -186,7 +185,6 @@ func runFig6(cfg Config) (*Result, error) {
 		laxShare[ci] = lax / (lax + mia)
 		r.line("%-7s %8s %10s %10s %10s %11.1f%%", c.name, "day", "", "", "", 100*laxShare[ci])
 	}
-	s.Reannounce(nil)
 
 	r.line("")
 	r.line("daily LAX share by config: lax+1 %.2f, equal %.2f, mia+1 %.2f, mia+2 %.2f, mia+3 %.2f",

@@ -37,7 +37,6 @@ func runFig5(cfg Config) (*Result, error) {
 		s.Reannounce(c.pp)
 		catch, _, err := s.Measure(uint16(1100 + i))
 		if err != nil {
-			s.Reannounce(nil)
 			return nil, err
 		}
 		ar := plat.Measure(s.Net, s, uint32(1100+i))
@@ -47,7 +46,6 @@ func runFig5(cfg Config) (*Result, error) {
 		verfF[i] = catch.Fraction(0)
 		r.line("%-8s %13.1f%% %15.1f%%", c.name, 100*atlasF[i], 100*verfF[i])
 	}
-	s.Reannounce(nil)
 
 	r.line("")
 	r.line("[paper at 'equal': Atlas 74%%, Verfploeter 78%%; both methods track each other]")

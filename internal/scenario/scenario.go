@@ -16,6 +16,7 @@ import (
 	"verfploeter/internal/geo"
 	"verfploeter/internal/hitlist"
 	"verfploeter/internal/ipv4"
+	"verfploeter/internal/parallel"
 	"verfploeter/internal/querylog"
 	"verfploeter/internal/topology"
 	"verfploeter/internal/vclock"
@@ -54,6 +55,11 @@ type Scenario struct {
 	Asg     *bgp.Assignment
 	Hitlist *hitlist.Hitlist
 	GeoDB   *geo.DB
+
+	// Workers bounds the parallel engine for this deployment's
+	// measurements and campaigns (<= 0 means one worker per CPU).
+	// Results are identical for every value.
+	Workers int
 
 	prepends []int
 }
@@ -95,6 +101,24 @@ func build(name string, seed uint64, top *topology.Topology, sites []Site) *Scen
 		s.Net.AttachSite(i, nil, s.dnsHandler(i))
 	}
 	return s
+}
+
+// Fork returns an independent deployment sharing this scenario's
+// immutable substrate — topology, hitlist, geolocation database, BGP
+// table, and current assignment — under a fresh virtual clock and data
+// plane. Forks are how concurrent measurement works: each goroutine
+// measures on its own fork, and mutating routing on a fork (Reannounce,
+// AnnounceTest) recomputes the fork's table without ever touching the
+// parent. Forking is cheap; the heavy state is shared read-only.
+func (s *Scenario) Fork() *Scenario {
+	f := *s
+	f.Clock = vclock.New()
+	f.Net = s.Net.Fork(f.Clock)
+	f.prepends = append([]int(nil), s.prepends...)
+	for i := range f.Sites {
+		f.Net.SetDNS(i, f.dnsHandler(i))
+	}
+	return &f
 }
 
 // Reannounce recomputes routing with the given per-site extra prepends
@@ -162,6 +186,7 @@ func (s *Scenario) MeasureTest(roundID uint16) (*verfploeter.Catchment, verfploe
 		Hitlist: s.Hitlist, Net: s.Net, Clock: s.Clock,
 		NSite: len(s.Sites), OriginSite: 0, SourceAddr: s.TestMeasureAddr,
 		RoundID: roundID, Seed: s.Seed ^ uint64(roundID)<<32 ^ 0x7e57,
+		Workers: s.Workers,
 	})
 }
 
@@ -254,22 +279,43 @@ func (s *Scenario) Measure(roundID uint16) (*verfploeter.Catchment, verfploeter.
 		Hitlist: s.Hitlist, Net: s.Net, Clock: s.Clock,
 		NSite: len(s.Sites), OriginSite: 0, SourceAddr: s.MeasureAddr,
 		RoundID: roundID, Seed: s.Seed ^ uint64(roundID)<<32,
+		Workers: s.Workers,
 	})
 }
 
-// MeasureRounds performs n back-to-back rounds, advancing the data
-// plane's round counter (catchment flips, responsiveness churn) between
-// them — the §6.3 stability campaign.
+// MeasureRounds performs n rounds, advancing the data plane's round
+// counter (catchment flips, responsiveness churn) between them — the
+// §6.3 stability campaign. Rounds are independent given the seed (every
+// impairment is a deterministic hash of seed, block, and round), so they
+// run concurrently on per-round forks; results are identical to the
+// sequential back-to-back campaign for any Workers value.
 func (s *Scenario) MeasureRounds(n int, firstRoundID uint16) ([]*verfploeter.Catchment, error) {
-	out := make([]*verfploeter.Catchment, 0, n)
-	for r := 0; r < n; r++ {
-		s.Net.SetRound(uint32(r))
-		c, _, err := s.Measure(firstRoundID + uint16(r))
-		if err != nil {
-			return nil, fmt.Errorf("round %d: %w", r, err)
-		}
-		out = append(out, c)
+	out := make([]*verfploeter.Catchment, n)
+	errs := make([]error, n)
+	w := parallel.Workers(s.Workers)
+	inner := w / n // spread leftover pool width inside each round
+	if inner < 1 {
+		inner = 1
 	}
+	parallel.ForEach(s.Workers, n, func(r int) {
+		f := s.Fork()
+		f.Workers = inner
+		f.Net.SetRound(uint32(r))
+		c, _, err := f.Measure(firstRoundID + uint16(r))
+		if err != nil {
+			errs[r] = fmt.Errorf("round %d: %w", r, err)
+			return
+		}
+		out[r] = c
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Leave the parent where the sequential campaign would have: on the
+	// final round.
+	s.Net.SetRound(uint32(n - 1))
 	return out, nil
 }
 

@@ -92,6 +92,24 @@ func (c *Catchment) MedianRTT() time.Duration {
 	return v[len(v)/2]
 }
 
+// absorb copies another catchment fragment's entries into c. Callers
+// guarantee the fragments' block sets are disjoint (the parallel folds
+// shard by block), so first-observation-wins ordering cannot be violated
+// by the copy.
+func (c *Catchment) absorb(o *Catchment) {
+	for b, s := range o.sites {
+		c.sites[b] = s
+	}
+	if len(o.rtts) > 0 {
+		if c.rtts == nil {
+			c.rtts = make(map[ipv4.Block]time.Duration, len(o.rtts))
+		}
+		for b, d := range o.rtts {
+			c.rtts[b] = d
+		}
+	}
+}
+
 // SiteOf returns the catchment site for a block.
 func (c *Catchment) SiteOf(b ipv4.Block) (int, bool) {
 	s, ok := c.sites[b]

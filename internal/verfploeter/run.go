@@ -9,6 +9,7 @@ import (
 	"verfploeter/internal/hitlist"
 	"verfploeter/internal/ipv4"
 	"verfploeter/internal/packet"
+	"verfploeter/internal/parallel"
 	"verfploeter/internal/rng"
 	"verfploeter/internal/vclock"
 )
@@ -47,10 +48,19 @@ type Config struct {
 	// Seed keys the pseudorandom probe order.
 	Seed uint64
 
+	// Workers bounds the parallel engine's pool: probe synthesis, the
+	// chunked sweep, and the sharded catchment build. Zero means one
+	// worker per CPU. The result is identical for every worker count —
+	// chunk boundaries depend only on the hitlist size and merges happen
+	// in chunk/shard order.
+	Workers int
+
 	// Collector overrides the reply sink. When nil, Run uses an
 	// in-process Central and returns a complete catchment. When set
 	// (e.g. a ForwardClient), Run only probes — collection, cleaning,
-	// and catchment building happen wherever the frames land.
+	// and catchment building happen wherever the frames land. External
+	// sinks receive frames in deterministic order, so this mode sweeps
+	// sequentially on the caller's clock and Net.
 	Collector Collector
 }
 
@@ -71,6 +81,14 @@ const (
 	DefaultBurst  = 64
 	DefaultCutoff = 15 * time.Minute
 )
+
+// probeChunkTargets fixes the granularity of the chunked probe sweep:
+// each chunk of the probe permutation runs as an independent
+// single-threaded simulation on a dataplane fork. The size is a constant
+// — never derived from the worker count — because chunk boundaries and
+// the chunk-ordered merge are what make Run's output byte-identical at
+// workers=1 and workers=N.
+const probeChunkTargets = 4096
 
 // ErrConfig reports invalid measurement configuration.
 var ErrConfig = errors.New("verfploeter: bad config")
@@ -102,64 +120,125 @@ func (cfg *Config) fill() error {
 
 // Run performs one full measurement round: probe, capture, clean, map.
 // It returns the catchment of every responsive block.
+//
+// The round executes on the parallel engine: the sweep runs as
+// fixed-size chunks of the probe permutation — each chunk marshals and
+// sends its probes on its own dataplane fork and virtual clock, offset
+// to the time the rate limiter would reach that chunk — and replies are
+// cleaned and folded by /24-block shards. Every stage merges
+// deterministically, so the catchment and stats are identical for any
+// Workers value.
 func Run(cfg Config) (*Catchment, Stats, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, Stats{}, err
 	}
-	central, external := (*Central)(nil), false
-	sink := cfg.Collector
-	if sink == nil {
-		central = &Central{}
-		sink = central
-	} else {
-		external = true
-	}
+	n := cfg.Hitlist.Len()
+	perm := rng.NewPermutation(rng.New(cfg.Seed).Derive("probe-order"), n)
 
-	// Point every site's tap at the collector for this round.
-	for s := 0; s < cfg.NSite; s++ {
-		cfg.Net.SetTap(s, Tap(sink, s, cfg.Clock.Now))
-	}
-
-	start := cfg.Clock.Now()
-	stats := Stats{}
-	sendAt := make(map[ipv4.Addr]time.Duration, cfg.Hitlist.Len())
-	if err := probe(&cfg, &stats, sendAt); err != nil {
+	if cfg.Collector != nil {
+		// Frames go elsewhere; the caller owns cleaning and mapping.
+		stats, err := probeExternal(&cfg, perm)
 		return nil, stats, err
 	}
-	// Let every reply (including deliberately late ones) land; the
-	// cleaner applies the cutoff on capture timestamps.
-	cfg.Clock.RunUntilIdle()
-	stats.Elapsed = cfg.Clock.Now() - start
 
-	if external {
-		// Frames went elsewhere; the caller owns cleaning and mapping.
-		return nil, stats, nil
+	// Chunked sweep: chunk c probes permutation positions [lo, hi) on a
+	// fork of the data plane whose clock starts at the virtual time the
+	// round's rate limiter would reach position lo, so capture
+	// timestamps line up with one continuous paced sweep.
+	nChunks := (n + probeChunkTargets - 1) / probeChunkTargets
+	perToken := time.Duration(float64(time.Second) / cfg.Rate)
+	chunks := make([]probeChunk, nChunks)
+	parallel.ForEach(cfg.Workers, nChunks, func(c int) {
+		lo := c * probeChunkTargets
+		hi := lo + probeChunkTargets
+		if hi > n {
+			hi = n
+		}
+		ch := &chunks[c]
+		clock := vclock.New()
+		clock.Advance(time.Duration(lo) * perToken)
+		net := cfg.Net.Fork(clock)
+		for s := 0; s < cfg.NSite; s++ {
+			net.SetTap(s, Tap(&ch.central, s, clock.Now))
+		}
+		ch.sendAt = make(map[ipv4.Addr]time.Duration, hi-lo)
+		ch.err = sweep(net, clock, &cfg, perm, lo, hi, ch.sendAt, &ch.stats)
+		// Let every reply (including deliberately late ones) land; the
+		// cleaner applies the cutoff on capture timestamps.
+		clock.RunUntilIdle()
+		ch.end = clock.Now()
+	})
+
+	stats := Stats{}
+	var firstErr error
+	for c := range chunks {
+		stats.Sent += chunks[c].stats.Sent
+		stats.SendErrs += chunks[c].stats.SendErrs
+		if firstErr == nil {
+			firstErr = chunks[c].err
+		}
+		if chunks[c].end > stats.Elapsed {
+			stats.Elapsed = chunks[c].end
+		}
 	}
-	catch, cstats := buildCatchment(central.Replies, cfg.Hitlist, cfg.NSite, cfg.RoundID, start+cfg.Cutoff, sendAt)
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+
+	catch, cstats := foldChunks(chunks, cfg.Hitlist, cfg.NSite, cfg.RoundID, cfg.Cutoff, cfg.Workers)
 	stats.Clean = cstats
 	stats.MedianRTT = catch.MedianRTT()
 	return catch, stats, nil
 }
 
-// probe schedules all echo requests onto the virtual clock, paced by a
-// token bucket, in full-cycle pseudorandom order.
-func probe(cfg *Config, stats *Stats, sendAt map[ipv4.Addr]time.Duration) error {
-	n := cfg.Hitlist.Len()
-	perm := rng.NewPermutation(rng.New(cfg.Seed).Derive("probe-order"), n)
-	rl := vclock.NewRateLimiter(cfg.Clock, cfg.Rate, cfg.Burst)
+// probeChunk is one chunk's slice of the round: its captured replies,
+// per-target send times, sweep stats, and final (absolute) clock value.
+type probeChunk struct {
+	central Central
+	sendAt  map[ipv4.Addr]time.Duration
+	stats   Stats
+	end     time.Duration
+	err     error
+}
 
+// probeExternal is the sequential sweep for external collectors: taps on
+// the caller's Net forward every frame to the sink in one deterministic
+// stream, exactly as a per-site capture box would.
+func probeExternal(cfg *Config, perm *rng.Permutation) (Stats, error) {
+	for s := 0; s < cfg.NSite; s++ {
+		cfg.Net.SetTap(s, Tap(cfg.Collector, s, cfg.Clock.Now))
+	}
+	start := cfg.Clock.Now()
+	stats := Stats{}
+	err := sweep(cfg.Net, cfg.Clock, cfg, perm, 0, cfg.Hitlist.Len(), nil, &stats)
+	cfg.Clock.RunUntilIdle()
+	stats.Elapsed = cfg.Clock.Now() - start
+	return stats, err
+}
+
+// sweep marshals and sends probes for permutation positions [lo, hi)
+// onto the virtual clock, paced by a token bucket, interleaving sends
+// with reply delivery as on a real network. Marshaling stays inside the
+// per-chunk sweep (rather than a separate pre-pass) so buffers die young
+// and chunks parallelize it for free. It drains the send schedule before
+// returning the first scheduling error.
+func sweep(net *dataplane.Net, clock *vclock.Clock, cfg *Config,
+	perm *rng.Permutation, lo, hi int,
+	sendAt map[ipv4.Addr]time.Duration, stats *Stats) error {
+
+	rl := vclock.NewRateLimiter(clock, cfg.Rate, cfg.Burst)
 	var firstErr error
-	i := 0
+	i := lo
 	var step func()
 	step = func() {
-		for i < n && rl.Allow() {
+		for i < hi && rl.Allow() {
 			e := cfg.Hitlist.Entries[perm.Index(i)]
 			raw := packet.MarshalEcho(cfg.SourceAddr, e.Addr,
 				packet.ICMPEchoRequest, cfg.RoundID, uint16(i), nil)
 			if sendAt != nil {
-				sendAt[e.Addr] = cfg.Clock.Now()
+				sendAt[e.Addr] = clock.Now()
 			}
-			if err := cfg.Net.SendProbe(cfg.OriginSite, raw); err != nil {
+			if err := net.SendProbe(cfg.OriginSite, raw); err != nil {
 				stats.SendErrs++
 				if firstErr == nil {
 					firstErr = err
@@ -168,16 +247,13 @@ func probe(cfg *Config, stats *Stats, sendAt map[ipv4.Addr]time.Duration) error 
 			stats.Sent++
 			i++
 		}
-		if i < n {
-			cfg.Clock.After(rl.Delay(), step)
+		if i < hi {
+			clock.After(rl.Delay(), step)
 		}
 	}
 	step()
-	// Drain the send schedule before reporting scheduling errors; the
-	// clock also delivers replies interleaved with sending, as on a
-	// real network.
-	for i < n {
-		cfg.Clock.Advance(rl.Delay() + time.Millisecond)
+	for i < hi {
+		clock.Advance(rl.Delay() + time.Millisecond)
 	}
 	return firstErr
 }
@@ -192,6 +268,15 @@ type CleanStats struct {
 	Unsolicited int
 	Duplicates  int
 	Kept        int
+}
+
+func (s *CleanStats) add(o CleanStats) {
+	s.Total += o.Total
+	s.WrongRound += o.WrongRound
+	s.Late += o.Late
+	s.Unsolicited += o.Unsolicited
+	s.Duplicates += o.Duplicates
+	s.Kept += o.Kept
 }
 
 // Clean filters raw replies: wrong round ident, late arrival, sources we
@@ -222,22 +307,69 @@ func Clean(replies []Reply, probed map[ipv4.Addr]bool, roundID uint16, cutoff ti
 // BuildCatchment cleans raw replies against the hitlist and folds the
 // survivors into a catchment table.
 func BuildCatchment(replies []Reply, hl *hitlist.Hitlist, nSite int, roundID uint16, cutoff time.Duration) (*Catchment, CleanStats) {
-	return buildCatchment(replies, hl, nSite, roundID, cutoff, nil)
+	one := []probeChunk{{central: Central{Replies: replies}}}
+	return foldChunks(one, hl, nSite, roundID, cutoff, 0)
 }
 
-func buildCatchment(replies []Reply, hl *hitlist.Hitlist, nSite int, roundID uint16, cutoff time.Duration, sendAt map[ipv4.Addr]time.Duration) (*Catchment, CleanStats) {
-	probed := make(map[ipv4.Addr]bool, hl.Len())
-	for _, e := range hl.Entries {
-		probed[e.Addr] = true
-	}
-	kept, stats := Clean(replies, probed, roundID, cutoff)
-	c := NewCatchment(nSite)
-	for _, r := range kept {
-		if t0, ok := sendAt[r.Src]; ok && r.At > t0 {
-			c.SetRTT(r.Src.Block(), r.Site, r.At-t0)
-		} else {
-			c.Set(r.Src.Block(), r.Site)
+// foldChunks cleans and folds the chunks' replies into one catchment by
+// /24-block shards. All order-dependent cleaning state — duplicate
+// suppression per source, first-reply-wins per block — is keyed by the
+// source's block, so sharding by that block keeps every interaction
+// inside one shard, which walks the chunks in chunk order. The shard
+// count therefore cannot change the result; it only sets parallel width.
+func foldChunks(chunks []probeChunk, hl *hitlist.Hitlist, nSite int, roundID uint16, cutoff time.Duration, workers int) (*Catchment, CleanStats) {
+	nShards := parallel.Workers(workers)
+	frags := make([]*Catchment, nShards)
+	stats := make([]CleanStats, nShards)
+	parallel.Shards(workers, nShards, func(shard int) {
+		mine := func(b ipv4.Block) bool {
+			return int(uint32(b)%uint32(nShards)) == shard
 		}
+		probed := make(map[ipv4.Addr]bool)
+		for _, e := range hl.Entries {
+			if mine(e.Addr.Block()) {
+				probed[e.Addr] = true
+			}
+		}
+		seen := make(map[ipv4.Addr]bool)
+		st := &stats[shard]
+		c := NewCatchment(nSite)
+		for ci := range chunks {
+			sendAt := chunks[ci].sendAt
+			for _, r := range chunks[ci].central.Replies {
+				if !mine(r.Src.Block()) {
+					continue
+				}
+				st.Total++
+				switch {
+				case r.Ident != roundID:
+					st.WrongRound++
+				case r.At > cutoff:
+					st.Late++
+				case !probed[r.Src]:
+					st.Unsolicited++
+				case seen[r.Src]:
+					st.Duplicates++
+				default:
+					seen[r.Src] = true
+					st.Kept++
+					if t0, ok := sendAt[r.Src]; ok && r.At > t0 {
+						c.SetRTT(r.Src.Block(), r.Site, r.At-t0)
+					} else {
+						c.Set(r.Src.Block(), r.Site)
+					}
+				}
+			}
+		}
+		frags[shard] = c
+	})
+	// Fold the disjoint fragments into the first; with one shard this is
+	// free. Content is identical for every shard count either way.
+	merged := frags[0]
+	cs := stats[0]
+	for shard := 1; shard < nShards; shard++ {
+		cs.add(stats[shard])
+		merged.absorb(frags[shard])
 	}
-	return c, stats
+	return merged, cs
 }

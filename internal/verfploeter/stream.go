@@ -1,6 +1,8 @@
 package verfploeter
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"verfploeter/internal/hitlist"
@@ -56,10 +58,14 @@ func (sb *StreamBuilder) Record(site int, at time.Duration, raw []byte) {
 		sb.NonReply++
 		return
 	}
+	sb.fold(site, at, p.IP.Src, p.Echo.Ident)
+}
+
+// fold applies the §4 cleaning rules to one parsed reply.
+func (sb *StreamBuilder) fold(site int, at time.Duration, src ipv4.Addr, ident uint16) {
 	sb.stats.Total++
-	src := p.IP.Src
 	switch {
-	case p.Echo.Ident != sb.roundID:
+	case ident != sb.roundID:
 		sb.stats.WrongRound++
 	case at > sb.cutoff:
 		sb.stats.Late++
@@ -82,4 +88,89 @@ func (sb *StreamBuilder) Record(site int, at time.Duration, raw []byte) {
 // builder must not be used afterwards.
 func (sb *StreamBuilder) Finish() (*Catchment, CleanStats) {
 	return sb.catch, sb.stats
+}
+
+// StreamShards is a concurrency-safe fan-in over per-shard
+// StreamBuilders. Multiple capture goroutines may call Record at once:
+// each record is parsed on the caller's goroutine (the expensive part
+// runs in parallel), then routed by the source's /24 block to one of the
+// shards, so all order-dependent cleaning state — duplicate suppression
+// and first-reply-wins folding — stays inside a single shard.
+//
+// Determinism contract: the result is independent of the shard count and
+// of goroutine scheduling provided each block's records are produced by
+// a single goroutine (true for the chunked probe engine, where a reply
+// always lands on the dataplane fork whose probe caused it) or arrive in
+// a deterministic order per block.
+type StreamShards struct {
+	builders []*StreamBuilder
+	locks    []sync.Mutex
+
+	malformed atomic.Int64
+	nonReply  atomic.Int64
+}
+
+// NewStreamShards prepares a fan-in with nShards independent shards (a
+// value <= 0 means one). sendAt may be nil (no RTTs recorded); if given
+// it must not be mutated while records flow.
+func NewStreamShards(nShards int, hl *hitlist.Hitlist, nSite int, roundID uint16, cutoff time.Duration, sendAt map[ipv4.Addr]time.Duration) *StreamShards {
+	if nShards < 1 {
+		nShards = 1
+	}
+	// The probed set is read-only after construction; shards share it.
+	probed := make(map[ipv4.Addr]bool, hl.Len())
+	for _, e := range hl.Entries {
+		probed[e.Addr] = true
+	}
+	s := &StreamShards{
+		builders: make([]*StreamBuilder, nShards),
+		locks:    make([]sync.Mutex, nShards),
+	}
+	for i := range s.builders {
+		s.builders[i] = &StreamBuilder{
+			roundID: roundID, cutoff: cutoff, nSite: nSite,
+			probed: probed, sendAt: sendAt,
+			seen:  make(map[ipv4.Addr]bool),
+			catch: NewCatchment(nSite),
+		}
+	}
+	return s
+}
+
+// Record implements Collector and is safe for concurrent use.
+func (s *StreamShards) Record(site int, at time.Duration, raw []byte) {
+	p, err := packet.UnmarshalEcho(raw)
+	if err != nil {
+		s.malformed.Add(1)
+		return
+	}
+	if p.Echo.Type != packet.ICMPEchoReply {
+		s.nonReply.Add(1)
+		return
+	}
+	i := int(uint32(p.IP.Src.Block()) % uint32(len(s.builders)))
+	s.locks[i].Lock()
+	s.builders[i].fold(site, at, p.IP.Src, p.Echo.Ident)
+	s.locks[i].Unlock()
+}
+
+// Malformed and NonReply report drop counts, mirroring StreamBuilder's
+// fields. Call them only after all Record calls have completed.
+func (s *StreamShards) Malformed() int { return int(s.malformed.Load()) }
+
+// NonReply reports how many parsed packets were not echo replies.
+func (s *StreamShards) NonReply() int { return int(s.nonReply.Load()) }
+
+// Finish merges the shards — their block sets are disjoint by routing,
+// so the merge order cannot matter — and returns the catchment with
+// summed cleaning statistics. No Record call may be in flight.
+func (s *StreamShards) Finish() (*Catchment, CleanStats) {
+	catch := NewCatchment(s.builders[0].nSite)
+	var stats CleanStats
+	for _, sb := range s.builders {
+		c, st := sb.Finish()
+		catch.absorb(c)
+		stats.add(st)
+	}
+	return catch, stats
 }

@@ -1,0 +1,32 @@
+#!/bin/sh
+# check.sh — the PR gate: vet, build, race-enabled tests, and a bench
+# smoke over one paper table. The race detector is mandatory because the
+# mapping pipeline is concurrent: every catchment, assignment, and
+# experiment report must be identical at workers=1 and workers=N, and
+# the determinism tests only mean something when the run is race-free.
+#
+#   ./scripts/check.sh          # full gate
+#   VP_CHECK_SHORT=1 ./scripts/check.sh   # short-mode tests (quick loop)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+if [ "${VP_CHECK_SHORT:-}" = "1" ]; then
+	echo "== go test -race -short ./..."
+	go test -race -short ./...
+else
+	echo "== go test -race ./..."
+	go test -race ./...
+fi
+
+# Default (medium) size: the shape checks embedded in the benchmark are
+# calibrated for medium/large and intentionally MISS at small/tiny.
+echo "== bench smoke: table4 (1 iteration, medium)"
+go test -run '^$' -bench '^BenchmarkTable4Coverage$' -benchtime 1x .
+
+echo "check.sh: all green"
