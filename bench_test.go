@@ -171,6 +171,28 @@ func BenchmarkBGPCompute(b *testing.B) {
 	}
 }
 
+// BenchmarkReannounceSweep times the real caller pattern of route
+// computation: an N-case prepend sweep over one deployment, the shape of
+// §6.1's fig5 study, the ext-ddos plan search, and every load-calibration
+// pass. Each case recomputes convergence and per-block assignment; the
+// sweep revisits configurations, so the converged-table cache turns
+// repeat cases into O(1) hits (set VP_NO_ROUTE_CACHE=1 to measure the
+// uncached path).
+func BenchmarkReannounceSweep(b *testing.B) {
+	s := scenario.BRoot(topology.SizeMedium, 1)
+	sweep := [][]int{{1, 0}, {0, 0}, {0, 1}, {0, 2}, {0, 3}, {0, 0}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pp := range sweep {
+			s.Reannounce(pp)
+			if s.Asg.Primary[0] < 0 {
+				b.Fatal("unrouted block")
+			}
+		}
+	}
+}
+
 // BenchmarkPacketEncode times probe marshaling, the per-probe hot path.
 func BenchmarkPacketEncode(b *testing.B) {
 	src := ipv4.MustParseAddr("198.18.0.1")

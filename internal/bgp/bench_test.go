@@ -1,0 +1,102 @@
+package bgp
+
+import (
+	"testing"
+
+	"verfploeter/internal/topology"
+)
+
+// Micro-benchmarks isolating the route-computation fast path, so its
+// win is visible without the assignment and measurement stages that
+// dominate BenchmarkBGPCompute.
+
+func benchWorld(b *testing.B) (*topology.Topology, []Announcement) {
+	b.Helper()
+	top := topology.Generate(topology.DefaultParams(topology.SizeSmall, 7))
+	var transits []uint32
+	for i := range top.ASes {
+		if top.ASes[i].Class == topology.Transit {
+			transits = append(transits, top.ASes[i].ASN)
+		}
+	}
+	if len(transits) < 2 {
+		b.Skip("degenerate topology")
+	}
+	anns := []Announcement{
+		{Site: 0, UpstreamASN: transits[0], Lat: 34, Lon: -118},
+		{Site: 1, UpstreamASN: transits[1], Lat: 50, Lon: 9},
+	}
+	return top, anns
+}
+
+// BenchmarkExportRoutes times one export event per directed neighbor
+// pair over a converged state — the inner loop finalSelection repeats
+// each refine pass. Before the session-geometry precompute this path
+// recomputed O(|PoPs|×|PoPs|) GeoDistance calls per event.
+func BenchmarkExportRoutes(b *testing.B) {
+	top, anns := benchWorld(b)
+	tbl := &Table{Top: top, Anns: anns, NSite: 2}
+	c := &compute{Table: tbl, g: geometryFor(top), states: make([]state, len(top.ASes))}
+	c.initAnnouncements()
+	c.phaseCustomer()
+	c.phasePeer()
+	c.phaseProvider()
+	b.ReportAllocs()
+	b.ResetTimer()
+	events := 0
+	var out []Route
+	for i := 0; i < b.N; i++ {
+		events = 0
+		for dst := range c.g.as {
+			ag := &c.g.as[dst]
+			for ni := range ag.cust {
+				nb := &ag.cust[ni]
+				out = c.exportRoutesInto(out[:0], int(nb.idx), dst, nb.rev)
+				events++
+			}
+			for ni := range ag.peer {
+				nb := &ag.peer[ni]
+				out = c.exportRoutesInto(out[:0], int(nb.idx), dst, nb.rev)
+				events++
+			}
+			for ni := range ag.prov {
+				nb := &ag.prov[ni]
+				out = c.exportRoutesInto(out[:0], int(nb.idx), dst, nb.rev)
+				events++
+			}
+		}
+	}
+	b.ReportMetric(float64(events), "exports/op")
+}
+
+// BenchmarkGeometryBuild times the one-off per-topology precompute the
+// fast path amortizes (every subsequent Compute on the same topology
+// reuses it through geometryFor).
+func BenchmarkGeometryBuild(b *testing.B) {
+	top, _ := benchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := buildGeometry(top)
+		if len(g.as) != len(top.ASes) {
+			b.Fatal("bad geometry")
+		}
+	}
+}
+
+// BenchmarkComputeEpochCached times the steady-state cache hit: the cost
+// every repeated sweep case pays after its first visit.
+func BenchmarkComputeEpochCached(b *testing.B) {
+	defer ResetRouteCache()
+	ResetRouteCache()
+	top, anns := benchWorld(b)
+	ComputeEpochCached(top, anns, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl, asg := ComputeEpochCached(top, anns, 0)
+		if tbl == nil || asg.Primary[0] < 0 {
+			b.Fatal("bad cached result")
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"math"
 	"sort"
 
+	"verfploeter/internal/parallel"
 	"verfploeter/internal/topology"
 )
 
@@ -78,6 +79,10 @@ type Route struct {
 	// EntryLat/Lon is where traffic following this route leaves the AS —
 	// the coordinate hot-potato selection measures distance to.
 	EntryLat, EntryLon float64
+	// entry indexes the same point into the precomputed session geometry:
+	// >= 0 is an index into the holding AS's PoPs; < 0 encodes origin
+	// announcement -(entry+1), whose coordinates need not be a PoP.
+	entry int32
 }
 
 // Table holds the converged routing state for one configuration of
@@ -102,6 +107,28 @@ type state struct {
 	class RelClass
 	len   int
 	cands []Route
+}
+
+// compute carries one ComputeEpoch run's transient state: the table being
+// converged, the per-AS propagation states, the topology's precomputed
+// session geometry, and the small announcement-dependent distance tables
+// the geometry cannot know ahead of time.
+type compute struct {
+	*Table
+	g      *geometry
+	states []state
+	// annDist[k][m] is GeoDistance from PoP m of announcement k's
+	// upstream AS to the announcement's coordinates. Origin routes only
+	// ever sit in their upstream's RIB, so these are the only
+	// announcement-entry distances exports can ask for.
+	annDist [][]float64
+	annAS   []int32
+	// originFlat holds the origin routes in announcement order (the heap
+	// seeding order); origin[i] groups the same routes by upstream AS i
+	// for finalSelection (usually nil, anns order within an AS).
+	originFlat []Route
+	origin     [][]Route
+	exp        []Route // export scratch for the single-threaded phases
 }
 
 // Compute runs route propagation for the given announcements and returns
@@ -131,11 +158,12 @@ func ComputeEpoch(top *topology.Topology, anns []Announcement, epoch uint64) *Ta
 	}
 	n := len(top.ASes)
 	t := &Table{Top: top, Anns: anns, NSite: nSite, epoch: epoch}
-	states := make([]state, n)
+	c := &compute{Table: t, g: geometryFor(top), states: make([]state, n)}
+	c.initAnnouncements()
 
-	t.phaseCustomer(states)
-	t.phasePeer(states)
-	t.phaseProvider(states)
+	c.phaseCustomer()
+	c.phasePeer()
+	c.phaseProvider()
 
 	// The three phases settle each AS's class and path length exactly,
 	// but tie *diversity* — which equally-good sites an AS retains —
@@ -146,14 +174,14 @@ func ComputeEpoch(top *topology.Topology, anns []Announcement, epoch uint64) *Ta
 	// refreshed from neighbors) propagates tie diversity any number of
 	// hops; it converges quickly because classes and lengths are fixed.
 	for pass := 0; pass < maxRefinePasses; pass++ {
-		t.finalSelection(states)
+		c.finalSelection()
 		changed := false
-		for i := range states {
-			if !sameCandSites(states[i].cands, t.Cands[i]) {
+		for i := range c.states {
+			if !sameCandSites(c.states[i].cands, t.Cands[i]) {
 				changed = true
 			}
 			if len(t.Cands[i]) > 0 {
-				states[i].cands = t.Cands[i]
+				c.states[i].cands = t.Cands[i]
 			}
 		}
 		if !changed {
@@ -161,6 +189,35 @@ func ComputeEpoch(top *topology.Topology, anns []Announcement, epoch uint64) *Ta
 		}
 	}
 	return t
+}
+
+// initAnnouncements builds the announcement-dependent tables: origin
+// routes grouped by upstream AS, and the meet-to-announcement distance
+// rows exportRoutesInto reads for entry < 0 candidates. A handful of
+// GeoDistance calls per compute (|anns| × upstream PoPs), versus the
+// per-export-event inner products the old code paid.
+func (c *compute) initAnnouncements() {
+	c.annDist = make([][]float64, len(c.Anns))
+	c.annAS = make([]int32, len(c.Anns))
+	c.origin = make([][]Route, len(c.Top.ASes))
+	for k := range c.Anns {
+		a := &c.Anns[k]
+		idx := c.Top.ASIndex(a.UpstreamASN)
+		c.annAS[k] = int32(idx)
+		pops := c.Top.ASes[idx].PoPs
+		d := make([]float64, len(pops))
+		for m := range pops {
+			d[m] = topology.GeoDistance(pops[m].Lat, pops[m].Lon, a.Lat, a.Lon)
+		}
+		c.annDist[k] = d
+		r := Route{
+			Site: a.Site, Len: 1 + a.Prepend, BaseLen: 1,
+			From: 0, Class: FromCustomer,
+			EntryLat: a.Lat, EntryLon: a.Lon, entry: int32(-k - 1),
+		}
+		c.originFlat = append(c.originFlat, r)
+		c.origin[idx] = append(c.origin[idx], r)
+	}
 }
 
 // maxRefinePasses bounds the tie-diversity fixed-point iteration; the
@@ -211,20 +268,15 @@ func (q *pq) Pop() any {
 
 // phaseCustomer floods customer-learned routes upward (customer→provider),
 // cheapest path length first.
-func (t *Table) phaseCustomer(states []state) {
+func (c *compute) phaseCustomer() {
+	states := c.states
 	var q pq
 	var seq uint64
-	push := func(asIdx int, r Route) {
-		q = append(q, pqItem{len: r.Len, asIdx: asIdx, route: r, seq: seq})
+	// Seed in announcement order: seq breaks equal-length heap ties, so
+	// the seeding order is part of the deterministic output.
+	for k := range c.originFlat {
+		q = append(q, pqItem{len: c.originFlat[k].Len, asIdx: int(c.annAS[k]), route: c.originFlat[k], seq: seq})
 		seq++
-	}
-	for _, a := range t.Anns {
-		idx := t.Top.ASIndex(a.UpstreamASN)
-		push(idx, Route{
-			Site: a.Site, Len: 1 + a.Prepend, BaseLen: 1,
-			From: 0, Class: FromCustomer,
-			EntryLat: a.Lat, EntryLon: a.Lon,
-		})
 	}
 	heap.Init(&q)
 	for q.Len() > 0 {
@@ -244,16 +296,14 @@ func (t *Table) phaseCustomer(states []state) {
 		st.len = it.len
 		addCand(st, it.route)
 		// Export upward to providers.
-		x := &t.Top.ASes[it.asIdx]
-		for _, provASN := range x.Providers {
-			pi := t.Top.ASIndex(provASN)
-			if pi < 0 {
-				continue
-			}
+		for i := range c.g.as[it.asIdx].prov {
+			nb := &c.g.as[it.asIdx].prov[i]
+			pi := int(nb.idx)
 			if states[pi].class == FromCustomer && states[pi].len <= it.len {
 				continue // provider already settled as cheap or cheaper
 			}
-			for _, r := range t.exportRoutes(it.asIdx, pi, states) {
+			c.exp = c.exportRoutesInto(c.exp[:0], it.asIdx, pi, nb.fwd)
+			for _, r := range c.exp {
 				heap.Push(&q, pqItem{len: r.Len, asIdx: pi, route: r, seq: seq})
 				seq++
 			}
@@ -263,22 +313,25 @@ func (t *Table) phaseCustomer(states []state) {
 
 // phasePeer hands customer routes one hop across peerings to ASes that
 // have no customer route of their own.
-func (t *Table) phasePeer(states []state) {
+func (c *compute) phasePeer() {
+	states := c.states
 	type offer struct {
 		asIdx int
 		r     Route
 	}
 	var offers []offer
-	for i := range t.Top.ASes {
+	for i := range c.Top.ASes {
 		if states[i].class != FromCustomer {
 			continue
 		}
-		for _, peerASN := range t.Top.ASes[i].Peers {
-			pi := t.Top.ASIndex(peerASN)
-			if pi < 0 || states[pi].class == FromCustomer {
+		for n := range c.g.as[i].peer {
+			nb := &c.g.as[i].peer[n]
+			pi := int(nb.idx)
+			if states[pi].class == FromCustomer {
 				continue
 			}
-			for _, r := range t.exportRoutes(i, pi, states) {
+			c.exp = c.exportRoutesInto(c.exp[:0], i, pi, nb.fwd)
+			for _, r := range c.exp {
 				offers = append(offers, offer{pi, r})
 			}
 		}
@@ -290,9 +343,6 @@ func (t *Table) phasePeer(states []state) {
 		case st.class == FromPeer && o.r.Len == st.len:
 			addCand(st, o.r)
 		default: // unset, or better length
-			if st.class == FromPeer {
-				st.cands = st.cands[:0]
-			}
 			st.class = FromPeer
 			st.len = o.r.Len
 			st.cands = st.cands[:0]
@@ -303,19 +353,22 @@ func (t *Table) phasePeer(states []state) {
 
 // phaseProvider floods routes downward (provider→customer) to ASes that
 // still have nothing better.
-func (t *Table) phaseProvider(states []state) {
+func (c *compute) phaseProvider() {
+	states := c.states
 	var q pq
 	var seq uint64
-	for i := range t.Top.ASes {
+	for i := range c.Top.ASes {
 		if states[i].class == 0 {
 			continue
 		}
-		for _, custASN := range t.Top.ASes[i].Customers {
-			ci := t.Top.ASIndex(custASN)
-			if ci < 0 || states[ci].class >= FromPeer || states[ci].class == FromCustomer {
+		for n := range c.g.as[i].cust {
+			nb := &c.g.as[i].cust[n]
+			ci := int(nb.idx)
+			if states[ci].class >= FromPeer || states[ci].class == FromCustomer {
 				continue
 			}
-			for _, r := range t.exportRoutes(i, ci, states) {
+			c.exp = c.exportRoutesInto(c.exp[:0], i, ci, nb.fwd)
+			for _, r := range c.exp {
 				q = append(q, pqItem{len: r.Len, asIdx: ci, route: r, seq: seq})
 				seq++
 			}
@@ -339,12 +392,14 @@ func (t *Table) phaseProvider(states []state) {
 		st.len = it.len
 		st.cands = st.cands[:0]
 		addCand(st, it.route)
-		for _, custASN := range t.Top.ASes[it.asIdx].Customers {
-			ci := t.Top.ASIndex(custASN)
-			if ci < 0 || states[ci].class >= FromPeer {
+		for n := range c.g.as[it.asIdx].cust {
+			nb := &c.g.as[it.asIdx].cust[n]
+			ci := int(nb.idx)
+			if states[ci].class >= FromPeer {
 				continue
 			}
-			for _, r := range t.exportRoutes(it.asIdx, ci, states) {
+			c.exp = c.exportRoutesInto(c.exp[:0], it.asIdx, ci, nb.fwd)
+			for _, r := range c.exp {
 				heap.Push(&q, pqItem{len: r.Len, asIdx: ci, route: r, seq: seq})
 				seq++
 			}
@@ -357,64 +412,73 @@ func (t *Table) phaseProvider(states []state) {
 // blindness). One local refinement pass over the converged global state:
 // it keeps all equal-cost winners so hot-potato block assignment can
 // split the AS, and lets prepend-ignoring ASes re-rank by BaseLen.
-func (t *Table) finalSelection(states []state) {
+//
+// The rebuild is embarrassingly parallel: AS i reads the (frozen) states
+// and writes only Cands[i]/AltSite[i], so it runs on the parallel pool
+// with per-chunk scratch buffers; results are identical at any width.
+func (c *compute) finalSelection() {
+	t := c.Table
+	states := c.states
 	n := len(t.Top.ASes)
 	t.Cands = make([][]Route, n)
 	t.AltSite = make([]int16, n)
-	for i := 0; i < n; i++ {
-		x := &t.Top.ASes[i]
-		var offers []Route
+	parallel.Chunked(0, n, func(lo, hi int) {
+		var offers, exp []Route
+		winning := make([]bool, t.NSite)
+		for i := lo; i < hi; i++ {
+			x := &t.Top.ASes[i]
+			ag := &c.g.as[i]
+			offers = offers[:0]
 
-		// Own origination(s): the service AS is a direct customer.
-		for _, a := range t.Anns {
-			if t.Top.ASIndex(a.UpstreamASN) == i {
-				offers = append(offers, Route{
-					Site: a.Site, Len: 1 + a.Prepend, BaseLen: 1,
-					From: 0, Class: FromCustomer,
-					EntryLat: a.Lat, EntryLon: a.Lon,
-				})
-			}
-		}
-		for _, cASN := range x.Customers {
-			ci := t.Top.ASIndex(cASN)
-			if ci >= 0 && states[ci].class == FromCustomer {
-				for _, r := range t.exportRoutes(ci, i, states) {
-					r.Class = FromCustomer
-					offers = append(offers, r)
+			// Own origination(s): the service AS is a direct customer.
+			offers = append(offers, c.origin[i]...)
+			for ni := range ag.cust {
+				nb := &ag.cust[ni]
+				if states[nb.idx].class == FromCustomer {
+					exp = c.exportRoutesInto(exp[:0], int(nb.idx), i, nb.rev)
+					for _, r := range exp {
+						r.Class = FromCustomer
+						offers = append(offers, r)
+					}
 				}
 			}
-		}
-		for _, pASN := range x.Peers {
-			pi := t.Top.ASIndex(pASN)
-			if pi >= 0 && states[pi].class == FromCustomer {
-				for _, r := range t.exportRoutes(pi, i, states) {
-					r.Class = FromPeer
-					offers = append(offers, r)
+			for ni := range ag.peer {
+				nb := &ag.peer[ni]
+				if states[nb.idx].class == FromCustomer {
+					exp = c.exportRoutesInto(exp[:0], int(nb.idx), i, nb.rev)
+					for _, r := range exp {
+						r.Class = FromPeer
+						offers = append(offers, r)
+					}
 				}
 			}
-		}
-		for _, vASN := range x.Providers {
-			vi := t.Top.ASIndex(vASN)
-			if vi >= 0 && states[vi].class != 0 {
-				for _, r := range t.exportRoutes(vi, i, states) {
-					r.Class = FromProvider
-					offers = append(offers, r)
+			for ni := range ag.prov {
+				nb := &ag.prov[ni]
+				if states[nb.idx].class != 0 {
+					exp = c.exportRoutesInto(exp[:0], int(nb.idx), i, nb.rev)
+					for _, r := range exp {
+						r.Class = FromProvider
+						offers = append(offers, r)
+					}
 				}
 			}
+			t.AltSite[i] = -1
+			if len(offers) == 0 {
+				continue
+			}
+			t.Cands[i] = selectBest(offers, x.IgnorePrepend)
+			t.AltSite[i] = altSite(offers, t.Cands[i], winning)
 		}
-		t.AltSite[i] = -1
-		if len(offers) == 0 {
-			continue
-		}
-		t.Cands[i] = selectBest(offers, x.IgnorePrepend)
-		t.AltSite[i] = altSite(offers, t.Cands[i])
-	}
+	})
 }
 
 // altSite finds the preferred fallback site: the best offer whose site
-// differs from every winning candidate (by class, then length).
-func altSite(offers, winners []Route) int16 {
-	winning := map[int]bool{}
+// differs from every winning candidate (by class, then length). winning
+// is caller-owned scratch of length NSite.
+func altSite(offers, winners []Route, winning []bool) int16 {
+	for i := range winning {
+		winning[i] = false
+	}
 	for _, w := range winners {
 		winning[w.Site] = true
 	}
@@ -448,13 +512,24 @@ func selectBest(offers []Route, ignorePrepend bool) []Route {
 			best = r
 		}
 	}
-	var out []Route
+	n := 0
+	for _, r := range offers {
+		if r.Class == best.Class && cmpLen(r) == cmpLen(best) {
+			n++
+		}
+	}
+	// out is retained as the AS's candidate list, so it is the one
+	// allocation this function cannot reuse; size it exactly.
+	out := make([]Route, 0, n)
 	for _, r := range offers {
 		if r.Class == best.Class && cmpLen(r) == cmpLen(best) {
 			out = append(out, r)
 		}
 	}
 	// Deterministic order; also dedupe identical (Site, From) pairs.
+	// Duplicates differ in entry coordinates, so the permutation among
+	// equal keys decides which representative survives — sort.Slice's
+	// (unstable but deterministic) order is part of the frozen output.
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Site != out[b].Site {
 			return out[a].Site < out[b].Site
@@ -470,12 +545,10 @@ func selectBest(offers []Route, ignorePrepend bool) []Route {
 	return dedup
 }
 
-// addCand records a route, keeping at most one per announcing neighbor —
-// a BGP session carries a single best route, so a re-announcement from
-// the same neighbor replaces the old one.
 // addCand records a route, deduplicating by announcing neighbor and
 // site (one multi-PoP neighbor can legitimately announce several sites,
-// one per session region).
+// one per session region; a re-announcement of the same pair replaces
+// nothing — the first retained route wins).
 func addCand(st *state, r Route) {
 	for i := range st.cands {
 		if st.cands[i].From == r.From && st.cands[i].Site == r.Site {
@@ -485,60 +558,56 @@ func addCand(st *state, r Route) {
 	st.cands = append(st.cands, r)
 }
 
-// exportRoutes computes what src announces to dst, one route per BGP
-// session. Two networks interconnect wherever their footprints meet:
-// each dst PoP forms a session with src's nearest PoP, and over that
-// session src announces the candidate whose own exit is nearest the
+// exportRoutesInto computes what src announces to dst, one route per BGP
+// session, appending to out (a caller-owned scratch buffer) and returning
+// the extended slice. Sessions come from the topology's precomputed
+// geometry: each dst PoP forms a session with src's nearest PoP, and over
+// that session src announces the candidate whose own exit is nearest the
 // session (src hot-potatoes too). A multi-PoP neighbor therefore hears
 // several equally long routes — possibly toward different sites — which
 // is exactly how site diversity disseminates on the real Internet.
 // Exact-distance ties break by a deterministic per-session hash standing
 // in for IGP metrics and router IDs, so one site doesn't globally win
 // every tie.
-func (t *Table) exportRoutes(srcIdx, dstIdx int, states []state) []Route {
-	src := &t.Top.ASes[srcIdx]
-	dst := &t.Top.ASes[dstIdx]
+//
+// The hot-potato distances are table lookups — popDist rows for PoP
+// entries, annDist rows for origin entries — each the memoized result of
+// the identical GeoDistance call the old inner loop made, so selection
+// is bit-for-bit unchanged.
+func (c *compute) exportRoutesInto(out []Route, srcIdx, dstIdx int, sess []session) []Route {
+	states := c.states
 	cands := states[srcIdx].cands
 	if len(cands) == 0 {
-		return nil
+		return out
 	}
-	// A session exists at a dst PoP only where src is also present
-	// (within sessionRadius), and always at the overall nearest pair —
-	// two networks interconnect somewhere even with disjoint footprints.
-	minD := math.Inf(1)
-	dists := make([]float64, len(dst.PoPs))
-	meets := make([][2]float64, len(dst.PoPs))
-	for pi, dp := range dst.PoPs {
-		bestD := math.Inf(1)
-		for _, sp := range src.PoPs {
-			if d := topology.GeoDistance(dp.Lat, dp.Lon, sp.Lat, sp.Lon); d < bestD {
-				bestD = d
-				meets[pi] = [2]float64{sp.Lat, sp.Lon}
-			}
-		}
-		dists[pi] = bestD
-		if bestD < minD {
-			minD = bestD
-		}
-	}
-	out := make([]Route, 0, 2)
-	for pi, dp := range dst.PoPs {
-		if dists[pi] > sessionRadius && dists[pi] > minD {
-			continue
-		}
-		meetLat, meetLon := meets[pi][0], meets[pi][1]
+	src := &c.Top.ASes[srcIdx]
+	dst := &c.Top.ASes[dstIdx]
+	pd := c.g.popDist[srcIdx]
+	np := int32(len(src.PoPs))
+	start := len(out)
+	for _, s := range sess {
 		// src's announcement over this session.
 		best := cands[0]
 		bd := math.Inf(1)
 		bh := ^uint64(0)
-		for _, c := range cands {
-			d := topology.GeoDistance(meetLat, meetLon, c.EntryLat, c.EntryLon)
-			h := tieHash(src.ASN, dst.ASN, c.Site, t.epoch)
+		for _, cand := range cands {
+			var d float64
+			if e := cand.entry; e >= 0 {
+				d = pd[s.meet*np+e]
+			} else {
+				k := -e - 1
+				if c.annAS[k] != int32(srcIdx) {
+					panic("bgp: origin route escaped its upstream AS")
+				}
+				d = c.annDist[k][s.meet]
+			}
+			h := tieHash(src.ASN, dst.ASN, cand.Site, c.epoch)
 			if d < bd || (d == bd && h < bh) {
 				bd, bh = d, h
-				best = c
+				best = cand
 			}
 		}
+		dp := &dst.PoPs[s.dstPoP]
 		r := Route{
 			Site:     best.Site,
 			Len:      states[srcIdx].len + 1,
@@ -547,9 +616,10 @@ func (t *Table) exportRoutes(srcIdx, dstIdx int, states []state) []Route {
 			Class:    best.Class, // caller overrides with receiver's view
 			EntryLat: dp.Lat,
 			EntryLon: dp.Lon,
+			entry:    s.dstPoP,
 		}
 		dup := false
-		for _, prev := range out {
+		for _, prev := range out[start:] {
 			if prev.Site == r.Site && prev.EntryLat == r.EntryLat && prev.EntryLon == r.EntryLon {
 				dup = true
 				break

@@ -1,0 +1,173 @@
+package bgp
+
+// Converged-table cache. The pipeline's callers revisit announcement
+// configurations constantly: the §6.1 prepend sweep returns to baseline
+// between cases, ext-ddos and ext-testprefix re-evaluate overlapping
+// plans, and Scenario.Fork across 25 experiments re-derives identical
+// tables from the same shared topology. A converged *Table (and its
+// default Assignment) is a pure function of (topology identity,
+// announcement set, epoch), so those repeats are O(1) hits here.
+//
+// Keying: topology identity is the *Topology pointer plus its Finalize
+// generation — a scenario that mutates the graph and re-Finalizes moves
+// the generation, so stale tables can never be served (see
+// topology.Generation). Announcements are canonicalized into a binary
+// fingerprint of every field in order; order is deliberately significant
+// because it is part of the converged output (heap seeding order breaks
+// ties). The epoch is part of the key, never ignored: epochs re-roll
+// tie-breaks, so tables must not leak across them.
+//
+// Set VP_NO_ROUTE_CACHE=1 to bypass the cache entirely (the escape hatch
+// the byte-identity tests diff against), or call SetRouteCache from
+// tests.
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"verfploeter/internal/topology"
+)
+
+// routeCacheCap bounds the number of retained tables. Tables are the
+// dominant memory consumer per entry (per-AS candidate slices); 64 covers
+// every sweep in the experiment suite with room to spare.
+const routeCacheCap = 64
+
+type tableKey struct {
+	top   *topology.Topology
+	gen   uint64
+	epoch uint64
+	anns  string // canonical announcement fingerprint
+}
+
+type tableEntry struct {
+	key  tableKey
+	tbl  *Table
+	elem *list.Element
+
+	// The default Assignment is memoized per cached table: Assign is
+	// deterministic given the table, and every ReannounceEpoch wants it.
+	// Memoization lives here, NOT on Table — Table.Assign must keep
+	// recomputing for callers that legitimately mutate Cands (tests
+	// exercising candidate-order independence do).
+	asgOnce sync.Once
+	asg     *Assignment
+}
+
+var routeCacheOff atomic.Bool
+
+func init() {
+	if os.Getenv("VP_NO_ROUTE_CACHE") == "1" {
+		routeCacheOff.Store(true)
+	}
+}
+
+// SetRouteCache enables or disables the converged-table cache and
+// returns the previous setting. Disabling does not drop existing
+// entries; use ResetRouteCache for that.
+func SetRouteCache(on bool) bool {
+	return !routeCacheOff.Swap(!on)
+}
+
+var routeCache = struct {
+	mu     sync.Mutex
+	m      map[tableKey]*tableEntry
+	order  *list.List // front = most recently used; values are *tableEntry
+	hits   uint64
+	misses uint64
+}{m: map[tableKey]*tableEntry{}, order: list.New()}
+
+// RouteCacheStats reports cumulative cache hits and misses.
+func RouteCacheStats() (hits, misses uint64) {
+	routeCache.mu.Lock()
+	defer routeCache.mu.Unlock()
+	return routeCache.hits, routeCache.misses
+}
+
+// ResetRouteCache drops every cached table and zeroes the stats.
+func ResetRouteCache() {
+	routeCache.mu.Lock()
+	defer routeCache.mu.Unlock()
+	routeCache.m = map[tableKey]*tableEntry{}
+	routeCache.order = list.New()
+	routeCache.hits, routeCache.misses = 0, 0
+}
+
+// annFingerprint canonicalizes an announcement set into the cache key.
+// Every field is encoded, floats by their exact bit patterns, in slice
+// order (order matters to the converged result — see package comment).
+func annFingerprint(anns []Announcement) string {
+	buf := make([]byte, 0, len(anns)*36)
+	var w [8]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		buf = append(buf, w[:]...)
+	}
+	for _, a := range anns {
+		put64(uint64(a.Site))
+		put64(uint64(a.UpstreamASN))
+		put64(math.Float64bits(a.Lat))
+		put64(math.Float64bits(a.Lon))
+		put64(uint64(a.Prepend))
+	}
+	return string(buf)
+}
+
+// ComputeEpochCached is ComputeEpoch plus the table cache: it returns the
+// converged table and its default Assignment, computing both at most once
+// per (topology identity, announcement fingerprint, epoch). The returned
+// table and assignment are shared — callers must treat them as immutable
+// (which Scenario already does; tests that mutate tables go through
+// ComputeEpoch).
+func ComputeEpochCached(top *topology.Topology, anns []Announcement, epoch uint64) (*Table, *Assignment) {
+	if routeCacheOff.Load() {
+		tbl := ComputeEpoch(top, anns, epoch)
+		return tbl, tbl.Assign()
+	}
+	key := tableKey{top: top, gen: top.Generation(), epoch: epoch, anns: annFingerprint(anns)}
+
+	routeCache.mu.Lock()
+	if e, ok := routeCache.m[key]; ok {
+		routeCache.hits++
+		routeCache.order.MoveToFront(e.elem)
+		routeCache.mu.Unlock()
+		e.asgOnce.Do(func() { e.asg = e.tbl.Assign() })
+		return e.tbl, e.asg
+	}
+	routeCache.misses++
+	routeCache.mu.Unlock()
+
+	// Compute outside the lock: concurrent scenarios (experiment workers
+	// on distinct forks) must not serialize on one convergence. Losing a
+	// rare duplicate-compute race just means one redundant table; the
+	// first insert wins so all callers converge on one shared entry.
+	// The announcement slice is copied defensively — callers (the prepend
+	// sweep, property tests) reuse and mutate their backing arrays, and a
+	// cached table must keep a stable Anns snapshot matching its key.
+	annsCopy := make([]Announcement, len(anns))
+	copy(annsCopy, anns)
+	tbl := ComputeEpoch(top, annsCopy, epoch)
+
+	routeCache.mu.Lock()
+	e, ok := routeCache.m[key]
+	if !ok {
+		e = &tableEntry{key: key, tbl: tbl}
+		e.elem = routeCache.order.PushFront(e)
+		routeCache.m[key] = e
+		for len(routeCache.m) > routeCacheCap {
+			back := routeCache.order.Back()
+			victim := back.Value.(*tableEntry)
+			routeCache.order.Remove(back)
+			delete(routeCache.m, victim.key)
+		}
+	} else {
+		routeCache.order.MoveToFront(e.elem)
+	}
+	routeCache.mu.Unlock()
+	e.asgOnce.Do(func() { e.asg = e.tbl.Assign() })
+	return e.tbl, e.asg
+}

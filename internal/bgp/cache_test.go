@@ -1,0 +1,208 @@
+package bgp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Tests for the converged-table cache: cached results must be
+// indistinguishable from fresh computation, and entries must never leak
+// across epochs or topologies.
+
+func tablesEqual(t *testing.T, ctx string, a, b *Table) {
+	t.Helper()
+	if len(a.Cands) != len(b.Cands) {
+		t.Fatalf("%s: AS counts differ", ctx)
+	}
+	for i := range a.Cands {
+		if len(a.Cands[i]) != len(b.Cands[i]) {
+			t.Fatalf("%s: candidate counts differ at AS %d", ctx, i)
+		}
+		for j := range a.Cands[i] {
+			if a.Cands[i][j] != b.Cands[i][j] {
+				t.Fatalf("%s: candidates differ at AS %d: %+v vs %+v",
+					ctx, i, a.Cands[i][j], b.Cands[i][j])
+			}
+		}
+		if a.AltSite[i] != b.AltSite[i] {
+			t.Fatalf("%s: AltSite differs at AS %d: %d vs %d",
+				ctx, i, a.AltSite[i], b.AltSite[i])
+		}
+	}
+}
+
+// Property: for random topologies, announcement sets (varying prepends
+// and upstreams), and epochs, ComputeEpochCached returns tables and
+// assignments identical to an uncached ComputeEpoch.
+func TestCachedMatchesUncached(t *testing.T) {
+	defer ResetRouteCache()
+	for seed := uint64(600); seed < 608; seed++ {
+		top, anns := randomWorld(t, seed)
+		for _, epoch := range []uint64{0, 1, uint64(seed)} {
+			for prepend := 0; prepend <= 2; prepend++ {
+				anns[0].Prepend = prepend
+				want := ComputeEpoch(top, anns, epoch)
+				wantAsg := want.Assign()
+				// Twice: first call populates, second must hit.
+				for pass := 0; pass < 2; pass++ {
+					ctx := fmt.Sprintf("seed %d epoch %d prepend %d pass %d", seed, epoch, prepend, pass)
+					got, gotAsg := ComputeEpochCached(top, anns, epoch)
+					tablesEqual(t, ctx, want, got)
+					for i := range wantAsg.Primary {
+						if wantAsg.Primary[i] != gotAsg.Primary[i] ||
+							wantAsg.Secondary[i] != gotAsg.Secondary[i] ||
+							wantAsg.FlipProb[i] != gotAsg.FlipProb[i] {
+							t.Fatalf("%s: assignment differs at block %d", ctx, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The cache must never serve a table across epochs (tie-breaks differ)
+// or across topologies (including a re-Finalized mutation of the same
+// *Topology value, which moves its generation).
+func TestCacheIsolation(t *testing.T) {
+	defer ResetRouteCache()
+	ResetRouteCache()
+	top, anns := randomWorld(t, 700)
+
+	t0, _ := ComputeEpochCached(top, anns, 0)
+	t1, _ := ComputeEpochCached(top, anns, 1)
+	if t0 == t1 {
+		t.Fatal("one table served for two epochs")
+	}
+	tablesEqual(t, "epoch 0", ComputeEpoch(top, anns, 0), t0)
+	tablesEqual(t, "epoch 1", ComputeEpoch(top, anns, 1), t1)
+
+	// A second topology generated from a different seed must not collide.
+	top2, anns2 := randomWorld(t, 701)
+	u0, _ := ComputeEpochCached(top2, anns2, 0)
+	tablesEqual(t, "top2", ComputeEpoch(top2, anns2, 0), u0)
+
+	// Mutating and re-Finalizing the first topology moves its generation:
+	// the pre-mutation entry must not be served for the new graph.
+	genBefore := top.Generation()
+	top.Finalize()
+	if top.Generation() == genBefore {
+		t.Fatal("Finalize did not move the generation")
+	}
+	_, misses0 := RouteCacheStats()
+	tAfter, _ := ComputeEpochCached(top, anns, 0)
+	_, misses1 := RouteCacheStats()
+	if misses1 != misses0+1 {
+		t.Fatalf("re-Finalized topology did not miss the cache (misses %d -> %d)", misses0, misses1)
+	}
+	tablesEqual(t, "re-finalized", ComputeEpoch(top, anns, 0), tAfter)
+}
+
+// The caller-owned announcement slice may be reused and mutated between
+// calls (the prepend sweep does); the cache must have snapshotted it.
+func TestCacheDefensiveAnnsCopy(t *testing.T) {
+	defer ResetRouteCache()
+	ResetRouteCache()
+	top, anns := randomWorld(t, 710)
+	tbl, _ := ComputeEpochCached(top, anns, 0)
+	if tbl.Anns[0].Prepend != 0 {
+		t.Fatal("unexpected initial prepend")
+	}
+	anns[0].Prepend = 3 // caller mutates its slice
+	if tbl.Anns[0].Prepend != 0 {
+		t.Fatal("cached table aliases the caller's announcement slice")
+	}
+	tbl2, _ := ComputeEpochCached(top, anns, 0)
+	if tbl2 == tbl {
+		t.Fatal("mutated announcements served the old table")
+	}
+}
+
+// Concurrent lookups across goroutines — same key and different keys —
+// must be race-free and agree with fresh computation. Run under -race.
+func TestCacheConcurrent(t *testing.T) {
+	defer ResetRouteCache()
+	ResetRouteCache()
+	top, anns := randomWorld(t, 720)
+	want0 := ComputeEpoch(top, anns, 0)
+	want1 := ComputeEpoch(top, anns, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 10; iter++ {
+				epoch := uint64((g + iter) % 2)
+				got, asg := ComputeEpochCached(top, anns, epoch)
+				want := want0
+				if epoch == 1 {
+					want = want1
+				}
+				if len(got.Cands) != len(want.Cands) {
+					t.Error("size mismatch")
+					return
+				}
+				for i := range got.Cands {
+					if len(got.Cands[i]) != len(want.Cands[i]) {
+						t.Errorf("candidate count differs at AS %d", i)
+						return
+					}
+				}
+				if asg.Primary[0] < 0 {
+					t.Error("unassigned block 0")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// The LRU must evict once over capacity and keep serving correct results.
+func TestCacheEviction(t *testing.T) {
+	defer ResetRouteCache()
+	ResetRouteCache()
+	top, anns := randomWorld(t, 730)
+	for epoch := uint64(0); epoch < routeCacheCap+8; epoch++ {
+		ComputeEpochCached(top, anns, epoch)
+	}
+	routeCache.mu.Lock()
+	size, listLen := len(routeCache.m), routeCache.order.Len()
+	routeCache.mu.Unlock()
+	if size > routeCacheCap {
+		t.Fatalf("cache grew past cap: %d > %d", size, routeCacheCap)
+	}
+	if size != listLen {
+		t.Fatalf("map (%d) and LRU list (%d) out of sync", size, listLen)
+	}
+	// An evicted epoch recomputes correctly.
+	tbl, _ := ComputeEpochCached(top, anns, 0)
+	tablesEqual(t, "post-eviction", ComputeEpoch(top, anns, 0), tbl)
+}
+
+// SetRouteCache(false) must bypass without corrupting stats or entries.
+func TestSetRouteCache(t *testing.T) {
+	defer SetRouteCache(true)
+	defer ResetRouteCache()
+	ResetRouteCache()
+	top, anns := randomWorld(t, 740)
+	ComputeEpochCached(top, anns, 0)
+	prev := SetRouteCache(false)
+	if !prev {
+		t.Fatal("cache unexpectedly already off")
+	}
+	hits0, _ := RouteCacheStats()
+	ComputeEpochCached(top, anns, 0) // would hit if enabled
+	hits1, _ := RouteCacheStats()
+	if hits1 != hits0 {
+		t.Fatal("disabled cache still served a hit")
+	}
+	SetRouteCache(true)
+	_, misses0 := RouteCacheStats()
+	ComputeEpochCached(top, anns, 0)
+	_, misses1 := RouteCacheStats()
+	if misses1 != misses0 {
+		t.Fatal("re-enabled cache lost its entry")
+	}
+}

@@ -1,0 +1,189 @@
+package bgp
+
+// Session geometry: the interconnection structure exportRoutes walks is a
+// pure function of the immutable topology. Two networks interconnect
+// wherever their footprints meet — each receiver PoP forms a session with
+// the exporter's nearest PoP, plus the overall nearest pair even when the
+// footprints are disjoint — and the hot-potato distances measured over
+// those sessions run between the exporter's own PoPs (or from a PoP to an
+// origin announcement's coordinates). None of that depends on the
+// announcement set or the epoch, so this file materializes it once per
+// *topology.Topology:
+//
+//   - popDist: per-AS PoP-to-PoP distance tables (the exporter-side
+//     hot-potato lookups);
+//   - per-neighbor session lists in both directions, with the neighbor's
+//     AS index pre-resolved (the phases previously burned a map lookup
+//     per export event on ASIndex).
+//
+// With these tables, exportRoutes is lookups plus the tie-hash: route
+// computation makes zero GeoDistance calls (announcement-entry distances
+// are a tiny per-compute table; see compute.initAnnouncements). Every
+// stored distance is the result of topology.GeoDistance on the same
+// arguments the old inner loops passed, so converged tables are
+// bit-identical to the unprecomputed path.
+
+import (
+	"math"
+	"sync"
+
+	"verfploeter/internal/topology"
+)
+
+// session is one BGP session between two ASes: the receiver-side PoP the
+// exported route enters at, and the exporter-side PoP it leaves from.
+type session struct {
+	dstPoP int32 // index into the receiving AS's PoPs
+	meet   int32 // index into the exporting AS's PoPs
+}
+
+// nbr is one resolved neighbor of an AS, with the session lists for both
+// export directions. Lists are aligned with the AS's relationship slices
+// minus any unresolvable ASNs, preserving order.
+type nbr struct {
+	idx int32     // neighbor's index in Topology.ASes
+	fwd []session // sessions for exports this AS -> neighbor
+	rev []session // sessions for exports neighbor -> this AS
+}
+
+// asGeo is one AS's precomputed adjacency.
+type asGeo struct {
+	prov, peer, cust []nbr
+}
+
+// geometry is the full per-topology precompute.
+type geometry struct {
+	gen     uint64      // topology.Generation at build time
+	popDist [][]float64 // [as][m*|PoPs|+e]: GeoDistance(PoPs[m], PoPs[e])
+	as      []asGeo
+}
+
+// buildSessions replicates exportRoutes' old session discovery: a session
+// at every dst PoP where src is within sessionRadius, and always at the
+// overall nearest pair. Iteration order matches the old code exactly so
+// the float comparisons (strict <, first-wins) pick identical meets.
+func buildSessions(src, dst *topology.AS) []session {
+	minD := math.Inf(1)
+	dists := make([]float64, len(dst.PoPs))
+	meets := make([]int32, len(dst.PoPs))
+	for pi := range dst.PoPs {
+		dp := &dst.PoPs[pi]
+		bestD := math.Inf(1)
+		for si := range src.PoPs {
+			sp := &src.PoPs[si]
+			if d := topology.GeoDistance(dp.Lat, dp.Lon, sp.Lat, sp.Lon); d < bestD {
+				bestD = d
+				meets[pi] = int32(si)
+			}
+		}
+		dists[pi] = bestD
+		if bestD < minD {
+			minD = bestD
+		}
+	}
+	out := make([]session, 0, 2)
+	for pi := range dst.PoPs {
+		if dists[pi] > sessionRadius && dists[pi] > minD {
+			continue
+		}
+		out = append(out, session{dstPoP: int32(pi), meet: meets[pi]})
+	}
+	return out
+}
+
+func buildGeometry(top *topology.Topology) *geometry {
+	n := len(top.ASes)
+	g := &geometry{gen: top.Generation(), popDist: make([][]float64, n), as: make([]asGeo, n)}
+	for i := range top.ASes {
+		pops := top.ASes[i].PoPs
+		np := len(pops)
+		d := make([]float64, np*np)
+		for m := 0; m < np; m++ {
+			for e := 0; e < np; e++ {
+				d[m*np+e] = topology.GeoDistance(pops[m].Lat, pops[m].Lon, pops[e].Lat, pops[e].Lon)
+			}
+		}
+		g.popDist[i] = d
+	}
+	// Session lists are shared between the two ASes of a link (stored as
+	// one side's fwd and the other side's rev), so each directed pair is
+	// computed once.
+	type pk struct{ s, d int32 }
+	memo := map[pk][]session{}
+	sessions := func(s, d int32) []session {
+		if v, ok := memo[pk{s, d}]; ok {
+			return v
+		}
+		v := buildSessions(&top.ASes[s], &top.ASes[d])
+		memo[pk{s, d}] = v
+		return v
+	}
+	resolve := func(i int, asns []uint32) []nbr {
+		if len(asns) == 0 {
+			return nil
+		}
+		out := make([]nbr, 0, len(asns))
+		for _, asn := range asns {
+			j := top.ASIndex(asn)
+			if j < 0 {
+				continue
+			}
+			out = append(out, nbr{
+				idx: int32(j),
+				fwd: sessions(int32(i), int32(j)),
+				rev: sessions(int32(j), int32(i)),
+			})
+		}
+		return out
+	}
+	for i := range top.ASes {
+		x := &top.ASes[i]
+		g.as[i] = asGeo{
+			prov: resolve(i, x.Providers),
+			peer: resolve(i, x.Peers),
+			cust: resolve(i, x.Customers),
+		}
+	}
+	return g
+}
+
+// geomCacheCap bounds the geometry cache. Geometries are small relative
+// to their topologies, but property tests churn through many generated
+// worlds; eviction picks arbitrary victims (pure cache, order only
+// affects rebuild cost, never results).
+const geomCacheCap = 32
+
+type geomEntry struct {
+	once sync.Once
+	gen  uint64
+	g    *geometry
+}
+
+var geomCache = struct {
+	mu sync.Mutex
+	m  map[*topology.Topology]*geomEntry
+}{m: map[*topology.Topology]*geomEntry{}}
+
+// geometryFor returns the topology's session geometry, building it at
+// most once per (topology, generation). Concurrent computes on the same
+// fresh topology block on one build instead of duplicating it.
+func geometryFor(top *topology.Topology) *geometry {
+	gen := top.Generation()
+	geomCache.mu.Lock()
+	e := geomCache.m[top]
+	if e == nil || e.gen != gen {
+		if len(geomCache.m) >= geomCacheCap {
+			for k := range geomCache.m {
+				delete(geomCache.m, k)
+				if len(geomCache.m) < geomCacheCap {
+					break
+				}
+			}
+		}
+		e = &geomEntry{gen: gen}
+		geomCache.m[top] = e
+	}
+	geomCache.mu.Unlock()
+	e.once.Do(func() { e.g = buildGeometry(top) })
+	return e.g
+}

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"sync"
+	"testing"
+
+	"verfploeter/internal/bgp"
+	"verfploeter/internal/topology"
+)
+
+// TestConcurrentForkReannounce drives the shared converged-table cache
+// the way the experiment suite does: many forks of one world,
+// re-announcing overlapping prepend configurations concurrently. Run
+// under -race; it also checks each fork lands on the same assignment a
+// fresh uncached computation produces.
+func TestConcurrentForkReannounce(t *testing.T) {
+	bgp.ResetRouteCache()
+	defer bgp.ResetRouteCache()
+	s := BRoot(topology.SizeTiny, 9)
+
+	// Reference assignments per configuration, computed uncached.
+	sweep := [][]int{{0, 0}, {1, 0}, {0, 2}, {3, 0}}
+	ref := make([]*bgp.Assignment, len(sweep))
+	prevOn := bgp.SetRouteCache(false)
+	for ci, pp := range sweep {
+		f := s.Fork()
+		f.Reannounce(pp)
+		ref[ci] = f.Asg
+	}
+	bgp.SetRouteCache(prevOn)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f := s.Fork()
+			for iter := 0; iter < 6; iter++ {
+				ci := (g + iter) % len(sweep)
+				f.Reannounce(sweep[ci])
+				want := ref[ci]
+				if len(f.Asg.Primary) != len(want.Primary) {
+					t.Error("assignment size mismatch")
+					return
+				}
+				for i := range want.Primary {
+					if f.Asg.Primary[i] != want.Primary[i] {
+						t.Errorf("config %d: block %d got site %d, want %d",
+							ci, i, f.Asg.Primary[i], want.Primary[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	hits, misses := bgp.RouteCacheStats()
+	if hits == 0 {
+		t.Fatalf("concurrent sweep produced no cache hits (misses=%d)", misses)
+	}
+}

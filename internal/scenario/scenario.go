@@ -146,8 +146,7 @@ func (s *Scenario) ReannounceEpoch(extraPrepend []int, epoch uint64) {
 			Prepend: site.BasePrepend + extraPrepend[i],
 		}
 	}
-	s.Table = bgp.ComputeEpoch(s.Top, anns, epoch)
-	s.Asg = s.Table.Assign()
+	s.Table, s.Asg = bgp.ComputeEpochCached(s.Top, anns, epoch)
 	s.Net.SetAssignment(s.Asg)
 }
 
@@ -175,7 +174,8 @@ func (s *Scenario) AnnounceTest(extraPrepend []int, epoch uint64) {
 			Prepend: site.BasePrepend + extraPrepend[i],
 		}
 	}
-	s.Net.SetTestAssignment(bgp.ComputeEpoch(s.Top, anns, epoch).Assign())
+	_, asg := bgp.ComputeEpochCached(s.Top, anns, epoch)
+	s.Net.SetTestAssignment(asg)
 }
 
 // MeasureTest runs a Verfploeter round sourced from the test prefix,

@@ -105,7 +105,14 @@ type Topology struct {
 	byASN    map[uint32]int
 	blockIdx map[ipv4.Block]int32
 	rib      ipv4.Trie // announced prefix -> AS index
+	gen      uint64    // Finalize count; see Generation
 }
+
+// Generation counts Finalize calls. Caches keyed by a *Topology (the BGP
+// session-geometry and converged-table caches) store the generation at
+// build time and rebuild when it moves, so a scenario that mutates the
+// graph (AddAS/Link) and re-Finalizes never sees stale derived state.
+func (t *Topology) Generation() uint64 { return t.gen }
 
 // ASIndex returns the index of asn in ASes, or -1.
 func (t *Topology) ASIndex(asn uint32) int {
@@ -187,6 +194,7 @@ func (t *Topology) findASN(asn uint32) (int, bool) {
 // Finalize (re)builds lookup indexes and sorts blocks. It must be called
 // after generation and after any scenario mutation.
 func (t *Topology) Finalize() {
+	t.gen++
 	t.byASN = make(map[uint32]int, len(t.ASes))
 	for i := range t.ASes {
 		asn := t.ASes[i].ASN

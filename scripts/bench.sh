@@ -1,0 +1,62 @@
+#!/bin/sh
+# bench.sh — machine-readable perf trajectory. Runs the key benchmarks
+# and writes BENCH_<git-short-sha>.json with ns/op and allocs/op for the
+# route-computation fast path (BGPCompute, ReannounceSweep, ExportRoutes)
+# and the pipeline anchors (Table4Coverage, MeasurementRound), so perf
+# regressions show up as a diff against the previous BENCH_*.json.
+#
+#   ./scripts/bench.sh            # full run (benchtime 5x), writes JSON
+#   ./scripts/bench.sh smoke      # 1 iteration, no JSON — CI gate mode
+#
+# Knobs: VP_BENCH_COUNT overrides -benchtime (default 5x full, 1x smoke);
+# VP_NO_ROUTE_CACHE=1 measures the uncached route path.
+set -eu
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+COUNT="${VP_BENCH_COUNT:-5x}"
+[ "$MODE" = "smoke" ] && COUNT="${VP_BENCH_COUNT:-1x}"
+
+PATTERN='^(BenchmarkBGPCompute|BenchmarkReannounceSweep|BenchmarkTable4Coverage|BenchmarkMeasurementRound)$'
+OUT=$(go test -run '^$' -bench "$PATTERN" -benchtime "$COUNT" -benchmem . 2>&1)
+BGPOUT=$(go test -run '^$' -bench '^(BenchmarkExportRoutes|BenchmarkComputeEpochCached)$' -benchtime "$COUNT" -benchmem ./internal/bgp/ 2>&1)
+
+printf '%s\n%s\n' "$OUT" "$BGPOUT"
+if printf '%s\n%s\n' "$OUT" "$BGPOUT" | grep -q '^--- FAIL\|^FAIL'; then
+	echo "bench.sh: benchmark failure" >&2
+	exit 1
+fi
+
+[ "$MODE" = "smoke" ] && { echo "bench.sh: smoke OK"; exit 0; }
+
+SHA=$(git rev-parse --short HEAD 2>/dev/null || echo "nogit")
+JSON="BENCH_${SHA}.json"
+printf '%s\n%s\n' "$OUT" "$BGPOUT" | awk -v sha="$SHA" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)       # strip -GOMAXPROCS suffix
+	sub(/^Benchmark/, "", name)
+	ns = ""; allocs = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	if (ns != "" && !(name in seen)) {
+		seen[name] = 1
+		order[n++] = name
+		nsop[name] = ns
+		alloc[name] = allocs
+	}
+}
+END {
+	printf "{\n  \"commit\": \"%s\",\n  \"benchmarks\": {\n", sha
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    \"%s\": {\"ns_per_op\": %s", name, nsop[name]
+		if (alloc[name] != "") printf ", \"allocs_per_op\": %s", alloc[name]
+		printf "}%s\n", (i < n-1 ? "," : "")
+	}
+	printf "  }\n}\n"
+}' > "$JSON"
+echo "bench.sh: wrote $JSON"
+cat "$JSON"

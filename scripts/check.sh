@@ -26,7 +26,9 @@ fi
 
 # Default (medium) size: the shape checks embedded in the benchmark are
 # calibrated for medium/large and intentionally MISS at small/tiny.
-echo "== bench smoke: table4 (1 iteration, medium)"
-go test -run '^$' -bench '^BenchmarkTable4Coverage$' -benchtime 1x .
+# bench.sh smoke covers table4 plus the route fast path (BGPCompute,
+# ReannounceSweep, ExportRoutes) at 1 iteration without writing JSON.
+echo "== bench smoke (1 iteration, medium)"
+./scripts/bench.sh smoke
 
 echo "check.sh: all green"
