@@ -287,3 +287,7 @@ func BenchmarkExtDDoS(b *testing.B) { benchExperiment(b, "ext-ddos") }
 
 // BenchmarkExtLatency compares Atlas's and Verfploeter's latency views.
 func BenchmarkExtLatency(b *testing.B) { benchExperiment(b, "ext-latency") }
+
+// BenchmarkExtLoss sweeps fault profiles and retry budgets over the
+// loss-sensitivity experiment (DESIGN.md §9).
+func BenchmarkExtLoss(b *testing.B) { benchExperiment(b, "ext-loss") }

@@ -36,6 +36,9 @@ func main() {
 		datasetOut   = flag.String("save-dataset", "", "save the full measurement as a .vpds dataset file")
 		datasetID    = flag.String("dataset-id", "", "dataset id stored in -save-dataset (default scenario-round)")
 		workers      = flag.Int("workers", 0, "parallel engine width; 0 = one worker per CPU (results are identical for any value)")
+		faultsSpec   = flag.String("faults", "", "fault profile: none, light, moderate, heavy, extreme, or key=value list (probe-loss=0.3,rate-limit=2,seed=9)")
+		faultSeed    = flag.Uint64("fault-seed", 0, "override the fault profile's seed (same seed = same drops at any -workers)")
+		retries      = flag.Int("retries", 0, "per-target retransmission budget under loss (capped exponential backoff)")
 	)
 	flag.Parse()
 
@@ -50,6 +53,17 @@ func main() {
 		fatal(err)
 	}
 	d.Workers = *workers
+	d.Retries = *retries
+	profile, err := verfploeter.ParseFaults(*faultsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if *faultSeed != 0 {
+		profile.Seed = *faultSeed
+	}
+	if profile.Enabled() {
+		d.SetFaults(profile)
+	}
 	if *prepends != "" {
 		pp, err := parsePrepends(*prepends, len(d.Sites))
 		if err != nil {
@@ -69,6 +83,12 @@ func main() {
 		stats.Sent, stats.Elapsed.Round(1e9), stats.Clean.Kept)
 	fmt.Printf("cleaning: %d duplicates, %d unsolicited, %d late, %d wrong-round\n",
 		stats.Clean.Duplicates, stats.Clean.Unsolicited, stats.Clean.Late, stats.Clean.WrongRound)
+	if profile.Enabled() {
+		fmt.Printf("faults: %s (seed %d), retry budget %d (%d retransmissions)\n",
+			profile, profile.Seed, *retries, stats.Retried)
+	}
+	fmt.Printf("response rate: %.1f%% (%d of %d targets mapped)\n",
+		100*stats.ResponseRate(), stats.Responded, stats.Targets)
 	fmt.Println()
 	counts := catch.Counts()
 	for i, code := range d.SiteCodes() {

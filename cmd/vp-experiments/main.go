@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"verfploeter/internal/experiments"
+	faultsmod "verfploeter/internal/faults"
 	"verfploeter/internal/topology"
 )
 
@@ -29,7 +30,9 @@ func main() {
 		atlasVPs = flag.Int("atlas-vps", 300, "simulated RIPE Atlas platform size")
 		rounds   = flag.Int("rounds", 24, "rounds for multi-round campaigns (paper: 96)")
 		workers  = flag.Int("workers", 0, "parallel engine width; 0 = one worker per CPU (results are identical for any value)")
-		asJSON   = flag.Bool("json", false, "emit results as JSON (id, title, metrics, shape misses)")
+		asJSON   = flag.Bool("json", false, "emit results as JSON (id, title, metrics, shape misses, error)")
+		faults   = flag.String("faults", "", "fault profile applied to every experiment: none, light, moderate, heavy, extreme, or key=value list")
+		retries  = flag.Int("retries", 0, "per-target retransmission budget under loss")
 	)
 	flag.Parse()
 
@@ -45,36 +48,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Size: size, Seed: *seed, AtlasVPs: *atlasVPs, Rounds: *rounds, Workers: *workers}
-
-	ids := experiments.IDs()
-	if *runList != "all" {
-		ids = strings.Split(*runList, ",")
+	profile, err := faultsmod.Parse(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
+	cfg := experiments.Config{
+		Size: size, Seed: *seed, AtlasVPs: *atlasVPs, Rounds: *rounds,
+		Workers: *workers, Faults: profile, Retries: *retries,
+	}
+
+	var ids []string // nil = all registered experiments
+	if *runList != "all" {
+		for _, id := range strings.Split(*runList, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	// RunAll never aborts the batch: a preset that errors or panics
+	// mid-round is reported — partial text preserved — and the rest of
+	// the experiments still run.
 	failures := 0
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		res, err := experiments.Run(id, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			failures++
-			continue
+	for _, out := range experiments.RunAll(cfg, ids) {
+		misses := 0
+		if out.Result != nil {
+			misses = strings.Count(out.Result.Text, "shape[MISS]")
 		}
-		misses := strings.Count(res.Text, "shape[MISS]")
-		if *asJSON {
-			if err := enc.Encode(map[string]any{
-				"id":           res.ID,
-				"title":        res.Title,
-				"metrics":      res.Metrics,
+		switch {
+		case *asJSON:
+			row := map[string]any{
+				"id":           out.ID,
+				"title":        out.Title,
 				"shape_misses": misses,
-			}); err != nil {
+			}
+			if out.Result != nil {
+				row["metrics"] = out.Result.Metrics
+			}
+			if out.Err != nil {
+				row["error"] = out.Err.Error()
+			}
+			if err := enc.Encode(row); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				failures++
 			}
-		} else {
-			fmt.Printf("=== %s: %s ===\n%s\n", res.ID, res.Title, res.Text)
+		case out.Err != nil:
+			fmt.Printf("=== %s: %s ===\nFAILED: %v\n\n", out.ID, out.Title, out.Err)
+		default:
+			fmt.Printf("=== %s: %s ===\n%s\n", out.Result.ID, out.Result.Title, out.Result.Text)
+		}
+		if out.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", out.ID, out.Err)
+			failures++
 		}
 		if misses > 0 {
 			failures++

@@ -77,3 +77,28 @@ func CompareCoverage(ar *atlas.Result, catch *verfploeter.Catchment, hl *hitlist
 	}
 	return c
 }
+
+// MapCoverage qualifies one catchment against the hitlist that produced
+// it: of the Targets probed, Mapped answered and were placed. Under
+// fault injection (probe loss, ICMP rate limiting, silent blocks —
+// internal/faults) the map thins out, and every analysis derived from it
+// should carry this context instead of presenting a 20%-coverage
+// catchment with the same confidence as a healthy ~55% one.
+type MapCoverage struct {
+	Targets int // hitlist targets probed
+	Mapped  int // blocks that made it into the catchment
+}
+
+// Rate is Mapped/Targets in [0,1]; 0 when nothing was probed — never
+// NaN, so degraded sweeps render cleanly in reports.
+func (m MapCoverage) Rate() float64 {
+	if m.Targets == 0 {
+		return 0
+	}
+	return float64(m.Mapped) / float64(m.Targets)
+}
+
+// CatchmentCoverage measures how much of the hitlist a catchment covers.
+func CatchmentCoverage(catch *verfploeter.Catchment, hl *hitlist.Hitlist) MapCoverage {
+	return MapCoverage{Targets: hl.Len(), Mapped: catch.Len()}
+}

@@ -3,7 +3,7 @@ package bgp
 // Converged-table cache. The pipeline's callers revisit announcement
 // configurations constantly: the §6.1 prepend sweep returns to baseline
 // between cases, ext-ddos and ext-testprefix re-evaluate overlapping
-// plans, and Scenario.Fork across 25 experiments re-derives identical
+// plans, and Scenario.Fork across 26 experiments re-derives identical
 // tables from the same shared topology. A converged *Table (and its
 // default Assignment) is a pure function of (topology identity,
 // announcement set, epoch), so those repeats are O(1) hits here.

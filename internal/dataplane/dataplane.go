@@ -13,8 +13,16 @@
 //   - late replies arriving after the measurement cutoff;
 //   - geographic round-trip delays, so reply timing is meaningful.
 //
-// All impairments are deterministic functions of (seed, block, round), so
-// identical runs produce identical packet streams.
+// On top of those baseline impairments, an optional fault profile
+// (internal/faults) injects operational failures at this boundary —
+// probe/reply loss, per-/24 ICMP rate limiting, unresponsive-block sets,
+// transient site blackouts — so every upper layer (probe sweep, reply
+// fold, assignment, experiments) sees realistic loss without any code
+// changes of its own.
+//
+// All impairments and faults are deterministic functions of
+// (seed, block, round[, seq]), so identical runs produce identical
+// packet streams.
 package dataplane
 
 import (
@@ -24,6 +32,7 @@ import (
 	"time"
 
 	"verfploeter/internal/bgp"
+	"verfploeter/internal/faults"
 	"verfploeter/internal/ipv4"
 	"verfploeter/internal/packet"
 	"verfploeter/internal/topology"
@@ -72,9 +81,18 @@ type Config struct {
 	// prefix". Probes sourced from it route by the test assignment,
 	// leaving production routing untouched. Zero value disables it.
 	TestPrefix ipv4.Prefix
+	// Faults layers operational failures — probe/reply loss, per-/24
+	// ICMP rate limiting, unresponsive-block sets, transient site
+	// blackouts — on top of the baseline impairments. The zero value
+	// (and any all-zero-rate profile) leaves the packet stream
+	// byte-identical to a fault-free run. Replaceable later via
+	// Net.SetFaults.
+	Faults faults.Profile
 }
 
-// Stats counts data-plane events, for tests and reports.
+// Stats counts data-plane events, for tests and reports. The Fault*
+// counters stay zero unless a fault profile is installed, so existing
+// consumers see unchanged numbers on the fault-free path.
 type Stats struct {
 	ProbesSent     uint64
 	BadPackets     uint64
@@ -86,6 +104,13 @@ type Stats struct {
 	Late           uint64
 	QueriesRouted  uint64
 	QueriesDropped uint64
+
+	// Injected-fault accounting (see internal/faults).
+	FaultProbeLost   uint64 // probes dropped on the forward path
+	FaultReplyLost   uint64 // replies dropped on the return path
+	FaultRateLimited uint64 // probes past a /24's per-round ICMP budget
+	FaultSilenced    uint64 // probes into the unresponsive-block set
+	FaultBlackouts   uint64 // replies/queries lost to a site blackout
 }
 
 // Net is the simulated data plane.
@@ -115,6 +140,14 @@ type Net struct {
 	dns     []func(query []byte) []byte
 	stats   Stats
 	busy    atomic.Bool
+
+	// icmpSent counts reply bursts per /24 for the current round, for
+	// the fault profile's ICMP rate limit. It resets on SetRound and is
+	// NOT copied by Fork: the parallel sweep gives every constant-size
+	// probe chunk its own fork, and all probes for a block (the initial
+	// send and its retries) execute inside that block's chunk, so the
+	// per-fork count is deterministic at any worker count.
+	icmpSent map[ipv4.Block]int
 }
 
 // Errors surfaced to callers.
@@ -133,12 +166,13 @@ func New(cfg Config) *Net {
 }
 
 // Fork returns an independent Net over the same topology, seed,
-// impairments, and prefixes, driven by its own clock: same routing state
-// (assignments, round), fresh taps, DNS handlers, and counters. The
-// parallel mapping engine forks the Net once per probe chunk or round so
-// each worker owns a whole single-threaded simulation; because every
-// impairment is a deterministic function of (seed, block, round), a fork
-// delivers exactly the packets the parent would.
+// impairments, fault profile, and prefixes, driven by its own clock:
+// same routing state (assignments, round), fresh taps, DNS handlers,
+// counters, and ICMP rate-limit state. The parallel mapping engine forks
+// the Net once per probe chunk or round so each worker owns a whole
+// single-threaded simulation; because every impairment and injected
+// fault is a deterministic function of (seed, block, round[, seq]), a
+// fork delivers exactly the packets the parent would.
 func (n *Net) Fork(clock *vclock.Clock) *Net {
 	cfg := n.cfg
 	cfg.Clock = clock
@@ -202,9 +236,24 @@ func (n *Net) SetAssignment(a *bgp.Assignment) { n.asg = a }
 // there while production routing stays on the main assignment.
 func (n *Net) SetTestAssignment(a *bgp.Assignment) { n.testAsg = a }
 
+// SetFaults installs (or, with the zero Profile, removes) a fault
+// profile. Later Forks inherit it. Installing a profile mid-round also
+// resets the per-round ICMP rate-limit accounting.
+func (n *Net) SetFaults(p faults.Profile) {
+	n.cfg.Faults = p
+	n.icmpSent = nil
+}
+
+// Faults returns the installed fault profile (zero when none).
+func (n *Net) Faults() faults.Profile { return n.cfg.Faults }
+
 // SetRound advances the measurement round used for per-round
-// responsiveness churn and catchment flips.
-func (n *Net) SetRound(r uint32) { n.round = r }
+// responsiveness churn and catchment flips, and opens a fresh per-round
+// ICMP rate-limit budget for every block.
+func (n *Net) SetRound(r uint32) {
+	n.round = r
+	n.icmpSent = nil
+}
 
 // Round returns the current round.
 func (n *Net) Round() uint32 { return n.round }
@@ -263,11 +312,40 @@ func (n *Net) SendProbe(originSite int, raw []byte) error {
 		return nil // probing unrouted space: silence, like the real thing
 	}
 	binfo := &n.cfg.Top.Blocks[bi]
+	injectFaults := n.cfg.Faults.Enabled()
+
+	if injectFaults {
+		// Forward-path faults: a filtered (permanently silent) block, or
+		// the probe lost in flight. The sequence number keys the loss
+		// coin so a retry with a fresh sequence is an independent draw.
+		if n.cfg.Faults.Silent(binfo.Block) {
+			n.stats.FaultSilenced++
+			return nil
+		}
+		if n.cfg.Faults.DropProbe(binfo.Block, n.round, probe.Echo.Seq) {
+			n.stats.FaultProbeLost++
+			return nil
+		}
+	}
 
 	// Does the representative answer this round?
 	if !n.responds(binfo) {
 		n.stats.Unresponsive++
 		return nil
+	}
+
+	if injectFaults && n.cfg.Faults.RateLimit > 0 {
+		// ICMP rate limiting at the target's router: each /24 emits at
+		// most RateLimit reply bursts per round; the budget is consumed
+		// only by probes that would actually elicit a reply.
+		if n.icmpSent == nil {
+			n.icmpSent = make(map[ipv4.Block]int)
+		}
+		if n.icmpSent[binfo.Block] >= n.cfg.Faults.RateLimit {
+			n.stats.FaultRateLimited++
+			return nil
+		}
+		n.icmpSent[binfo.Block]++
 	}
 
 	site := asg.SiteAt(bi, n.round, n.cfg.Seed)
@@ -289,6 +367,20 @@ func (n *Net) SendProbe(originSite int, raw []byte) error {
 			from = target.Block().Addr(uint8(target) + 101)
 		}
 	}
+	if injectFaults {
+		// Return-path faults: the catchment site dark for the round
+		// (nobody captures), or the reply — every duplicate copy of it,
+		// since the path drops rather than the host — lost in flight.
+		if n.cfg.Faults.Blackout(site, n.round) {
+			n.stats.FaultBlackouts++
+			return nil
+		}
+		if n.cfg.Faults.DropReply(binfo.Block, n.round, probe.Echo.Seq) {
+			n.stats.FaultReplyLost++
+			return nil
+		}
+	}
+
 	reply := packet.ReplyTo(probe, from)
 
 	// Latency: origin→target plus target→catchment-site legs.
@@ -355,6 +447,13 @@ func (n *Net) QueryAnycast(from ipv4.Addr, query []byte) ([]byte, int, error) {
 	site := n.asg.SiteAt(bi, n.round, n.cfg.Seed)
 	if site < 0 || site >= len(n.dns) || n.dns[site] == nil {
 		n.stats.QueriesDropped++
+		return nil, -1, ErrNoRoute
+	}
+	if n.cfg.Faults.Enabled() && n.cfg.Faults.Blackout(site, n.round) {
+		// A blacked-out site is unreachable to its whole catchment: the
+		// same outage that loses measurement replies fails live queries.
+		n.stats.QueriesDropped++
+		n.stats.FaultBlackouts++
 		return nil, -1, ErrNoRoute
 	}
 	n.stats.QueriesRouted++

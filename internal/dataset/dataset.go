@@ -27,7 +27,10 @@ import (
 // Format constants.
 var magic = [4]byte{'V', 'P', 'D', 'S'}
 
-const version = 1
+// version 2 appended the sweep-health stats (Targets, Responded,
+// Retried) to the stats block; version-1 files still read, with those
+// fields zero.
+const version = 2
 
 // ErrFormat is returned (wrapped) for malformed dataset files.
 var ErrFormat = errors.New("dataset: bad format")
@@ -85,6 +88,9 @@ func Write(w io.Writer, ds *Dataset) error {
 	writeU64(bw, uint64(ds.Stats.Clean.Unsolicited))
 	writeU64(bw, uint64(ds.Stats.Clean.Duplicates))
 	writeU64(bw, uint64(ds.Stats.Clean.Kept))
+	writeU64(bw, uint64(ds.Stats.Targets))
+	writeU64(bw, uint64(ds.Stats.Responded))
+	writeU64(bw, uint64(ds.Stats.Retried))
 
 	// Catchment entries, sorted for deterministic files.
 	writeU32(bw, uint32(ds.Catchment.NSite))
@@ -124,7 +130,7 @@ func Read(r io.Reader) (*Dataset, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
 	}
 	v, err := readU16(br)
-	if err != nil || v != version {
+	if err != nil || v < 1 || v > version {
 		return nil, fmt.Errorf("%w: version %d", ErrFormat, v)
 	}
 
@@ -161,8 +167,12 @@ func Read(r io.Reader) (*Dataset, error) {
 	}
 	ds.Meta.CreatedUnix = int64(created)
 
-	stats := make([]uint64, 10)
-	for i := range stats {
+	nStats := 10
+	if v >= 2 {
+		nStats = 13
+	}
+	stats := make([]uint64, 13) // v1 files leave the tail zero
+	for i := 0; i < nStats; i++ {
 		if stats[i], err = readU64(br); err != nil {
 			return nil, err
 		}
@@ -176,6 +186,7 @@ func Read(r io.Reader) (*Dataset, error) {
 			Total: int(stats[4]), WrongRound: int(stats[5]), Late: int(stats[6]),
 			Unsolicited: int(stats[7]), Duplicates: int(stats[8]), Kept: int(stats[9]),
 		},
+		Targets: int(stats[10]), Responded: int(stats[11]), Retried: int(stats[12]),
 	}
 
 	catchSites, err := readU32(br)

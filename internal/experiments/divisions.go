@@ -13,18 +13,24 @@ func init() {
 }
 
 // tangledCampaign runs the multi-round Tangled measurement shared by the
-// division and stability experiments, cached per config.
+// division and stability experiments, cached per config (including the
+// fault profile — a faulty campaign must never satisfy a fault-free
+// request, or vice versa). On a mid-campaign failure the completed
+// prefix of rounds is returned alongside the error — and deliberately
+// NOT cached, so a retry gets a fresh attempt — letting callers render
+// a partial report with the failure recorded instead of skipping the
+// preset.
 func tangledCampaign(cfg Config) ([]*verfploeter.Catchment, error) {
 	s := world("tangled", cfg)
 	campaignMu.Lock()
 	defer campaignMu.Unlock()
-	k := worldKey{"tangled-campaign", cfg.Size, cfg.Seed ^ uint64(cfg.Rounds)<<40}
+	k := worldKey{"tangled-campaign", cfg.Size, cfg.Seed ^ uint64(cfg.Rounds)<<40, cfg.faultKey()}
 	if c, ok := campaignCache[k]; ok {
 		return c, nil
 	}
 	rounds, err := s.MeasureRounds(cfg.Rounds, 2000)
 	if err != nil {
-		return nil, err
+		return rounds, err
 	}
 	campaignCache[k] = rounds
 	return rounds, nil
@@ -39,9 +45,9 @@ var (
 // ASes announcing more prefixes see more sites (median announced
 // prefixes grows with sites seen, up to ~10^3 for the most split).
 func runFig7(cfg Config) (*Result, error) {
-	rounds, err := tangledCampaign(cfg)
-	if err != nil {
-		return nil, err
+	rounds, campErr := tangledCampaign(cfg)
+	if len(rounds) < 2 {
+		return nil, campErr
 	}
 	s := world("tangled", cfg)
 	unstable := analysis.UnstableBlocks(rounds)
@@ -52,6 +58,7 @@ func runFig7(cfg Config) (*Result, error) {
 	rows := analysis.PrefixSpread(s.Top, catch, unstable)
 
 	r := newReport()
+	r.partial(campErr, len(rounds))
 	r.line("Figure 7: announced prefixes vs sites seen per AS (unstable VPs removed)")
 	r.line("%6s %8s %8s %8s %8s %8s %8s", "sites", "ASes", "p5", "p25", "median", "p75", "p95")
 	for _, row := range rows {
@@ -82,15 +89,16 @@ func runFig7(cfg Config) (*Result, error) {
 // larger prefixes split — 75% of prefixes larger than /10 see multiple
 // sites; /24s almost never do.
 func runFig8(cfg Config) (*Result, error) {
-	rounds, err := tangledCampaign(cfg)
-	if err != nil {
-		return nil, err
+	rounds, campErr := tangledCampaign(cfg)
+	if len(rounds) < 2 {
+		return nil, campErr
 	}
 	s := world("tangled", cfg)
 	unstable := analysis.UnstableBlocks(rounds)
 	rows := analysis.SitesByPrefixLen(s.Top, rounds[0], unstable)
 
 	r := newReport()
+	r.partial(campErr, len(rounds))
 	r.line("Figure 8: sites seen per announced prefix, by prefix length")
 	r.line("%6s %10s %12s %30s", "len", "prefixes", "multi-site", "sites histogram (1,2,3,...)")
 	totalPrefixes, singleVP := 0, 0

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 
+	"verfploeter/internal/faults"
 	"verfploeter/internal/scenario"
 	"verfploeter/internal/topology"
 )
@@ -35,6 +36,16 @@ type Config struct {
 	// (<= 0 means one worker per CPU). Every experiment's Result is
 	// byte-identical for every value.
 	Workers int
+	// Faults layers a deterministic fault profile over every
+	// experiment's data plane (see internal/faults). The zero Profile —
+	// and any all-zero-rate profile — leaves every report byte-identical
+	// to a fault-free run; caches key on the profile, so faulty and
+	// fault-free runs never share campaign results.
+	Faults faults.Profile
+	// Retries is the per-target retransmission budget applied to every
+	// measurement (see verfploeter.Config.Retries). Zero keeps the
+	// historic single-shot sweep.
+	Retries int
 }
 
 // DefaultConfig returns the configuration the checked-in EXPERIMENTS.md
@@ -106,12 +117,58 @@ func Run(id string, cfg Config) (*Result, error) {
 	return r.run(cfg.fill())
 }
 
+// Outcome pairs one experiment with its result or its failure. Err is
+// non-nil when the preset errored or panicked; Result may still be nil
+// in that case, and the batch always continues.
+type Outcome struct {
+	ID     string
+	Title  string
+	Result *Result
+	Err    error
+}
+
+// RunAll executes the given experiments (all registered ones when ids
+// is empty) and never aborts the batch: a preset that errors or panics
+// mid-round is surfaced as a failed Outcome — failure recorded, partial
+// report preserved — while the remaining presets still run. This is the
+// behavior a long campaign needs: one dark site must not discard a
+// night of finished experiments.
+func RunAll(cfg Config, ids []string) []Outcome {
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	out := make([]Outcome, len(ids))
+	for i, id := range ids {
+		out[i] = runOne(id, cfg)
+	}
+	return out
+}
+
+func runOne(id string, cfg Config) (o Outcome) {
+	o.ID, o.Title = id, Title(id)
+	if o.Title == "" {
+		o.Title = id
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			o.Err = fmt.Errorf("experiments: %s panicked: %v", id, p)
+		}
+	}()
+	o.Result, o.Err = Run(id, cfg)
+	return o
+}
+
 // --- shared, cached scenario construction -------------------------------
 
 type worldKey struct {
 	preset string
 	size   topology.Size
 	seed   uint64
+	// faults keys derived caches (campaigns) on the fault configuration:
+	// Profile fingerprint mixed with the retry budget. The base world
+	// cache always uses 0 — substrates are built fault-free and profiles
+	// are installed on the private fork world() hands out.
+	faults uint64
 }
 
 var (
@@ -124,10 +181,13 @@ var (
 // once per (preset, size, seed) and shared read-only; every caller gets
 // its own clock, data plane, and routing state. Experiments may mutate
 // routing (prepend studies) or run concurrently without restoring
-// anything: the cached base is never handed out.
+// anything: the cached base is never handed out. The base is always
+// fault-free; the config's fault profile and retry budget are installed
+// on the returned fork, so two configs differing only in faults share
+// the substrate but never a data plane.
 func world(preset string, cfg Config) *scenario.Scenario {
 	worldMu.Lock()
-	k := worldKey{preset, cfg.Size, cfg.Seed}
+	k := worldKey{preset: preset, size: cfg.Size, seed: cfg.Seed}
 	base, ok := worldCache[k]
 	if !ok {
 		switch preset {
@@ -148,7 +208,20 @@ func world(preset string, cfg Config) *scenario.Scenario {
 	worldMu.Unlock()
 	f := base.Fork()
 	f.Workers = cfg.Workers
+	f.Retries = cfg.Retries
+	if cfg.Faults.Enabled() {
+		f.SetFaults(cfg.Faults)
+	}
 	return f
+}
+
+// faultKey condenses the config's fault-relevant knobs for derived-cache
+// keying: 0 on the plain path, so fault-free cache keys are unchanged.
+func (c Config) faultKey() uint64 {
+	if !c.Faults.Enabled() && c.Retries == 0 {
+		return 0
+	}
+	return c.Faults.Fingerprint() ^ uint64(c.Retries)*0x9e3779b97f4a7c15
 }
 
 // report builds Result text with a fluent little writer.
@@ -165,6 +238,18 @@ func (r *report) line(format string, args ...any) {
 
 func (r *report) metric(name string, v float64) {
 	r.metrics[name] = v
+}
+
+// partial records a mid-campaign failure at the top of the report: the
+// preset still renders from the rounds that completed, but the reader
+// (and the partial_rounds metric) can see the run was truncated. A nil
+// error writes nothing, keeping healthy reports byte-identical.
+func (r *report) partial(err error, completed int) {
+	if err == nil {
+		return
+	}
+	r.line("PARTIAL: campaign truncated after %d completed rounds: %v", completed, err)
+	r.metric("partial_rounds", float64(completed))
 }
 
 func (r *report) shape(ok bool, desc string) {

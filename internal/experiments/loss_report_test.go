@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The loss-sensitivity preset is the acceptance gate for graceful
+// degradation: every shape criterion must hold, up to and including the
+// >=50% probe-loss extreme profile.
+func TestLossSensitivityShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Run("ext-loss", smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(res.Text, "shape[MISS]"); n > 0 {
+		t.Errorf("ext-loss misses %d shape criteria:\n%s", n, res.Text)
+	}
+	t.Log("\n" + res.Text)
+}

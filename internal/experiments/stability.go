@@ -13,14 +13,15 @@ func init() {
 // responders) stay on their site; ~89k (~2.4%) churn to/from
 // non-responding per round; only ~4.6k (~0.1%) flip sites.
 func runFig9(cfg Config) (*Result, error) {
-	rounds, err := tangledCampaign(cfg)
-	if err != nil {
-		return nil, err
+	rounds, campErr := tangledCampaign(cfg)
+	if len(rounds) < 2 {
+		return nil, campErr
 	}
 	series := analysis.Stability(rounds)
 	med := analysis.MedianStability(series)
 
 	r := newReport()
+	r.partial(campErr, len(rounds))
 	r.line("Figure 9: stability across %d rounds (one row per consecutive pair)", len(rounds))
 	r.line("%6s %10s %9s %9s %9s", "round", "stable", "flipped", "to-NR", "from-NR")
 	for _, sr := range series {
@@ -47,14 +48,15 @@ func runFig9(cfg Config) (*Result, error) {
 // Table 7 (paper): flips concentrate — 51% of all flips inside AS4134
 // (CHINANET), 63% within the top 5 ASes.
 func runTable7(cfg Config) (*Result, error) {
-	rounds, err := tangledCampaign(cfg)
-	if err != nil {
-		return nil, err
+	rounds, campErr := tangledCampaign(cfg)
+	if len(rounds) < 2 {
+		return nil, campErr
 	}
 	s := world("tangled", cfg)
 	rows := analysis.FlipAttribution(s.Top, rounds)
 
 	r := newReport()
+	r.partial(campErr, len(rounds))
 	r.line("Table 7: top ASes involved in site flips over %d rounds", len(rounds))
 	r.line("%4s %8s %-14s %8s %8s %6s", "#", "ASN", "name", "IPs(/24)", "flips", "frac")
 	totalFlips := 0

@@ -1,0 +1,265 @@
+// Package faults injects deterministic measurement faults into the
+// simulated data plane.
+//
+// The paper's catchment maps are built from a lossy Internet: only ~55%
+// of probed /24 blocks answer at all, probes and replies are dropped in
+// flight, routers rate-limit ICMP, and testbed sites occasionally go
+// dark mid-campaign (Tangled reports exactly these operational faults on
+// the real nine-site deployment). The default data plane delivers every
+// packet, so without this package the estimator is never exercised under
+// the conditions it was designed for. A Profile describes the fault mix;
+// internal/dataplane consults it on every probe and reply, so every
+// upper layer — the probe sweep, reply fold, assignment, experiments —
+// sees realistic loss with no code changes of its own.
+//
+// # Determinism contract
+//
+// Every fault decision is a pure hash of (profile seed, fault kind,
+// block, round, sequence number) — no mutable state, no wall clock, no
+// math/rand. The same Profile therefore produces the same packet drops
+// whether the sweep runs on one worker or sixteen, and a probe retried
+// with a different sequence number flips an independent coin, exactly
+// like a retransmission taking its own chances on a lossy path. The
+// zero-value Profile (and any profile whose probabilities are all zero
+// and whose RateLimit is zero) injects nothing: the packet stream is
+// byte-identical to a run with no profile installed, which is what lets
+// the experiment goldens pin the fault layer in place (see
+// TestExperimentsByteIdenticalWithZeroRateFaults).
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"verfploeter/internal/ipv4"
+)
+
+// Profile describes one fault mix. The zero value injects nothing.
+// Profiles are plain values: copy them freely, compare with ==, and
+// share them across dataplane forks (they are immutable once installed).
+type Profile struct {
+	// ProbeLoss is the probability that an echo request is dropped on
+	// the forward path before reaching its target block.
+	ProbeLoss float64
+	// ReplyLoss is the probability that an echo reply (all duplicate
+	// copies of it — the path drops, not the host) is lost on the way
+	// back to the capturing site.
+	ReplyLoss float64
+	// RateLimit caps how many reply bursts a single /24 emits per
+	// measurement round, modeling ICMP rate-limiting at the target's
+	// router: probes beyond the budget reach a silent wall. 0 disables
+	// the limit. The counter lives on the dataplane Net, which the
+	// parallel sweep forks per constant-size probe chunk; all probes for
+	// a block (including retries) run inside that block's chunk, so the
+	// count is deterministic at any worker count.
+	RateLimit int
+	// SilentBlocks is the fraction of blocks rendered entirely
+	// unresponsive for the whole run, independent of their hitlist
+	// responsiveness score — the unresponsive-block sets operators see
+	// when whole networks filter ICMP.
+	SilentBlocks float64
+	// SiteBlackout is the per-(site, round) probability that a site is
+	// dark for the entire round: replies routed to it are captured by
+	// no one and anycast queries to it fail, a transient operational
+	// outage like Tangled's.
+	SiteBlackout float64
+	// Seed keys every fault coin. Two profiles with the same rates but
+	// different seeds drop different packets.
+	Seed uint64
+}
+
+// Enabled reports whether the profile can inject anything at all.
+// A disabled profile is skipped entirely by the data plane, and an
+// enabled profile whose rates are all zero behaves identically — the
+// distinction only matters for avoiding hash work on the hot path.
+func (p Profile) Enabled() bool {
+	return p.ProbeLoss > 0 || p.ReplyLoss > 0 || p.RateLimit > 0 ||
+		p.SilentBlocks > 0 || p.SiteBlackout > 0
+}
+
+// coin mixes the identifiers into a uniform [0,1) float — the same
+// splitmix-style finalizer the dataplane uses for its impairments, keyed
+// by the profile seed so fault and impairment streams never correlate.
+func (p Profile) coin(kind string, a, b, c uint64) float64 {
+	h := p.Seed ^ 0xfa017eed
+	for i := 0; i < len(kind); i++ {
+		h = h*1099511628211 + uint64(kind[i])
+	}
+	h ^= a << 24
+	h ^= b << 8
+	h ^= c
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return float64(h&0xfffffffffffff) / float64(1<<52)
+}
+
+// DropProbe reports whether the forward path loses this probe. The
+// sequence number participates so a retry (sent with a fresh sequence)
+// draws an independent coin.
+func (p Profile) DropProbe(b ipv4.Block, round uint32, seq uint16) bool {
+	return p.ProbeLoss > 0 && p.coin("probe-loss", uint64(b), uint64(round), uint64(seq)) < p.ProbeLoss
+}
+
+// DropReply reports whether the return path loses the reply to this
+// probe (all duplicate copies — the path drops, not the host).
+func (p Profile) DropReply(b ipv4.Block, round uint32, seq uint16) bool {
+	return p.ReplyLoss > 0 && p.coin("reply-loss", uint64(b), uint64(round), uint64(seq)) < p.ReplyLoss
+}
+
+// Silent reports whether the block belongs to the profile's
+// unresponsive set. Membership is round-independent: a silenced block
+// stays silent for the whole campaign, so retries cannot recover it.
+func (p Profile) Silent(b ipv4.Block) bool {
+	return p.SilentBlocks > 0 && p.coin("silent-block", uint64(b), 0, 0) < p.SilentBlocks
+}
+
+// Blackout reports whether the site is dark for this round.
+func (p Profile) Blackout(site int, round uint32) bool {
+	return p.SiteBlackout > 0 && p.coin("site-blackout", uint64(site), uint64(round), 0) < p.SiteBlackout
+}
+
+// Fingerprint condenses every field into a cache key, for callers that
+// memoize results computed under a profile (the experiments' campaign
+// cache). Distinct profiles collide only with FNV-level probability.
+func (p Profile) Fingerprint() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(float32bitsOf(p.ProbeLoss)))
+	mix(uint64(float32bitsOf(p.ReplyLoss)))
+	mix(uint64(p.RateLimit))
+	mix(uint64(float32bitsOf(p.SilentBlocks)))
+	mix(uint64(float32bitsOf(p.SiteBlackout)))
+	mix(p.Seed)
+	return h
+}
+
+// float32bitsOf keeps Fingerprint free of a math import at full float64
+// precision loss we can afford: profiles are human-entered rates.
+func float32bitsOf(f float64) uint32 {
+	// Scaled fixed-point: rates are in [0,1]; 1e-9 resolution is far
+	// below anything Parse can produce.
+	return uint32(f * 1e9)
+}
+
+// String renders the profile in Parse's key=value syntax.
+func (p Profile) String() string {
+	if !p.Enabled() {
+		return "none"
+	}
+	var parts []string
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	add("probe-loss", p.ProbeLoss)
+	add("reply-loss", p.ReplyLoss)
+	if p.RateLimit > 0 {
+		parts = append(parts, fmt.Sprintf("rate-limit=%d", p.RateLimit))
+	}
+	add("silent", p.SilentBlocks)
+	add("blackout", p.SiteBlackout)
+	return strings.Join(parts, ",")
+}
+
+// Named profiles, ordered by severity. Magnitudes follow the operational
+// reports the layer models: light ≈ a healthy day's background loss,
+// moderate ≈ a congested path or rate-limited region, heavy ≈ a degraded
+// campaign (site outages, widespread filtering), extreme ≈ the ≥50%
+// probe-loss regime the loss-sensitivity experiment stresses.
+
+// None returns the empty profile (no faults).
+func None() Profile { return Profile{} }
+
+// Light models background loss on a healthy Internet path.
+func Light() Profile {
+	return Profile{ProbeLoss: 0.02, ReplyLoss: 0.01, SilentBlocks: 0.01}
+}
+
+// Moderate models a congested or rate-limited measurement: noticeable
+// loss both ways and ICMP budgets on target routers.
+func Moderate() Profile {
+	return Profile{ProbeLoss: 0.10, ReplyLoss: 0.05, RateLimit: 4, SilentBlocks: 0.05}
+}
+
+// Heavy models a degraded campaign: double-digit loss, tight ICMP
+// budgets, widespread filtering, and occasional whole-site blackouts.
+func Heavy() Profile {
+	return Profile{ProbeLoss: 0.25, ReplyLoss: 0.10, RateLimit: 2, SilentBlocks: 0.10, SiteBlackout: 0.02}
+}
+
+// Extreme is the ≥50% probe-loss regime the acceptance criteria pin:
+// the estimator must degrade gracefully, not collapse.
+func Extreme() Profile {
+	return Profile{ProbeLoss: 0.50, ReplyLoss: 0.20, RateLimit: 2, SilentBlocks: 0.15, SiteBlackout: 0.04}
+}
+
+// Parse builds a Profile from a CLI spec: either a named profile
+// ("none", "light", "moderate", "heavy", "extreme") or a comma-separated
+// key=value list over probe-loss, reply-loss, rate-limit, silent,
+// blackout, seed — e.g. "probe-loss=0.3,rate-limit=2,seed=9".
+// Named and custom forms cannot be mixed. The empty spec parses to None.
+func Parse(spec string) (Profile, error) {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "", "none":
+		return None(), nil
+	case "light":
+		return Light(), nil
+	case "moderate":
+		return Moderate(), nil
+	case "heavy":
+		return Heavy(), nil
+	case "extreme":
+		return Extreme(), nil
+	}
+	var p Profile
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("faults: bad spec element %q (want key=value or a profile name: none, light, moderate, heavy, extreme)", kv)
+		}
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		switch k {
+		case "rate-limit":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return Profile{}, fmt.Errorf("faults: bad rate-limit %q", v)
+			}
+			p.RateLimit = n
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return Profile{}, fmt.Errorf("faults: bad seed %q", v)
+			}
+			p.Seed = n
+		case "probe-loss", "reply-loss", "silent", "blackout":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				return Profile{}, fmt.Errorf("faults: %s wants a probability in [0,1], got %q", k, v)
+			}
+			switch k {
+			case "probe-loss":
+				p.ProbeLoss = f
+			case "reply-loss":
+				p.ReplyLoss = f
+			case "silent":
+				p.SilentBlocks = f
+			case "blackout":
+				p.SiteBlackout = f
+			}
+		default:
+			return Profile{}, fmt.Errorf("faults: unknown key %q (probe-loss, reply-loss, rate-limit, silent, blackout, seed)", k)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"verfploeter/internal/ipv4"
+)
+
+func TestZeroProfileInjectsNothing(t *testing.T) {
+	var p Profile
+	if p.Enabled() {
+		t.Fatal("zero profile reports Enabled")
+	}
+	for b := ipv4.Block(0); b < 10000; b++ {
+		if p.DropProbe(b, 3, 7) || p.DropReply(b, 3, 7) || p.Silent(b) {
+			t.Fatalf("zero profile injected a fault at block %v", b)
+		}
+	}
+	for s := 0; s < 20; s++ {
+		if p.Blackout(s, 5) {
+			t.Fatalf("zero profile blacked out site %d", s)
+		}
+	}
+	// Seed alone must not enable anything: the zero-probability identity
+	// tests install exactly this shape.
+	p.Seed = 99
+	if p.Enabled() || p.DropProbe(1, 1, 1) {
+		t.Fatal("seed-only profile injected a fault")
+	}
+}
+
+// Fault coins must hit their configured rates, be deterministic, and be
+// independent across kinds, seeds, and sequence numbers.
+func TestCoinRatesAndIndependence(t *testing.T) {
+	p := Profile{ProbeLoss: 0.3, ReplyLoss: 0.1, SilentBlocks: 0.2, Seed: 42}
+	const n = 200000
+	probe, reply, silent, retryRecovered := 0, 0, 0, 0
+	for b := ipv4.Block(0); b < n; b++ {
+		if p.DropProbe(b, 0, uint16(b)) {
+			probe++
+			// A retry with a different seq must flip a fresh coin: over
+			// many dropped probes, ~70% of retries get through.
+			if !p.DropProbe(b, 0, uint16(b)+0x9e37) {
+				retryRecovered++
+			}
+		}
+		if p.DropReply(b, 0, uint16(b)) {
+			reply++
+		}
+		if p.Silent(b) {
+			silent++
+		}
+	}
+	checkRate := func(name string, got int, of int, want float64) {
+		t.Helper()
+		rate := float64(got) / float64(of)
+		if math.Abs(rate-want) > 0.01 {
+			t.Errorf("%s rate %.3f, want %.3f±0.01", name, rate, want)
+		}
+	}
+	checkRate("probe-loss", probe, n, 0.3)
+	checkRate("reply-loss", reply, n, 0.1)
+	checkRate("silent", silent, n, 0.2)
+	checkRate("retry-recovery", retryRecovered, probe, 0.7)
+
+	// Determinism: same inputs, same answer.
+	if p.DropProbe(17, 2, 5) != p.DropProbe(17, 2, 5) {
+		t.Error("DropProbe not deterministic")
+	}
+	// Seed independence: a different seed must not reproduce the drop set.
+	q := p
+	q.Seed = 43
+	same := 0
+	for b := ipv4.Block(0); b < 10000; b++ {
+		if p.DropProbe(b, 0, 0) == q.DropProbe(b, 0, 0) {
+			same++
+		}
+	}
+	if same > 9000 || same < 5000 {
+		t.Errorf("seeds 42 and 43 agree on %d/10000 probes; expected ~58%% (0.7²+0.3²)", same)
+	}
+}
+
+func TestSilentIsRoundIndependent(t *testing.T) {
+	p := Profile{SilentBlocks: 0.5, Seed: 7}
+	for b := ipv4.Block(0); b < 1000; b++ {
+		if p.Silent(b) != p.Silent(b) {
+			t.Fatal("Silent not stable")
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Profile
+	}{
+		{"", None()},
+		{"none", None()},
+		{"light", Light()},
+		{"MODERATE", Moderate()},
+		{"heavy", Heavy()},
+		{"extreme", Extreme()},
+		{"probe-loss=0.3,rate-limit=2,seed=9", Profile{ProbeLoss: 0.3, RateLimit: 2, Seed: 9}},
+		{"reply-loss=0.05, silent=0.1, blackout=0.01", Profile{ReplyLoss: 0.05, SilentBlocks: 0.1, SiteBlackout: 0.01}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+	for _, bad := range []string{"bogus", "probe-loss=2", "probe-loss=x", "rate-limit=-1", "k=1", "probe-loss"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesProfiles(t *testing.T) {
+	seen := map[uint64]Profile{}
+	profiles := []Profile{
+		None(), Light(), Moderate(), Heavy(), Extreme(),
+		{ProbeLoss: 0.1}, {ReplyLoss: 0.1}, {SilentBlocks: 0.1},
+		{SiteBlackout: 0.1}, {RateLimit: 1}, {Seed: 1},
+		{ProbeLoss: 0.1, Seed: 1},
+	}
+	for _, p := range profiles {
+		fp := p.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fingerprint collision: %+v vs %+v", prev, p)
+		}
+		seen[fp] = p
+	}
+	if Light().Fingerprint() != Light().Fingerprint() {
+		t.Error("fingerprint not deterministic")
+	}
+}
+
+func TestStringRoundTrips(t *testing.T) {
+	for _, p := range []Profile{None(), Light(), Moderate(), Heavy(), Extreme()} {
+		got, err := Parse(p.String())
+		if err != nil {
+			t.Errorf("Parse(String(%+v)): %v", p, err)
+			continue
+		}
+		if got != p {
+			t.Errorf("round trip %+v -> %q -> %+v", p, p.String(), got)
+		}
+	}
+}

@@ -61,6 +61,23 @@ type Estimate struct {
 	BlocksMapped  int     // of those, blocks with a catchment
 	QueriesSeen   float64 // their total daily load
 	QueriesMapped float64
+
+	// ProbeCoverage qualifies the prediction with the measurement's
+	// sweep-level response rate (mapped blocks / probed targets, [0,1]).
+	// Under probe loss the catchment shrinks, and a load estimate from a
+	// thin map deserves less trust than one from a ~55%-coverage healthy
+	// sweep — but the per-site *fractions* stay unbiased as long as loss
+	// is not correlated with catchment, so the estimate degrades
+	// gracefully rather than silently treating lost blocks as absent.
+	// 0 means "not annotated" (coverage unknown).
+	ProbeCoverage float64
+}
+
+// WithCoverage annotates the estimate with the measurement's response
+// rate and returns it, for chaining off Predict.
+func (e *Estimate) WithCoverage(rate float64) *Estimate {
+	e.ProbeCoverage = rate
+	return e
 }
 
 // Predict joins a catchment with a query log.

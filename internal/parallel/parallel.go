@@ -19,6 +19,12 @@
 //
 // Under any of those, the worker count and the dynamic chunk schedule
 // only change wall-clock time, never results.
+//
+// The fault-injection layer (internal/faults) leans on the same shapes:
+// per-/24 rate-limit state lives on each probe chunk's dataplane fork,
+// and every probe for a block — retries included — executes inside that
+// block's constant-boundary chunk, so injected faults replay identically
+// at any pool width.
 package parallel
 
 import (
@@ -83,7 +89,9 @@ func Chunked(workers, n int, fn func(lo, hi int)) {
 }
 
 // ForEach runs fn(i) for every i in [0, n), chunked across up to workers
-// goroutines. fn must write only state owned by item i.
+// goroutines, blocking until all complete. fn must write only state
+// owned by item i; scheduling, inline execution at one worker, and panic
+// propagation follow Chunked.
 func ForEach(workers, n int, fn func(i int)) {
 	Chunked(workers, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

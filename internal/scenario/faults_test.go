@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"testing"
+
+	"verfploeter/internal/faults"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/topology"
+)
+
+// lossProfile is a seeded profile heavy enough that retries have real
+// work to do, without site blackouts (which would legitimately shrink
+// the retried map below the single-shot one for blacked-out rounds).
+func lossProfile(seed uint64) faults.Profile {
+	return faults.Profile{ProbeLoss: 0.35, ReplyLoss: 0.10, Seed: seed}
+}
+
+// TestRetriesNeverDoubleCount is the reply-fold property test: under
+// loss with a retry budget, every target contributes at most one kept
+// reply — a retransmission answered alongside a delayed original must
+// not inflate the catchment or the response count.
+func TestRetriesNeverDoubleCount(t *testing.T) {
+	s := BRoot(topology.SizeTiny, 11)
+	s.SetFaults(lossProfile(11))
+	s.Retries = 3
+
+	catch, stats, err := s.Measure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retried == 0 {
+		t.Fatal("loss profile produced no retries; test is vacuous")
+	}
+	// One hitlist address per /24 block, so kept replies, responding
+	// targets, and mapped blocks must all agree exactly.
+	if stats.Clean.Kept != catch.Len() {
+		t.Errorf("kept %d replies for %d mapped blocks — a block was double-counted",
+			stats.Clean.Kept, catch.Len())
+	}
+	if stats.Responded != catch.Len() {
+		t.Errorf("Responded = %d, catchment has %d blocks", stats.Responded, catch.Len())
+	}
+	if stats.Targets != s.Hitlist.Len() {
+		t.Errorf("Targets = %d, hitlist has %d", stats.Targets, s.Hitlist.Len())
+	}
+}
+
+// TestRetriesOnlyAddBlocks: the retry pass reuses the initial sweep's
+// probe sequence, so a budget can only add blocks the single shot
+// missed — every block mapped without retries stays mapped, at the same
+// site, with retries enabled.
+func TestRetriesOnlyAddBlocks(t *testing.T) {
+	base := BRoot(topology.SizeTiny, 11)
+	base.SetFaults(lossProfile(11))
+
+	single := base.Fork()
+	singleCatch, singleStats, err := single.Measure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	retried := base.Fork()
+	retried.Retries = 3
+	retriedCatch, retriedStats, err := retried.Measure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if retriedCatch.Len() <= singleCatch.Len() {
+		t.Errorf("retries recovered nothing: %d blocks vs %d single-shot",
+			retriedCatch.Len(), singleCatch.Len())
+	}
+	if retriedStats.ResponseRate() <= singleStats.ResponseRate() {
+		t.Errorf("response rate did not improve: %.3f vs %.3f",
+			retriedStats.ResponseRate(), singleStats.ResponseRate())
+	}
+	singleCatch.Range(func(b ipv4.Block, site int) bool {
+		got, ok := retriedCatch.SiteOf(b)
+		if !ok {
+			t.Errorf("block %s lost when retries enabled", b)
+			return false
+		}
+		if got != site {
+			t.Errorf("block %s moved from site %d to %d under retries", b, site, got)
+			return false
+		}
+		return true
+	})
+}
+
+// TestFaultedMeasurementDeterministicAcrossWorkers extends the engine's
+// determinism contract to the fault layer: same seed and profile must
+// map the same blocks to the same sites at any worker count, retries
+// included.
+func TestFaultedMeasurementDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) map[ipv4.Block]int {
+		s := BRoot(topology.SizeTiny, 5)
+		s.SetFaults(lossProfile(5))
+		s.Retries = 2
+		s.Workers = workers
+		catch, _, err := s.Measure(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[ipv4.Block]int{}
+		catch.Range(func(b ipv4.Block, site int) bool {
+			out[b] = site
+			return true
+		})
+		return out
+	}
+	one, eight := run(1), run(8)
+	if len(one) != len(eight) {
+		t.Fatalf("workers=1 mapped %d blocks, workers=8 mapped %d", len(one), len(eight))
+	}
+	for b, site := range one {
+		if eight[b] != site {
+			t.Fatalf("block %s: site %d at workers=1, %d at workers=8", b, site, eight[b])
+		}
+	}
+}
+
+// TestMeasureRoundsPartialPrefix: a failing campaign must return the
+// completed prefix and the first round's error, not discard everything
+// silently.
+func TestMeasureRoundsPartialPrefix(t *testing.T) {
+	s := BRoot(topology.SizeTiny, 3)
+	s.Retries = -1 // invalid budget: every round fails at config check
+	rounds, err := s.MeasureRounds(4, 100)
+	if err == nil {
+		t.Fatal("campaign with invalid retry budget must fail")
+	}
+	if len(rounds) != 0 {
+		t.Errorf("no round can complete, yet %d returned", len(rounds))
+	}
+}

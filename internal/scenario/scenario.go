@@ -9,10 +9,12 @@ package scenario
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"verfploeter/internal/bgp"
 	"verfploeter/internal/dataplane"
 	"verfploeter/internal/dnswire"
+	"verfploeter/internal/faults"
 	"verfploeter/internal/geo"
 	"verfploeter/internal/hitlist"
 	"verfploeter/internal/ipv4"
@@ -60,6 +62,14 @@ type Scenario struct {
 	// measurements and campaigns (<= 0 means one worker per CPU).
 	// Results are identical for every value.
 	Workers int
+
+	// Retries is the per-target retransmission budget applied to every
+	// measurement on this deployment (see verfploeter.Config.Retries);
+	// RetryBackoff overrides the first-pass backoff when positive. Both
+	// are inherited by Forks, so campaigns retry consistently across
+	// rounds. Zero values keep the historic single-shot sweep.
+	Retries      int
+	RetryBackoff time.Duration
 
 	prepends []int
 }
@@ -153,6 +163,16 @@ func (s *Scenario) ReannounceEpoch(extraPrepend []int, epoch uint64) {
 // Prepends returns the current extra-prepend configuration.
 func (s *Scenario) Prepends() []int { return append([]int(nil), s.prepends...) }
 
+// SetFaults installs a fault profile on the deployment's data plane
+// (zero Profile removes it). Subsequent measurements — and every Fork
+// taken afterwards — run under the profile; the assignment, hitlist,
+// and routing state are untouched, so the same deployment can be
+// measured fault-free and faulty back to back.
+func (s *Scenario) SetFaults(p faults.Profile) { s.Net.SetFaults(p) }
+
+// Faults returns the installed fault profile (zero when none).
+func (s *Scenario) Faults() faults.Profile { return s.Net.Faults() }
+
 // AnnounceTest announces the test prefix with a candidate configuration
 // (§3.1's pre-deployment planning: "deploy and announce a test prefix
 // that parallels the anycast service, then measure its routes and
@@ -187,6 +207,7 @@ func (s *Scenario) MeasureTest(roundID uint16) (*verfploeter.Catchment, verfploe
 		NSite: len(s.Sites), OriginSite: 0, SourceAddr: s.TestMeasureAddr,
 		RoundID: roundID, Seed: s.Seed ^ uint64(roundID)<<32 ^ 0x7e57,
 		Workers: s.Workers,
+		Retries: s.Retries, RetryBackoff: s.RetryBackoff,
 	})
 }
 
@@ -280,6 +301,7 @@ func (s *Scenario) Measure(roundID uint16) (*verfploeter.Catchment, verfploeter.
 		NSite: len(s.Sites), OriginSite: 0, SourceAddr: s.MeasureAddr,
 		RoundID: roundID, Seed: s.Seed ^ uint64(roundID)<<32,
 		Workers: s.Workers,
+		Retries: s.Retries, RetryBackoff: s.RetryBackoff,
 	})
 }
 
@@ -289,6 +311,12 @@ func (s *Scenario) Measure(roundID uint16) (*verfploeter.Catchment, verfploeter.
 // impairment is a deterministic hash of seed, block, and round), so they
 // run concurrently on per-round forks; results are identical to the
 // sequential back-to-back campaign for any Workers value.
+//
+// When a round fails, MeasureRounds returns the completed prefix of
+// rounds before the first failure alongside the error, so a campaign
+// interrupted mid-way — an operational reality on real testbeds — still
+// yields a partial report with the failure recorded rather than
+// discarding every finished round.
 func (s *Scenario) MeasureRounds(n int, firstRoundID uint16) ([]*verfploeter.Catchment, error) {
 	out := make([]*verfploeter.Catchment, n)
 	errs := make([]error, n)
@@ -308,9 +336,9 @@ func (s *Scenario) MeasureRounds(n int, firstRoundID uint16) ([]*verfploeter.Cat
 		}
 		out[r] = c
 	})
-	for _, err := range errs {
+	for r, err := range errs {
 		if err != nil {
-			return nil, err
+			return out[:r], err
 		}
 	}
 	// Leave the parent where the sequential campaign would have: on the

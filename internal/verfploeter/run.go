@@ -55,6 +55,26 @@ type Config struct {
 	// in chunk/shard order.
 	Workers int
 
+	// Retries is the per-target retransmission budget for loss-aware
+	// probing: after the initial sweep, targets that have not answered are
+	// re-probed up to Retries times, with capped exponential backoff on
+	// the virtual clock between passes. Each retry carries a fresh
+	// sequence number, so the fault layer's loss coins are independent
+	// draws and the reply fold's first-reply-wins dedup guarantees a
+	// block is never counted twice. Zero (the default) disables retries
+	// and leaves the probe stream byte-identical to earlier releases.
+	// Retries require the in-process collector (Collector == nil): an
+	// external sink gives the prober no view of who answered.
+	Retries int
+
+	// RetryBackoff is the wait before the first retry pass; it doubles
+	// each pass, capped at RetryBackoffMax. Zero values take defaults.
+	// The backoff must exceed the worst-case reply RTT, or in-flight
+	// replies would be retried spuriously (the defaults leave ample
+	// margin over the dataplane's geographic delays).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+
 	// Collector overrides the reply sink. When nil, Run uses an
 	// in-process Central and returns a complete catchment. When set
 	// (e.g. a ForwardClient), Run only probes — collection, cleaning,
@@ -73,14 +93,44 @@ type Stats struct {
 	// MedianRTT is the median probe round-trip time over kept replies;
 	// the paper (§7) suggests these RTTs can drive site placement.
 	MedianRTT time.Duration
+
+	// Targets is the number of hitlist targets probed; Responded the
+	// number of blocks that made it into the catchment. Their ratio is
+	// the sweep-level response rate — the coverage signal downstream
+	// analyses use to qualify catchment fractions under loss.
+	Targets   int
+	Responded int
+	// Retried counts retransmitted probes (0 unless Config.Retries > 0).
+	Retried int
+}
+
+// ResponseRate is the fraction of probed targets that answered, in
+// [0,1]. The paper sees ~55% on the real Internet; the synthetic
+// dataplane reproduces that via responsiveness scores, and the fault
+// layer (internal/faults) pushes it lower still. 0 when nothing was
+// probed — never NaN.
+func (s Stats) ResponseRate() float64 {
+	if s.Targets == 0 {
+		return 0
+	}
+	return float64(s.Responded) / float64(s.Targets)
 }
 
 // Default tuning.
 const (
-	DefaultRate   = 10000.0
-	DefaultBurst  = 64
-	DefaultCutoff = 15 * time.Minute
+	DefaultRate            = 10000.0
+	DefaultBurst           = 64
+	DefaultCutoff          = 15 * time.Minute
+	DefaultRetryBackoff    = time.Second
+	DefaultRetryBackoffMax = 8 * time.Second
 )
+
+// retrySeqStride separates the sequence-number space of each retry
+// attempt: attempt a probes permutation position i with sequence
+// uint16(i) + a*retrySeqStride. Attempt 0 is the plain position, so the
+// initial sweep's wire format is untouched; the stride is odd, so
+// consecutive attempts never collide within a chunk.
+const retrySeqStride = 0x9e37
 
 // probeChunkTargets fixes the granularity of the chunked probe sweep:
 // each chunk of the probe permutation runs as an independent
@@ -114,6 +164,23 @@ func (cfg *Config) fill() error {
 	}
 	if cfg.Cutoff <= 0 {
 		cfg.Cutoff = DefaultCutoff
+	}
+	if cfg.Retries < 0 {
+		return fmt.Errorf("%w: negative Retries", ErrConfig)
+	}
+	if cfg.Retries > 0 {
+		if cfg.Collector != nil {
+			return fmt.Errorf("%w: Retries need the in-process collector (external sinks hide who answered)", ErrConfig)
+		}
+		if cfg.RetryBackoff <= 0 {
+			cfg.RetryBackoff = DefaultRetryBackoff
+		}
+		if cfg.RetryBackoffMax < cfg.RetryBackoff {
+			cfg.RetryBackoffMax = DefaultRetryBackoffMax
+		}
+		if cfg.RetryBackoffMax < cfg.RetryBackoff {
+			cfg.RetryBackoffMax = cfg.RetryBackoff
+		}
 	}
 	return nil
 }
@@ -163,17 +230,21 @@ func Run(cfg Config) (*Catchment, Stats, error) {
 		}
 		ch.sendAt = make(map[ipv4.Addr]time.Duration, hi-lo)
 		ch.err = sweep(net, clock, &cfg, perm, lo, hi, ch.sendAt, &ch.stats)
+		if ch.err == nil && cfg.Retries > 0 {
+			ch.err = retryMissing(net, clock, &cfg, perm, lo, hi, ch)
+		}
 		// Let every reply (including deliberately late ones) land; the
 		// cleaner applies the cutoff on capture timestamps.
 		clock.RunUntilIdle()
 		ch.end = clock.Now()
 	})
 
-	stats := Stats{}
+	stats := Stats{Targets: n}
 	var firstErr error
 	for c := range chunks {
 		stats.Sent += chunks[c].stats.Sent
 		stats.SendErrs += chunks[c].stats.SendErrs
+		stats.Retried += chunks[c].stats.Retried
 		if firstErr == nil {
 			firstErr = chunks[c].err
 		}
@@ -188,7 +259,55 @@ func Run(cfg Config) (*Catchment, Stats, error) {
 	catch, cstats := foldChunks(chunks, cfg.Hitlist, cfg.NSite, cfg.RoundID, cfg.Cutoff, cfg.Workers)
 	stats.Clean = cstats
 	stats.MedianRTT = catch.MedianRTT()
+	stats.Responded = catch.Len()
 	return catch, stats, nil
+}
+
+// retryMissing is the loss-aware retransmission pass for one chunk: it
+// waits out the backoff on the chunk's virtual clock (letting in-flight
+// replies land), re-probes every target in [lo, hi) that has not yet
+// answered, and repeats with doubled backoff up to the retry budget.
+// Each attempt sends a fresh sequence number, so the fault layer's loss
+// coins are independent draws; recovered replies overwrite the target's
+// send time so their RTTs measure the retransmission, not the lost
+// original. Targets whose replies are aliased to another source keep
+// being retried — exactly what a real prober, blind to the alias, would
+// do. The retry pass runs entirely inside the chunk's fork, so output
+// stays byte-identical at any worker count.
+func retryMissing(net *dataplane.Net, clock *vclock.Clock, cfg *Config,
+	perm *rng.Permutation, lo, hi int, ch *probeChunk) error {
+
+	backoff := cfg.RetryBackoff
+	for attempt := 1; attempt <= cfg.Retries; attempt++ {
+		clock.Advance(backoff)
+		answered := make(map[ipv4.Addr]bool, len(ch.central.Replies))
+		for _, r := range ch.central.Replies {
+			answered[r.Src] = true
+		}
+		missing := make([]int, 0, 64)
+		for i := lo; i < hi; i++ {
+			if !answered[cfg.Hitlist.Entries[perm.Index(i)].Addr] {
+				missing = append(missing, i)
+			}
+		}
+		if len(missing) == 0 {
+			return nil
+		}
+		seqOff := uint16(attempt) * retrySeqStride
+		err := pacedSend(net, clock, cfg, len(missing), func(k int) (ipv4.Addr, uint16) {
+			i := missing[k]
+			return cfg.Hitlist.Entries[perm.Index(i)].Addr, uint16(i) + seqOff
+		}, ch.sendAt, &ch.stats)
+		ch.stats.Retried += len(missing)
+		if err != nil {
+			return err
+		}
+		backoff *= 2
+		if backoff > cfg.RetryBackoffMax {
+			backoff = cfg.RetryBackoffMax
+		}
+	}
+	return nil
 }
 
 // probeChunk is one chunk's slice of the round: its captured replies,
@@ -209,7 +328,9 @@ func probeExternal(cfg *Config, perm *rng.Permutation) (Stats, error) {
 		cfg.Net.SetTap(s, Tap(cfg.Collector, s, cfg.Clock.Now))
 	}
 	start := cfg.Clock.Now()
-	stats := Stats{}
+	// Targets is known here; Responded stays 0 — the external sink owns
+	// the replies, so response accounting happens wherever frames land.
+	stats := Stats{Targets: cfg.Hitlist.Len()}
 	err := sweep(cfg.Net, cfg.Clock, cfg, perm, 0, cfg.Hitlist.Len(), nil, &stats)
 	cfg.Clock.RunUntilIdle()
 	stats.Elapsed = cfg.Clock.Now() - start
@@ -220,23 +341,37 @@ func probeExternal(cfg *Config, perm *rng.Permutation) (Stats, error) {
 // onto the virtual clock, paced by a token bucket, interleaving sends
 // with reply delivery as on a real network. Marshaling stays inside the
 // per-chunk sweep (rather than a separate pre-pass) so buffers die young
-// and chunks parallelize it for free. It drains the send schedule before
-// returning the first scheduling error.
+// and chunks parallelize it for free.
 func sweep(net *dataplane.Net, clock *vclock.Clock, cfg *Config,
 	perm *rng.Permutation, lo, hi int,
 	sendAt map[ipv4.Addr]time.Duration, stats *Stats) error {
 
+	return pacedSend(net, clock, cfg, hi-lo, func(k int) (ipv4.Addr, uint16) {
+		i := lo + k
+		return cfg.Hitlist.Entries[perm.Index(i)].Addr, uint16(i)
+	}, sendAt, stats)
+}
+
+// pacedSend is the shared send loop under the initial sweep and the
+// retry passes: it emits count probes — target address and ICMP
+// sequence supplied by tgt — paced by a token bucket on the virtual
+// clock, records each send time, and drains the schedule before
+// returning the first scheduling error.
+func pacedSend(net *dataplane.Net, clock *vclock.Clock, cfg *Config,
+	count int, tgt func(k int) (ipv4.Addr, uint16),
+	sendAt map[ipv4.Addr]time.Duration, stats *Stats) error {
+
 	rl := vclock.NewRateLimiter(clock, cfg.Rate, cfg.Burst)
 	var firstErr error
-	i := lo
+	k := 0
 	var step func()
 	step = func() {
-		for i < hi && rl.Allow() {
-			e := cfg.Hitlist.Entries[perm.Index(i)]
-			raw := packet.MarshalEcho(cfg.SourceAddr, e.Addr,
-				packet.ICMPEchoRequest, cfg.RoundID, uint16(i), nil)
+		for k < count && rl.Allow() {
+			addr, seq := tgt(k)
+			raw := packet.MarshalEcho(cfg.SourceAddr, addr,
+				packet.ICMPEchoRequest, cfg.RoundID, seq, nil)
 			if sendAt != nil {
-				sendAt[e.Addr] = clock.Now()
+				sendAt[addr] = clock.Now()
 			}
 			if err := net.SendProbe(cfg.OriginSite, raw); err != nil {
 				stats.SendErrs++
@@ -245,14 +380,14 @@ func sweep(net *dataplane.Net, clock *vclock.Clock, cfg *Config,
 				}
 			}
 			stats.Sent++
-			i++
+			k++
 		}
-		if i < hi {
+		if k < count {
 			clock.After(rl.Delay(), step)
 		}
 	}
 	step()
-	for i < hi {
+	for k < count {
 		clock.Advance(rl.Delay() + time.Millisecond)
 	}
 	return firstErr

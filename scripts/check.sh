@@ -24,6 +24,22 @@ else
 	go test -race ./...
 fi
 
+# Faults smoke: a fixed-seed lossy run must reproduce its golden
+# response-rate line exactly — the fault layer's determinism contract
+# (same profile seed => same drops at any worker count) collapsed to one
+# grep. Recalibrate the golden only when the fault model itself changes.
+echo "== faults smoke (tiny, moderate profile, fixed seed)"
+want="response rate: 51.9% (2061 of 3974 targets mapped)"
+got=$(go run ./cmd/verfploeter -scenario b-root -size tiny -seed 7 \
+	-faults moderate -fault-seed 9 -retries 2 | grep "^response rate:")
+if [ "$got" != "$want" ]; then
+	echo "faults smoke FAILED:" >&2
+	echo "  want: $want" >&2
+	echo "  got:  $got" >&2
+	exit 1
+fi
+echo "$got"
+
 # Default (medium) size: the shape checks embedded in the benchmark are
 # calibrated for medium/large and intentionally MISS at small/tiny.
 # bench.sh smoke covers table4 plus the route fast path (BGPCompute,

@@ -41,6 +41,7 @@ import (
 	"verfploeter/internal/analysis"
 	"verfploeter/internal/atlas"
 	"verfploeter/internal/dataset"
+	"verfploeter/internal/faults"
 	"verfploeter/internal/ipv4"
 	"verfploeter/internal/loadgen"
 	"verfploeter/internal/loadmodel"
@@ -164,9 +165,43 @@ func (d *Deployment) MapAtlas(p *atlas.Platform, round uint32) *AtlasResult {
 // (§6.1's traffic-engineering experiment).
 func (d *Deployment) SetPrepends(pp []int) { d.Reannounce(pp) }
 
-// PredictLoad joins a catchment with a query log (§3.2).
+// FaultProfile describes a deterministic fault mix for the data plane:
+// probe/reply loss, per-/24 ICMP rate limiting, unresponsive-block sets,
+// and transient site blackouts. Install one with Deployment.SetFaults;
+// the zero value injects nothing. See internal/faults for the
+// determinism contract.
+type FaultProfile = faults.Profile
+
+// ParseFaults builds a FaultProfile from a CLI-style spec: a named
+// profile ("none", "light", "moderate", "heavy", "extreme") or a
+// key=value list such as "probe-loss=0.3,rate-limit=2,seed=9".
+func ParseFaults(spec string) (FaultProfile, error) { return faults.Parse(spec) }
+
+// Named fault profiles, ordered by severity.
+var (
+	FaultsNone     = faults.None
+	FaultsLight    = faults.Light
+	FaultsModerate = faults.Moderate
+	FaultsHeavy    = faults.Heavy
+	FaultsExtreme  = faults.Extreme
+)
+
+// MapCoverage qualifies a catchment against the hitlist that produced
+// it — the graceful-degradation signal under fault injection.
+type MapCoverage = analysis.MapCoverage
+
+// CoverageOf reports how much of the deployment's hitlist a catchment
+// covers. Present it alongside any catchment-derived number measured
+// under loss.
+func (d *Deployment) CoverageOf(c *Catchment) MapCoverage {
+	return analysis.CatchmentCoverage(c, d.Hitlist)
+}
+
+// PredictLoad joins a catchment with a query log (§3.2). The estimate
+// is annotated with the catchment's hitlist coverage, so predictions
+// from loss-degraded maps carry their confidence context.
 func (d *Deployment) PredictLoad(c *Catchment, log *Log, w Weight) *Estimate {
-	return loadmodel.Predict(c, log, w)
+	return loadmodel.Predict(c, log, w).WithCoverage(d.CoverageOf(c).Rate())
 }
 
 // PredictHourly projects per-site load over 24 hours (Figure 6).
