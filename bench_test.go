@@ -270,6 +270,7 @@ func BenchmarkTopologyGenerate(b *testing.B) {
 
 func BenchmarkExtPlacement(b *testing.B) { benchExperiment(b, "ext-placement") }
 func BenchmarkExtDrift(b *testing.B)     { benchExperiment(b, "ext-drift") }
+func BenchmarkExtStale(b *testing.B)     { benchExperiment(b, "ext-stale") }
 func BenchmarkExtSites(b *testing.B)     { benchExperiment(b, "ext-sites") }
 func BenchmarkExtCDN(b *testing.B)       { benchExperiment(b, "ext-cdn") }
 

@@ -39,6 +39,10 @@ func main() {
 		faultsSpec   = flag.String("faults", "", "fault profile: none, light, moderate, heavy, extreme, or key=value list (probe-loss=0.3,rate-limit=2,seed=9)")
 		faultSeed    = flag.Uint64("fault-seed", 0, "override the fault profile's seed (same seed = same drops at any -workers)")
 		retries      = flag.Int("retries", 0, "per-target retransmission budget under loss (capped exponential backoff)")
+		monitorMode  = flag.Bool("monitor", false, "run a continuous monitoring campaign instead of one round (with -monitor, -prepend becomes an operator action at epoch 1)")
+		epochs       = flag.Int("epochs", 4, "monitoring campaign length in sweep epochs, baseline included")
+		sample       = flag.Float64("sample", 0, "per-AS sampled block fraction per epoch (0 = full re-probe every epoch)")
+		seriesOut    = flag.String("save-series", "", "save the monitoring run as a .vpds series file (format v3)")
 	)
 	flag.Parse()
 
@@ -64,12 +68,22 @@ func main() {
 	if profile.Enabled() {
 		d.SetFaults(profile)
 	}
+	var pp []int
 	if *prepends != "" {
-		pp, err := parsePrepends(*prepends, len(d.Sites))
+		pp, err = parsePrepends(*prepends, len(d.Sites))
 		if err != nil {
 			fatal(err)
 		}
-		d.SetPrepends(pp)
+		if !*monitorMode {
+			d.SetPrepends(pp)
+		}
+	}
+
+	if *monitorMode {
+		if err := runMonitor(d, *epochs, *sample, pp, *seriesOut); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	catch, stats, err := d.Map(uint16(*round))
@@ -145,6 +159,63 @@ func main() {
 		}
 		fmt.Printf("catchment written to %s\n", *catchOut)
 	}
+}
+
+// runMonitor drives a continuous-monitoring campaign and prints the
+// drift report. A -prepend value becomes an operator action at epoch 1,
+// so the campaign observes (and classifies) the change rather than
+// starting from it. The final "monitor:" line is stable for a fixed
+// scenario/seed/flags — scripts/check.sh pins it as a golden.
+func runMonitor(d *verfploeter.Deployment, epochs int, sample float64, pp []int, seriesOut string) error {
+	var actions []verfploeter.MonitorAction
+	if pp != nil {
+		actions = append(actions, verfploeter.MonitorAction{Epoch: 1, Prepend: pp})
+	}
+	res, err := d.Monitor(verfploeter.MonitorConfig{
+		Epochs:  epochs,
+		Sample:  sample,
+		Actions: actions,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario %s (seed %d): %d sites, %d hitlist targets\n",
+		d.Name, d.Seed, len(d.Sites), d.Hitlist.Len())
+	mode := "full re-probe"
+	if sample > 0 {
+		mode = fmt.Sprintf("sample rate %.3f", sample)
+	}
+	fmt.Printf("monitoring %d epochs (%s)\n\n", len(res.Epochs), mode)
+
+	for _, er := range res.Epochs {
+		esc := ""
+		if er.EscalatedStrata > 0 {
+			esc = fmt.Sprintf(", %d strata escalated", er.EscalatedStrata)
+		}
+		fmt.Printf("epoch %d: %d probes%s, %d blocks mapped\n",
+			er.Epoch, er.Probes, esc, er.Map.Len())
+		for _, ev := range er.Events {
+			fmt.Printf("  %s\n", ev)
+		}
+	}
+
+	flips := 0
+	for _, ev := range res.Events {
+		if ev.Type == verfploeter.EventFlips {
+			flips += ev.Blocks
+		}
+	}
+	fmt.Printf("\nmonitor: epochs=%d events=%d flips=%d probes=%d baseline=%d\n",
+		len(res.Epochs), len(res.Events), flips, res.TotalProbes, res.BaselineProbes)
+
+	if seriesOut != "" {
+		if err := verfploeter.SaveSeries(seriesOut, res.Series); err != nil {
+			return err
+		}
+		fmt.Printf("series written to %s\n", seriesOut)
+	}
+	return nil
 }
 
 func buildDeployment(name, sizeName string, seed uint64) (*verfploeter.Deployment, error) {

@@ -1,9 +1,14 @@
 // Command vp-dataset inspects and compares saved Verfploeter measurement
 // datasets (the .vpds files cmd/verfploeter -save-dataset produces),
 // mirroring how the paper compares its published scans (Table 1; the
-// SBV-4-21 vs SBV-5-15 month-over-month drift of §5.5).
+// SBV-4-21 vs SBV-5-15 month-over-month drift of §5.5). It also reads
+// monitoring series (format v3, cmd/verfploeter -monitor -save-series):
+// info on a series prints the epoch timeline and drift events, -epoch
+// reconstructs any epoch's map, and -matrices renders the site-by-site
+// flip matrix of every epoch transition.
 //
 //	vp-dataset info run.vpds
+//	vp-dataset info -epoch 3 -matrices monitor.vpds
 //	vp-dataset diff april.vpds may.vpds
 package main
 
@@ -13,12 +18,14 @@ import (
 	"os"
 	"time"
 
+	"verfploeter/internal/analysis"
 	"verfploeter/internal/dataset"
+	"verfploeter/internal/verfploeter"
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage:\n  vp-dataset info <file>\n  vp-dataset diff <fileA> <fileB>\n")
+		fmt.Fprintf(os.Stderr, "usage:\n  vp-dataset info [-epoch N] [-matrices] <file>\n  vp-dataset diff <fileA> <fileB>\n")
 	}
 	flag.Parse()
 	args := flag.Args()
@@ -28,7 +35,14 @@ func main() {
 	}
 	switch args[0] {
 	case "info":
-		if err := info(args[1]); err != nil {
+		fs := flag.NewFlagSet("info", flag.ExitOnError)
+		epoch := fs.Int("epoch", -1, "reconstruct this epoch of a series (time travel)")
+		matrices := fs.Bool("matrices", false, "render per-transition flip matrices of a series")
+		if err := fs.Parse(args[1:]); err != nil || fs.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := info(fs.Arg(0), *epoch, *matrices); err != nil {
 			fatal(err)
 		}
 	case "diff":
@@ -45,9 +59,15 @@ func main() {
 	}
 }
 
-func info(path string) error {
+func info(path string, epoch int, matrices bool) error {
 	ds, err := dataset.ReadFile(path)
 	if err != nil {
+		// Not a single run — a v3 file is a monitoring series. If both
+		// readers reject the file, the single-run error is the one that
+		// names the actual problem for v1/v2 files.
+		if s, serr := dataset.ReadSeriesFile(path); serr == nil {
+			return seriesInfo(s, epoch, matrices)
+		}
 		return err
 	}
 	fmt.Printf("dataset %s (scenario %s, round %d, seed %d)\n",
@@ -58,18 +78,69 @@ func info(path string) error {
 	fmt.Printf("probes sent: %d; replies kept: %d (dups %d, unsolicited %d, late %d)\n",
 		ds.Stats.Sent, ds.Stats.Clean.Kept, ds.Stats.Clean.Duplicates,
 		ds.Stats.Clean.Unsolicited, ds.Stats.Clean.Late)
+	if ds.Stats.Targets > 0 {
+		fmt.Printf("response rate: %.1f%% (%d of %d targets mapped)\n",
+			100*ds.Stats.ResponseRate(), ds.Stats.Responded, ds.Stats.Targets)
+	}
 	if ds.Stats.MedianRTT > 0 {
 		fmt.Printf("median RTT: %v\n", ds.Stats.MedianRTT.Round(time.Millisecond))
 	}
+	printSites(ds.Catchment, ds.Meta.Sites)
+	return nil
+}
+
+func seriesInfo(s *dataset.Series, epoch int, matrices bool) error {
+	fmt.Printf("series %s (scenario %s, round %d, seed %d): %d epochs\n",
+		s.Meta.ID, s.Meta.Scenario, s.Meta.RoundID, s.Meta.Seed, s.Len())
+	if s.SampleRate > 0 {
+		fmt.Printf("adaptive re-probing: sample rate %.3f over %d strata\n", s.SampleRate, s.Strata)
+	} else {
+		fmt.Printf("full re-probe every epoch\n")
+	}
+	fmt.Printf("total probes: %d\n", s.TotalProbes())
+	fmt.Printf("\n%-6s %8s %8s %8s %8s %5s\n", "epoch", "flips", "new", "silent", "probes", "esc")
+	fmt.Printf("%-6d %8s %8s %8s %8d %5s  (baseline)\n", 0, "-", "-", "-", s.BaselineProbes, "-")
+	for _, se := range s.Epochs {
+		fmt.Printf("%-6d %8d %8d %8d %8d %5d\n",
+			se.Epoch, len(se.Changed), len(se.Added), len(se.Removed), se.Probes, se.EscalatedStrata)
+	}
+	if evs := s.Events(); len(evs) > 0 {
+		fmt.Println("\ndrift events:")
+		for _, ev := range evs {
+			fmt.Printf("  %s\n", ev)
+		}
+	}
+	if epoch >= 0 {
+		c, err := s.At(epoch)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nepoch %d reconstruction:\n", epoch)
+		printSites(c, s.Meta.Sites)
+	}
+	if matrices {
+		ms, err := analysis.SeriesFlipMatrices(s)
+		if err != nil {
+			return err
+		}
+		for i, m := range ms {
+			fmt.Printf("\nflip matrix, epoch %d -> %d (%d flipped, %d stable):\n",
+				i, i+1, m.Flipped(), m.Stable())
+			fmt.Print(m.Render(s.Meta.Sites))
+		}
+	}
+	return nil
+}
+
+func printSites(c *verfploeter.Catchment, sites []string) {
 	fmt.Printf("\n%-6s %10s %8s\n", "site", "blocks", "share")
-	counts := ds.Catchment.Counts()
-	for i, code := range ds.Meta.Sites {
+	counts := c.Counts()
+	for i, code := range sites {
 		if i >= len(counts) {
 			break
 		}
-		fmt.Printf("%-6s %10d %7.1f%%\n", code, counts[i], 100*ds.Catchment.Fraction(i))
+		fmt.Printf("%-6s %10d %7.1f%%\n", code, counts[i], 100*c.Fraction(i))
 	}
-	return nil
 }
 
 func diff(pathA, pathB string) error {

@@ -82,6 +82,10 @@ func main() {
 				"id":           out.ID,
 				"title":        out.Title,
 				"shape_misses": misses,
+				"sweeps":       out.Sweeps,
+				"targets":      out.Targets,
+				"responded":    out.Responded,
+				"retried":      out.Retried,
 			}
 			if out.Result != nil {
 				row["metrics"] = out.Result.Metrics
@@ -96,7 +100,12 @@ func main() {
 		case out.Err != nil:
 			fmt.Printf("=== %s: %s ===\nFAILED: %v\n\n", out.ID, out.Title, out.Err)
 		default:
-			fmt.Printf("=== %s: %s ===\n%s\n", out.Result.ID, out.Result.Title, out.Result.Text)
+			fmt.Printf("=== %s: %s ===\n%s", out.Result.ID, out.Result.Title, out.Result.Text)
+			if out.Sweeps > 0 {
+				fmt.Printf("run: %d sweeps, %d targets, %d responded (%.1f%%), %d retried\n",
+					out.Sweeps, out.Targets, out.Responded, out.ResponseRate(), out.Retried)
+			}
+			fmt.Println()
 		}
 		if out.Err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", out.ID, out.Err)

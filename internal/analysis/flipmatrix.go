@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"verfploeter/internal/dataset"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/verfploeter"
+)
+
+// The monitor's drift events say *how much* moved between epochs; the
+// flip matrix says *where it went* — a full site-by-site transition
+// matrix in the style of the paper's month-over-month comparison
+// (SBV-4-21 vs SBV-5-15), with non-responsive as an extra row/column so
+// churn in and out of responsiveness is visible next to real flips.
+
+// FlipMatrix counts block transitions between two epochs' catchments.
+// Cell[i][j] is the number of blocks at site i before and site j after;
+// index NSite stands for non-responsive.
+type FlipMatrix struct {
+	NSite int
+	Cell  [][]int
+}
+
+// NewFlipMatrix tabulates the prev -> cur transitions. The two maps must
+// share a site count.
+func NewFlipMatrix(prev, cur *verfploeter.Catchment) (*FlipMatrix, error) {
+	if prev.NSite != cur.NSite {
+		return nil, fmt.Errorf("analysis: flip matrix across %d vs %d sites", prev.NSite, cur.NSite)
+	}
+	m := &FlipMatrix{NSite: prev.NSite, Cell: make([][]int, prev.NSite+1)}
+	for i := range m.Cell {
+		m.Cell[i] = make([]int, prev.NSite+1)
+	}
+	nr := m.NSite
+	prev.Range(func(b ipv4.Block, ps int) bool {
+		if cs, ok := cur.SiteOf(b); ok {
+			m.Cell[ps][cs]++
+		} else {
+			m.Cell[ps][nr]++
+		}
+		return true
+	})
+	cur.Range(func(b ipv4.Block, cs int) bool {
+		if _, ok := prev.SiteOf(b); !ok {
+			m.Cell[nr][cs]++
+		}
+		return true
+	})
+	return m, nil
+}
+
+// Flipped counts blocks that changed from one real site to another.
+func (m *FlipMatrix) Flipped() int {
+	n := 0
+	for i := 0; i < m.NSite; i++ {
+		for j := 0; j < m.NSite; j++ {
+			if i != j {
+				n += m.Cell[i][j]
+			}
+		}
+	}
+	return n
+}
+
+// Stable counts blocks that kept their site.
+func (m *FlipMatrix) Stable() int {
+	n := 0
+	for i := 0; i < m.NSite; i++ {
+		n += m.Cell[i][i]
+	}
+	return n
+}
+
+// ToNR and FromNR count responsiveness churn.
+func (m *FlipMatrix) ToNR() int {
+	n := 0
+	for i := 0; i < m.NSite; i++ {
+		n += m.Cell[i][m.NSite]
+	}
+	return n
+}
+
+func (m *FlipMatrix) FromNR() int {
+	n := 0
+	for j := 0; j < m.NSite; j++ {
+		n += m.Cell[m.NSite][j]
+	}
+	return n
+}
+
+// Render formats the matrix as an aligned table. sites supplies row and
+// column labels (falling back to site numbers); the non-responsive
+// row/column is labeled "NR".
+func (m *FlipMatrix) Render(sites []string) string {
+	label := func(i int) string {
+		if i == m.NSite {
+			return "NR"
+		}
+		if i < len(sites) && sites[i] != "" {
+			return sites[i]
+		}
+		return fmt.Sprintf("site%d", i)
+	}
+	width := 2
+	for i := 0; i <= m.NSite; i++ {
+		if w := len(label(i)); w > width {
+			width = w
+		}
+		for j := 0; j <= m.NSite; j++ {
+			if w := len(fmt.Sprintf("%d", m.Cell[i][j])); w > width {
+				width = w
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%*s", width+2, "")
+	for j := 0; j <= m.NSite; j++ {
+		fmt.Fprintf(&sb, " %*s", width, label(j))
+	}
+	sb.WriteByte('\n')
+	for i := 0; i <= m.NSite; i++ {
+		fmt.Fprintf(&sb, "%*s |", width, label(i))
+		for j := 0; j <= m.NSite; j++ {
+			fmt.Fprintf(&sb, " %*d", width, m.Cell[i][j])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SeriesFlipMatrices reconstructs every consecutive epoch pair of a
+// monitoring series and returns their flip matrices: matrix k describes
+// the epoch k -> k+1 transition.
+func SeriesFlipMatrices(s *dataset.Series) ([]*FlipMatrix, error) {
+	if s.Len() < 2 {
+		return nil, nil
+	}
+	out := make([]*FlipMatrix, 0, s.Len()-1)
+	prev, err := s.At(0)
+	if err != nil {
+		return nil, err
+	}
+	for e := 1; e < s.Len(); e++ {
+		cur, err := s.At(e)
+		if err != nil {
+			return nil, err
+		}
+		m, err := NewFlipMatrix(prev, cur)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+		prev = cur
+	}
+	return out, nil
+}

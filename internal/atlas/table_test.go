@@ -1,0 +1,129 @@
+package atlas
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestMedianLatencyTable: median over empty, single, odd, even, and
+// unsorted sample sets.
+func TestMedianLatencyTable(t *testing.T) {
+	ms := func(vs ...int) []LatencySample {
+		out := make([]LatencySample, len(vs))
+		for i, v := range vs {
+			out[i] = LatencySample{RTT: time.Duration(v) * time.Millisecond}
+		}
+		return out
+	}
+	cases := []struct {
+		name    string
+		samples []LatencySample
+		want    time.Duration
+	}{
+		{name: "empty", samples: nil, want: 0},
+		{name: "single", samples: ms(42), want: 42 * time.Millisecond},
+		{name: "odd count", samples: ms(10, 30, 20), want: 20 * time.Millisecond},
+		{name: "even count takes upper middle", samples: ms(10, 20, 30, 40), want: 30 * time.Millisecond},
+		{name: "unsorted", samples: ms(90, 10, 50, 30, 70), want: 50 * time.Millisecond},
+		{name: "duplicates", samples: ms(5, 5, 5, 9), want: 5 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := MedianLatency(tc.samples); got != tc.want {
+				t.Fatalf("MedianLatency = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSiteFractionsTable: share computation over empty and sparse
+// site-count maps.
+func TestSiteFractionsTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		responding int
+		counts     map[int]int
+		want       []float64
+	}{
+		{name: "no responders", responding: 0, counts: map[int]int{}, want: nil},
+		{name: "one site", responding: 4, counts: map[int]int{0: 4}, want: []float64{1}},
+		{name: "sparse site indices", responding: 4, counts: map[int]int{0: 3, 2: 1}, want: []float64{0.75, 0, 0.25}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := &Result{Responding: tc.responding, SiteCounts: tc.counts}
+			got := r.SiteFractions()
+			if len(got) != len(tc.want) {
+				t.Fatalf("SiteFractions = %v, want %v", got, tc.want)
+			}
+			sum := 0.0
+			for i := range got {
+				if math.Abs(got[i]-tc.want[i]) > 1e-12 {
+					t.Fatalf("SiteFractions = %v, want %v", got, tc.want)
+				}
+				sum += got[i]
+			}
+			if len(got) > 0 && math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("fractions sum to %v", sum)
+			}
+		})
+	}
+}
+
+// TestCountryCountsTable: failed VPs are excluded and the tally sorts
+// by count descending, then country code.
+func TestCountryCountsTable(t *testing.T) {
+	vp := func(country string) *VP { return &VP{Country: country} }
+	cases := []struct {
+		name  string
+		perVP []VPResult
+		want  []CountryCount
+	}{
+		{name: "empty", perVP: nil, want: nil},
+		{
+			name:  "all failed",
+			perVP: []VPResult{{VP: vp("US"), Site: -1}, {VP: vp("DE"), Site: -1}},
+			want:  nil,
+		},
+		{
+			name: "failed excluded, ties by code",
+			perVP: []VPResult{
+				{VP: vp("US"), Site: 0}, {VP: vp("US"), Site: 1},
+				{VP: vp("DE"), Site: 0}, {VP: vp("NL"), Site: 0},
+				{VP: vp("NL"), Site: -1},
+			},
+			want: []CountryCount{{"US", 2}, {"DE", 1}, {"NL", 1}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := &Result{PerVP: tc.perVP}
+			got := r.CountryCounts()
+			if len(got) != len(tc.want) {
+				t.Fatalf("CountryCounts = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("CountryCounts = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestNewRejectsEmptyPlatform: a zero or negative VP count is a caller
+// bug and must panic rather than build a platform that divides by zero
+// later.
+func TestNewRejectsEmptyPlatform(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(top, %d, 1) did not panic", n)
+				}
+			}()
+			New(nil, n, 1)
+		}()
+	}
+}

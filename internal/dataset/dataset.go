@@ -130,7 +130,13 @@ func Read(r io.Reader) (*Dataset, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
 	}
 	v, err := readU16(br)
-	if err != nil || v < 1 || v > version {
+	if err != nil {
+		return nil, err
+	}
+	if v == seriesVersion {
+		return nil, fmt.Errorf("%w: file is a monitoring series (v%d) — use ReadSeries", ErrFormat, v)
+	}
+	if v < 1 || v > version {
 		return nil, fmt.Errorf("%w: version %d", ErrFormat, v)
 	}
 
@@ -227,7 +233,22 @@ func Read(r io.Reader) (*Dataset, error) {
 		}
 	}
 	ds.Catchment = c
+	if err := expectEOF(br); err != nil {
+		return nil, err
+	}
 	return ds, nil
+}
+
+// expectEOF demands the record end exactly where parsing stopped. The
+// read-through also makes the gzip layer verify its checksum — without
+// it a file with a truncated trailer parses silently.
+func expectEOF(br *bufio.Reader) error {
+	if _, err := br.ReadByte(); err == nil {
+		return fmt.Errorf("%w: trailing data after record", ErrFormat)
+	} else if err != io.EOF {
+		return fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return nil
 }
 
 // WriteFile saves a dataset to a file.

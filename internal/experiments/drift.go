@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+
+	"verfploeter/internal/dataset"
+	"verfploeter/internal/monitor"
+	"verfploeter/internal/scenario"
+)
+
+// Continuous monitoring: the paper's operators re-measure to watch the
+// catchment drift (§5.5, §6.1); the monitor package makes that a
+// service with adaptive partial re-probing. This experiment checks the
+// three claims that make sampling trustworthy: (1) at the working
+// sample rate the sampled monitor reproduces the always-full-re-probe
+// monitor byte for byte — zero false-negative flips — while classifying
+// causes; (2) on a stable topology the sampled epochs cost a fraction
+// of a full sweep; (3) detection latency shrinks as the sample rate
+// grows, quantifying the probe-budget/latency trade.
+func init() {
+	register("ext-drift", "Continuous monitoring: drift detection, probe savings, latency", runExtDrift)
+}
+
+// identityRate is the working sample rate for the byte-identity claim;
+// latencyRates are swept for the latency table.
+const identityRate = 0.25
+
+var latencyRates = []float64{0.05, 0.125, 0.25}
+
+// driftSchedule installs the mixed drift scenario on a fresh fork:
+// operator prepend at epoch 1 (a known cause), an unscheduled
+// withdrawal at epoch 3 (reads as blackout), restoration plus a routing
+// tie-break bump at epoch 5 (unexplained), stable epochs between.
+func driftSchedule(s *scenario.Scenario) []monitor.Action {
+	s.OnEpoch(func(sc *scenario.Scenario, e int) {
+		switch e {
+		case 3:
+			down := make([]bool, len(sc.Sites))
+			down[1] = true
+			sc.ReannounceFull(sc.Prepends(), down, sc.RoutingEpoch())
+		case 5:
+			sc.ReannounceFull(sc.Prepends(), nil, sc.RoutingEpoch()+1)
+		}
+	})
+	return []monitor.Action{{Epoch: 1, Prepend: []int{3, 0}}}
+}
+
+func runExtDrift(cfg Config) (*Result, error) {
+	r := newReport()
+	r.line("Extension: continuous catchment monitoring (B-Root)")
+	r.line("drift schedule: prepend@1 (operator), withdraw@3 (hook), restore+tie-break@5 (hook)")
+	r.line("")
+
+	runMonitor := func(sample float64, schedule bool, epochs int) (*monitor.Result, error) {
+		s := world("b-root", cfg)
+		var actions []monitor.Action
+		if schedule {
+			actions = driftSchedule(s)
+		}
+		return monitor.Run(s, monitor.Config{Epochs: epochs, Sample: sample, Actions: actions})
+	}
+
+	// --- (1) byte-identity against full re-probing, with causes ---------
+	full, err := runMonitor(0, true, 7)
+	if err != nil {
+		return nil, err
+	}
+	sampled, err := runMonitor(identityRate, true, 7)
+	if err != nil {
+		return nil, err
+	}
+	identical := len(full.Epochs) == len(sampled.Epochs)
+	for e := range full.Epochs {
+		if identical && !full.Epochs[e].Map.Equal(sampled.Epochs[e].Map) {
+			identical = false
+		}
+	}
+	flips := func(res *monitor.Result) int {
+		n := 0
+		for _, ev := range res.Events {
+			if ev.Type == dataset.EventFlips {
+				n += ev.Blocks
+			}
+		}
+		return n
+	}
+	fullFlips, sampledFlips := flips(full), flips(sampled)
+	causes := map[int]dataset.Cause{}
+	for _, ev := range sampled.Events {
+		causes[ev.Epoch] = ev.Cause
+	}
+	r.line("identity at sample rate %.3f: %d epochs, flips full=%d sampled=%d, probes full=%d sampled=%d",
+		identityRate, len(full.Epochs), fullFlips, sampledFlips, full.TotalProbes, sampled.TotalProbes)
+	r.metric("flips_full", float64(fullFlips))
+	r.metric("flips_sampled", float64(sampledFlips))
+	r.metric("probes_full", float64(full.TotalProbes))
+	r.metric("probes_sampled", float64(sampled.TotalProbes))
+
+	// --- (2) stable-topology probe savings ------------------------------
+	stable, err := runMonitor(0.125, false, 5)
+	if err != nil {
+		return nil, err
+	}
+	maxEpochProbes, savingsOK := 0, true
+	for _, er := range stable.Epochs[1:] {
+		if er.Probes > maxEpochProbes {
+			maxEpochProbes = er.Probes
+		}
+		if er.Probes*4 > stable.BaselineProbes {
+			savingsOK = false
+		}
+	}
+	saving := 0.0
+	if maxEpochProbes > 0 {
+		saving = float64(stable.BaselineProbes) / float64(maxEpochProbes)
+	}
+	r.line("stable topology at rate 0.125: baseline %d probes, costliest epoch %d (%.1fx saving), %d events",
+		stable.BaselineProbes, maxEpochProbes, saving, len(stable.Events))
+	r.metric("stable_saving", saving)
+
+	// --- (3) detection latency vs sample rate ---------------------------
+	// Prepend-only schedule: drift at epoch 1, then five stable epochs.
+	// Latency = epochs between the drift and the first epoch whose map
+	// matches the full monitor's (sample rotation catches stragglers).
+	latFull, err := func() (*monitor.Result, error) {
+		s := world("b-root", cfg)
+		return monitor.Run(s, monitor.Config{Epochs: 7,
+			Actions: []monitor.Action{{Epoch: 1, Prepend: []int{3, 0}}}})
+	}()
+	if err != nil {
+		return nil, err
+	}
+	r.line("")
+	r.line("detection latency (prepend@1, epochs until the sampled map matches full):")
+	r.line("%8s %9s %9s", "rate", "latency", "probes")
+	const undetected = 10 // sentinel beyond the campaign length
+	lat := map[float64]int{}
+	for _, rate := range latencyRates {
+		res, err := func() (*monitor.Result, error) {
+			s := world("b-root", cfg)
+			return monitor.Run(s, monitor.Config{Epochs: 7, Sample: rate,
+				Actions: []monitor.Action{{Epoch: 1, Prepend: []int{3, 0}}}})
+		}()
+		if err != nil {
+			return nil, err
+		}
+		lat[rate] = undetected
+		for e := 1; e < len(res.Epochs); e++ {
+			if res.Epochs[e].Map.Equal(latFull.Epochs[e].Map) {
+				lat[rate] = e - 1
+				break
+			}
+		}
+		latStr := "miss"
+		if lat[rate] < undetected {
+			latStr = fmt.Sprintf("%d", lat[rate])
+		}
+		r.line("%8.3f %9s %9d", rate, latStr, res.TotalProbes)
+		r.metric(fmt.Sprintf("latency_r%03d", int(rate*1000)), float64(lat[rate]))
+	}
+
+	r.line("")
+	r.line("[sampling reproduces the full monitor exactly at the working rate;")
+	r.line(" stable epochs cost a quarter sweep or less; denser samples detect")
+	r.line(" partial-AS drift sooner]")
+
+	r.shape(identical, "identical: sampled maps match full-mode maps every epoch")
+	r.shape(fullFlips == sampledFlips && fullFlips > 0,
+		"zero-missed: the sampled monitor reports every flip the full monitor sees")
+	r.shape(sampled.TotalProbes < full.TotalProbes,
+		"cheaper: the sampled campaign costs fewer probes than full re-probing")
+	r.shape(causes[1] == dataset.CausePrepend,
+		"cause-prepend: the operator prepend epoch is attributed to the prepend")
+	r.shape(causes[3] == dataset.CauseBlackout,
+		"cause-blackout: the unscheduled withdrawal reads as a blackout")
+	r.shape(causes[5] == dataset.CauseUnexplained,
+		"cause-unexplained: tie-break drift stays unexplained")
+	r.shape(len(stable.Events) == 0 && savingsOK,
+		"savings: every stable epoch costs at most a quarter of a full sweep")
+	r.shape(lat[0.25] <= lat[0.125] && lat[0.125] <= lat[0.05],
+		"latency-monotone: denser samples never detect later")
+	r.shape(lat[identityRate] == 0,
+		"latency-zero: the working rate detects the prepend in its own epoch")
+	return r.result("ext-drift", Title("ext-drift")), nil
+}

@@ -19,6 +19,7 @@ import (
 	"verfploeter/internal/faults"
 	"verfploeter/internal/scenario"
 	"verfploeter/internal/topology"
+	"verfploeter/internal/verfploeter"
 )
 
 // Config parameterizes a run.
@@ -46,6 +47,10 @@ type Config struct {
 	// measurement (see verfploeter.Config.Retries). Zero keeps the
 	// historic single-shot sweep.
 	Retries int
+	// sink observes every successful sweep's stats on the scenarios
+	// world() hands out (must be concurrency-safe — campaigns sweep in
+	// parallel). runOne installs the Outcome recorder here.
+	sink func(verfploeter.Stats)
 }
 
 // DefaultConfig returns the configuration the checked-in EXPERIMENTS.md
@@ -125,6 +130,21 @@ type Outcome struct {
 	Title  string
 	Result *Result
 	Err    error
+	// Sweep-health totals summed over every sweep the experiment ran:
+	// how many sweeps, targets probed, targets that answered, and
+	// retransmissions spent. The vp-experiments summary line prints them.
+	Sweeps    int
+	Targets   int
+	Responded int
+	Retried   int
+}
+
+// ResponseRate returns the experiment-wide response rate in percent.
+func (o Outcome) ResponseRate() float64 {
+	if o.Targets == 0 {
+		return 0
+	}
+	return 100 * float64(o.Responded) / float64(o.Targets)
 }
 
 // RunAll executes the given experiments (all registered ones when ids
@@ -154,6 +174,15 @@ func runOne(id string, cfg Config) (o Outcome) {
 			o.Err = fmt.Errorf("experiments: %s panicked: %v", id, p)
 		}
 	}()
+	var mu sync.Mutex
+	cfg.sink = func(st verfploeter.Stats) {
+		mu.Lock()
+		o.Sweeps++
+		o.Targets += st.Targets
+		o.Responded += st.Responded
+		o.Retried += st.Retried
+		mu.Unlock()
+	}
 	o.Result, o.Err = Run(id, cfg)
 	return o
 }
@@ -209,6 +238,7 @@ func world(preset string, cfg Config) *scenario.Scenario {
 	f := base.Fork()
 	f.Workers = cfg.Workers
 	f.Retries = cfg.Retries
+	f.StatsSink = cfg.sink
 	if cfg.Faults.Enabled() {
 		f.SetFaults(cfg.Faults)
 	}

@@ -24,7 +24,7 @@ type (
 // that §5.5 observes but defers to future study.
 func init() {
 	register("ext-placement", "RTT-driven site placement suggestions (§7)", runExtPlacement)
-	register("ext-drift", "Prediction accuracy vs age of measurement data (§5.5)", runExtDrift)
+	register("ext-stale", "Prediction accuracy vs age of measurement data (§5.5)", runExtStale)
 	register("ext-sites", "Load-weighted RTT vs number of sites (§7, [43])", runExtSites)
 }
 
@@ -87,7 +87,7 @@ func runExtPlacement(cfg Config) (*Result, error) {
 // prediction from April data (76.2%) undershooting May's measured load
 // (81.6%) because routing shifted in between. We model the month as a
 // routing-epoch change and compare fresh vs stale predictions.
-func runExtDrift(cfg Config) (*Result, error) {
+func runExtStale(cfg Config) (*Result, error) {
 	s := world("b-root", cfg)
 
 	// "April": measure the catchment and collect a day of load.
@@ -149,7 +149,7 @@ func runExtDrift(cfg Config) (*Result, error) {
 	r.metric("err_fresh", errFresh)
 	r.shape(shiftFrac > 0.005, "drift-exists: a month of routing churn moves a visible share of blocks")
 	r.shape(errFresh <= errStale+0.005, "freshness: predictions from current catchments beat stale ones")
-	return r.result("ext-drift", Title("ext-drift")), nil
+	return r.result("ext-stale", Title("ext-stale")), nil
 }
 
 // §7 / [43]: "how many sites are enough?" — the greedy placement curve

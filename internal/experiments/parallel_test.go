@@ -53,7 +53,7 @@ func TestExperimentsRunConcurrently(t *testing.T) {
 	if testing.Short() {
 		t.Skip("concurrent experiment sweep")
 	}
-	ids := []string{"table4", "fig5", "fig7", "ablation-hotpotato", "ext-drift", "fig4"}
+	ids := []string{"table4", "fig5", "fig7", "ablation-hotpotato", "ext-stale", "fig4"}
 	cfg := workersConfig(2)
 
 	solo, err := Run("table4", cfg)

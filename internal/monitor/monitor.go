@@ -1,0 +1,640 @@
+// Package monitor turns the one-shot mapper into a continuous catchment
+// monitoring service — the operational loop behind the paper's B-Root
+// story (§5.5's month-over-month drift, §6.1's traffic engineering):
+// operators do not map once, they *watch* the map, re-running
+// Verfploeter to see blocks flip sites and load shift when routing
+// changes.
+//
+// The monitor runs scheduled sweep epochs on the virtual clock against a
+// scenario, delta-encodes each epoch against its predecessor (full
+// baseline plus per-epoch flip sets, persisted as dataset format v3 with
+// time-travel reconstruction), and emits a typed drift event stream —
+// block flips, per-site load shifts past a threshold, coverage drops,
+// sites going dark — classifying causes where attributable: operator
+// prepend changes and withdrawals are known, a site going silent without
+// an operator action reads as a blackout, and the rest (tie-break drift)
+// is unexplained.
+//
+// # Adaptive partial re-probing
+//
+// Probing every hitlist block every epoch wastes almost all of its
+// budget on a stable Internet. The monitor instead hashes ASes into
+// strata, probes a small deterministic per-AS sample each epoch, and
+// escalates to a full re-probe only the strata whose sample diverged
+// from the current map. Routing drift in this simulation is session
+// (AS)-grained — prepends, withdrawals, and tie-break epochs move whole
+// ASes — so a drifted stratum's sample almost surely witnesses the
+// drift, and stitching escalated strata's fresh observations over the
+// carried map reproduces the always-full-re-probe map byte for byte.
+//
+// The determinism contract that makes stitching sound: every epoch
+// probes with the same RoundID and probe seed, so a block's observation
+// (responsiveness, loss coins, alias coins, RTT) is a pure function of
+// the current routing assignment — identical whether probed in a
+// sample, an escalation, or a full sweep (see verfploeter.Config.Subset).
+// Results are byte-identical at any worker count and under any fault
+// profile.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"verfploeter/internal/dataset"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/loadmodel"
+	"verfploeter/internal/querylog"
+	"verfploeter/internal/scenario"
+	"verfploeter/internal/verfploeter"
+)
+
+// Action is an operator-scheduled routing change: before measuring the
+// given epoch, the monitor re-announces with the new per-site prepends
+// and/or withdrawal mask. nil fields keep the current setting. These are
+// *known* causes; world changes the operator did not schedule belong in
+// scenario.OnEpoch hooks.
+type Action struct {
+	Epoch   int
+	Prepend []int
+	Down    []bool
+}
+
+// Config parameterizes a monitoring run.
+type Config struct {
+	// Epochs is the total number of sweep epochs including the epoch-0
+	// baseline (default 4).
+	Epochs int
+	// Interval is the virtual time between epochs (default 15 min, the
+	// paper's cleaning cutoff — back-to-back continuous mapping).
+	Interval time.Duration
+	// Sample is the per-AS sampled fraction of blocks each epoch, with a
+	// floor of one block per AS; <= 0 disables partial re-probing and
+	// every epoch sweeps the full hitlist. Default is full mode — callers
+	// opt into sampling.
+	Sample float64
+	// Strata is the number of AS hash-strata for escalation granularity
+	// (default 32). Smaller strata escalate less collateral volume but
+	// take more bookkeeping.
+	Strata int
+	// RoundID is the ICMP ident shared by EVERY epoch's sweeps (default
+	// 900). A fixed round is the determinism contract: per-block probe
+	// noise is frozen, so cross-epoch drift isolates routing changes.
+	RoundID uint16
+	// LoadLog, when set, weighs load-shift events by the query log
+	// instead of raw block counts.
+	LoadLog *querylog.Log
+	// LoadShift is the per-site load-share delta that raises an event
+	// (default 0.03); CoverageDrop the mapped-fraction drop that raises
+	// one (default 0.02).
+	LoadShift    float64
+	CoverageDrop float64
+	// GlobalDrift is the fraction of sampled blocks showing drift beyond
+	// which the epoch is treated as a global routing event and every
+	// stratum escalates (default 0.02). Prepends and tie-break epochs
+	// move blocks across many ASes at once — including blocks whose
+	// stratum's sample happens to sit still — so partial escalation
+	// cannot reproduce the full-re-probe map; a full sweep can, and the
+	// event is worth it.
+	GlobalDrift float64
+	// Actions is the operator's schedule of routing changes.
+	Actions []Action
+	// OnEvent, when set, observes each drift event as it is emitted.
+	OnEvent func(dataset.Event)
+}
+
+func (cfg Config) fill() Config {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 4
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 15 * time.Minute
+	}
+	if cfg.Strata <= 0 {
+		cfg.Strata = 32
+	}
+	if cfg.RoundID == 0 {
+		cfg.RoundID = 900
+	}
+	if cfg.LoadShift <= 0 {
+		cfg.LoadShift = 0.03
+	}
+	if cfg.CoverageDrop <= 0 {
+		cfg.CoverageDrop = 0.02
+	}
+	if cfg.GlobalDrift <= 0 {
+		cfg.GlobalDrift = 0.02
+	}
+	return cfg
+}
+
+// EpochResult is one epoch's outcome.
+type EpochResult struct {
+	Epoch int
+	Map   *verfploeter.Catchment
+	// Probes actually sent (sample + escalation + retries); Sampled the
+	// sample sweep's target count; EscalatedStrata how many strata
+	// escalated to a full re-probe (0 in full mode).
+	Probes          int
+	Sampled         int
+	EscalatedStrata int
+	Events          []dataset.Event
+}
+
+// Result is a finished monitoring run.
+type Result struct {
+	Epochs []EpochResult
+	Series *dataset.Series
+	// Events flattens every epoch's drift events in order.
+	Events []dataset.Event
+	// TotalProbes sums all epochs; BaselineProbes is epoch 0 alone — the
+	// per-epoch cost the sampling mode avoids.
+	TotalProbes    int
+	BaselineProbes int
+}
+
+// Run executes a monitoring campaign on the scenario. The scenario is
+// mutated (routing changes, clock advance); run on a Fork to keep the
+// original pristine.
+func Run(s *scenario.Scenario, cfg Config) (*Result, error) {
+	cfg = cfg.fill()
+	st := buildStrata(s, cfg.Strata)
+	res := &Result{}
+	series := &dataset.Series{
+		Meta: dataset.Meta{
+			ID: fmt.Sprintf("%s-monitor", s.Name), Scenario: s.Name,
+			Sites: s.SiteCodes(), RoundID: cfg.RoundID, Seed: s.Seed,
+		},
+		Strata: cfg.Strata, SampleRate: math.Max(cfg.Sample, 0),
+	}
+
+	var prev *verfploeter.Catchment
+	for e := 0; e < cfg.Epochs; e++ {
+		if e > 0 {
+			s.Clock.Advance(cfg.Interval)
+		}
+		// The world moves first (hooks: tie-break drift, blackouts), then
+		// the operator acts, then we measure.
+		s.BeginEpoch(e)
+		prependChanged, downChanged := applyActions(s, cfg.Actions, e)
+
+		er := EpochResult{Epoch: e}
+		var cur *verfploeter.Catchment
+		var stats verfploeter.Stats
+		if e == 0 || cfg.Sample <= 0 {
+			var err error
+			cur, stats, err = s.MeasureSubset(cfg.RoundID, nil)
+			if err != nil {
+				return res, fmt.Errorf("monitor: epoch %d: %w", e, err)
+			}
+			er.Probes, er.Sampled = stats.Sent, stats.Targets
+		} else {
+			var err error
+			cur, stats, err = sampleEpoch(s, cfg, st, prev, &er)
+			if err != nil {
+				return res, fmt.Errorf("monitor: epoch %d: %w", e, err)
+			}
+		}
+		er.Map = cur
+
+		if e == 0 {
+			series.Baseline = cur
+			series.BaselineProbes = er.Probes
+			res.BaselineProbes = er.Probes
+		} else {
+			se := deltaEpoch(e, prev, cur, &er)
+			er.Events = classifyEvents(e, s, cfg, prev, cur, prependChanged, downChanged)
+			se.Events = er.Events
+			series.Epochs = append(series.Epochs, se)
+			for _, ev := range er.Events {
+				if cfg.OnEvent != nil {
+					cfg.OnEvent(ev)
+				}
+				res.Events = append(res.Events, ev)
+			}
+		}
+		res.TotalProbes += er.Probes
+		res.Epochs = append(res.Epochs, er)
+		prev = cur
+	}
+	res.Series = series
+	return res, nil
+}
+
+// sampleEpoch is the adaptive partial re-probe: probe the epoch's
+// deterministic per-AS sample, escalate every stratum whose sample
+// diverged from the carried map to a full stratum re-probe, and stitch.
+func sampleEpoch(s *scenario.Scenario, cfg Config, st *strata,
+	prev *verfploeter.Catchment, er *EpochResult) (*verfploeter.Catchment, verfploeter.Stats, error) {
+
+	sample := st.sampleSet(er.Epoch, cfg.Sample, s.Seed)
+	obs, stats, err := s.MeasureSubset(cfg.RoundID, sample)
+	if err != nil {
+		return nil, stats, err
+	}
+	er.Probes, er.Sampled = stats.Sent, stats.Targets
+
+	escalated, drifted := driftedStrata(prev, obs, sample, st)
+	if siteAnomaly(prev, obs, sample) ||
+		float64(drifted) >= cfg.GlobalDrift*float64(max(1, sample.Len())) {
+		// Two signatures of a *global* routing event: a site appearing in
+		// or vanishing from the sample (withdrawal, blackout,
+		// restoration), or drift across more than GlobalDrift of the
+		// sampled blocks (prepend, tie-break epoch). Either moves blocks
+		// in strata whose own sample happens to sit still, so partial
+		// escalation would strand stale entries; the event costs a full
+		// sweep either way.
+		escalated = allStrata(st.n)
+	}
+	er.EscalatedStrata = len(escalated)
+	cur := prev.Clone()
+	if len(escalated) > 0 {
+		// A cross-block aliased reply can only come from the block's
+		// topology predecessor (see dataplane), so probing the
+		// predecessors too reproduces the full sweep's per-block
+		// observations exactly; their own entries are dropped in the
+		// stitch.
+		escSet := st.blocksOf(escalated)
+		full, fstats, err := s.MeasureSubset(cfg.RoundID, st.withPredecessors(escSet))
+		if err != nil {
+			return nil, stats, err
+		}
+		er.Probes += fstats.Sent
+		// Stitch: escalated strata take the fresh observation wholesale
+		// (including blocks that went silent), the rest carries over.
+		escSet.Range(func(b ipv4.Block) bool {
+			cur.Delete(b)
+			return true
+		})
+		full.Range(func(b ipv4.Block, site int) bool {
+			if !escSet.Contains(b) {
+				return true
+			}
+			rtt, _ := full.RTTOf(b)
+			cur.Reassign(b, site, rtt)
+			return true
+		})
+	}
+	return cur, stats, nil
+}
+
+// applyActions runs the operator schedule for epoch e, reporting which
+// knobs actually changed (for cause classification).
+func applyActions(s *scenario.Scenario, actions []Action, e int) (prependChanged, downChanged bool) {
+	for _, a := range actions {
+		if a.Epoch != e {
+			continue
+		}
+		curPre, curDown := s.Prepends(), s.DownSites()
+		newPre, newDown := curPre, curDown
+		if a.Prepend != nil {
+			newPre = a.Prepend
+		}
+		if a.Down != nil {
+			newDown = a.Down
+		}
+		prependChanged = prependChanged || !equalInts(newPre, curPre)
+		downChanged = downChanged || !equalBools(newDown, curDown)
+		s.ReannounceFull(newPre, newDown, s.RoutingEpoch())
+	}
+	return prependChanged, downChanged
+}
+
+// deltaEpoch encodes cur against prev: changed/added/removed blocks in
+// sorted order for deterministic series files.
+func deltaEpoch(e int, prev, cur *verfploeter.Catchment, er *EpochResult) dataset.SeriesEpoch {
+	se := dataset.SeriesEpoch{
+		Epoch: e, Probes: er.Probes,
+		SampledTargets: er.Sampled, EscalatedStrata: er.EscalatedStrata,
+	}
+	for _, b := range cur.Blocks() {
+		site, _ := cur.SiteOf(b)
+		rtt, _ := cur.RTTOf(b)
+		d := dataset.Delta{Block: b, Site: int16(site), RTT: rtt}
+		if ps, ok := prev.SiteOf(b); !ok {
+			se.Added = append(se.Added, d)
+		} else if pr, _ := prev.RTTOf(b); ps != site || pr != rtt {
+			se.Changed = append(se.Changed, d)
+		}
+	}
+	for _, b := range prev.Blocks() {
+		if _, ok := cur.SiteOf(b); !ok {
+			se.Removed = append(se.Removed, b)
+		}
+	}
+	return se
+}
+
+// classifyEvents turns the prev→cur transition into the epoch's typed
+// drift events, all tagged with the epoch's best-attributed cause.
+func classifyEvents(e int, s *scenario.Scenario, cfg Config,
+	prev, cur *verfploeter.Catchment, prependChanged, downChanged bool) []dataset.Event {
+
+	prevCounts, curCounts := prev.Counts(), cur.Counts()
+	var darkened, restored []int
+	for site := range prevCounts {
+		switch {
+		case prevCounts[site] > 0 && curCounts[site] == 0:
+			darkened = append(darkened, site)
+		case prevCounts[site] == 0 && curCounts[site] > 0:
+			restored = append(restored, site)
+		}
+	}
+
+	cause := dataset.CauseUnexplained
+	switch {
+	case downChanged:
+		cause = dataset.CauseWithdraw
+	case prependChanged:
+		cause = dataset.CausePrepend
+	case len(darkened) > 0:
+		// The operator did nothing, yet a site lost every block: that is
+		// what a data-plane blackout (or upstream failure) looks like
+		// from the prober's seat.
+		cause = dataset.CauseBlackout
+	}
+
+	var events []dataset.Event
+	d := verfploeter.Diff(prev, cur)
+	if d.Flipped > 0 {
+		events = append(events, dataset.Event{
+			Epoch: e, Type: dataset.EventFlips, Cause: cause, Site: -1,
+			Blocks:    d.Flipped,
+			Magnitude: float64(d.Flipped) / float64(max(1, prev.Len())),
+		})
+	}
+	prevShare, curShare := shares(prev, cfg.LoadLog), shares(cur, cfg.LoadLog)
+	for site := range curShare {
+		delta := curShare[site] - prevShare[site]
+		if math.Abs(delta) >= cfg.LoadShift {
+			events = append(events, dataset.Event{
+				Epoch: e, Type: dataset.EventLoadShift, Cause: cause, Site: site,
+				Blocks:    absInt(curCounts[site] - prevCounts[site]),
+				Magnitude: delta,
+			})
+		}
+	}
+	if hl := s.Hitlist.Len(); hl > 0 {
+		drop := float64(prev.Len()-cur.Len()) / float64(hl)
+		if drop >= cfg.CoverageDrop {
+			events = append(events, dataset.Event{
+				Epoch: e, Type: dataset.EventCoverageDrop, Cause: cause, Site: -1,
+				Blocks: d.ToNR, Magnitude: drop,
+			})
+		}
+	}
+	for _, site := range darkened {
+		events = append(events, dataset.Event{
+			Epoch: e, Type: dataset.EventSiteDark, Cause: cause, Site: site,
+			Blocks: prevCounts[site], Magnitude: prevShare[site],
+		})
+	}
+	for _, site := range restored {
+		events = append(events, dataset.Event{
+			Epoch: e, Type: dataset.EventSiteRestored, Cause: cause, Site: site,
+			Blocks: curCounts[site], Magnitude: curShare[site],
+		})
+	}
+	return events
+}
+
+// shares returns per-site load shares: query-weighted when a log is
+// supplied, block-count shares otherwise.
+func shares(c *verfploeter.Catchment, log *querylog.Log) []float64 {
+	out := make([]float64, c.NSite)
+	if log != nil {
+		est := loadmodel.Predict(c, log, loadmodel.ByQueries)
+		for site := range out {
+			out[site] = est.Fraction(site)
+		}
+		return out
+	}
+	for site := range out {
+		out[site] = c.Fraction(site)
+	}
+	return out
+}
+
+// --- strata ----------------------------------------------------------
+
+// strata partitions the hitlist's blocks into hash-strata of whole
+// ASes. Routing drift here is session-grained — a prepend, withdrawal,
+// or tie-break epoch moves entire AS sessions — so keeping each AS
+// within one stratum means a drifted AS's sampled block escalates
+// exactly the stratum holding the rest of that AS.
+type strata struct {
+	n int
+	// byAS[asIdx] = stratum; blocks[stratum] = the member blocks, in
+	// topology (sorted-block) order; perAS[asIdx] = that AS's blocks,
+	// for per-AS sampling; ofBlock inverts blocks for drift lookups.
+	byAS    []int
+	blocks  [][]ipv4.Block
+	perAS   [][]ipv4.Block
+	ofBlock map[ipv4.Block]int
+	// pred maps each block to its topology predecessor — the only block
+	// whose probe can alias a reply into it (dataplane's cross-alias
+	// rule). Partial sweeps probe predecessors alongside their targets to
+	// keep per-block observations identical to a full sweep.
+	pred map[ipv4.Block]ipv4.Block
+}
+
+func buildStrata(s *scenario.Scenario, n int) *strata {
+	st := &strata{
+		n:       n,
+		byAS:    make([]int, len(s.Top.ASes)),
+		blocks:  make([][]ipv4.Block, n),
+		perAS:   make([][]ipv4.Block, len(s.Top.ASes)),
+		ofBlock: make(map[ipv4.Block]int, len(s.Top.Blocks)),
+		pred:    make(map[ipv4.Block]ipv4.Block, len(s.Top.Blocks)),
+	}
+	for asIdx := range s.Top.ASes {
+		st.byAS[asIdx] = int(mix64(s.Seed^0x5742a7a7, uint64(asIdx)) % uint64(n))
+	}
+	for i := range s.Top.Blocks {
+		bi := &s.Top.Blocks[i]
+		stratum := st.byAS[bi.ASIdx]
+		st.blocks[stratum] = append(st.blocks[stratum], bi.Block)
+		st.perAS[bi.ASIdx] = append(st.perAS[bi.ASIdx], bi.Block)
+		st.ofBlock[bi.Block] = stratum
+		if i > 0 {
+			st.pred[bi.Block] = s.Top.Blocks[i-1].Block
+		}
+	}
+	return st
+}
+
+// withPredecessors returns sub extended with each member's topology
+// predecessor (sub itself is not modified).
+func (st *strata) withPredecessors(sub *ipv4.BlockSet) *ipv4.BlockSet {
+	out := ipv4.NewBlockSet(sub.Len() + sub.Len()/4)
+	sub.Range(func(b ipv4.Block) bool {
+		out.Add(b)
+		if p, ok := st.pred[b]; ok {
+			out.Add(p)
+		}
+		return true
+	})
+	return out
+}
+
+// sampleSet picks each AS's deterministic sample for the epoch:
+// max(1, ceil(rate·|blocks|)) blocks, ranked by a per-epoch hash so the
+// sample rotates across epochs — a flip missed this epoch (because a
+// multi-PoP AS drifted only partially) meets a different sample next
+// epoch.
+func (st *strata) sampleSet(epoch int, rate float64, seed uint64) *ipv4.BlockSet {
+	out := ipv4.NewBlockSet(64)
+	type ranked struct {
+		b ipv4.Block
+		h uint64
+	}
+	var scratch []ranked
+	for _, blocks := range st.perAS {
+		if len(blocks) == 0 {
+			continue
+		}
+		k := int(math.Ceil(rate * float64(len(blocks))))
+		if k < 1 {
+			k = 1
+		}
+		if k >= len(blocks) {
+			for _, b := range blocks {
+				out.Add(b)
+			}
+			continue
+		}
+		scratch = scratch[:0]
+		for _, b := range blocks {
+			scratch = append(scratch, ranked{b, mix64(seed^uint64(epoch)*0x9e3779b97f4a7c15, uint64(b))})
+		}
+		sort.Slice(scratch, func(i, j int) bool {
+			if scratch[i].h != scratch[j].h {
+				return scratch[i].h < scratch[j].h
+			}
+			return scratch[i].b < scratch[j].b
+		})
+		for i := 0; i < k; i++ {
+			out.Add(scratch[i].b)
+		}
+	}
+	return out
+}
+
+// blocksOf returns every block of the given strata as a subset.
+func (st *strata) blocksOf(which map[int]bool) *ipv4.BlockSet {
+	out := ipv4.NewBlockSet(256)
+	for stratum := range which {
+		for _, b := range st.blocks[stratum] {
+			out.Add(b)
+		}
+	}
+	return out
+}
+
+// driftedStrata compares the sampled observation against the carried
+// map: any divergence — presence, site, or RTT — marks the block's
+// stratum for escalation. RTT participates because a withdrawn origin
+// leg changes every RTT without flipping sites; byte-identity to full
+// mode requires catching that too. The second return value counts the
+// drifted sampled blocks, for the global-drift trigger.
+func driftedStrata(prev, obs *verfploeter.Catchment, sample *ipv4.BlockSet, st *strata) (map[int]bool, int) {
+	esc := make(map[int]bool)
+	n := 0
+	sample.Range(func(b ipv4.Block) bool {
+		ps, pok := prev.SiteOf(b)
+		os, ook := obs.SiteOf(b)
+		drifted := pok != ook || ps != os
+		if !drifted && pok {
+			pr, _ := prev.RTTOf(b)
+			or, _ := obs.RTTOf(b)
+			drifted = pr != or
+		}
+		if drifted {
+			n++
+			if stratum, ok := st.ofBlock[b]; ok {
+				esc[stratum] = true
+			}
+		}
+		return true
+	})
+	return esc, n
+}
+
+// siteAnomaly reports whether the set of sites seen among the sampled
+// observations differs from the set among the same blocks' carried
+// entries — the signature of a site going dark or coming back.
+func siteAnomaly(prev, obs *verfploeter.Catchment, sample *ipv4.BlockSet) bool {
+	prevSites := make([]bool, prev.NSite)
+	obsSites := make([]bool, obs.NSite)
+	sample.Range(func(b ipv4.Block) bool {
+		if s, ok := prev.SiteOf(b); ok {
+			prevSites[s] = true
+		}
+		if s, ok := obs.SiteOf(b); ok {
+			obsSites[s] = true
+		}
+		return true
+	})
+	return !equalBools(prevSites, obsSites)
+}
+
+// allStrata marks every stratum for escalation.
+func allStrata(n int) map[int]bool {
+	out := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = true
+	}
+	return out
+}
+
+// --- small helpers ----------------------------------------------------
+
+// mix64 is a splitmix64-style hash for strata and sample ranking.
+func mix64(a, b uint64) uint64 {
+	x := a ^ b*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

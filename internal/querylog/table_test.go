@@ -1,0 +1,145 @@
+package querylog
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"verfploeter/internal/ipv4"
+)
+
+// TestReadTable drives the TSV parser through its edge cases: empty and
+// comment-only inputs must yield an empty (but usable) log, and every
+// malformed line must surface as ErrFormat with the rest untouched.
+func TestReadTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr bool
+		wantLen int
+	}{
+		{name: "empty input", in: "", wantLen: 0},
+		{name: "whitespace only", in: "   \n\t\n\n", wantLen: 0},
+		{name: "comments only", in: "# a log\n# with no rows\n", wantLen: 0},
+		{name: "one row", in: "1.2.3.0/24\t100\t0.5\t0.3\t14\n", wantLen: 1},
+		{name: "crlf line endings", in: "1.2.3.0/24\t100\t0.5\t0.3\t14\r\n", wantLen: 1},
+		{name: "blank lines between rows", in: "1.2.3.0/24\t100\t0.5\t0.3\t14\n\n2.3.4.0/24\t5\t1\t0\t0\n", wantLen: 2},
+		{name: "peak hour 23 is valid", in: "1.2.3.0/24\t100\t0.5\t0.3\t23\n", wantLen: 1},
+		{name: "peak hour 24 out of range", in: "1.2.3.0/24\t100\t0.5\t0.3\t24\n", wantErr: true},
+		{name: "too few fields", in: "1.2.3.0/24\t100\n", wantErr: true},
+		{name: "too many fields", in: "1.2.3.0/24\t100\t0.5\t0.3\t14\textra\n", wantErr: true},
+		{name: "space-separated", in: "1.2.3.0/24 100 0.5 0.3 14\n", wantErr: true},
+		{name: "bad block", in: "1.2.3.4\t100\t0.5\t0.3\t14\n", wantErr: true},
+		{name: "bad qpd", in: "1.2.3.0/24\tx\t0.5\t0.3\t14\n", wantErr: true},
+		{name: "bad good fraction", in: "1.2.3.0/24\t100\tx\t0.3\t14\n", wantErr: true},
+		{name: "bad diurnal", in: "1.2.3.0/24\t100\t0.5\tx\t14\n", wantErr: true},
+		{name: "negative peak hour", in: "1.2.3.0/24\t100\t0.5\t0.3\t-1\n", wantErr: true},
+		{name: "error after good rows", in: "1.2.3.0/24\t100\t0.5\t0.3\t14\nbroken\t1\t1\t0\t0\n", wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l, err := Read(strings.NewReader(tc.in), "t")
+			if tc.wantErr {
+				if !errors.Is(err, ErrFormat) {
+					t.Fatalf("Read = %v, want ErrFormat", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l.Len() != tc.wantLen {
+				t.Fatalf("Len = %d, want %d", l.Len(), tc.wantLen)
+			}
+		})
+	}
+}
+
+// TestEmptyLogQueries: an empty log must answer every query harmlessly.
+func TestEmptyLogQueries(t *testing.T) {
+	l, err := Read(strings.NewReader(""), "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ipv4.MustParseAddr("1.2.3.4").Block()
+	if got := l.TotalQPD(); got != 0 {
+		t.Errorf("TotalQPD = %v, want 0", got)
+	}
+	if got := l.QPD(b); got != 0 {
+		t.Errorf("QPD = %v, want 0", got)
+	}
+	if _, ok := l.Lookup(b); ok {
+		t.Error("Lookup on empty log reported a hit")
+	}
+}
+
+// TestParsedRowValues checks one row's fields end to end.
+func TestParsedRowValues(t *testing.T) {
+	l, err := Read(strings.NewReader("9.8.7.0/24\t1500.5\t0.7500\t0.4000\t9\n"), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ipv4.MustParseAddr("9.8.7.1").Block()
+	bl, ok := l.Lookup(b)
+	if !ok {
+		t.Fatal("row not indexed by block")
+	}
+	if bl.QueriesPerDay != 1500.5 || bl.PeakHourUTC != 9 {
+		t.Fatalf("parsed row = %+v", bl)
+	}
+	if math.Abs(float64(bl.GoodFrac)-0.75) > 1e-6 || math.Abs(float64(bl.Diurnal)-0.4) > 1e-6 {
+		t.Fatalf("fractions drifted: %+v", bl)
+	}
+	if math.Abs(bl.GoodQPD()-1500.5*0.75) > 1e-3 {
+		t.Errorf("GoodQPD = %v", bl.GoodQPD())
+	}
+	if l.TotalQPD() != 1500.5 {
+		t.Errorf("TotalQPD = %v", l.TotalQPD())
+	}
+}
+
+// TestHourWeightTable: the diurnal weights must peak at PeakHourUTC,
+// handle hour wrap-around, and always sum to one across the day.
+func TestHourWeightTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		diurnal float32
+		peak    uint8
+	}{
+		{name: "flat", diurnal: 0, peak: 0},
+		{name: "mild peak at noon", diurnal: 0.3, peak: 12},
+		{name: "strong peak at midnight", diurnal: 0.9, peak: 0},
+		{name: "peak at 23 wraps", diurnal: 0.5, peak: 23},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bl := BlockLoad{QueriesPerDay: 2400, Diurnal: tc.diurnal, PeakHourUTC: tc.peak}
+			sum := 0.0
+			for h := 0; h < 24; h++ {
+				w := bl.HourWeight(h)
+				if w < 0 {
+					t.Fatalf("negative weight at hour %d: %v", h, w)
+				}
+				if w > bl.HourWeight(int(tc.peak))+1e-12 {
+					t.Fatalf("hour %d outweighs the peak hour %d", h, tc.peak)
+				}
+				sum += w
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("weights sum to %v, want 1", sum)
+			}
+			// Wrap-around: hour -1 and 23 are the same hour.
+			if math.Abs(bl.HourWeight(-1)-bl.HourWeight(23)) > 1e-12 {
+				t.Error("hour -1 and 23 disagree")
+			}
+			if math.Abs(bl.HourWeight(24)-bl.HourWeight(0)) > 1e-12 {
+				t.Error("hour 24 and 0 disagree")
+			}
+			// QPSAt is consistent with the weights.
+			if got, want := bl.QPSAt(3), bl.QueriesPerDay*bl.HourWeight(3)/3600; math.Abs(got-want) > 1e-12 {
+				t.Errorf("QPSAt = %v, want %v", got, want)
+			}
+		})
+	}
+}

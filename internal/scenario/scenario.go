@@ -71,7 +71,16 @@ type Scenario struct {
 	Retries      int
 	RetryBackoff time.Duration
 
-	prepends []int
+	// StatsSink, when set, observes the Stats of every successful sweep
+	// run through this deployment (Measure, MeasureTest, MeasureSubset),
+	// including sweeps on Forks taken afterwards. Campaigns run sweeps
+	// concurrently, so the sink must be safe for concurrent calls.
+	StatsSink func(verfploeter.Stats)
+
+	prepends     []int
+	down         []bool // down[i]: site i's announcement is withdrawn
+	routingEpoch uint64
+	epochHooks   []func(*Scenario, int)
 }
 
 // AnycastPrefix is the service prefix all presets announce. The covering
@@ -125,6 +134,8 @@ func (s *Scenario) Fork() *Scenario {
 	f.Clock = vclock.New()
 	f.Net = s.Net.Fork(f.Clock)
 	f.prepends = append([]int(nil), s.prepends...)
+	f.down = append([]bool(nil), s.down...)
+	f.epochHooks = append([]func(*Scenario, int){}, s.epochHooks...)
 	for i := range f.Sites {
 		f.Net.SetDNS(i, f.dnsHandler(i))
 	}
@@ -139,22 +150,44 @@ func (s *Scenario) Reannounce(extraPrepend []int) {
 
 // ReannounceEpoch recomputes routing for a later routing epoch: same
 // announcements, but the Internet's equal-cost tie-breaks have drifted
-// (§5.5's month-scale catchment shift). Epoch 0 is the present.
+// (§5.5's month-scale catchment shift). Epoch 0 is the present. Every
+// site is (re-)announced; use ReannounceFull to withdraw sites.
 func (s *Scenario) ReannounceEpoch(extraPrepend []int, epoch uint64) {
+	s.ReannounceFull(extraPrepend, nil, epoch)
+}
+
+// ReannounceFull is the complete routing knob: per-site extra prepends
+// (nil = all zero), a withdrawal mask (down[i] true withdraws site i's
+// announcement entirely — the site-failure case, stronger than any
+// prepend), and the routing epoch whose tie-breaks apply. nil down
+// announces every site. At least one site must stay announced.
+func (s *Scenario) ReannounceFull(extraPrepend []int, down []bool, epoch uint64) {
 	if extraPrepend == nil {
 		extraPrepend = make([]int, len(s.Sites))
 	}
 	if len(extraPrepend) != len(s.Sites) {
 		panic(fmt.Sprintf("scenario: %d prepends for %d sites", len(extraPrepend), len(s.Sites)))
 	}
+	if down != nil && len(down) != len(s.Sites) {
+		panic(fmt.Sprintf("scenario: %d down flags for %d sites", len(down), len(s.Sites)))
+	}
 	copy(s.prepends, extraPrepend)
-	anns := make([]bgp.Announcement, len(s.Sites))
+	s.down = make([]bool, len(s.Sites))
+	copy(s.down, down)
+	s.routingEpoch = epoch
+	anns := make([]bgp.Announcement, 0, len(s.Sites))
 	for i, site := range s.Sites {
-		anns[i] = bgp.Announcement{
+		if s.down[i] {
+			continue
+		}
+		anns = append(anns, bgp.Announcement{
 			Site: i, UpstreamASN: site.UpstreamASN,
 			Lat: site.Lat, Lon: site.Lon,
 			Prepend: site.BasePrepend + extraPrepend[i],
-		}
+		})
+	}
+	if len(anns) == 0 {
+		panic("scenario: every site withdrawn — nothing announced")
 	}
 	s.Table, s.Asg = bgp.ComputeEpochCached(s.Top, anns, epoch)
 	s.Net.SetAssignment(s.Asg)
@@ -162,6 +195,36 @@ func (s *Scenario) ReannounceEpoch(extraPrepend []int, epoch uint64) {
 
 // Prepends returns the current extra-prepend configuration.
 func (s *Scenario) Prepends() []int { return append([]int(nil), s.prepends...) }
+
+// RoutingEpoch returns the epoch of the last reannouncement.
+func (s *Scenario) RoutingEpoch() uint64 { return s.routingEpoch }
+
+// DownSites returns the current withdrawal mask (all false when every
+// site is announced).
+func (s *Scenario) DownSites() []bool {
+	out := make([]bool, len(s.Sites))
+	copy(out, s.down)
+	return out
+}
+
+// OnEpoch registers a hook that BeginEpoch invokes at the start of every
+// sweep epoch, before measurement. Hooks model the world changing
+// underneath the operator — peers drift their tie-breaks, sites black
+// out — so drift detection can be exercised against events the operator
+// never scheduled. Hooks run in registration order; Forks taken after
+// registration inherit them.
+func (s *Scenario) OnEpoch(h func(*Scenario, int)) {
+	s.epochHooks = append(s.epochHooks, h)
+}
+
+// BeginEpoch runs the registered epoch hooks for epoch e. The monitor
+// calls it once per sweep epoch; standalone campaigns may drive it
+// directly.
+func (s *Scenario) BeginEpoch(e int) {
+	for _, h := range s.epochHooks {
+		h(s, e)
+	}
+}
 
 // SetFaults installs a fault profile on the deployment's data plane
 // (zero Profile removes it). Subsequent measurements — and every Fork
@@ -202,13 +265,23 @@ func (s *Scenario) AnnounceTest(extraPrepend []int, epoch uint64) {
 // mapping the candidate configuration's catchment without touching
 // production. AnnounceTest must have been called.
 func (s *Scenario) MeasureTest(roundID uint16) (*verfploeter.Catchment, verfploeter.Stats, error) {
-	return verfploeter.Run(verfploeter.Config{
+	return s.runSweep(verfploeter.Config{
 		Hitlist: s.Hitlist, Net: s.Net, Clock: s.Clock,
 		NSite: len(s.Sites), OriginSite: 0, SourceAddr: s.TestMeasureAddr,
 		RoundID: roundID, Seed: s.Seed ^ uint64(roundID)<<32 ^ 0x7e57,
 		Workers: s.Workers,
 		Retries: s.Retries, RetryBackoff: s.RetryBackoff,
 	})
+}
+
+// runSweep executes one configured round and feeds the stats sink on
+// success.
+func (s *Scenario) runSweep(cfg verfploeter.Config) (*verfploeter.Catchment, verfploeter.Stats, error) {
+	c, st, err := verfploeter.Run(cfg)
+	if err == nil && s.StatsSink != nil {
+		s.StatsSink(st)
+	}
+	return c, st, err
 }
 
 // SiteByName implements atlas.SiteNamer over the site codes.
@@ -296,12 +369,23 @@ func (s *Scenario) dnsHandler(site int) func([]byte) []byte {
 // Measure runs one Verfploeter round from origin site 0 and returns the
 // catchment.
 func (s *Scenario) Measure(roundID uint16) (*verfploeter.Catchment, verfploeter.Stats, error) {
-	return verfploeter.Run(verfploeter.Config{
+	return s.MeasureSubset(roundID, nil)
+}
+
+// MeasureSubset runs one Verfploeter round restricted to the given
+// blocks (nil = the full hitlist): the monitor's partial re-probe. The
+// sweep keeps the full round's probe order, chunking, and sequence
+// numbers (see verfploeter.Config.Subset), so each probed block's
+// observation is identical to what Measure would record for the same
+// roundID.
+func (s *Scenario) MeasureSubset(roundID uint16, subset *ipv4.BlockSet) (*verfploeter.Catchment, verfploeter.Stats, error) {
+	return s.runSweep(verfploeter.Config{
 		Hitlist: s.Hitlist, Net: s.Net, Clock: s.Clock,
 		NSite: len(s.Sites), OriginSite: 0, SourceAddr: s.MeasureAddr,
 		RoundID: roundID, Seed: s.Seed ^ uint64(roundID)<<32,
 		Workers: s.Workers,
 		Retries: s.Retries, RetryBackoff: s.RetryBackoff,
+		Subset: subset,
 	})
 }
 

@@ -110,6 +110,67 @@ func (c *Catchment) absorb(o *Catchment) {
 	}
 }
 
+// Clone returns a deep copy of the catchment.
+func (c *Catchment) Clone() *Catchment {
+	o := &Catchment{NSite: c.NSite, sites: make(map[ipv4.Block]int16, len(c.sites))}
+	for b, s := range c.sites {
+		o.sites[b] = s
+	}
+	if len(c.rtts) > 0 {
+		o.rtts = make(map[ipv4.Block]time.Duration, len(c.rtts))
+		for b, d := range c.rtts {
+			o.rtts[b] = d
+		}
+	}
+	return o
+}
+
+// Reassign overwrites block b's entry with site s, recording rtt when
+// positive and clearing any stale RTT otherwise. Unlike Set, the last
+// write wins — this is the primitive delta replay needs: applying an
+// epoch's flip set on top of an earlier map must overwrite the stale
+// entry, not keep it.
+func (c *Catchment) Reassign(b ipv4.Block, s int, rtt time.Duration) {
+	if s < 0 || s >= c.NSite {
+		panic(fmt.Sprintf("verfploeter: site %d out of range 0..%d", s, c.NSite-1))
+	}
+	c.sites[b] = int16(s)
+	if rtt > 0 {
+		if c.rtts == nil {
+			c.rtts = make(map[ipv4.Block]time.Duration)
+		}
+		c.rtts[b] = rtt
+	} else {
+		delete(c.rtts, b)
+	}
+}
+
+// Delete removes block b — a block that went silent between epochs.
+func (c *Catchment) Delete(b ipv4.Block) {
+	delete(c.sites, b)
+	delete(c.rtts, b)
+}
+
+// Equal reports whether two catchments record exactly the same blocks,
+// sites, and RTTs — the identity check behind the monitor's
+// sample-vs-full determinism contract.
+func (c *Catchment) Equal(o *Catchment) bool {
+	if c.NSite != o.NSite || len(c.sites) != len(o.sites) || len(c.rtts) != len(o.rtts) {
+		return false
+	}
+	for b, s := range c.sites {
+		if os, ok := o.sites[b]; !ok || os != s {
+			return false
+		}
+	}
+	for b, d := range c.rtts {
+		if od, ok := o.rtts[b]; !ok || od != d {
+			return false
+		}
+	}
+	return true
+}
+
 // SiteOf returns the catchment site for a block.
 func (c *Catchment) SiteOf(b ipv4.Block) (int, bool) {
 	s, ok := c.sites[b]

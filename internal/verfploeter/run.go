@@ -55,6 +55,18 @@ type Config struct {
 	// in chunk/shard order.
 	Workers int
 
+	// Subset restricts the sweep to hitlist entries whose /24 block is in
+	// the set; nil probes the full hitlist. Partial sweeps keep the full
+	// sweep's probe permutation, chunk boundaries, and per-target sequence
+	// numbers — excluded positions are skipped, never renumbered — so each
+	// probed block draws exactly the coins (responsiveness, loss, alias,
+	// duplicate) it would draw in a full sweep of the same round, and RTTs
+	// are unchanged because the dataplane's delays depend on geography,
+	// not send time. This is the contract that lets continuous monitoring
+	// stitch partial re-probe results into a map byte-identical to an
+	// always-full re-probe. An empty (non-nil) subset probes nothing.
+	Subset *ipv4.BlockSet
+
 	// Retries is the per-target retransmission budget for loss-aware
 	// probing: after the initial sweep, targets that have not answered are
 	// re-probed up to Retries times, with capped exponential backoff on
@@ -228,10 +240,12 @@ func Run(cfg Config) (*Catchment, Stats, error) {
 		for s := 0; s < cfg.NSite; s++ {
 			net.SetTap(s, Tap(&ch.central, s, clock.Now))
 		}
-		ch.sendAt = make(map[ipv4.Addr]time.Duration, hi-lo)
-		ch.err = sweep(net, clock, &cfg, perm, lo, hi, ch.sendAt, &ch.stats)
+		sp := cfg.span(perm, lo, hi)
+		ch.stats.Targets = sp.count()
+		ch.sendAt = make(map[ipv4.Addr]time.Duration, sp.count())
+		ch.err = sweep(net, clock, &cfg, perm, sp, ch.sendAt, &ch.stats)
 		if ch.err == nil && cfg.Retries > 0 {
-			ch.err = retryMissing(net, clock, &cfg, perm, lo, hi, ch)
+			ch.err = retryMissing(net, clock, &cfg, perm, sp, ch)
 		}
 		// Let every reply (including deliberately late ones) land; the
 		// cleaner applies the cutoff on capture timestamps.
@@ -239,9 +253,10 @@ func Run(cfg Config) (*Catchment, Stats, error) {
 		ch.end = clock.Now()
 	})
 
-	stats := Stats{Targets: n}
+	var stats Stats
 	var firstErr error
 	for c := range chunks {
+		stats.Targets += chunks[c].stats.Targets
 		stats.Sent += chunks[c].stats.Sent
 		stats.SendErrs += chunks[c].stats.SendErrs
 		stats.Retried += chunks[c].stats.Retried
@@ -256,7 +271,14 @@ func Run(cfg Config) (*Catchment, Stats, error) {
 		return nil, stats, firstErr
 	}
 
-	catch, cstats := foldChunks(chunks, cfg.Hitlist, cfg.NSite, cfg.RoundID, cfg.Cutoff, cfg.Workers)
+	// The fold prefers each address's own echo (sequence-matched) over
+	// aliased replies, so it needs the full-permutation position of every
+	// hitlist address — the base of its sequence-number arithmetic.
+	base := make(map[ipv4.Addr]uint16, n)
+	for i := 0; i < n; i++ {
+		base[cfg.Hitlist.Entries[perm.Index(i)].Addr] = uint16(i)
+	}
+	catch, cstats := foldChunksSubset(chunks, cfg.Hitlist, cfg.Subset, base, cfg.Retries, cfg.NSite, cfg.RoundID, cfg.Cutoff, cfg.Workers)
 	stats.Clean = cstats
 	stats.MedianRTT = catch.MedianRTT()
 	stats.Responded = catch.Len()
@@ -275,7 +297,7 @@ func Run(cfg Config) (*Catchment, Stats, error) {
 // do. The retry pass runs entirely inside the chunk's fork, so output
 // stays byte-identical at any worker count.
 func retryMissing(net *dataplane.Net, clock *vclock.Clock, cfg *Config,
-	perm *rng.Permutation, lo, hi int, ch *probeChunk) error {
+	perm *rng.Permutation, sp chunkSpan, ch *probeChunk) error {
 
 	backoff := cfg.RetryBackoff
 	for attempt := 1; attempt <= cfg.Retries; attempt++ {
@@ -285,7 +307,8 @@ func retryMissing(net *dataplane.Net, clock *vclock.Clock, cfg *Config,
 			answered[r.Src] = true
 		}
 		missing := make([]int, 0, 64)
-		for i := lo; i < hi; i++ {
+		for k := 0; k < sp.count(); k++ {
+			i := sp.pos(k)
 			if !answered[cfg.Hitlist.Entries[perm.Index(i)].Addr] {
 				missing = append(missing, i)
 			}
@@ -320,6 +343,46 @@ type probeChunk struct {
 	err     error
 }
 
+// chunkSpan is one chunk's slice of the probe permutation: the dense
+// position range [lo, hi), optionally filtered (incl != nil) to the
+// positions whose target is in Config.Subset. Positions, not ranks,
+// flow into sequence numbers, so a filtered span probes with the exact
+// wire identity of the full sweep.
+type chunkSpan struct {
+	lo, hi int
+	incl   []int
+}
+
+func (sp chunkSpan) count() int {
+	if sp.incl != nil {
+		return len(sp.incl)
+	}
+	return sp.hi - sp.lo
+}
+
+func (sp chunkSpan) pos(k int) int {
+	if sp.incl != nil {
+		return sp.incl[k]
+	}
+	return sp.lo + k
+}
+
+// span materializes the chunk's probe positions under the configured
+// subset (all of [lo, hi) when Subset is nil).
+func (cfg *Config) span(perm *rng.Permutation, lo, hi int) chunkSpan {
+	sp := chunkSpan{lo: lo, hi: hi}
+	if cfg.Subset == nil {
+		return sp
+	}
+	sp.incl = make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		if cfg.Subset.Contains(cfg.Hitlist.Entries[perm.Index(i)].Addr.Block()) {
+			sp.incl = append(sp.incl, i)
+		}
+	}
+	return sp
+}
+
 // probeExternal is the sequential sweep for external collectors: taps on
 // the caller's Net forward every frame to the sink in one deterministic
 // stream, exactly as a per-site capture box would.
@@ -328,10 +391,11 @@ func probeExternal(cfg *Config, perm *rng.Permutation) (Stats, error) {
 		cfg.Net.SetTap(s, Tap(cfg.Collector, s, cfg.Clock.Now))
 	}
 	start := cfg.Clock.Now()
+	sp := cfg.span(perm, 0, cfg.Hitlist.Len())
 	// Targets is known here; Responded stays 0 — the external sink owns
 	// the replies, so response accounting happens wherever frames land.
-	stats := Stats{Targets: cfg.Hitlist.Len()}
-	err := sweep(cfg.Net, cfg.Clock, cfg, perm, 0, cfg.Hitlist.Len(), nil, &stats)
+	stats := Stats{Targets: sp.count()}
+	err := sweep(cfg.Net, cfg.Clock, cfg, perm, sp, nil, &stats)
 	cfg.Clock.RunUntilIdle()
 	stats.Elapsed = cfg.Clock.Now() - start
 	return stats, err
@@ -343,11 +407,11 @@ func probeExternal(cfg *Config, perm *rng.Permutation) (Stats, error) {
 // per-chunk sweep (rather than a separate pre-pass) so buffers die young
 // and chunks parallelize it for free.
 func sweep(net *dataplane.Net, clock *vclock.Clock, cfg *Config,
-	perm *rng.Permutation, lo, hi int,
+	perm *rng.Permutation, sp chunkSpan,
 	sendAt map[ipv4.Addr]time.Duration, stats *Stats) error {
 
-	return pacedSend(net, clock, cfg, hi-lo, func(k int) (ipv4.Addr, uint16) {
-		i := lo + k
+	return pacedSend(net, clock, cfg, sp.count(), func(k int) (ipv4.Addr, uint16) {
+		i := sp.pos(k)
 		return cfg.Hitlist.Entries[perm.Index(i)].Addr, uint16(i)
 	}, sendAt, stats)
 }
@@ -453,6 +517,45 @@ func BuildCatchment(replies []Reply, hl *hitlist.Hitlist, nSite int, roundID uin
 // inside one shard, which walks the chunks in chunk order. The shard
 // count therefore cannot change the result; it only sets parallel width.
 func foldChunks(chunks []probeChunk, hl *hitlist.Hitlist, nSite int, roundID uint16, cutoff time.Duration, workers int) (*Catchment, CleanStats) {
+	return foldChunksSubset(chunks, hl, nil, nil, 0, nSite, roundID, cutoff, workers)
+}
+
+// isEcho reports whether a reply is the address's own echo: its sequence
+// number matches the address's full-permutation position on some retry
+// attempt. A nil base (the external-collector path, which has no
+// permutation) treats every reply as an echo, reproducing the historic
+// first-reply-wins fold.
+func isEcho(base map[ipv4.Addr]uint16, retries int, r Reply) bool {
+	if base == nil {
+		return true
+	}
+	b, ok := base[r.Src]
+	if !ok {
+		return false
+	}
+	d := r.Seq - b
+	for a := 0; a <= retries; a++ {
+		if d == uint16(a)*retrySeqStride {
+			return true
+		}
+	}
+	return false
+}
+
+// foldChunksSubset is foldChunks with the sweep's target subset: the
+// probed set is filtered to it, so a cross-block aliased reply from an
+// unprobed block counts as unsolicited — exactly what a capture box that
+// never probed the block would conclude.
+//
+// When base is non-nil, the winner for each source is its first
+// sequence-matched echo, and only echoes carry an RTT. Aliased replies
+// (sequence from some other target's probe) win only when no echo ever
+// arrives, and then site-only. This makes the per-block result a
+// function of the round's reply *set* rather than its arrival order:
+// whether an alias lands before or after the echo — which depends on
+// send-time gaps that differ between a full sweep and a compact subset
+// sweep — no longer changes the kept site or RTT.
+func foldChunksSubset(chunks []probeChunk, hl *hitlist.Hitlist, sub *ipv4.BlockSet, base map[ipv4.Addr]uint16, retries int, nSite int, roundID uint16, cutoff time.Duration, workers int) (*Catchment, CleanStats) {
 	nShards := parallel.Workers(workers)
 	frags := make([]*Catchment, nShards)
 	stats := make([]CleanStats, nShards)
@@ -462,11 +565,18 @@ func foldChunks(chunks []probeChunk, hl *hitlist.Hitlist, nSite int, roundID uin
 		}
 		probed := make(map[ipv4.Addr]bool)
 		for _, e := range hl.Entries {
-			if mine(e.Addr.Block()) {
+			if mine(e.Addr.Block()) && (sub == nil || sub.Contains(e.Addr.Block())) {
 				probed[e.Addr] = true
 			}
 		}
-		seen := make(map[ipv4.Addr]bool)
+		// seen tracks the kept reply's class per source: keptAlias
+		// entries are upgraded in place when the source's echo arrives.
+		const (
+			unseen = iota
+			keptAlias
+			keptEcho
+		)
+		seen := make(map[ipv4.Addr]uint8)
 		st := &stats[shard]
 		c := NewCatchment(nSite)
 		for ci := range chunks {
@@ -483,15 +593,28 @@ func foldChunks(chunks []probeChunk, hl *hitlist.Hitlist, nSite int, roundID uin
 					st.Late++
 				case !probed[r.Src]:
 					st.Unsolicited++
-				case seen[r.Src]:
-					st.Duplicates++
-				default:
-					seen[r.Src] = true
+				case seen[r.Src] == unseen:
 					st.Kept++
-					if t0, ok := sendAt[r.Src]; ok && r.At > t0 {
-						c.SetRTT(r.Src.Block(), r.Site, r.At-t0)
+					if isEcho(base, retries, r) {
+						seen[r.Src] = keptEcho
+						if t0, ok := sendAt[r.Src]; ok && r.At > t0 {
+							c.SetRTT(r.Src.Block(), r.Site, r.At-t0)
+						} else {
+							c.Set(r.Src.Block(), r.Site)
+						}
 					} else {
+						seen[r.Src] = keptAlias
 						c.Set(r.Src.Block(), r.Site)
+					}
+				default:
+					st.Duplicates++
+					if seen[r.Src] == keptAlias && isEcho(base, retries, r) {
+						seen[r.Src] = keptEcho
+						var rtt time.Duration
+						if t0, ok := sendAt[r.Src]; ok && r.At > t0 {
+							rtt = r.At - t0
+						}
+						c.Reassign(r.Src.Block(), r.Site, rtt)
 					}
 				}
 			}

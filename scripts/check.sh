@@ -10,6 +10,14 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+UNFORMATTED=$(gofmt -l . 2>/dev/null)
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -34,6 +42,24 @@ got=$(go run ./cmd/verfploeter -scenario b-root -size tiny -seed 7 \
 	-faults moderate -fault-seed 9 -retries 2 | grep "^response rate:")
 if [ "$got" != "$want" ]; then
 	echo "faults smoke FAILED:" >&2
+	echo "  want: $want" >&2
+	echo "  got:  $got" >&2
+	exit 1
+fi
+echo "$got"
+
+# Monitor smoke: a fixed-seed sampled monitoring campaign with an
+# operator prepend at epoch 1 must reproduce its golden drift summary —
+# flip count, event count, and probe volume — exactly. This pins the
+# whole monitoring stack: subset sweeps, stratified escalation, drift
+# classification. Recalibrate only when the monitor or fold semantics
+# deliberately change.
+echo "== monitor smoke (tiny, sampled, prepend at epoch 1)"
+want="monitor: epochs=5 events=3 flips=1230 probes=12188 baseline=3974"
+got=$(go run ./cmd/verfploeter -scenario b-root -size tiny -seed 7 \
+	-monitor -epochs 5 -sample 0.25 -prepend 2,0 | grep "^monitor:")
+if [ "$got" != "$want" ]; then
+	echo "monitor smoke FAILED:" >&2
 	echo "  want: $want" >&2
 	echo "  got:  $got" >&2
 	exit 1

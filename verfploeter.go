@@ -45,6 +45,7 @@ import (
 	"verfploeter/internal/ipv4"
 	"verfploeter/internal/loadgen"
 	"verfploeter/internal/loadmodel"
+	"verfploeter/internal/monitor"
 	"verfploeter/internal/placement"
 	"verfploeter/internal/querylog"
 	"verfploeter/internal/scenario"
@@ -385,6 +386,65 @@ func (d *Deployment) BotnetLog(attackQPD float64) *Log {
 // minRounds rounds are dropped.
 func (d *Deployment) ConsensusCatchment(rounds []*Catchment, minRounds int) *Catchment {
 	return analysis.Consensus(rounds, minRounds)
+}
+
+// Continuous-monitoring types (the drift-detection service over a
+// deployment; see internal/monitor).
+type (
+	// MonitorConfig parameterizes a monitoring campaign: epoch count,
+	// interval, sample rate, escalation thresholds, operator actions.
+	MonitorConfig = monitor.Config
+	// MonitorAction is one scheduled operator routing change.
+	MonitorAction = monitor.Action
+	// MonitorResult is a finished campaign: per-epoch maps, the drift
+	// event stream, and the delta-encoded series.
+	MonitorResult = monitor.Result
+	// MonitorEpoch is one epoch's map plus its probe accounting.
+	MonitorEpoch = monitor.EpochResult
+	// DriftEvent is one typed drift observation with its classified cause.
+	DriftEvent = dataset.Event
+	// Series is a persisted monitoring run: full baseline plus per-epoch
+	// flip sets, reconstructable at any epoch (dataset format v3).
+	Series = dataset.Series
+	// FlipMatrix is a site-by-site block-transition matrix between two
+	// epochs' catchments.
+	FlipMatrix = analysis.FlipMatrix
+)
+
+// Drift event types and classified causes.
+const (
+	EventFlips        = dataset.EventFlips
+	EventLoadShift    = dataset.EventLoadShift
+	EventCoverageDrop = dataset.EventCoverageDrop
+	EventSiteDark     = dataset.EventSiteDark
+	EventSiteRestored = dataset.EventSiteRestored
+
+	CauseNone        = dataset.CauseNone
+	CausePrepend     = dataset.CausePrepend
+	CauseWithdraw    = dataset.CauseWithdraw
+	CauseBlackout    = dataset.CauseBlackout
+	CauseUnexplained = dataset.CauseUnexplained
+)
+
+// Monitor runs a continuous-mapping campaign over the deployment:
+// scheduled sweep epochs, adaptive partial re-probing when
+// MonitorConfig.Sample is set, and typed drift events. The deployment's
+// routing state and clock advance; use a scenario fork (or a fresh
+// deployment) to keep the original pristine.
+func (d *Deployment) Monitor(cfg MonitorConfig) (*MonitorResult, error) {
+	return monitor.Run(d.Scenario, cfg)
+}
+
+// SaveSeries persists a monitoring run to a .vpds (v3) file.
+func SaveSeries(path string, s *Series) error { return dataset.WriteSeriesFile(path, s) }
+
+// LoadSeries reads a .vpds series file.
+func LoadSeries(path string) (*Series, error) { return dataset.ReadSeriesFile(path) }
+
+// SeriesFlipMatrices tabulates every consecutive epoch transition of a
+// monitoring series as flip matrices.
+func SeriesFlipMatrices(s *Series) ([]*FlipMatrix, error) {
+	return analysis.SeriesFlipMatrices(s)
 }
 
 // DeploymentConfig declares a custom deployment in JSON (hosts, their
