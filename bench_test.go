@@ -24,6 +24,7 @@ import (
 	"verfploeter/internal/bgp"
 	"verfploeter/internal/experiments"
 	"verfploeter/internal/ipv4"
+	"verfploeter/internal/obsv"
 	"verfploeter/internal/packet"
 	"verfploeter/internal/rng"
 	"verfploeter/internal/scenario"
@@ -150,6 +151,34 @@ func BenchmarkMeasurementRound(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(s.Hitlist.Len()), "targets")
+}
+
+// BenchmarkObsvOverhead compares a full measurement round with the
+// instrumentation layer disabled (nil registry — the default) and
+// enabled (-metrics equivalent: live registry plus the bgp hooks). The
+// enabled/disabled delta is the layer's entire cost; the acceptance
+// budget is under 2%, which holds because hot paths publish only
+// already-accumulated totals after each round.
+func BenchmarkObsvOverhead(b *testing.B) {
+	run := func(b *testing.B, reg *obsv.Registry) {
+		s := scenario.BRoot(topology.SizeSmall, 1)
+		s.Obs = reg
+		bgp.SetObs(reg)
+		defer bgp.SetObs(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			catch, _, err := s.Measure(uint16(i + 1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if catch.Len() == 0 {
+				b.Fatal("empty catchment")
+			}
+		}
+	}
+	b.Run("metrics=off", func(b *testing.B) { run(b, nil) })
+	b.Run("metrics=on", func(b *testing.B) { run(b, obsv.New()) })
 }
 
 // BenchmarkBGPCompute times full route propagation + assignment on the

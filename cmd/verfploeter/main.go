@@ -18,9 +18,12 @@ import (
 	"time"
 
 	"verfploeter"
+	"verfploeter/internal/cli"
 	"verfploeter/internal/dataset"
 	"verfploeter/internal/topology"
 )
+
+const tool = "verfploeter"
 
 func main() {
 	var (
@@ -43,24 +46,31 @@ func main() {
 		epochs       = flag.Int("epochs", 4, "monitoring campaign length in sweep epochs, baseline included")
 		sample       = flag.Float64("sample", 0, "per-AS sampled block fraction per epoch (0 = full re-probe every epoch)")
 		seriesOut    = flag.String("save-series", "", "save the monitoring run as a .vpds series file (format v3)")
+		metrics      = flag.Bool("metrics", false, "print instrumentation counters/histograms after the run")
+		traceSpans   = flag.Bool("trace", false, "print the phase/span trace after the run")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	reg := cli.NewObs(tool, *metrics, *traceSpans, *pprofAddr)
 
 	var d *verfploeter.Deployment
 	var err error
 	if *configPath != "" {
-		d, err = verfploeter.FromConfigFile(*configPath)
+		if d, err = verfploeter.FromConfigFile(*configPath); err != nil {
+			fatal(err)
+		}
 	} else {
-		d, err = buildDeployment(*scenarioName, *sizeName, *seed)
-	}
-	if err != nil {
-		fatal(err)
+		if d, err = buildDeployment(*scenarioName, *sizeName, *seed); err != nil {
+			usage(err)
+		}
 	}
 	d.Workers = *workers
 	d.Retries = *retries
+	d.Obs = reg
 	profile, err := verfploeter.ParseFaults(*faultsSpec)
 	if err != nil {
-		fatal(err)
+		usage(err)
 	}
 	if *faultSeed != 0 {
 		profile.Seed = *faultSeed
@@ -72,7 +82,7 @@ func main() {
 	if *prepends != "" {
 		pp, err = parsePrepends(*prepends, len(d.Sites))
 		if err != nil {
-			fatal(err)
+			usage(err)
 		}
 		if !*monitorMode {
 			d.SetPrepends(pp)
@@ -83,6 +93,7 @@ func main() {
 		if err := runMonitor(d, *epochs, *sample, pp, *seriesOut); err != nil {
 			fatal(err)
 		}
+		cli.EmitObs(os.Stdout, reg, *metrics, *traceSpans)
 		return
 	}
 
@@ -159,6 +170,7 @@ func main() {
 		}
 		fmt.Printf("catchment written to %s\n", *catchOut)
 	}
+	cli.EmitObs(os.Stdout, reg, *metrics, *traceSpans)
 }
 
 // runMonitor drives a continuous-monitoring campaign and prints the
@@ -278,7 +290,5 @@ func writeFile(path string, fn func(*bufio.Writer) error) error {
 	return f.Close()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "verfploeter:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatalf(tool, "%v", err) }
+func usage(err error) { cli.Usagef(tool, "%v", err) }

@@ -19,20 +19,34 @@ import (
 	"time"
 
 	"verfploeter/internal/analysis"
+	"verfploeter/internal/cli"
 	"verfploeter/internal/dataset"
+	"verfploeter/internal/obsv"
 	"verfploeter/internal/verfploeter"
 )
 
+const tool = "vp-dataset"
+
+// reg is the tool's instrumentation registry (nil unless -metrics,
+// -trace, or -pprof-addr is given).
+var reg *obsv.Registry
+
 func main() {
+	var (
+		metrics   = flag.Bool("metrics", false, "print instrumentation counters/histograms after the command")
+		traceSp   = flag.Bool("trace", false, "print the phase/span trace after the command")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. localhost:6060)")
+	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage:\n  vp-dataset info [-epoch N] [-matrices] <file>\n  vp-dataset diff <fileA> <fileB>\n")
+		fmt.Fprintf(os.Stderr, "usage:\n  vp-dataset [-metrics] [-trace] info [-epoch N] [-matrices] <file>\n  vp-dataset [-metrics] [-trace] diff <fileA> <fileB>\n")
 	}
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 2 {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
+	reg = cli.NewObs(tool, *metrics, *traceSp, *pprofAddr)
 	switch args[0] {
 	case "info":
 		fs := flag.NewFlagSet("info", flag.ExitOnError)
@@ -40,7 +54,7 @@ func main() {
 		matrices := fs.Bool("matrices", false, "render per-transition flip matrices of a series")
 		if err := fs.Parse(args[1:]); err != nil || fs.NArg() != 1 {
 			flag.Usage()
-			os.Exit(2)
+			os.Exit(cli.ExitUsage)
 		}
 		if err := info(fs.Arg(0), *epoch, *matrices); err != nil {
 			fatal(err)
@@ -48,24 +62,42 @@ func main() {
 	case "diff":
 		if len(args) != 3 {
 			flag.Usage()
-			os.Exit(2)
+			os.Exit(cli.ExitUsage)
 		}
 		if err := diff(args[1], args[2]); err != nil {
 			fatal(err)
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		cli.Usagef(tool, "unknown command %q (info, diff)", args[0])
 	}
+	cli.EmitObs(os.Stdout, reg, *metrics, *traceSp)
+}
+
+// readDataset is dataset.ReadFile instrumented with the read counter
+// and timing histogram.
+func readDataset(path string) (*dataset.Dataset, error) {
+	sp := reg.StartSpan("read", 0)
+	start := time.Now()
+	ds, err := dataset.ReadFile(path)
+	if reg != nil {
+		reg.Histogram("dataset_read_seconds", "time to read and decode a .vpds file", nil).
+			ObserveDuration(time.Since(start))
+		if err == nil {
+			reg.Counter("datasets_read", ".vpds files read").Inc()
+		}
+	}
+	sp.End()
+	return ds, err
 }
 
 func info(path string, epoch int, matrices bool) error {
-	ds, err := dataset.ReadFile(path)
+	ds, err := readDataset(path)
 	if err != nil {
 		// Not a single run — a v3 file is a monitoring series. If both
 		// readers reject the file, the single-run error is the one that
 		// names the actual problem for v1/v2 files.
 		if s, serr := dataset.ReadSeriesFile(path); serr == nil {
+			reg.Counter("series_read", ".vpds series files read").Inc()
 			return seriesInfo(s, epoch, matrices)
 		}
 		return err
@@ -144,11 +176,11 @@ func printSites(c *verfploeter.Catchment, sites []string) {
 }
 
 func diff(pathA, pathB string) error {
-	a, err := dataset.ReadFile(pathA)
+	a, err := readDataset(pathA)
 	if err != nil {
 		return fmt.Errorf("%s: %w", pathA, err)
 	}
-	b, err := dataset.ReadFile(pathB)
+	b, err := readDataset(pathB)
 	if err != nil {
 		return fmt.Errorf("%s: %w", pathB, err)
 	}
@@ -177,7 +209,4 @@ func diff(pathA, pathB string) error {
 	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vp-dataset:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatalf(tool, "%v", err) }

@@ -16,10 +16,13 @@ import (
 	"os"
 	"strings"
 
+	"verfploeter/internal/cli"
 	"verfploeter/internal/experiments"
 	faultsmod "verfploeter/internal/faults"
 	"verfploeter/internal/topology"
 )
+
+const tool = "vp-experiments"
 
 func main() {
 	var (
@@ -33,6 +36,9 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit results as JSON (id, title, metrics, shape misses, error)")
 		faults   = flag.String("faults", "", "fault profile applied to every experiment: none, light, moderate, heavy, extreme, or key=value list")
 		retries  = flag.Int("retries", 0, "per-target retransmission budget under loss")
+		metrics  = flag.Bool("metrics", false, "print instrumentation counters/histograms after the batch")
+		traceSp  = flag.Bool("trace", false, "print the phase/span trace after the batch")
+		pprofAd  = flag.String("pprof-addr", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -45,17 +51,16 @@ func main() {
 
 	size, err := parseSize(*sizeName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cli.Usagef(tool, "%v", err)
 	}
 	profile, err := faultsmod.Parse(*faults)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cli.Usagef(tool, "%v", err)
 	}
+	reg := cli.NewObs(tool, *metrics, *traceSp, *pprofAd)
 	cfg := experiments.Config{
 		Size: size, Seed: *seed, AtlasVPs: *atlasVPs, Rounds: *rounds,
-		Workers: *workers, Faults: profile, Retries: *retries,
+		Workers: *workers, Faults: profile, Retries: *retries, Obs: reg,
 	}
 
 	var ids []string // nil = all registered experiments
@@ -115,9 +120,9 @@ func main() {
 			failures++
 		}
 	}
+	cli.EmitObs(os.Stdout, reg, *metrics, *traceSp)
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "%d experiment(s) with errors or missed shapes\n", failures)
-		os.Exit(1)
+		cli.Fatalf(tool, "%d experiment(s) with errors or missed shapes", failures)
 	}
 }
 

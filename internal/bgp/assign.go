@@ -45,6 +45,7 @@ func (t *Table) Assign() *Assignment {
 // only its own slice index, so the result is identical for any worker
 // count.
 func (t *Table) AssignWorkers(workers int) *Assignment {
+	defer obsTimed("assign")()
 	blocks := t.Top.Blocks
 	a := &Assignment{
 		Table:     t,

@@ -144,6 +144,7 @@ func Compute(top *topology.Topology, anns []Announcement) *Table {
 // equal-cost tie-breaks — the IGP costs, router IDs, and fine-grained
 // policies that shuffle underneath BGP — re-rolled per epoch.
 func ComputeEpoch(top *topology.Topology, anns []Announcement, epoch uint64) *Table {
+	defer obsTimed("bgp-compute")()
 	nSite := 0
 	for _, a := range anns {
 		if top.ASIndex(a.UpstreamASN) < 0 {

@@ -135,11 +135,17 @@ func ComputeEpochCached(top *topology.Topology, anns []Announcement, epoch uint6
 		routeCache.hits++
 		routeCache.order.MoveToFront(e.elem)
 		routeCache.mu.Unlock()
+		if o := obsHooks.Load(); o != nil {
+			o.cacheHits.Inc()
+		}
 		e.asgOnce.Do(func() { e.asg = e.tbl.Assign() })
 		return e.tbl, e.asg
 	}
 	routeCache.misses++
 	routeCache.mu.Unlock()
+	if o := obsHooks.Load(); o != nil {
+		o.cacheMisses.Inc()
+	}
 
 	// Compute outside the lock: concurrent scenarios (experiment workers
 	// on distinct forks) must not serialize on one convergence. Losing a
@@ -163,6 +169,9 @@ func ComputeEpochCached(top *topology.Topology, anns []Announcement, epoch uint6
 			victim := back.Value.(*tableEntry)
 			routeCache.order.Remove(back)
 			delete(routeCache.m, victim.key)
+			if o := obsHooks.Load(); o != nil {
+				o.cacheEvictions.Inc()
+			}
 		}
 	} else {
 		routeCache.order.MoveToFront(e.elem)

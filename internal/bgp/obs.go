@@ -1,0 +1,69 @@
+package bgp
+
+// Observability hooks. The bgp package sits below the layers that carry
+// an instrumentation registry around explicitly (verfploeter.Config,
+// scenario.Scenario), but its route cache and convergence are
+// process-global — so the hook in here is too: SetObs installs the
+// process's registry once, and the cache/compute paths reach it through
+// a single atomic pointer load. Disabled, the cost is that one load.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"verfploeter/internal/obsv"
+)
+
+// obsSet pre-resolves the package's instruments so hot paths never take
+// the registry's map lock.
+type obsSet struct {
+	reg            *obsv.Registry
+	cacheHits      *obsv.Counter
+	cacheMisses    *obsv.Counter
+	cacheEvictions *obsv.Counter
+	computeSeconds *obsv.Histogram
+	assignSeconds  *obsv.Histogram
+}
+
+var obsHooks atomic.Pointer[obsSet]
+
+// SetObs installs (or, given nil, removes) the registry the bgp package
+// reports to. Called once at CLI startup next to flag parsing; tests
+// bracket it with a deferred SetObs(nil).
+func SetObs(r *obsv.Registry) {
+	if r == nil {
+		obsHooks.Store(nil)
+		return
+	}
+	obsHooks.Store(&obsSet{
+		reg:            r,
+		cacheHits:      r.Counter("route_cache_hits", "converged-table cache hits"),
+		cacheMisses:    r.Counter("route_cache_misses", "converged-table cache misses"),
+		cacheEvictions: r.Counter("route_cache_evictions", "converged tables dropped at the LRU cap"),
+		computeSeconds: r.Histogram("bgp_compute_seconds", "route-propagation convergence wall time", nil),
+		assignSeconds:  r.Histogram("bgp_assign_seconds", "catchment assignment wall time", nil),
+	})
+}
+
+// obsTimed opens a span for the named phase and returns the closure that
+// ends it, recording elapsed wall time into the phase's histogram. With
+// no registry installed it returns a static no-op.
+func obsTimed(phase string) func() {
+	o := obsHooks.Load()
+	if o == nil {
+		return func() {}
+	}
+	var h *obsv.Histogram
+	switch phase {
+	case "bgp-compute":
+		h = o.computeSeconds
+	case "assign":
+		h = o.assignSeconds
+	}
+	sp := o.reg.StartSpan(phase, 0)
+	start := time.Now()
+	return func() {
+		h.ObserveDuration(time.Since(start))
+		sp.End()
+	}
+}

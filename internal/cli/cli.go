@@ -1,0 +1,101 @@
+// Package cli carries the scaffolding the three command-line tools
+// share: unified fatal-error reporting with conventional exit codes
+// (2 for usage mistakes, 1 for runtime failures), and the
+// -metrics/-trace/-pprof-addr observability plumbing over
+// internal/obsv.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"verfploeter/internal/bgp"
+	"verfploeter/internal/obsv"
+)
+
+// Exit codes. A usage error (bad flag value, unknown subcommand) exits
+// 2, matching the flag package's own convention; anything that failed
+// while doing the requested work exits 1.
+const (
+	ExitRuntime = 1
+	ExitUsage   = 2
+)
+
+// Fatalf reports a runtime failure on stderr as "<tool>: <message>" and
+// exits with ExitRuntime.
+func Fatalf(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	os.Exit(ExitRuntime)
+}
+
+// Usagef reports a usage mistake on stderr with a hint at -h and exits
+// with ExitUsage.
+func Usagef(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\nrun '%s -h' for usage\n",
+		tool, fmt.Sprintf(format, args...), tool)
+	os.Exit(ExitUsage)
+}
+
+// NewObs builds the tool's instrumentation registry from its
+// observability flags. It returns nil — the zero-cost disabled layer —
+// when all three are off; otherwise it installs the registry in the
+// process-global hooks (bgp's route cache) and, with pprofAddr set,
+// starts the debug HTTP listener.
+func NewObs(tool string, metrics, trace bool, pprofAddr string) *obsv.Registry {
+	if !metrics && !trace && pprofAddr == "" {
+		return nil
+	}
+	reg := obsv.New()
+	if trace {
+		reg.EnableTracing()
+	}
+	bgp.SetObs(reg)
+	if pprofAddr != "" {
+		StartPprof(tool, pprofAddr, reg)
+	}
+	return reg
+}
+
+// StartPprof serves net/http/pprof plus the registry's /metrics endpoint
+// (Prometheus text format) on addr. The listener is bound synchronously
+// so a bad address fails the run immediately; serving then proceeds in
+// the background for the life of the process.
+func StartPprof(tool, addr string, reg *obsv.Registry) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		Fatalf(tool, "pprof listener: %v", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	fmt.Fprintf(os.Stderr, "%s: pprof and /metrics on http://%s\n", tool, ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }()
+}
+
+// EmitObs renders the run's instrumentation to w: the counter/histogram
+// summary when metrics is set, the span trace when trace is set. No-op
+// on a nil registry.
+func EmitObs(w io.Writer, reg *obsv.Registry, metrics, trace bool) {
+	if reg == nil {
+		return
+	}
+	if metrics {
+		fmt.Fprintln(w)
+		reg.WriteSummary(w)
+	}
+	if trace {
+		fmt.Fprintln(w)
+		reg.WriteTrace(w)
+	}
+}

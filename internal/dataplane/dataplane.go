@@ -34,6 +34,7 @@ import (
 	"verfploeter/internal/bgp"
 	"verfploeter/internal/faults"
 	"verfploeter/internal/ipv4"
+	"verfploeter/internal/obsv"
 	"verfploeter/internal/packet"
 	"verfploeter/internal/topology"
 	"verfploeter/internal/vclock"
@@ -111,6 +112,45 @@ type Stats struct {
 	FaultRateLimited uint64 // probes past a /24's per-round ICMP budget
 	FaultSilenced    uint64 // probes into the unresponsive-block set
 	FaultBlackouts   uint64 // replies/queries lost to a site blackout
+}
+
+// Add accumulates another snapshot into s — how the parallel sweep
+// merges its per-chunk forks' counters into round totals.
+func (s *Stats) Add(o Stats) {
+	s.ProbesSent += o.ProbesSent
+	s.BadPackets += o.BadPackets
+	s.UnknownBlocks += o.UnknownBlocks
+	s.Unresponsive += o.Unresponsive
+	s.Replies += o.Replies
+	s.Duplicates += o.Duplicates
+	s.Aliased += o.Aliased
+	s.Late += o.Late
+	s.QueriesRouted += o.QueriesRouted
+	s.QueriesDropped += o.QueriesDropped
+	s.FaultProbeLost += o.FaultProbeLost
+	s.FaultReplyLost += o.FaultReplyLost
+	s.FaultRateLimited += o.FaultRateLimited
+	s.FaultSilenced += o.FaultSilenced
+	s.FaultBlackouts += o.FaultBlackouts
+}
+
+// PublishObs adds the snapshot's counters to an instrumentation
+// registry (see internal/obsv). Counters are cumulative across calls;
+// a nil registry is a no-op.
+func (s Stats) PublishObs(r *obsv.Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter("dataplane_probes_sent", "probes the data plane routed").Add(s.ProbesSent)
+	r.Counter("dataplane_replies", "echo replies the data plane delivered").Add(s.Replies)
+	r.Counter("dataplane_unresponsive", "probes into blocks that never answer").Add(s.Unresponsive)
+	r.Counter("dataplane_aliased", "replies sourced from a neighboring block").Add(s.Aliased)
+	r.Counter("dataplane_duplicates", "replies duplicated in flight").Add(s.Duplicates)
+	r.Counter("fault_probe_lost", "probes dropped by the fault layer's forward-path loss").Add(s.FaultProbeLost)
+	r.Counter("fault_reply_lost", "replies dropped by the fault layer's return-path loss").Add(s.FaultReplyLost)
+	r.Counter("fault_rate_limited", "probes past a /24's per-round ICMP budget").Add(s.FaultRateLimited)
+	r.Counter("fault_silenced", "probes into the fault layer's silent-block set").Add(s.FaultSilenced)
+	r.Counter("fault_blackouts", "packets lost to an injected site blackout").Add(s.FaultBlackouts)
 }
 
 // Net is the simulated data plane.

@@ -15,8 +15,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"verfploeter/internal/faults"
+	"verfploeter/internal/obsv"
 	"verfploeter/internal/scenario"
 	"verfploeter/internal/topology"
 	"verfploeter/internal/verfploeter"
@@ -47,6 +49,11 @@ type Config struct {
 	// measurement (see verfploeter.Config.Retries). Zero keeps the
 	// historic single-shot sweep.
 	Retries int
+	// Obs, when set, collects instrumentation from every experiment:
+	// per-experiment timings here, sweep counters and phase spans from
+	// the layers below (see internal/obsv). Results are byte-identical
+	// with or without it.
+	Obs *obsv.Registry
 	// sink observes every successful sweep's stats on the scenarios
 	// world() hands out (must be concurrency-safe — campaigns sweep in
 	// parallel). runOne installs the Outcome recorder here.
@@ -183,6 +190,16 @@ func runOne(id string, cfg Config) (o Outcome) {
 		o.Retried += st.Retried
 		mu.Unlock()
 	}
+	if cfg.Obs != nil {
+		sp := cfg.Obs.StartSpan("experiment:"+id, 0)
+		start := time.Now()
+		defer func() {
+			cfg.Obs.Histogram("experiment_seconds", "wall time per experiment", nil).
+				ObserveDuration(time.Since(start))
+			cfg.Obs.Counter("experiments_run", "experiments executed").Inc()
+			sp.End()
+		}()
+	}
 	o.Result, o.Err = Run(id, cfg)
 	return o
 }
@@ -239,6 +256,7 @@ func world(preset string, cfg Config) *scenario.Scenario {
 	f.Workers = cfg.Workers
 	f.Retries = cfg.Retries
 	f.StatsSink = cfg.sink
+	f.Obs = cfg.Obs
 	if cfg.Faults.Enabled() {
 		f.SetFaults(cfg.Faults)
 	}

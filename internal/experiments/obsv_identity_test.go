@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+
+	"verfploeter/internal/bgp"
+	"verfploeter/internal/obsv"
+	"verfploeter/internal/verfploeter"
+)
+
+// TestExperimentsByteIdenticalWithObs is the acceptance contract for the
+// instrumentation layer: every experiment's rendered Result.Text must be
+// byte-for-byte identical with instrumentation attached (registry on
+// every config, tracing enabled, bgp hooks installed) and without. The
+// obsv package only publishes numbers the pipeline already accumulated;
+// a divergence here means instrumentation fed back into the simulation —
+// the one bug class it must never introduce.
+func TestExperimentsByteIdenticalWithObs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	resetWorlds := func() {
+		// Drop the campaign cache between passes so every round actually
+		// re-runs; served rounds would mask divergence.
+		campaignMu.Lock()
+		campaignCache = map[worldKey][]*verfploeter.Catchment{}
+		campaignMu.Unlock()
+	}
+
+	plain := map[string]string{}
+	for _, id := range IDs() {
+		res, err := Run(id, workersConfig(2))
+		if err != nil {
+			t.Fatalf("%s without obs: %v", id, err)
+		}
+		plain[id] = res.Text
+	}
+
+	resetWorlds()
+	reg := obsv.New()
+	reg.EnableTracing()
+	bgp.SetObs(reg)
+	defer bgp.SetObs(nil)
+	for _, id := range IDs() {
+		cfg := workersConfig(2)
+		cfg.Obs = reg
+		res, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("%s with obs: %v", id, err)
+		}
+		if res.Text != plain[id] {
+			t.Errorf("%s: report differs with instrumentation attached:\n--- without\n%s\n--- with\n%s",
+				id, plain[id], res.Text)
+		}
+	}
+	if reg.Counter("probes_sent", "").Value() == 0 {
+		t.Error("instrumented pass recorded no probes; identity check is vacuous")
+	}
+	if len(reg.Spans()) == 0 {
+		t.Error("instrumented pass recorded no spans; tracing was not exercised")
+	}
+}

@@ -176,6 +176,7 @@ func Run(s *scenario.Scenario, cfg Config) (*Result, error) {
 		}
 		// The world moves first (hooks: tie-break drift, blackouts), then
 		// the operator acts, then we measure.
+		epochSpan := s.Obs.StartSpan("epoch", e)
 		s.BeginEpoch(e)
 		prependChanged, downChanged := applyActions(s, cfg.Actions, e)
 
@@ -204,7 +205,9 @@ func Run(s *scenario.Scenario, cfg Config) (*Result, error) {
 			res.BaselineProbes = er.Probes
 		} else {
 			se := deltaEpoch(e, prev, cur, &er)
+			clSpan := s.Obs.StartSpan("classify", e)
 			er.Events = classifyEvents(e, s, cfg, prev, cur, prependChanged, downChanged)
+			clSpan.End()
 			se.Events = er.Events
 			series.Epochs = append(series.Epochs, se)
 			for _, ev := range er.Events {
@@ -216,6 +219,12 @@ func Run(s *scenario.Scenario, cfg Config) (*Result, error) {
 		}
 		res.TotalProbes += er.Probes
 		res.Epochs = append(res.Epochs, er)
+		if s.Obs != nil {
+			s.Obs.Counter("monitor_epochs", "monitoring epochs completed").Inc()
+			s.Obs.Counter("monitor_events", "drift events the monitor classified").AddInt(len(er.Events))
+			s.Obs.Counter("monitor_escalated_strata", "strata escalated to a full re-probe").AddInt(er.EscalatedStrata)
+		}
+		epochSpan.End()
 		prev = cur
 	}
 	res.Series = series
@@ -246,6 +255,7 @@ func sampleEpoch(s *scenario.Scenario, cfg Config, st *strata,
 		// escalation would strand stale entries; the event costs a full
 		// sweep either way.
 		escalated = allStrata(st.n)
+		s.Obs.Counter("monitor_global_escalations", "epochs escalated to a full re-sweep").Inc()
 	}
 	er.EscalatedStrata = len(escalated)
 	cur := prev.Clone()

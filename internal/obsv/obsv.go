@@ -1,0 +1,341 @@
+// Package obsv is the pipeline's instrumentation layer: atomic counters,
+// duration histograms, and a lightweight phase/span tracer, collected in
+// a registry that renders a human summary and Prometheus-style text.
+//
+// The layer exists to answer operational questions the final report
+// cannot — where a run's time goes, how the route cache behaves, how
+// many probes each phase actually moved — without ever changing what
+// the pipeline measures. Two rules keep that promise:
+//
+//   - Determinism: nothing here feeds back into the simulation. Hot
+//     paths publish numbers they already accumulated (a round's Stats, a
+//     fork's dataplane counters) after the deterministic work is done,
+//     so with or without a registry attached, every catchment, report,
+//     and saved dataset is byte-identical. Wall-clock time appears only
+//     in histograms and span timings — outputs, never inputs.
+//
+//   - Zero cost when disabled: every type is nil-safe. A nil *Registry
+//     hands out nil *Counter/*Histogram/*SpanHandle values whose methods
+//     are no-ops, so instrumented code calls through unconditionally and
+//     the disabled path allocates nothing (enforced by tests).
+//
+// The package depends only on the standard library.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// safe on a nil receiver and for concurrent use.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// AddInt is Add for the int-typed tallies the pipeline keeps; negative
+// values are ignored (counters only go up).
+func (c *Counter) AddInt(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(uint64(n))
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// DefBuckets are the default histogram bucket upper bounds in seconds,
+// spanning the microsecond-to-minute range the pipeline's phases cover.
+var DefBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 2.5, 10, 60}
+
+// Histogram accumulates float64 observations (conventionally seconds)
+// into cumulative buckets. Safe on a nil receiver and for concurrent use.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // sorted upper bounds; +Inf is implicit
+	buckets    []atomic.Uint64
+	count      atomic.Uint64
+	sumBits    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Span is one completed phase interval: a pipeline phase name, the
+// worker (chunk, epoch, shard) index it ran as, its wall-clock timing,
+// and — when the phase ran on a virtual clock — the virtual window it
+// simulated.
+type Span struct {
+	Phase  string
+	Worker int
+	Start  time.Time     // wall-clock start
+	Wall   time.Duration // wall-clock duration
+	// VStart/VEnd is the phase's window on the virtual clock; valid only
+	// when HasVirtual is set (phases like report rendering have none).
+	VStart, VEnd time.Duration
+	HasVirtual   bool
+}
+
+// SpanHandle is an in-flight span returned by Registry.StartSpan. All
+// methods are safe on a nil receiver (tracing disabled).
+type SpanHandle struct {
+	r *Registry
+	s Span
+}
+
+// Virtual attaches the span's virtual-clock window and returns the
+// handle for chaining.
+func (h *SpanHandle) Virtual(start, end time.Duration) *SpanHandle {
+	if h == nil {
+		return nil
+	}
+	h.s.VStart, h.s.VEnd, h.s.HasVirtual = start, end, true
+	return h
+}
+
+// End stamps the wall duration and records the span in the registry.
+func (h *SpanHandle) End() {
+	if h == nil {
+		return
+	}
+	h.s.Wall = time.Since(h.s.Start)
+	h.r.mu.Lock()
+	h.r.spans = append(h.r.spans, h.s)
+	h.r.mu.Unlock()
+}
+
+// Registry owns a process's counters, histograms, and spans. The zero
+// value is not usable; call New. A nil *Registry is the disabled layer:
+// every method no-ops and hands out nil instruments.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	spans    []Span
+	tracing  atomic.Bool
+}
+
+// New returns an empty registry with tracing disabled.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, registering it on first use. The
+// help string of the first registration wins. Returns nil on a nil
+// registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name, help: help}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, registering it on first use
+// with the given bucket bounds (nil means DefBuckets). Returns nil on a
+// nil registry.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		h = &Histogram{name: name, help: help, bounds: bounds,
+			buckets: make([]atomic.Uint64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// EnableTracing turns the span tracer on; StartSpan returns live handles
+// afterwards. Safe on a nil registry.
+func (r *Registry) EnableTracing() {
+	if r != nil {
+		r.tracing.Store(true)
+	}
+}
+
+// StartSpan opens a span for a pipeline phase on the given worker index.
+// Returns nil — a fully inert handle — when the registry is nil or
+// tracing is off, so callers never branch.
+func (r *Registry) StartSpan(phase string, worker int) *SpanHandle {
+	if r == nil || !r.tracing.Load() {
+		return nil
+	}
+	return &SpanHandle{r: r, s: Span{Phase: phase, Worker: worker, Start: time.Now()}}
+}
+
+// Spans returns the completed spans ordered by wall start time (then
+// phase, then worker, for a deterministic tie-break).
+func (r *Registry) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]Span(nil), r.spans...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		if out[i].Phase != out[j].Phase {
+			return out[i].Phase < out[j].Phase
+		}
+		return out[i].Worker < out[j].Worker
+	})
+	return out
+}
+
+// snapshot returns name-sorted copies of the instrument tables.
+func (r *Registry) snapshot() ([]*Counter, []*Histogram) {
+	r.mu.Lock()
+	cs := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		cs = append(cs, c)
+	}
+	hs := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hs = append(hs, h)
+	}
+	r.mu.Unlock()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+	return cs, hs
+}
+
+// WriteSummary renders the human-readable summary: one sorted
+// "counter <name> <value>" line per counter, then one
+// "histogram <name> count=<n> sum=<s>" line per histogram. Counter lines
+// are deterministic for a deterministic run, which is what lets
+// scripts/check.sh pin one as a golden.
+func (r *Registry) WriteSummary(w io.Writer) {
+	if r == nil {
+		return
+	}
+	cs, hs := r.snapshot()
+	for _, c := range cs {
+		fmt.Fprintf(w, "counter %s %d\n", c.name, c.Value())
+	}
+	for _, h := range hs {
+		fmt.Fprintf(w, "histogram %s count=%d sum=%.6fs\n", h.name, h.Count(), h.Sum())
+	}
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (counters and histograms with cumulative buckets).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	cs, hs := r.snapshot()
+	for _, c := range cs {
+		if c.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.Value())
+	}
+	for _, h := range hs {
+		if h.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", h.name, h.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s histogram\n", h.name)
+		cum := uint64(0)
+		for i, ub := range h.bounds {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatBound(ub), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.Count())
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", h.name, h.Sum(), h.name, h.Count())
+	}
+}
+
+// WriteTrace renders the completed spans, one line each in wall start
+// order: phase, worker, wall duration, and the virtual window when the
+// phase ran on a virtual clock.
+func (r *Registry) WriteTrace(w io.Writer) {
+	if r == nil {
+		return
+	}
+	for _, s := range r.Spans() {
+		if s.HasVirtual {
+			fmt.Fprintf(w, "span %-12s worker=%-3d wall=%-12s virtual=[%s, %s]\n",
+				s.Phase, s.Worker, s.Wall, s.VStart, s.VEnd)
+		} else {
+			fmt.Fprintf(w, "span %-12s worker=%-3d wall=%s\n", s.Phase, s.Worker, s.Wall)
+		}
+	}
+}
+
+func formatBound(ub float64) string {
+	return fmt.Sprintf("%g", ub)
+}

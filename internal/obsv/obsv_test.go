@@ -1,0 +1,167 @@
+package obsv
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterRegistryBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("probes_sent", "probes sent")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Errorf("Value = %d, want 4", got)
+	}
+	if again := r.Counter("probes_sent", "different help"); again != c {
+		t.Error("same name must return the same counter")
+	}
+	c.AddInt(-5) // counters only go up
+	c.AddInt(6)
+	if got := c.Value(); got != 10 {
+		t.Errorf("Value after AddInt = %d, want 10", got)
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := New()
+	h := r.Histogram("phase_seconds", "phase time", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 5.555 {
+		t.Errorf("Sum = %g, want 5.555", got)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE phase_seconds histogram",
+		`phase_seconds_bucket{le="0.01"} 1`,
+		`phase_seconds_bucket{le="0.1"} 2`,
+		`phase_seconds_bucket{le="1"} 3`,
+		`phase_seconds_bucket{le="+Inf"} 4`,
+		"phase_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteSummarySortedAndDeterministic(t *testing.T) {
+	r := New()
+	r.Counter("zeta", "").Add(2)
+	r.Counter("alpha", "").Add(1)
+	r.Histogram("h", "", nil).Observe(0.25)
+	var sb strings.Builder
+	r.WriteSummary(&sb)
+	want := "counter alpha 1\ncounter zeta 2\nhistogram h count=1 sum=0.250000s\n"
+	if sb.String() != want {
+		t.Errorf("summary = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestSpansRequireTracing(t *testing.T) {
+	r := New()
+	if sp := r.StartSpan("sweep", 0); sp != nil {
+		t.Fatal("StartSpan must return nil while tracing is off")
+	}
+	r.EnableTracing()
+	sp := r.StartSpan("sweep", 3).Virtual(0, 2*time.Second)
+	sp.End()
+	r.StartSpan("fold", 0).End()
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Phase != "sweep" || spans[0].Worker != 3 || !spans[0].HasVirtual || spans[0].VEnd != 2*time.Second {
+		t.Errorf("first span = %+v", spans[0])
+	}
+	var sb strings.Builder
+	r.WriteTrace(&sb)
+	if !strings.Contains(sb.String(), "span sweep") || !strings.Contains(sb.String(), "virtual=[0s, 2s]") {
+		t.Errorf("trace output: %q", sb.String())
+	}
+}
+
+// TestNilRegistryIsInertAndZeroAlloc pins the disabled-path contract:
+// a nil registry hands out nil instruments whose methods no-op without
+// allocating — instrumented hot paths cost nothing when observability
+// is off.
+func TestNilRegistryIsInertAndZeroAlloc(t *testing.T) {
+	var r *Registry
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Counter("x", "").Add(1)
+		r.Counter("x", "").Inc()
+		r.Histogram("h", "", nil).Observe(1)
+		r.Histogram("h", "", nil).ObserveDuration(time.Second)
+		sp := r.StartSpan("p", 0)
+		sp.Virtual(0, 0)
+		sp.End()
+		r.EnableTracing()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-registry path allocates %v times per op, want 0", allocs)
+	}
+	if r.Counter("x", "").Value() != 0 || r.Histogram("h", "", nil).Count() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	if r.Spans() != nil {
+		t.Error("nil registry must have no spans")
+	}
+	var sb strings.Builder
+	r.WriteSummary(&sb)
+	r.WritePrometheus(&sb)
+	r.WriteTrace(&sb)
+	if sb.Len() != 0 {
+		t.Errorf("nil registry rendered output: %q", sb.String())
+	}
+}
+
+// TestTracingOffZeroAlloc: a live registry with tracing disabled must
+// not allocate per StartSpan either — that is the state -metrics (no
+// -trace) runs in.
+func TestTracingOffZeroAlloc(t *testing.T) {
+	r := New()
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := r.StartSpan("sweep", 1)
+		sp.Virtual(0, 1)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("tracing-off StartSpan allocates %v times per op, want 0", allocs)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	r.EnableTracing()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter("c", "").Inc()
+				r.Histogram("h", "", nil).Observe(0.001)
+				r.StartSpan("p", g).End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("c", "").Value(); got != 800 {
+		t.Errorf("counter = %d, want 800", got)
+	}
+	if got := r.Histogram("h", "", nil).Count(); got != 800 {
+		t.Errorf("histogram count = %d, want 800", got)
+	}
+	if got := len(r.Spans()); got != 800 {
+		t.Errorf("spans = %d, want 800", got)
+	}
+}

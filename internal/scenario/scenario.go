@@ -18,6 +18,7 @@ import (
 	"verfploeter/internal/geo"
 	"verfploeter/internal/hitlist"
 	"verfploeter/internal/ipv4"
+	"verfploeter/internal/obsv"
 	"verfploeter/internal/parallel"
 	"verfploeter/internal/querylog"
 	"verfploeter/internal/topology"
@@ -76,6 +77,11 @@ type Scenario struct {
 	// including sweeps on Forks taken afterwards. Campaigns run sweeps
 	// concurrently, so the sink must be safe for concurrent calls.
 	StatsSink func(verfploeter.Stats)
+
+	// Obs, when set, receives instrumentation (counters, phase spans)
+	// from every sweep run through this deployment and its Forks. It
+	// never influences results — see internal/obsv.
+	Obs *obsv.Registry
 
 	prepends     []int
 	down         []bool // down[i]: site i's announcement is withdrawn
@@ -275,8 +281,10 @@ func (s *Scenario) MeasureTest(roundID uint16) (*verfploeter.Catchment, verfploe
 }
 
 // runSweep executes one configured round and feeds the stats sink on
-// success.
+// success. The instrumentation registry is attached here so every sweep
+// entry point (Measure, MeasureTest, MeasureSubset) reports to it.
 func (s *Scenario) runSweep(cfg verfploeter.Config) (*verfploeter.Catchment, verfploeter.Stats, error) {
+	cfg.Obs = s.Obs
 	c, st, err := verfploeter.Run(cfg)
 	if err == nil && s.StatsSink != nil {
 		s.StatsSink(st)

@@ -135,12 +135,26 @@ func (q *eventQueue) Pop() any {
 // RateLimiter is a token bucket tied to a Clock. Verfploeter probes at a
 // configured packets-per-second rate "to spread traffic, limiting traffic
 // to any given network" (§3.1).
+//
+// The implementation keeps an integer token ledger against a fixed
+// anchor instead of a floating-point token balance: token k's
+// availability is computed as one rounding of k·1e9/rate nanoseconds
+// from the anchor, never by accumulating a truncated per-token interval.
+// An accumulator drifts at rates that do not divide a second evenly
+// (6000 q/s truncates 166666.67 ns to 166666, losing ~2/3 ns per probe —
+// minutes of skew over a day-long campaign); the ledger's single
+// rounding keeps any run of N delays within 1 ns of N·(1s/rate) total.
 type RateLimiter struct {
-	clock      *Clock
-	perToken   time.Duration
-	burst      float64
-	tokens     float64
-	lastRefill time.Duration
+	clock *Clock
+	rate  float64
+	burst int64
+	// t0 anchors the schedule — the bucket was full at t0 — and used
+	// counts tokens consumed since. The anchor rebases (t0 = now,
+	// used = 0) only once the bucket has fully regenerated, which is the
+	// classic clamp-at-burst: idle time beyond a full bucket is
+	// forfeited, never banked.
+	t0   time.Duration
+	used int64
 }
 
 // NewRateLimiter returns a limiter allowing rate events per second with
@@ -152,29 +166,41 @@ func NewRateLimiter(clock *Clock, rate float64, burst int) *RateLimiter {
 	if burst < 1 {
 		burst = 1
 	}
-	return &RateLimiter{
-		clock:      clock,
-		perToken:   time.Duration(float64(time.Second) / rate),
-		burst:      float64(burst),
-		tokens:     float64(burst),
-		lastRefill: clock.Now(),
-	}
+	return &RateLimiter{clock: clock, rate: rate, burst: int64(burst), t0: clock.Now()}
 }
 
-func (r *RateLimiter) refill() {
-	elapsed := r.clock.Now() - r.lastRefill
-	r.lastRefill = r.clock.Now()
-	r.tokens += float64(elapsed) / float64(r.perToken)
-	if r.tokens > r.burst {
-		r.tokens = r.burst
+// tokenAt returns the instant the k-th token (1-based) regenerates:
+// t0 + ceil(k·1e9/rate) ns, computed in one step so rounding error never
+// accumulates across tokens. k <= 0 is available at the anchor itself.
+func (r *RateLimiter) tokenAt(k int64) time.Duration {
+	if k <= 0 {
+		return r.t0
+	}
+	ns := float64(k) * float64(time.Second) / r.rate
+	d := time.Duration(ns)
+	if float64(d) < ns {
+		d++
+	}
+	return r.t0 + d
+}
+
+// rebase forfeits excess regeneration once the bucket is full again.
+// The comparison is strict: a drain that lands exactly on a token
+// boundary keeps the original anchor, preserving the exact long-run
+// schedule.
+func (r *RateLimiter) rebase() {
+	if now := r.clock.Now(); now > r.tokenAt(r.used) {
+		r.t0, r.used = now, 0
 	}
 }
 
 // Allow consumes a token if one is available.
 func (r *RateLimiter) Allow() bool {
-	r.refill()
-	if r.tokens >= 1 {
-		r.tokens--
+	r.rebase()
+	// With used tokens consumed since a full bucket at t0, one is
+	// available once the (used-burst+1)-th regeneration has happened.
+	if r.clock.Now() >= r.tokenAt(r.used-r.burst+1) {
+		r.used++
 		return true
 	}
 	return false
@@ -183,10 +209,10 @@ func (r *RateLimiter) Allow() bool {
 // Delay returns how long from now until the next token is available
 // (zero if one is available immediately). It does not consume a token.
 func (r *RateLimiter) Delay() time.Duration {
-	r.refill()
-	if r.tokens >= 1 {
-		return 0
+	r.rebase()
+	next := r.tokenAt(r.used - r.burst + 1)
+	if now := r.clock.Now(); next > now {
+		return next - now
 	}
-	need := 1 - r.tokens
-	return time.Duration(need * float64(r.perToken))
+	return 0
 }

@@ -168,3 +168,53 @@ func TestRateLimiterValidation(t *testing.T) {
 	}()
 	NewRateLimiter(New(), 0, 1)
 }
+
+// TestRateLimiterNoAccumulatedDrift is the regression test for the
+// float-accumulation bug: at rates that do not divide a second evenly,
+// the old token-bucket arithmetic (truncated per-token interval, tokens
+// accumulated as float64) drifted by a fraction of a nanosecond per
+// token. The contract now: N paced delays at rate R sum to within 1 ns
+// of N·(1s/R), for any rate.
+func TestRateLimiterNoAccumulatedDrift(t *testing.T) {
+	const n = 10000
+	for _, rate := range []float64{1000, 6000, 7321, 10000, 9999.5} {
+		c := New()
+		rl := NewRateLimiter(c, rate, 1)
+		if !rl.Allow() {
+			t.Fatalf("rate %g: initial token unavailable", rate)
+		}
+		start := c.Now()
+		for i := 0; i < n; i++ {
+			c.Advance(rl.Delay())
+			if !rl.Allow() {
+				t.Fatalf("rate %g: token %d unavailable after its delay", rate, i)
+			}
+		}
+		got := float64(c.Now() - start)
+		want := n * float64(time.Second) / rate
+		if diff := got - want; diff < -1 || diff > 1 {
+			t.Errorf("rate %g: %d delays total %.3f ns, want %.3f ± 1 ns (drift %.3f)",
+				rate, n, got, want, diff)
+		}
+	}
+}
+
+// TestRateLimiterExactRateSchedule pins the wire-level schedule at the
+// pipeline's default rate: with the bucket drained, tokens regenerate
+// every exact 100 µs at 10k q/s — the property the byte-identity tests
+// over the experiment suite rely on.
+func TestRateLimiterExactRateSchedule(t *testing.T) {
+	c := New()
+	rl := NewRateLimiter(c, 10000, 2)
+	for rl.Allow() {
+	}
+	for i := 0; i < 5; i++ {
+		if d := rl.Delay(); d != 100*time.Microsecond {
+			t.Fatalf("step %d: delay = %v, want 100µs", i, d)
+		}
+		c.Advance(100 * time.Microsecond)
+		if !rl.Allow() {
+			t.Fatalf("step %d: token not available on schedule", i)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"verfploeter/internal/dataplane"
 	"verfploeter/internal/hitlist"
 	"verfploeter/internal/ipv4"
+	"verfploeter/internal/obsv"
 	"verfploeter/internal/packet"
 	"verfploeter/internal/parallel"
 	"verfploeter/internal/rng"
@@ -86,6 +87,14 @@ type Config struct {
 	// margin over the dataplane's geographic delays).
 	RetryBackoff    time.Duration
 	RetryBackoffMax time.Duration
+
+	// Obs, when set, receives the round's instrumentation: probe/reply/
+	// fault counters and (with tracing enabled) per-chunk sweep spans and
+	// a fold span. Publication happens once per Run from totals the round
+	// already accumulated — never per probe — so a nil registry (the
+	// default) costs nothing and the measured output is byte-identical
+	// either way. See internal/obsv.
+	Obs *obsv.Registry
 
 	// Collector overrides the reply sink. When nil, Run uses an
 	// in-process Central and returns a complete catchment. When set
@@ -217,6 +226,7 @@ func Run(cfg Config) (*Catchment, Stats, error) {
 	if cfg.Collector != nil {
 		// Frames go elsewhere; the caller owns cleaning and mapping.
 		stats, err := probeExternal(&cfg, perm)
+		publishRound(cfg.Obs, stats, nil)
 		return nil, stats, err
 	}
 
@@ -225,7 +235,6 @@ func Run(cfg Config) (*Catchment, Stats, error) {
 	// round's rate limiter would reach position lo, so capture
 	// timestamps line up with one continuous paced sweep.
 	nChunks := (n + probeChunkTargets - 1) / probeChunkTargets
-	perToken := time.Duration(float64(time.Second) / cfg.Rate)
 	chunks := make([]probeChunk, nChunks)
 	parallel.ForEach(cfg.Workers, nChunks, func(c int) {
 		lo := c * probeChunkTargets
@@ -234,8 +243,10 @@ func Run(cfg Config) (*Catchment, Stats, error) {
 			hi = n
 		}
 		ch := &chunks[c]
+		span := cfg.Obs.StartSpan("sweep", c)
 		clock := vclock.New()
-		clock.Advance(time.Duration(lo) * perToken)
+		clock.Advance(chunkOffset(lo, cfg.Rate))
+		vStart := clock.Now()
 		net := cfg.Net.Fork(clock)
 		for s := 0; s < cfg.NSite; s++ {
 			net.SetTap(s, Tap(&ch.central, s, clock.Now))
@@ -251,6 +262,8 @@ func Run(cfg Config) (*Catchment, Stats, error) {
 		// cleaner applies the cutoff on capture timestamps.
 		clock.RunUntilIdle()
 		ch.end = clock.Now()
+		ch.netStats = net.Stats()
+		span.Virtual(vStart, ch.end).End()
 	})
 
 	var stats Stats
@@ -278,11 +291,29 @@ func Run(cfg Config) (*Catchment, Stats, error) {
 	for i := 0; i < n; i++ {
 		base[cfg.Hitlist.Entries[perm.Index(i)].Addr] = uint16(i)
 	}
+	foldSpan := cfg.Obs.StartSpan("fold", 0)
 	catch, cstats := foldChunksSubset(chunks, cfg.Hitlist, cfg.Subset, base, cfg.Retries, cfg.NSite, cfg.RoundID, cfg.Cutoff, cfg.Workers)
+	foldSpan.End()
 	stats.Clean = cstats
 	stats.MedianRTT = catch.MedianRTT()
 	stats.Responded = catch.Len()
+	if cfg.Obs != nil {
+		var net dataplane.Stats
+		for c := range chunks {
+			net.Add(chunks[c].netStats)
+		}
+		publishRound(cfg.Obs, stats, &net)
+	}
 	return catch, stats, nil
+}
+
+// chunkOffset is the virtual time one continuous paced sweep takes to
+// reach permutation position lo: a single rounding of lo·1e9/rate, never
+// a truncated per-token interval multiplied up (which drifts at rates
+// that do not divide a second — the same bug class the RateLimiter's
+// integer ledger fixes).
+func chunkOffset(lo int, rate float64) time.Duration {
+	return time.Duration(float64(lo) * float64(time.Second) / rate)
 }
 
 // retryMissing is the loss-aware retransmission pass for one chunk: it
@@ -339,8 +370,12 @@ type probeChunk struct {
 	central Central
 	sendAt  map[ipv4.Addr]time.Duration
 	stats   Stats
-	end     time.Duration
-	err     error
+	// netStats snapshots the chunk fork's dataplane counters after the
+	// sweep drains, so Run can publish fault totals without touching the
+	// per-packet path.
+	netStats dataplane.Stats
+	end      time.Duration
+	err      error
 }
 
 // chunkSpan is one chunk's slice of the probe permutation: the dense

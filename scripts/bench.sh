@@ -1,9 +1,11 @@
 #!/bin/sh
 # bench.sh — machine-readable perf trajectory. Runs the key benchmarks
 # and writes BENCH_<git-short-sha>.json with ns/op and allocs/op for the
-# route-computation fast path (BGPCompute, ReannounceSweep, ExportRoutes)
-# and the pipeline anchors (Table4Coverage, MeasurementRound), so perf
-# regressions show up as a diff against the previous BENCH_*.json.
+# route-computation fast path (BGPCompute, ReannounceSweep, ExportRoutes),
+# the pipeline anchors (Table4Coverage, MeasurementRound), and the
+# instrumentation overhead pair (ObsvOverhead metrics=off/on — the on/off
+# delta must stay under 2%), so perf regressions show up as a diff
+# against the previous BENCH_*.json.
 #
 #   ./scripts/bench.sh            # full run (benchtime 5x), writes JSON
 #   ./scripts/bench.sh smoke      # 1 iteration, no JSON — CI gate mode
@@ -17,7 +19,7 @@ MODE="${1:-full}"
 COUNT="${VP_BENCH_COUNT:-5x}"
 [ "$MODE" = "smoke" ] && COUNT="${VP_BENCH_COUNT:-1x}"
 
-PATTERN='^(BenchmarkBGPCompute|BenchmarkReannounceSweep|BenchmarkTable4Coverage|BenchmarkMeasurementRound)$'
+PATTERN='^(BenchmarkBGPCompute|BenchmarkReannounceSweep|BenchmarkTable4Coverage|BenchmarkMeasurementRound|BenchmarkObsvOverhead)$'
 OUT=$(go test -run '^$' -bench "$PATTERN" -benchtime "$COUNT" -benchmem . 2>&1)
 BGPOUT=$(go test -run '^$' -bench '^(BenchmarkExportRoutes|BenchmarkComputeEpochCached)$' -benchtime "$COUNT" -benchmem ./internal/bgp/ 2>&1)
 

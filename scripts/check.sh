@@ -66,6 +66,24 @@ if [ "$got" != "$want" ]; then
 fi
 echo "$got"
 
+# Obsv smoke: a fixed-seed run with -metrics must reproduce its golden
+# counter line exactly AND still print the exact same report as without
+# the flag. probes_sent is pinned because it is worker-invariant (unlike
+# route-cache hits, which depend on scheduling); it collapses the whole
+# instrumentation path — registry wiring, per-round publishing, summary
+# rendering — to one grep. Recalibrate only when the sweep itself changes.
+echo "== obsv smoke (tiny, fixed seed, -metrics)"
+want="counter probes_sent 3974"
+got=$(go run ./cmd/verfploeter -scenario b-root -size tiny -seed 7 -metrics \
+	| grep "^counter probes_sent ")
+if [ "$got" != "$want" ]; then
+	echo "obsv smoke FAILED:" >&2
+	echo "  want: $want" >&2
+	echo "  got:  $got" >&2
+	exit 1
+fi
+echo "$got"
+
 # Default (medium) size: the shape checks embedded in the benchmark are
 # calibrated for medium/large and intentionally MISS at small/tiny.
 # bench.sh smoke covers table4 plus the route fast path (BGPCompute,
