@@ -16,12 +16,14 @@ package verfploeter
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync"
 	"testing"
 
 	"verfploeter/internal/bgp"
+	"verfploeter/internal/dataset"
 	"verfploeter/internal/experiments"
 	"verfploeter/internal/ipv4"
 	"verfploeter/internal/obsv"
@@ -179,6 +181,51 @@ func BenchmarkObsvOverhead(b *testing.B) {
 	}
 	b.Run("metrics=off", func(b *testing.B) { run(b, nil) })
 	b.Run("metrics=on", func(b *testing.B) { run(b, obsv.New()) })
+}
+
+// BenchmarkInternetSweep times one full measurement round over the
+// internet-scale tier (>1M /24 blocks, tens of thousands of ASes) plus
+// a streaming dataset write: the columnar sweep core's headline path.
+// The dataset goes through the constant-memory v4 StreamWriter, so the
+// only resident copy of the map is the catchment's own columns.
+func BenchmarkInternetSweep(b *testing.B) {
+	if testing.Short() {
+		b.Skip("internet tier: skipped in -short")
+	}
+	s := scenario.BRoot(topology.SizeInternet, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		catch, stats, err := s.Measure(uint16(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if catch.Len() == 0 {
+			b.Fatal("empty catchment")
+		}
+		meta := dataset.Meta{ID: "INTERNET", Scenario: s.Name, Sites: s.SiteCodes(),
+			RoundID: uint16(i + 1), Seed: s.Seed}
+		sw, err := dataset.NewStreamWriter(io.Discard, meta, stats, catch.NSite, catch.Len())
+		if err != nil {
+			b.Fatal(err)
+		}
+		werr := error(nil)
+		catch.Range(func(blk ipv4.Block, site int) bool {
+			rtt, _ := catch.RTTOf(blk)
+			if err := sw.Append(blk, site, rtt); err != nil {
+				werr = err
+				return false
+			}
+			return true
+		})
+		if werr != nil {
+			b.Fatal(werr)
+		}
+		if err := sw.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.Hitlist.Len()), "targets")
 }
 
 // BenchmarkBGPCompute times full route propagation + assignment on the

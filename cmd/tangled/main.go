@@ -32,6 +32,8 @@ func main() {
 		size = topology.SizeMedium
 	case "large":
 		size = topology.SizeLarge
+	case "internet":
+		size = topology.SizeInternet
 	default:
 		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeName)
 		os.Exit(2)

@@ -241,6 +241,8 @@ func buildDeployment(name, sizeName string, seed uint64) (*verfploeter.Deploymen
 		size = topology.SizeMedium
 	case "large":
 		size = topology.SizeLarge
+	case "internet":
+		size = topology.SizeInternet
 	default:
 		return nil, fmt.Errorf("unknown size %q", sizeName)
 	}

@@ -136,6 +136,8 @@ func parseSize(s string) (topology.Size, error) {
 		return topology.SizeMedium, nil
 	case "large":
 		return topology.SizeLarge, nil
+	case "internet":
+		return topology.SizeInternet, nil
 	}
-	return 0, fmt.Errorf("unknown size %q (tiny, small, medium, large)", s)
+	return 0, fmt.Errorf("unknown size %q (tiny, small, medium, large, internet)", s)
 }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -398,4 +399,29 @@ func TestConsensusOnCampaign(t *testing.T) {
 		return checked < 500
 	})
 	return
+}
+
+// Both report sorts carry explicit tie-break keys (country code, ASN) so
+// repeated runs over the same inputs — whose aggregation walks Go maps in
+// randomized order — always emit rows in the same order.
+func TestReportOrderingDeterministic(t *testing.T) {
+	s := scenario.BRoot(topology.SizeTiny, 3)
+	rounds, err := s.MeasureRounds(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantRows := CountryBreakdown(s.Top, rounds[0])
+	wantFlips := FlipAttribution(s.Top, rounds)
+	if len(wantRows) < 2 {
+		t.Fatalf("want multiple country rows, got %d", len(wantRows))
+	}
+	for i := 0; i < 25; i++ {
+		if got := CountryBreakdown(s.Top, rounds[0]); !reflect.DeepEqual(got, wantRows) {
+			t.Fatalf("run %d: CountryBreakdown ordering changed", i)
+		}
+		if got := FlipAttribution(s.Top, rounds); !reflect.DeepEqual(got, wantFlips) {
+			t.Fatalf("run %d: FlipAttribution ordering changed", i)
+		}
+	}
 }

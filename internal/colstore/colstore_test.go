@@ -1,0 +1,59 @@
+package colstore
+
+import (
+	"testing"
+
+	"verfploeter/internal/ipv4"
+)
+
+func TestIndexOf(t *testing.T) {
+	blocks := []ipv4.Block{1, 5, 9, 200, 70000, 1 << 23}
+	ix := NewIndex(blocks)
+	if ix.Len() != len(blocks) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(blocks))
+	}
+	for i, b := range blocks {
+		if got := ix.Of(b); got != i {
+			t.Errorf("Of(%v) = %d, want %d", b, got, i)
+		}
+		if ix.At(i) != b {
+			t.Errorf("At(%d) = %v, want %v", i, ix.At(i), b)
+		}
+	}
+	for _, b := range []ipv4.Block{0, 2, 8, 199, 201, 1<<23 + 1} {
+		if got := ix.Of(b); got != -1 {
+			t.Errorf("Of(%v) = %d, want -1", b, got)
+		}
+		if ix.Contains(b) {
+			t.Errorf("Contains(%v) = true, want false", b)
+		}
+	}
+}
+
+func TestIndexEmptyAndNil(t *testing.T) {
+	var nilIx *Index
+	if nilIx.Len() != 0 || nilIx.Of(5) != -1 || nilIx.Blocks() != nil {
+		t.Error("nil index should behave as empty")
+	}
+	empty := NewIndex(nil)
+	if empty.Len() != 0 || empty.Of(5) != -1 {
+		t.Error("empty index should miss everything")
+	}
+}
+
+func TestIndexRejectsUnsorted(t *testing.T) {
+	for _, bad := range [][]ipv4.Block{
+		{2, 1},
+		{1, 1},
+		{1, 2, 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewIndex(%v) did not panic", bad)
+				}
+			}()
+			NewIndex(bad)
+		}()
+	}
+}

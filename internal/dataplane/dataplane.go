@@ -188,7 +188,31 @@ type Net struct {
 	// send and its retries) execute inside that block's chunk, so the
 	// per-fork count is deterministic at any worker count.
 	icmpSent map[ipv4.Block]int
+
+	// sink, when set, receives parsed echo replies directly instead of
+	// marshaled frames through the site taps. See SetReplySink.
+	sink ReplySink
 }
+
+// ReplySink receives one echo reply in parsed form: the capturing site,
+// the reply's source address, its ICMP ident/seq, and the virtual time
+// the frame would have arrived. Delivery happens synchronously inside
+// SendProbe/SendEcho — at send time, not at the arrival timestamp — so
+// a sink may observe replies "from the future"; consumers that care
+// about arrival order sort by at, and consumers modeling a live view
+// filter at <= now.
+type ReplySink func(site int, from ipv4.Addr, ident, seq uint16, at time.Duration)
+
+// SetReplySink installs fn as the reply fast path: every reply that
+// would be marshaled and scheduled onto a site tap is instead handed to
+// fn immediately, with the identical site, source, ident, seq, and
+// arrival time. This removes three allocations per reply copy (the
+// frame, the delivery closure, the clock event) and the re-parse at the
+// tap — the dominant cost of an internet-scale sweep — without touching
+// the impairment or fault coins, which depend only on (seed, block,
+// round[, seq]). Site taps still gate delivery (a site without a tap
+// captures nothing) but are not called. Forks do not inherit the sink.
+func (n *Net) SetReplySink(fn ReplySink) { n.sink = fn }
 
 // Errors surfaced to callers.
 var (
@@ -332,11 +356,34 @@ func (n *Net) SendProbe(originSite int, raw []byte) error {
 		n.stats.BadPackets++
 		return fmt.Errorf("dataplane: malformed probe: %w", err)
 	}
+	return n.sendEcho(originSite, probe.IP.Src, probe.IP.Dst,
+		probe.Echo.Ident, probe.Echo.Seq, probe.Echo.Payload)
+}
+
+// SendEcho is SendProbe without the wire format: it injects an echo
+// request given directly as (source, target, ident, seq). The probe
+// sweep uses it to skip one marshal and one parse per probe; every
+// counter, impairment coin, and fault decision is identical to sending
+// the equivalent marshaled frame, because none of them read raw bytes.
+func (n *Net) SendEcho(originSite int, src, dst ipv4.Addr, ident, seq uint16) error {
+	n.enter()
+	defer n.leave()
+	n.stats.ProbesSent++
+	if n.asg == nil {
+		return ErrNoAssignment
+	}
+	return n.sendEcho(originSite, src, dst, ident, seq, nil)
+}
+
+// sendEcho carries a probe through prefix validation, the impairment
+// and fault gauntlet, and reply delivery. Counters must be touched in
+// exactly this order — the golden smokes pin them.
+func (n *Net) sendEcho(originSite int, src, dst ipv4.Addr, ident, seq uint16, payload []byte) error {
 	asg := n.asg
 	switch {
-	case n.cfg.AnycastPrefix.Contains(probe.IP.Src):
+	case n.cfg.AnycastPrefix.Contains(src):
 		// production prefix
-	case n.cfg.TestPrefix.Bits > 0 && n.cfg.TestPrefix.Contains(probe.IP.Src):
+	case n.cfg.TestPrefix.Bits > 0 && n.cfg.TestPrefix.Contains(src):
 		if n.testAsg == nil {
 			return ErrNoAssignment
 		}
@@ -345,7 +392,7 @@ func (n *Net) SendProbe(originSite int, raw []byte) error {
 		n.stats.BadPackets++
 		return ErrBadSource
 	}
-	target := probe.IP.Dst
+	target := dst
 	bi := n.cfg.Top.BlockIndex(target.Block())
 	if bi < 0 {
 		n.stats.UnknownBlocks++
@@ -362,7 +409,7 @@ func (n *Net) SendProbe(originSite int, raw []byte) error {
 			n.stats.FaultSilenced++
 			return nil
 		}
-		if n.cfg.Faults.DropProbe(binfo.Block, n.round, probe.Echo.Seq) {
+		if n.cfg.Faults.DropProbe(binfo.Block, n.round, seq) {
 			n.stats.FaultProbeLost++
 			return nil
 		}
@@ -415,13 +462,11 @@ func (n *Net) SendProbe(originSite int, raw []byte) error {
 			n.stats.FaultBlackouts++
 			return nil
 		}
-		if n.cfg.Faults.DropReply(binfo.Block, n.round, probe.Echo.Seq) {
+		if n.cfg.Faults.DropReply(binfo.Block, n.round, seq) {
 			n.stats.FaultReplyLost++
 			return nil
 		}
 	}
-
-	reply := packet.ReplyTo(probe, from)
 
 	// Latency: origin→target plus target→catchment-site legs.
 	delay := n.cfg.Impair.BaseRTT + n.replyDelay(asg, binfo, originSite, site)
@@ -444,12 +489,23 @@ func (n *Net) SendProbe(originSite int, raw []byte) error {
 		n.stats.Duplicates += uint64(extra)
 	}
 
+	if n.sink != nil {
+		// Fast path: hand the parsed reply to the sink stamped with its
+		// would-be arrival time. No frame, no closure, no clock event.
+		now := n.cfg.Clock.Now()
+		for c := 0; c < copies; c++ {
+			d := delay + time.Duration(c)*50*time.Microsecond
+			n.stats.Replies++
+			n.sink(site, from, ident, seq, now+d)
+		}
+		return nil
+	}
+	reply := packet.MarshalEcho(from, src, packet.ICMPEchoReply, ident, seq, payload)
 	tap := n.taps[site]
 	for c := 0; c < copies; c++ {
 		d := delay + time.Duration(c)*50*time.Microsecond
 		n.stats.Replies++
-		pkt := reply
-		n.cfg.Clock.After(d, func() { tap(pkt) })
+		n.cfg.Clock.After(d, func() { tap(reply) })
 	}
 	return nil
 }

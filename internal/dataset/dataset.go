@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"time"
 
@@ -28,12 +29,41 @@ import (
 var magic = [4]byte{'V', 'P', 'D', 'S'}
 
 // version 2 appended the sweep-health stats (Targets, Responded,
-// Retried) to the stats block; version-1 files still read, with those
-// fields zero.
-const version = 2
+// Retried) to the stats block; version 4 is the streaming format:
+// entries sorted strictly ascending by block with full-precision
+// nanosecond RTTs (0 = no RTT recorded), so a reader can fold or
+// forward a full-Internet map one entry at a time without ever holding
+// it resident. Version-1 and version-2 files still read (v1 with the
+// missing stats zero); version 3 is the monitoring-series container.
+const version = 4
+
+// Writers emit the current version; readers accept these legacy ones.
+const (
+	versionV1 = 1
+	versionV2 = 2
+)
+
+// Format capacity limits, enforced symmetrically: the readers have
+// always rejected files beyond them, and the writers refuse to produce
+// such files rather than emitting records no reader will load back.
+const (
+	// MaxEntries caps catchment entries per record (2^27 /24 blocks
+	// covers the full unicast IPv4 space with headroom).
+	MaxEntries = 1 << 27
+	// MaxSites caps the catchment's site-number space (entries store
+	// sites as u16).
+	MaxSites = 1 << 16
+	// MaxMetaSites caps the metadata site-code list; real deployments
+	// have tens of sites, so anything past this is a corrupt length.
+	MaxMetaSites = 4096
+)
 
 // ErrFormat is returned (wrapped) for malformed dataset files.
 var ErrFormat = errors.New("dataset: bad format")
+
+// ErrLimit is returned (wrapped) when a dataset being written exceeds a
+// format capacity limit — the same limits the readers enforce.
+var ErrLimit = errors.New("dataset: capacity limit exceeded")
 
 // Meta identifies one measurement run, mirroring the paper's Table 1.
 type Meta struct {
@@ -55,68 +85,33 @@ type Dataset struct {
 	Stats     verfploeter.Stats
 }
 
-// Write serializes the dataset.
+// Write serializes the dataset in the current (v4) format: entries
+// sorted ascending by block, RTTs at full nanosecond precision. The
+// historic v1/v2 microsecond encoding silently dropped RTTs under 1µs
+// (the truncated value 0 doubles as the no-RTT marker); v4's nanosecond
+// field keeps any recorded RTT, however small.
 func Write(w io.Writer, ds *Dataset) error {
 	if ds == nil || ds.Catchment == nil {
 		return fmt.Errorf("%w: nil dataset or catchment", ErrFormat)
 	}
-	zw := gzip.NewWriter(w)
-	bw := bufio.NewWriter(zw)
-
-	if _, err := bw.Write(magic[:]); err != nil {
+	blocks := ds.Catchment.Blocks()
+	sw, err := NewStreamWriter(w, ds.Meta, ds.Stats, ds.Catchment.NSite, len(blocks))
+	if err != nil {
 		return err
 	}
-	writeU16(bw, version)
-	writeString(bw, ds.Meta.ID)
-	writeString(bw, ds.Meta.Scenario)
-	writeU16(bw, uint16(len(ds.Meta.Sites)))
-	for _, s := range ds.Meta.Sites {
-		writeString(bw, s)
-	}
-	writeU16(bw, ds.Meta.RoundID)
-	writeU64(bw, ds.Meta.Seed)
-	writeU64(bw, uint64(ds.Meta.CreatedUnix))
-
-	// Stats block.
-	writeU64(bw, uint64(ds.Stats.Sent))
-	writeU64(bw, uint64(ds.Stats.SendErrs))
-	writeU64(bw, uint64(ds.Stats.Elapsed))
-	writeU64(bw, uint64(ds.Stats.MedianRTT))
-	writeU64(bw, uint64(ds.Stats.Clean.Total))
-	writeU64(bw, uint64(ds.Stats.Clean.WrongRound))
-	writeU64(bw, uint64(ds.Stats.Clean.Late))
-	writeU64(bw, uint64(ds.Stats.Clean.Unsolicited))
-	writeU64(bw, uint64(ds.Stats.Clean.Duplicates))
-	writeU64(bw, uint64(ds.Stats.Clean.Kept))
-	writeU64(bw, uint64(ds.Stats.Targets))
-	writeU64(bw, uint64(ds.Stats.Responded))
-	writeU64(bw, uint64(ds.Stats.Retried))
-
-	// Catchment entries, sorted for deterministic files.
-	writeU32(bw, uint32(ds.Catchment.NSite))
-	blocks := ds.Catchment.Blocks()
-	writeU32(bw, uint32(len(blocks)))
 	for _, b := range blocks {
 		site, _ := ds.Catchment.SiteOf(b)
-		writeU32(bw, uint32(b))
-		writeU16(bw, uint16(site))
-		rttMicros := uint32(0)
-		if rtt, ok := ds.Catchment.RTTOf(b); ok {
-			us := rtt.Microseconds()
-			if us > int64(^uint32(0)) {
-				us = int64(^uint32(0))
-			}
-			rttMicros = uint32(us)
+		rtt, _ := ds.Catchment.RTTOf(b)
+		if err := sw.Append(b, site, rtt); err != nil {
+			return err
 		}
-		writeU32(bw, rttMicros)
 	}
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	return zw.Close()
+	return sw.Close()
 }
 
-// Read deserializes a dataset.
+// Read deserializes a dataset (any supported version) into a resident
+// Catchment. For constant-memory access to large v4 files, use
+// NewStreamReader instead.
 func Read(r io.Reader) (*Dataset, error) {
 	zr, err := gzip.NewReader(r)
 	if err != nil {
@@ -125,65 +120,112 @@ func Read(r io.Reader) (*Dataset, error) {
 	defer zr.Close()
 	br := bufio.NewReader(zr)
 
+	v, err := readVersion(br)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{}
+	if ds.Meta, ds.Stats, err = readHeader(br, v); err != nil {
+		return nil, err
+	}
+	catchSites, n, err := readEntryCounts(br)
+	if err != nil {
+		return nil, err
+	}
+	c := verfploeter.NewCatchment(int(catchSites))
+	var last ipv4.Block
+	for i := uint32(0); i < n; i++ {
+		e, err := readEntry(br, v, int(catchSites))
+		if err != nil {
+			return nil, err
+		}
+		if v >= version {
+			if i > 0 && e.Block <= last {
+				return nil, fmt.Errorf("%w: entries not ascending at %v", ErrFormat, e.Block)
+			}
+			last = e.Block
+		}
+		if e.RTT > 0 {
+			c.SetRTT(e.Block, e.Site, e.RTT)
+		} else {
+			c.Set(e.Block, e.Site)
+		}
+	}
+	ds.Catchment = c
+	if err := expectEOF(br); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// readVersion consumes the magic and version, rejecting the series
+// container and unknown versions.
+func readVersion(br *bufio.Reader) (uint16, error) {
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil || m != magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+		return 0, fmt.Errorf("%w: bad magic", ErrFormat)
 	}
 	v, err := readU16(br)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 	if v == seriesVersion {
-		return nil, fmt.Errorf("%w: file is a monitoring series (v%d) — use ReadSeries", ErrFormat, v)
+		return 0, fmt.Errorf("%w: file is a monitoring series (v%d) — use ReadSeries", ErrFormat, v)
 	}
-	if v < 1 || v > version {
-		return nil, fmt.Errorf("%w: version %d", ErrFormat, v)
+	if v < versionV1 || v > version {
+		return 0, fmt.Errorf("%w: version %d", ErrFormat, v)
 	}
+	return v, nil
+}
 
-	ds := &Dataset{}
-	if ds.Meta.ID, err = readString(br); err != nil {
-		return nil, err
+// readHeader parses the meta and stats blocks, identical across all
+// dataset versions except that v1 lacks the sweep-health stats tail.
+func readHeader(br *bufio.Reader, v uint16) (Meta, verfploeter.Stats, error) {
+	var meta Meta
+	var err error
+	if meta.ID, err = readString(br); err != nil {
+		return meta, verfploeter.Stats{}, err
 	}
-	if ds.Meta.Scenario, err = readString(br); err != nil {
-		return nil, err
+	if meta.Scenario, err = readString(br); err != nil {
+		return meta, verfploeter.Stats{}, err
 	}
 	nSites, err := readU16(br)
 	if err != nil {
-		return nil, err
+		return meta, verfploeter.Stats{}, err
 	}
-	if nSites > 4096 {
-		return nil, fmt.Errorf("%w: %d sites", ErrFormat, nSites)
+	if nSites > MaxMetaSites {
+		return meta, verfploeter.Stats{}, fmt.Errorf("%w: %d sites", ErrFormat, nSites)
 	}
 	for i := 0; i < int(nSites); i++ {
 		s, err := readString(br)
 		if err != nil {
-			return nil, err
+			return meta, verfploeter.Stats{}, err
 		}
-		ds.Meta.Sites = append(ds.Meta.Sites, s)
+		meta.Sites = append(meta.Sites, s)
 	}
-	if ds.Meta.RoundID, err = readU16(br); err != nil {
-		return nil, err
+	if meta.RoundID, err = readU16(br); err != nil {
+		return meta, verfploeter.Stats{}, err
 	}
-	if ds.Meta.Seed, err = readU64(br); err != nil {
-		return nil, err
+	if meta.Seed, err = readU64(br); err != nil {
+		return meta, verfploeter.Stats{}, err
 	}
 	created, err := readU64(br)
 	if err != nil {
-		return nil, err
+		return meta, verfploeter.Stats{}, err
 	}
-	ds.Meta.CreatedUnix = int64(created)
+	meta.CreatedUnix = int64(created)
 
 	nStats := 10
-	if v >= 2 {
+	if v >= versionV2 {
 		nStats = 13
 	}
 	stats := make([]uint64, 13) // v1 files leave the tail zero
 	for i := 0; i < nStats; i++ {
 		if stats[i], err = readU64(br); err != nil {
-			return nil, err
+			return meta, verfploeter.Stats{}, err
 		}
 	}
-	ds.Stats = verfploeter.Stats{
+	return meta, verfploeter.Stats{
 		Sent:      int(stats[0]),
 		SendErrs:  int(stats[1]),
 		Elapsed:   time.Duration(stats[2]),
@@ -193,50 +235,58 @@ func Read(r io.Reader) (*Dataset, error) {
 			Unsolicited: int(stats[7]), Duplicates: int(stats[8]), Kept: int(stats[9]),
 		},
 		Targets: int(stats[10]), Responded: int(stats[11]), Retried: int(stats[12]),
-	}
+	}, nil
+}
 
-	catchSites, err := readU32(br)
+// readEntryCounts parses and bounds-checks the catchment preamble.
+func readEntryCounts(br *bufio.Reader) (catchSites, n uint32, err error) {
+	if catchSites, err = readU32(br); err != nil {
+		return 0, 0, err
+	}
+	if catchSites == 0 || catchSites > MaxSites {
+		return 0, 0, fmt.Errorf("%w: catchment with %d sites", ErrFormat, catchSites)
+	}
+	if n, err = readU32(br); err != nil {
+		return 0, 0, err
+	}
+	if n > MaxEntries {
+		return 0, 0, fmt.Errorf("%w: %d entries", ErrFormat, n)
+	}
+	return catchSites, n, nil
+}
+
+// readEntry parses one catchment entry in the given version's encoding:
+// u32 µs RTT for v1/v2, u64 ns for v4. Zero means no RTT either way.
+func readEntry(br *bufio.Reader, v uint16, catchSites int) (Entry, error) {
+	blk, err := readU32(br)
 	if err != nil {
-		return nil, err
+		return Entry{}, err
 	}
-	if catchSites == 0 || catchSites > 1<<16 {
-		return nil, fmt.Errorf("%w: catchment with %d sites", ErrFormat, catchSites)
-	}
-	n, err := readU32(br)
+	site, err := readU16(br)
 	if err != nil {
-		return nil, err
+		return Entry{}, err
 	}
-	if n > 1<<27 {
-		return nil, fmt.Errorf("%w: %d entries", ErrFormat, n)
-	}
-	c := verfploeter.NewCatchment(int(catchSites))
-	for i := uint32(0); i < n; i++ {
-		blk, err := readU32(br)
+	var rtt time.Duration
+	if v >= version {
+		rttNanos, err := readU64(br)
 		if err != nil {
-			return nil, err
+			return Entry{}, err
 		}
-		site, err := readU16(br)
-		if err != nil {
-			return nil, err
+		if rttNanos > math.MaxInt64 {
+			return Entry{}, fmt.Errorf("%w: rtt overflow", ErrFormat)
 		}
+		rtt = time.Duration(rttNanos)
+	} else {
 		rttMicros, err := readU32(br)
 		if err != nil {
-			return nil, err
+			return Entry{}, err
 		}
-		if int(site) >= int(catchSites) {
-			return nil, fmt.Errorf("%w: entry site %d of %d", ErrFormat, site, catchSites)
-		}
-		if rttMicros > 0 {
-			c.SetRTT(ipv4.Block(blk), int(site), time.Duration(rttMicros)*time.Microsecond)
-		} else {
-			c.Set(ipv4.Block(blk), int(site))
-		}
+		rtt = time.Duration(rttMicros) * time.Microsecond
 	}
-	ds.Catchment = c
-	if err := expectEOF(br); err != nil {
-		return nil, err
+	if int(site) >= catchSites {
+		return Entry{}, fmt.Errorf("%w: entry site %d of %d", ErrFormat, site, catchSites)
 	}
-	return ds, nil
+	return Entry{Block: ipv4.Block(blk), Site: int(site), RTT: rtt}, nil
 }
 
 // expectEOF demands the record end exactly where parsing stopped. The

@@ -203,6 +203,9 @@ func WriteSeries(w io.Writer, s *Series) error {
 	if s == nil || s.Baseline == nil {
 		return fmt.Errorf("%w: nil series or baseline", ErrFormat)
 	}
+	if len(s.Meta.Sites) > MaxMetaSites {
+		return fmt.Errorf("%w: %d metadata sites (max %d)", ErrLimit, len(s.Meta.Sites), MaxMetaSites)
+	}
 	zw := gzip.NewWriter(w)
 	bw := bufio.NewWriter(zw)
 
@@ -223,7 +226,9 @@ func WriteSeries(w io.Writer, s *Series) error {
 	writeU64(bw, math.Float64bits(s.SampleRate))
 	writeU64(bw, uint64(s.BaselineProbes))
 
-	writeCatchment(bw, s.Baseline)
+	if err := writeCatchment(bw, s.Baseline); err != nil {
+		return err
+	}
 
 	writeU32(bw, uint32(len(s.Epochs)))
 	for i := range s.Epochs {
@@ -232,8 +237,12 @@ func WriteSeries(w io.Writer, s *Series) error {
 		writeU64(bw, uint64(ep.Probes))
 		writeU64(bw, uint64(ep.SampledTargets))
 		writeU32(bw, uint32(ep.EscalatedStrata))
-		writeDeltas(bw, ep.Changed)
-		writeDeltas(bw, ep.Added)
+		if err := writeDeltas(bw, ep.Changed); err != nil {
+			return err
+		}
+		if err := writeDeltas(bw, ep.Added); err != nil {
+			return err
+		}
 		writeU32(bw, uint32(len(ep.Removed)))
 		for _, b := range ep.Removed {
 			writeU32(bw, uint32(b))
@@ -254,9 +263,15 @@ func WriteSeries(w io.Writer, s *Series) error {
 	return zw.Close()
 }
 
-func writeCatchment(bw *bufio.Writer, c *verfploeter.Catchment) {
+func writeCatchment(bw *bufio.Writer, c *verfploeter.Catchment) error {
+	if c.NSite <= 0 || c.NSite > MaxSites {
+		return fmt.Errorf("%w: catchment with %d sites (max %d)", ErrLimit, c.NSite, MaxSites)
+	}
 	writeU32(bw, uint32(c.NSite))
 	blocks := c.Blocks()
+	if len(blocks) > MaxEntries {
+		return fmt.Errorf("%w: %d entries (max %d)", ErrLimit, len(blocks), MaxEntries)
+	}
 	writeU32(bw, uint32(len(blocks)))
 	for _, b := range blocks {
 		site, _ := c.SiteOf(b)
@@ -264,6 +279,7 @@ func writeCatchment(bw *bufio.Writer, c *verfploeter.Catchment) {
 		writeU16(bw, uint16(site))
 		writeU64(bw, rttNanosOf(c, b))
 	}
+	return nil
 }
 
 // rttNanosOf encodes a block's RTT at full precision; 0 means no RTT
@@ -276,7 +292,10 @@ func rttNanosOf(c *verfploeter.Catchment, b ipv4.Block) uint64 {
 	return uint64(rtt)
 }
 
-func writeDeltas(bw *bufio.Writer, ds []Delta) {
+func writeDeltas(bw *bufio.Writer, ds []Delta) error {
+	if len(ds) > MaxEntries {
+		return fmt.Errorf("%w: %d deltas (max %d)", ErrLimit, len(ds), MaxEntries)
+	}
 	writeU32(bw, uint32(len(ds)))
 	for _, d := range ds {
 		writeU32(bw, uint32(d.Block))
@@ -287,6 +306,7 @@ func writeDeltas(bw *bufio.Writer, ds []Delta) {
 			writeU64(bw, 0)
 		}
 	}
+	return nil
 }
 
 // ReadSeries deserializes a monitoring series.
@@ -328,7 +348,7 @@ func ReadSeries(r io.Reader) (*Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nSites > 4096 {
+	if nSites > MaxMetaSites {
 		return nil, fmt.Errorf("%w: %d sites", ErrFormat, nSites)
 	}
 	for i := 0; i < int(nSites); i++ {
@@ -409,7 +429,7 @@ func ReadSeries(r io.Reader) (*Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		if nRem > 1<<27 {
+		if nRem > MaxEntries {
 			return nil, fmt.Errorf("%w: %d removals", ErrFormat, nRem)
 		}
 		for j := uint32(0); j < nRem; j++ {
@@ -473,14 +493,14 @@ func readCatchment(br *bufio.Reader) (*verfploeter.Catchment, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nSite == 0 || nSite > 1<<16 {
+	if nSite == 0 || nSite > MaxSites {
 		return nil, fmt.Errorf("%w: catchment with %d sites", ErrFormat, nSite)
 	}
 	n, err := readU32(br)
 	if err != nil {
 		return nil, err
 	}
-	if n > 1<<27 {
+	if n > MaxEntries {
 		return nil, fmt.Errorf("%w: %d entries", ErrFormat, n)
 	}
 	c := verfploeter.NewCatchment(int(nSite))
@@ -514,7 +534,7 @@ func readDeltas(br *bufio.Reader, nSite int) ([]Delta, error) {
 	if err != nil {
 		return nil, err
 	}
-	if n > 1<<27 {
+	if n > MaxEntries {
 		return nil, fmt.Errorf("%w: %d deltas", ErrFormat, n)
 	}
 	out := make([]Delta, 0, n)

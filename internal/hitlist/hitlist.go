@@ -16,7 +16,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
+	"verfploeter/internal/colstore"
 	"verfploeter/internal/ipv4"
 	"verfploeter/internal/rng"
 	"verfploeter/internal/topology"
@@ -31,9 +33,14 @@ type Entry struct {
 	Score uint8
 }
 
-// Hitlist is an ordered set of probe targets, one per /24.
+// Hitlist is an ordered set of probe targets, one per /24. Treat it as
+// immutable once built: the measurement pipeline shares one hitlist
+// across rounds and caches a dense block index on it.
 type Hitlist struct {
 	Entries []Entry
+
+	idxOnce sync.Once
+	idx     *colstore.Index
 }
 
 // Build selects one representative per topology block. The last-octet
@@ -63,6 +70,23 @@ func Build(top *topology.Topology, seed uint64) *Hitlist {
 
 // Len returns the number of targets.
 func (h *Hitlist) Len() int { return len(h.Entries) }
+
+// Index returns the dense block index over the hitlist's /24 blocks:
+// entry i covers block Index().At(i), so hitlist entry order, sorted
+// block order, and columnar id coincide. Built lazily once and cached —
+// safe for concurrent callers. Entries hold exactly one representative
+// per block sorted by address, which makes the block sequence strictly
+// ascending by construction.
+func (h *Hitlist) Index() *colstore.Index {
+	h.idxOnce.Do(func() {
+		blocks := make([]ipv4.Block, len(h.Entries))
+		for i, e := range h.Entries {
+			blocks[i] = e.Addr.Block()
+		}
+		h.idx = colstore.NewIndex(blocks)
+	})
+	return h.idx
+}
 
 // Blocks returns the set of covered /24 blocks.
 func (h *Hitlist) Blocks() *ipv4.BlockSet {

@@ -257,6 +257,9 @@ func SortByImprovement(recs []Recommendation) {
 	sort.Slice(recs, func(i, j int) bool {
 		gi := recs[i].MeanRTTBefore - recs[i].MeanRTTAfter
 		gj := recs[j].MeanRTTBefore - recs[j].MeanRTTAfter
-		return gi > gj
+		if gi != gj {
+			return gi > gj
+		}
+		return recs[i].Name < recs[j].Name
 	})
 }

@@ -1,6 +1,8 @@
 package placement
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -167,4 +169,30 @@ func TestSortByImprovement(t *testing.T) {
 
 func scenarioEmptyCatchment() *verfploeter.Catchment {
 	return verfploeter.NewCatchment(2)
+}
+
+// Equal RTT gains must not leave the merged order unspecified: the sort
+// falls back to the site name.
+func TestSortByImprovementTieBreak(t *testing.T) {
+	mk := func(name string, before, after time.Duration) Recommendation {
+		return Recommendation{Site: Site{Name: name}, MeanRTTBefore: before, MeanRTTAfter: after}
+	}
+	recs := []Recommendation{
+		mk("tokyo", 100*time.Millisecond, 90*time.Millisecond),
+		mk("frankfurt", 80*time.Millisecond, 70*time.Millisecond),
+		mk("sydney", 200*time.Millisecond, 150*time.Millisecond),
+		mk("amsterdam", 90*time.Millisecond, 80*time.Millisecond),
+	}
+	for trial := 0; trial < 10; trial++ {
+		rand.Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+		SortByImprovement(recs)
+		var names []string
+		for _, r := range recs {
+			names = append(names, r.Name)
+		}
+		want := []string{"sydney", "amsterdam", "frankfurt", "tokyo"}
+		if !reflect.DeepEqual(names, want) {
+			t.Fatalf("trial %d: order %v, want %v", trial, names, want)
+		}
+	}
 }

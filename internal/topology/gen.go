@@ -23,6 +23,12 @@ const (
 	SizeMedium
 	// SizeLarge is for the headline coverage benchmarks: ~100k blocks.
 	SizeLarge
+	// SizeInternet is the internet-scale tier: millions of /24 blocks
+	// across tens of thousands of ASes, the same order as the paper's
+	// 6.9M probed /24s (Table 4). It exists for the columnar sweep core
+	// and streaming dataset I/O; loading it into the map-based paths
+	// would be slow, so only the columnar pipeline targets it.
+	SizeInternet
 )
 
 func (s Size) String() string {
@@ -35,6 +41,8 @@ func (s Size) String() string {
 		return "medium"
 	case SizeLarge:
 		return "large"
+	case SizeInternet:
+		return "internet"
 	}
 	return fmt.Sprintf("size(%d)", int(s))
 }
@@ -125,6 +133,10 @@ func DefaultParams(size Size, seed uint64) Params {
 	case SizeLarge:
 		p.Tier1, p.Transit, p.Stubs = 10, 220, 9000
 		p.GiantScale = 2.0
+	case SizeInternet:
+		p.Tier1, p.Transit, p.Stubs = 12, 800, 34000
+		p.GiantScale = 6.0
+		p.MaxBlocksPerPrefix = 4096
 	default:
 		panic(fmt.Sprintf("topology: unknown size %d", size))
 	}
@@ -215,6 +227,17 @@ var coreTransitCountries = []string{
 }
 
 func (g *generator) makeTransits() {
+	// Transit ASNs step 2000+3i; at internet scale that ladder walks
+	// into the tier-1 and giant ASN ranges (first hit: 3257 at i=419),
+	// so reserved ASNs are skipped past. No preset below that transit
+	// count collides, which keeps the smaller tiers byte-identical.
+	reserved := map[uint32]bool{}
+	for _, asn := range tier1ASNs {
+		reserved[asn] = true
+	}
+	for _, spec := range g.p.Giants {
+		reserved[spec.ASN] = true
+	}
 	for i := 0; i < g.p.Transit; i++ {
 		var ci int
 		if i < len(coreTransitCountries) {
@@ -222,9 +245,13 @@ func (g *generator) makeTransits() {
 		} else {
 			ci = sampleCountry(g.graph, func(c Country) float64 { return c.IPWeight })
 		}
+		asn := uint32(2000 + i*3)
+		for reserved[asn] {
+			asn++
+		}
 		a := AS{
-			ASN:        uint32(2000 + i*3),
-			Name:       fmt.Sprintf("TRANSIT-%s-%d", Countries[ci].Code, 2000+i*3),
+			ASN:        asn,
+			Name:       fmt.Sprintf("TRANSIT-%s-%d", Countries[ci].Code, asn),
 			Class:      Transit,
 			CountryIdx: ci,
 		}

@@ -3,6 +3,7 @@ package verfploeter
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"verfploeter/internal/dataplane"
@@ -230,10 +231,29 @@ func Run(cfg Config) (*Catchment, Stats, error) {
 		return nil, stats, err
 	}
 
+	// Columnar sweep state, indexed by the hitlist's dense block id
+	// (entry order == ascending block order == columnar id). pos32 maps
+	// id → full-permutation position (the base of sequence-number
+	// arithmetic); sendNS maps id → last probe send time in ns (-1 =
+	// never probed). Chunks probe disjoint permutation positions, hence
+	// disjoint ids, so they write sendNS without locks or merges.
+	pos32 := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		pos32[perm.Index(i)] = uint32(i)
+	}
+	sendNS := make([]int64, n)
+	for i := range sendNS {
+		sendNS[i] = -1
+	}
+
 	// Chunked sweep: chunk c probes permutation positions [lo, hi) on a
 	// fork of the data plane whose clock starts at the virtual time the
 	// round's rate limiter would reach position lo, so capture
-	// timestamps line up with one continuous paced sweep.
+	// timestamps line up with one continuous paced sweep. Replies land
+	// in the fork's reply sink in send order and are stable-sorted by
+	// arrival time afterwards — byte-identical to the order the site
+	// taps would have delivered them, because the virtual clock breaks
+	// arrival-time ties by event creation order, which is send order.
 	nChunks := (n + probeChunkTargets - 1) / probeChunkTargets
 	chunks := make([]probeChunk, nChunks)
 	parallel.ForEach(cfg.Workers, nChunks, func(c int) {
@@ -248,20 +268,36 @@ func Run(cfg Config) (*Catchment, Stats, error) {
 		clock.Advance(chunkOffset(lo, cfg.Rate))
 		vStart := clock.Now()
 		net := cfg.Net.Fork(clock)
+		// Taps gate delivery (a site without one captures nothing) but
+		// the sink receives every reply parsed, so one no-op serves all.
+		noTap := func([]byte) {}
 		for s := 0; s < cfg.NSite; s++ {
-			net.SetTap(s, Tap(&ch.central, s, clock.Now))
+			net.SetTap(s, noTap)
 		}
+		net.SetReplySink(func(site int, from ipv4.Addr, ident, seq uint16, at time.Duration) {
+			if at > ch.maxAt {
+				ch.maxAt = at
+			}
+			ch.replies = append(ch.replies, Reply{Site: site, At: at, Src: from, Ident: ident, Seq: seq})
+		})
 		sp := cfg.span(perm, lo, hi)
 		ch.stats.Targets = sp.count()
-		ch.sendAt = make(map[ipv4.Addr]time.Duration, sp.count())
-		ch.err = sweep(net, clock, &cfg, perm, sp, ch.sendAt, &ch.stats)
-		if ch.err == nil && cfg.Retries > 0 {
-			ch.err = retryMissing(net, clock, &cfg, perm, sp, ch)
+		if cap(ch.replies) == 0 {
+			ch.replies = make([]Reply, 0, sp.count())
 		}
-		// Let every reply (including deliberately late ones) land; the
-		// cleaner applies the cutoff on capture timestamps.
+		ch.err = sweep(net, clock, &cfg, perm, sp, sendNS, &ch.stats)
+		if ch.err == nil && cfg.Retries > 0 {
+			ch.err = retryMissing(net, clock, &cfg, perm, sp, ch, pos32, sendNS)
+		}
+		// Drain the schedule; the sink already holds every reply
+		// (including deliberately late ones — the cleaner applies the
+		// cutoff on capture timestamps), so only pacing events remain.
 		clock.RunUntilIdle()
+		sort.SliceStable(ch.replies, func(i, j int) bool { return ch.replies[i].At < ch.replies[j].At })
 		ch.end = clock.Now()
+		if ch.maxAt > ch.end {
+			ch.end = ch.maxAt
+		}
 		ch.netStats = net.Stats()
 		span.Virtual(vStart, ch.end).End()
 	})
@@ -284,15 +320,8 @@ func Run(cfg Config) (*Catchment, Stats, error) {
 		return nil, stats, firstErr
 	}
 
-	// The fold prefers each address's own echo (sequence-matched) over
-	// aliased replies, so it needs the full-permutation position of every
-	// hitlist address — the base of its sequence-number arithmetic.
-	base := make(map[ipv4.Addr]uint16, n)
-	for i := 0; i < n; i++ {
-		base[cfg.Hitlist.Entries[perm.Index(i)].Addr] = uint16(i)
-	}
 	foldSpan := cfg.Obs.StartSpan("fold", 0)
-	catch, cstats := foldChunksSubset(chunks, cfg.Hitlist, cfg.Subset, base, cfg.Retries, cfg.NSite, cfg.RoundID, cfg.Cutoff, cfg.Workers)
+	catch, cstats := foldChunksSubset(chunks, cfg.Hitlist, cfg.Subset, pos32, sendNS, cfg.Retries, cfg.NSite, cfg.RoundID, cfg.Cutoff, cfg.Workers)
 	foldSpan.End()
 	stats.Clean = cstats
 	stats.MedianRTT = catch.MedianRTT()
@@ -328,19 +357,39 @@ func chunkOffset(lo int, rate float64) time.Duration {
 // do. The retry pass runs entirely inside the chunk's fork, so output
 // stays byte-identical at any worker count.
 func retryMissing(net *dataplane.Net, clock *vclock.Clock, cfg *Config,
-	perm *rng.Permutation, sp chunkSpan, ch *probeChunk) error {
+	perm *rng.Permutation, sp chunkSpan, ch *probeChunk, pos32 []uint32, sendNS []int64) error {
 
+	ix := cfg.Hitlist.Index()
 	backoff := cfg.RetryBackoff
+	answered := make([]bool, sp.hi-sp.lo)
 	for attempt := 1; attempt <= cfg.Retries; attempt++ {
 		clock.Advance(backoff)
-		answered := make(map[ipv4.Addr]bool, len(ch.central.Replies))
-		for _, r := range ch.central.Replies {
-			answered[r.Src] = true
+		// The sink records replies at send time, stamped with their
+		// arrival time; "answered so far" means arrived by now. A reply
+		// whose source is a hitlist address marks that address's own
+		// permutation position — which lives in this chunk unless the
+		// reply was cross-block aliased, in which case it cannot match
+		// any of this chunk's targets anyway.
+		now := clock.Now()
+		for i := range answered {
+			answered[i] = false
+		}
+		for _, r := range ch.replies {
+			if r.At > now {
+				continue
+			}
+			id := ix.Of(r.Src.Block())
+			if id < 0 || cfg.Hitlist.Entries[id].Addr != r.Src {
+				continue
+			}
+			if p := int(pos32[id]); p >= sp.lo && p < sp.hi {
+				answered[p-sp.lo] = true
+			}
 		}
 		missing := make([]int, 0, 64)
 		for k := 0; k < sp.count(); k++ {
 			i := sp.pos(k)
-			if !answered[cfg.Hitlist.Entries[perm.Index(i)].Addr] {
+			if !answered[i-sp.lo] {
 				missing = append(missing, i)
 			}
 		}
@@ -348,10 +397,11 @@ func retryMissing(net *dataplane.Net, clock *vclock.Clock, cfg *Config,
 			return nil
 		}
 		seqOff := uint16(attempt) * retrySeqStride
-		err := pacedSend(net, clock, cfg, len(missing), func(k int) (ipv4.Addr, uint16) {
+		err := pacedSend(net, clock, cfg, len(missing), func(k int) (int, ipv4.Addr, uint16) {
 			i := missing[k]
-			return cfg.Hitlist.Entries[perm.Index(i)].Addr, uint16(i) + seqOff
-		}, ch.sendAt, &ch.stats)
+			id := perm.Index(i)
+			return id, cfg.Hitlist.Entries[id].Addr, uint16(i) + seqOff
+		}, sendNS, false, &ch.stats)
 		ch.stats.Retried += len(missing)
 		if err != nil {
 			return err
@@ -364,11 +414,12 @@ func retryMissing(net *dataplane.Net, clock *vclock.Clock, cfg *Config,
 	return nil
 }
 
-// probeChunk is one chunk's slice of the round: its captured replies,
-// per-target send times, sweep stats, and final (absolute) clock value.
+// probeChunk is one chunk's slice of the round: its captured replies
+// (sink-collected, stable-sorted by arrival time once the chunk
+// drains), sweep stats, and final (absolute) clock value.
 type probeChunk struct {
-	central Central
-	sendAt  map[ipv4.Addr]time.Duration
+	replies []Reply
+	maxAt   time.Duration
 	stats   Stats
 	// netStats snapshots the chunk fork's dataplane counters after the
 	// sweep drains, so Run can publish fault totals without touching the
@@ -430,49 +481,62 @@ func probeExternal(cfg *Config, perm *rng.Permutation) (Stats, error) {
 	// Targets is known here; Responded stays 0 — the external sink owns
 	// the replies, so response accounting happens wherever frames land.
 	stats := Stats{Targets: sp.count()}
-	err := sweep(cfg.Net, cfg.Clock, cfg, perm, sp, nil, &stats)
+	err := pacedSend(cfg.Net, cfg.Clock, cfg, sp.count(), func(k int) (int, ipv4.Addr, uint16) {
+		i := sp.pos(k)
+		id := perm.Index(i)
+		return id, cfg.Hitlist.Entries[id].Addr, uint16(i)
+	}, nil, true, &stats)
 	cfg.Clock.RunUntilIdle()
 	stats.Elapsed = cfg.Clock.Now() - start
 	return stats, err
 }
 
-// sweep marshals and sends probes for permutation positions [lo, hi)
-// onto the virtual clock, paced by a token bucket, interleaving sends
-// with reply delivery as on a real network. Marshaling stays inside the
-// per-chunk sweep (rather than a separate pre-pass) so buffers die young
-// and chunks parallelize it for free.
+// sweep sends probes for the chunk's permutation span onto the virtual
+// clock, paced by a token bucket, interleaving sends with reply
+// delivery as on a real network. Probes travel as parsed fields
+// (SendEcho) — nothing downstream reads wire bytes, so the per-probe
+// marshal/parse pair would be pure allocation.
 func sweep(net *dataplane.Net, clock *vclock.Clock, cfg *Config,
 	perm *rng.Permutation, sp chunkSpan,
-	sendAt map[ipv4.Addr]time.Duration, stats *Stats) error {
+	sendNS []int64, stats *Stats) error {
 
-	return pacedSend(net, clock, cfg, sp.count(), func(k int) (ipv4.Addr, uint16) {
+	return pacedSend(net, clock, cfg, sp.count(), func(k int) (int, ipv4.Addr, uint16) {
 		i := sp.pos(k)
-		return cfg.Hitlist.Entries[perm.Index(i)].Addr, uint16(i)
-	}, sendAt, stats)
+		id := perm.Index(i)
+		return id, cfg.Hitlist.Entries[id].Addr, uint16(i)
+	}, sendNS, false, stats)
 }
 
-// pacedSend is the shared send loop under the initial sweep and the
-// retry passes: it emits count probes — target address and ICMP
-// sequence supplied by tgt — paced by a token bucket on the virtual
-// clock, records each send time, and drains the schedule before
-// returning the first scheduling error.
+// pacedSend is the shared send loop under the initial sweep, the retry
+// passes, and the external-collector sweep: it emits count probes —
+// dense hitlist id, target address, and ICMP sequence supplied by tgt —
+// paced by a token bucket on the virtual clock, records each send time
+// in the sendNS column (when given), and drains the schedule before
+// returning the first scheduling error. With marshal set, probes go out
+// as real frames via SendProbe — the external-collector path, whose
+// sink consumes wire bytes.
 func pacedSend(net *dataplane.Net, clock *vclock.Clock, cfg *Config,
-	count int, tgt func(k int) (ipv4.Addr, uint16),
-	sendAt map[ipv4.Addr]time.Duration, stats *Stats) error {
+	count int, tgt func(k int) (int, ipv4.Addr, uint16),
+	sendNS []int64, marshal bool, stats *Stats) error {
 
 	rl := vclock.NewRateLimiter(clock, cfg.Rate, cfg.Burst)
 	var firstErr error
 	k := 0
-	var step func()
-	step = func() {
+	send := func() {
 		for k < count && rl.Allow() {
-			addr, seq := tgt(k)
-			raw := packet.MarshalEcho(cfg.SourceAddr, addr,
-				packet.ICMPEchoRequest, cfg.RoundID, seq, nil)
-			if sendAt != nil {
-				sendAt[addr] = clock.Now()
+			id, addr, seq := tgt(k)
+			if sendNS != nil {
+				sendNS[id] = int64(clock.Now())
 			}
-			if err := net.SendProbe(cfg.OriginSite, raw); err != nil {
+			var err error
+			if marshal {
+				raw := packet.MarshalEcho(cfg.SourceAddr, addr,
+					packet.ICMPEchoRequest, cfg.RoundID, seq, nil)
+				err = net.SendProbe(cfg.OriginSite, raw)
+			} else {
+				err = net.SendEcho(cfg.OriginSite, cfg.SourceAddr, addr, cfg.RoundID, seq)
+			}
+			if err != nil {
 				stats.SendErrs++
 				if firstErr == nil {
 					firstErr = err
@@ -481,13 +545,43 @@ func pacedSend(net *dataplane.Net, clock *vclock.Clock, cfg *Config,
 			stats.Sent++
 			k++
 		}
-		if k < count {
-			clock.After(rl.Delay(), step)
-		}
 	}
-	step()
-	for k < count {
-		clock.Advance(rl.Delay() + time.Millisecond)
+	if marshal {
+		// The external-collector path delivers replies as clock events on
+		// this same schedule, so pacing must go through the event queue:
+		// replies fire in timestamp order between send steps.
+		var step func()
+		step = func() {
+			send()
+			if k < count {
+				clock.After(rl.Delay(), step)
+			}
+		}
+		step()
+		for k < count {
+			clock.Advance(rl.Delay() + time.Millisecond)
+		}
+		return firstErr
+	}
+	// Sink path: replies are handed to the sink at send time, so the
+	// chunk's forked clock carries no events at all. The event-queue
+	// schedule above — a pending step event drained by coarse Advances —
+	// collapses to plain arithmetic over the same instants: same send
+	// times, same final clock time, zero per-probe event allocations.
+	send()
+	if k < count {
+		stepAt := clock.Now() + rl.Delay()
+		for k < count {
+			target := clock.Now() + rl.Delay() + time.Millisecond
+			for k < count && stepAt <= target {
+				clock.Advance(stepAt - clock.Now())
+				send()
+				if k < count {
+					stepAt = clock.Now() + rl.Delay()
+				}
+			}
+			clock.Advance(target - clock.Now())
+		}
 	}
 	return firstErr
 }
@@ -541,7 +635,7 @@ func Clean(replies []Reply, probed map[ipv4.Addr]bool, roundID uint16, cutoff ti
 // BuildCatchment cleans raw replies against the hitlist and folds the
 // survivors into a catchment table.
 func BuildCatchment(replies []Reply, hl *hitlist.Hitlist, nSite int, roundID uint16, cutoff time.Duration) (*Catchment, CleanStats) {
-	one := []probeChunk{{central: Central{Replies: replies}}}
+	one := []probeChunk{{replies: replies}}
 	return foldChunks(one, hl, nSite, roundID, cutoff, 0)
 }
 
@@ -552,23 +646,19 @@ func BuildCatchment(replies []Reply, hl *hitlist.Hitlist, nSite int, roundID uin
 // inside one shard, which walks the chunks in chunk order. The shard
 // count therefore cannot change the result; it only sets parallel width.
 func foldChunks(chunks []probeChunk, hl *hitlist.Hitlist, nSite int, roundID uint16, cutoff time.Duration, workers int) (*Catchment, CleanStats) {
-	return foldChunksSubset(chunks, hl, nil, nil, 0, nSite, roundID, cutoff, workers)
+	return foldChunksSubset(chunks, hl, nil, nil, nil, 0, nSite, roundID, cutoff, workers)
 }
 
-// isEcho reports whether a reply is the address's own echo: its sequence
-// number matches the address's full-permutation position on some retry
-// attempt. A nil base (the external-collector path, which has no
-// permutation) treats every reply as an echo, reproducing the historic
-// first-reply-wins fold.
-func isEcho(base map[ipv4.Addr]uint16, retries int, r Reply) bool {
-	if base == nil {
+// isEchoID reports whether a reply from the hitlist address with dense
+// id is that address's own echo: its sequence number matches the
+// address's full-permutation position on some retry attempt. A nil
+// pos32 (the raw-replies path, which has no permutation) treats every
+// reply as an echo, reproducing the historic first-reply-wins fold.
+func isEchoID(pos32 []uint32, id int, retries int, seq uint16) bool {
+	if pos32 == nil {
 		return true
 	}
-	b, ok := base[r.Src]
-	if !ok {
-		return false
-	}
-	d := r.Seq - b
+	d := seq - uint16(pos32[id])
 	for a := 0; a <= retries; a++ {
 		if d == uint16(a)*retrySeqStride {
 			return true
@@ -577,12 +667,30 @@ func isEcho(base map[ipv4.Addr]uint16, retries int, r Reply) bool {
 	return false
 }
 
+// sentAtNS returns the send time (ns) of the probe whose reply landed in
+// chunk ci for hitlist id, or -1 when no such send is visible from that
+// chunk. Visibility is chunk-scoped on purpose: a chunk's capture box
+// only knows its own sends, so a reply whose sequence coincidentally
+// matches a target probed by a different chunk must not pick up that
+// chunk's send time. (id's probes all happen in the chunk that owns its
+// permutation position; subset-excluded ids are never sent, so their
+// sendNS stays -1.)
+func sentAtNS(sendNS []int64, pos32 []uint32, id, ci int) int64 {
+	if sendNS == nil || pos32 == nil {
+		return -1
+	}
+	if int(pos32[id])/probeChunkTargets != ci {
+		return -1
+	}
+	return sendNS[id]
+}
+
 // foldChunksSubset is foldChunks with the sweep's target subset: the
 // probed set is filtered to it, so a cross-block aliased reply from an
 // unprobed block counts as unsolicited — exactly what a capture box that
 // never probed the block would conclude.
 //
-// When base is non-nil, the winner for each source is its first
+// When pos32 is non-nil, the winner for each source is its first
 // sequence-matched echo, and only echoes carry an RTT. Aliased replies
 // (sequence from some other target's probe) win only when no echo ever
 // arrives, and then site-only. This makes the per-block result a
@@ -590,79 +698,80 @@ func isEcho(base map[ipv4.Addr]uint16, retries int, r Reply) bool {
 // whether an alias lands before or after the echo — which depends on
 // send-time gaps that differ between a full sweep and a compact subset
 // sweep — no longer changes the kept site or RTT.
-func foldChunksSubset(chunks []probeChunk, hl *hitlist.Hitlist, sub *ipv4.BlockSet, base map[ipv4.Addr]uint16, retries int, nSite int, roundID uint16, cutoff time.Duration, workers int) (*Catchment, CleanStats) {
+//
+// The fold is columnar and barrier-free: every shard writes its blocks'
+// rows directly into one shared indexed catchment (shards own disjoint
+// ids because they shard by block), so there is no per-shard fragment
+// map and no merge pass — only a counter recount and a shard-ordered
+// stats sum after the parallel region.
+func foldChunksSubset(chunks []probeChunk, hl *hitlist.Hitlist, sub *ipv4.BlockSet, pos32 []uint32, sendNS []int64, retries int, nSite int, roundID uint16, cutoff time.Duration, workers int) (*Catchment, CleanStats) {
+	ix := hl.Index()
+	catch := NewIndexedCatchment(nSite, ix)
+	if sendNS != nil {
+		catch.ensureRTTs()
+	}
+	// seen tracks the kept reply's class per source: keptAlias entries
+	// are upgraded in place when the source's echo arrives.
+	const (
+		unseen = iota
+		keptAlias
+		keptEcho
+	)
+	seen := make([]uint8, ix.Len())
 	nShards := parallel.Workers(workers)
-	frags := make([]*Catchment, nShards)
 	stats := make([]CleanStats, nShards)
 	parallel.Shards(workers, nShards, func(shard int) {
-		mine := func(b ipv4.Block) bool {
-			return int(uint32(b)%uint32(nShards)) == shard
-		}
-		probed := make(map[ipv4.Addr]bool)
-		for _, e := range hl.Entries {
-			if mine(e.Addr.Block()) && (sub == nil || sub.Contains(e.Addr.Block())) {
-				probed[e.Addr] = true
-			}
-		}
-		// seen tracks the kept reply's class per source: keptAlias
-		// entries are upgraded in place when the source's echo arrives.
-		const (
-			unseen = iota
-			keptAlias
-			keptEcho
-		)
-		seen := make(map[ipv4.Addr]uint8)
 		st := &stats[shard]
-		c := NewCatchment(nSite)
 		for ci := range chunks {
-			sendAt := chunks[ci].sendAt
-			for _, r := range chunks[ci].central.Replies {
-				if !mine(r.Src.Block()) {
+			for _, r := range chunks[ci].replies {
+				b := r.Src.Block()
+				if int(uint32(b)%uint32(nShards)) != shard {
 					continue
 				}
 				st.Total++
+				// The source was probed iff it is its block's hitlist
+				// representative (and inside the subset, if any).
+				id := ix.Of(b)
+				probed := id >= 0 && hl.Entries[id].Addr == r.Src &&
+					(sub == nil || sub.Contains(b))
 				switch {
 				case r.Ident != roundID:
 					st.WrongRound++
 				case r.At > cutoff:
 					st.Late++
-				case !probed[r.Src]:
+				case !probed:
 					st.Unsolicited++
-				case seen[r.Src] == unseen:
+				case seen[id] == unseen:
 					st.Kept++
-					if isEcho(base, retries, r) {
-						seen[r.Src] = keptEcho
-						if t0, ok := sendAt[r.Src]; ok && r.At > t0 {
-							c.SetRTT(r.Src.Block(), r.Site, r.At-t0)
+					if isEchoID(pos32, id, retries, r.Seq) {
+						seen[id] = keptEcho
+						if t0 := sentAtNS(sendNS, pos32, id, ci); t0 >= 0 && int64(r.At) > t0 {
+							catch.storeID(id, int16(r.Site), int64(r.At)-t0)
 						} else {
-							c.Set(r.Src.Block(), r.Site)
+							catch.storeID(id, int16(r.Site), 0)
 						}
 					} else {
-						seen[r.Src] = keptAlias
-						c.Set(r.Src.Block(), r.Site)
+						seen[id] = keptAlias
+						catch.storeID(id, int16(r.Site), 0)
 					}
 				default:
 					st.Duplicates++
-					if seen[r.Src] == keptAlias && isEcho(base, retries, r) {
-						seen[r.Src] = keptEcho
-						var rtt time.Duration
-						if t0, ok := sendAt[r.Src]; ok && r.At > t0 {
-							rtt = r.At - t0
+					if seen[id] == keptAlias && isEchoID(pos32, id, retries, r.Seq) {
+						seen[id] = keptEcho
+						var rtt int64
+						if t0 := sentAtNS(sendNS, pos32, id, ci); t0 >= 0 && int64(r.At) > t0 {
+							rtt = int64(r.At) - t0
 						}
-						c.Reassign(r.Src.Block(), r.Site, rtt)
+						catch.storeID(id, int16(r.Site), rtt)
 					}
 				}
 			}
 		}
-		frags[shard] = c
 	})
-	// Fold the disjoint fragments into the first; with one shard this is
-	// free. Content is identical for every shard count either way.
-	merged := frags[0]
+	catch.recount()
 	cs := stats[0]
 	for shard := 1; shard < nShards; shard++ {
 		cs.add(stats[shard])
-		merged.absorb(frags[shard])
 	}
-	return merged, cs
+	return catch, cs
 }

@@ -2,7 +2,9 @@
 # bench.sh — machine-readable perf trajectory. Runs the key benchmarks
 # and writes BENCH_<git-short-sha>.json with ns/op and allocs/op for the
 # route-computation fast path (BGPCompute, ReannounceSweep, ExportRoutes),
-# the pipeline anchors (Table4Coverage, MeasurementRound), and the
+# the pipeline anchors (Table4Coverage, MeasurementRound), the
+# internet-scale columnar sweep (InternetSweep: 1.2M blocks probed,
+# folded, and streamed to a v4 dataset per iteration), and the
 # instrumentation overhead pair (ObsvOverhead metrics=off/on — the on/off
 # delta must stay under 2%), so perf regressions show up as a diff
 # against the previous BENCH_*.json.
@@ -19,7 +21,7 @@ MODE="${1:-full}"
 COUNT="${VP_BENCH_COUNT:-5x}"
 [ "$MODE" = "smoke" ] && COUNT="${VP_BENCH_COUNT:-1x}"
 
-PATTERN='^(BenchmarkBGPCompute|BenchmarkReannounceSweep|BenchmarkTable4Coverage|BenchmarkMeasurementRound|BenchmarkObsvOverhead)$'
+PATTERN='^(BenchmarkBGPCompute|BenchmarkReannounceSweep|BenchmarkTable4Coverage|BenchmarkMeasurementRound|BenchmarkInternetSweep|BenchmarkObsvOverhead)$'
 OUT=$(go test -run '^$' -bench "$PATTERN" -benchtime "$COUNT" -benchmem . 2>&1)
 BGPOUT=$(go test -run '^$' -bench '^(BenchmarkExportRoutes|BenchmarkComputeEpochCached)$' -benchtime "$COUNT" -benchmem ./internal/bgp/ 2>&1)
 

@@ -84,6 +84,60 @@ if [ "$got" != "$want" ]; then
 fi
 echo "$got"
 
+# Internet-tier smoke: the columnar sweep core must map ~1.2M blocks
+# end to end (topology gen, convergence, sweep, fold, streaming v4
+# dataset save) inside a peak-RSS budget, and reproduce its golden
+# response-rate line exactly — the scale contract of DESIGN.md §12.
+# Peak memory comes from /usr/bin/time -v where present, else from
+# polling /proc/<pid>/status VmHWM; if neither works the smoke still
+# runs, only the budget check is skipped.
+echo "== internet-tier smoke (1.2M blocks, peak-RSS budget)"
+BUDGET_KB=1048576 # 1 GiB; a map-keyed fold or buffered writer blows well past this
+VPDS_TMP=$(mktemp /tmp/vp-internet-XXXXXX.vpds)
+go build -o /tmp/vp-check-bin ./cmd/verfploeter
+PEAK_KB=""
+if command -v /usr/bin/time >/dev/null 2>&1 && /usr/bin/time -v true >/dev/null 2>&1; then
+	/usr/bin/time -v /tmp/vp-check-bin -scenario b-root -size internet -seed 1 \
+		-save-dataset "$VPDS_TMP" >/tmp/vp-internet-out.txt 2>/tmp/vp-internet-time.txt
+	PEAK_KB=$(awk '/Maximum resident set size/{print $NF}' /tmp/vp-internet-time.txt)
+elif [ -d /proc ]; then
+	/tmp/vp-check-bin -scenario b-root -size internet -seed 1 \
+		-save-dataset "$VPDS_TMP" >/tmp/vp-internet-out.txt &
+	VP_PID=$!
+	PEAK_KB=0
+	while kill -0 "$VP_PID" 2>/dev/null; do
+		HWM=$(awk '/VmHWM/{print $2}' "/proc/$VP_PID/status" 2>/dev/null || true)
+		if [ -n "${HWM:-}" ] && [ "$HWM" -gt "$PEAK_KB" ]; then PEAK_KB=$HWM; fi
+		sleep 0.1
+	done
+	wait "$VP_PID"
+else
+	/tmp/vp-check-bin -scenario b-root -size internet -seed 1 \
+		-save-dataset "$VPDS_TMP" >/tmp/vp-internet-out.txt
+fi
+want="response rate: 48.7% (602667 of 1236283 targets mapped)"
+got=$(grep "^response rate:" /tmp/vp-internet-out.txt)
+if [ "$got" != "$want" ]; then
+	echo "internet smoke FAILED:" >&2
+	echo "  want: $want" >&2
+	echo "  got:  $got" >&2
+	exit 1
+fi
+if [ ! -s "$VPDS_TMP" ]; then
+	echo "internet smoke FAILED: dataset not written" >&2
+	exit 1
+fi
+if [ -n "${PEAK_KB:-}" ] && [ "$PEAK_KB" -gt 0 ]; then
+	if [ "$PEAK_KB" -gt "$BUDGET_KB" ]; then
+		echo "internet smoke FAILED: peak RSS ${PEAK_KB}kB > budget ${BUDGET_KB}kB" >&2
+		exit 1
+	fi
+	echo "$got (peak RSS ${PEAK_KB}kB, budget ${BUDGET_KB}kB)"
+else
+	echo "$got (peak RSS unavailable, budget check skipped)"
+fi
+rm -f "$VPDS_TMP" /tmp/vp-check-bin
+
 # Default (medium) size: the shape checks embedded in the benchmark are
 # calibrated for medium/large and intentionally MISS at small/tiny.
 # bench.sh smoke covers table4 plus the route fast path (BGPCompute,

@@ -63,6 +63,10 @@ const (
 	SizeSmall  = topology.SizeSmall
 	SizeMedium = topology.SizeMedium
 	SizeLarge  = topology.SizeLarge
+	// SizeInternet is the internet-scale tier (millions of /24 blocks);
+	// pair it with the streaming dataset writer so the map is never
+	// fully resident.
+	SizeInternet = topology.SizeInternet
 )
 
 // Measurement-side types.
