@@ -247,6 +247,100 @@ func BenchmarkBGPCompute(b *testing.B) {
 	}
 }
 
+// internetBenchWorld builds the nine-site internet-tier scenario the
+// cold/delta benchmark pair shares (~35k ASes, ~1.2M blocks).
+func internetBenchWorld(b *testing.B) (*scenario.Scenario, []bgp.Announcement) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("internet tier: skipped in -short")
+	}
+	s := scenario.Tangled(topology.SizeInternet, 1)
+	anns := make([]bgp.Announcement, len(s.Sites))
+	for i, site := range s.Sites {
+		anns[i] = bgp.Announcement{Site: i, UpstreamASN: site.UpstreamASN, Lat: site.Lat, Lon: site.Lon}
+	}
+	return s, anns
+}
+
+// BenchmarkBGPComputeInternet times cold recomputation at the internet
+// tier: "route" is the three-phase Gao-Rexford propagation alone (the
+// baseline for BenchmarkComputeDelta/route's ≥20× target), "full" adds
+// per-block assignment.
+func BenchmarkBGPComputeInternet(b *testing.B) {
+	s, anns := internetBenchWorld(b)
+	b.Run("route", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tbl := bgp.ComputeEpoch(s.Top, anns, 0)
+			if tbl.SiteOfAS(0) < -1 {
+				b.Fatal("bad table")
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tbl := bgp.ComputeEpoch(s.Top, anns, 0)
+			asg := tbl.Assign()
+			if len(asg.Primary) == 0 {
+				b.Fatal("empty assignment")
+			}
+		}
+	})
+}
+
+// BenchmarkComputeDelta times the playbook-search unit of work at the
+// internet tier: one announcement's prepend toggled against a converged
+// predecessor. The toggled site is the one with the smallest AS
+// catchment — the realistic traffic-engineering case, since the dirty
+// cone is proportional to the catchment being moved. "route" is
+// ComputeDelta alone (compare BenchmarkBGPComputeInternet/route for the
+// recorded speedup); "full" adds AssignDelta, whose column clone over
+// ~1.2M blocks is the irreducible per-delta floor.
+func BenchmarkComputeDelta(b *testing.B) {
+	s, anns := internetBenchWorld(b)
+	prev := bgp.ComputeEpoch(s.Top, anns, 0)
+	prevAsg := prev.Assign()
+
+	// Pick the site serving the fewest ASes.
+	counts := make([]int, len(s.Sites))
+	for i := range s.Top.ASes {
+		if site := prev.SiteOfAS(i); site >= 0 {
+			counts[site]++
+		}
+	}
+	small := 0
+	for i, c := range counts {
+		if c < counts[small] {
+			small = i
+		}
+	}
+	mod := make([]bgp.Announcement, len(anns))
+	copy(mod, anns)
+	mod[small].Prepend = 1
+
+	b.Run("route", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tbl := bgp.ComputeDelta(prev, mod)
+			if tbl.Changed == nil {
+				b.Fatal("delta fell back to cold compute")
+			}
+		}
+		b.ReportMetric(float64(counts[small]), "cone_target_asns")
+	})
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tbl := bgp.ComputeDelta(prev, mod)
+			asg := tbl.AssignDelta(prevAsg)
+			if tbl.Changed == nil || len(asg.Primary) == 0 {
+				b.Fatal("delta fell back to cold compute")
+			}
+		}
+	})
+}
+
 // BenchmarkReannounceSweep times the real caller pattern of route
 // computation: an N-case prepend sweep over one deployment, the shape of
 // §6.1's fig5 study, the ext-ddos plan search, and every load-calibration

@@ -35,7 +35,7 @@ func Example() {
 
 	// Output:
 	// mapped 2011 of 3478 probed blocks
-	// lax 57.4%, mia 42.6%
-	// predicted lax load share 58.5%
+	// lax 58.4%, mia 41.6%
+	// predicted lax load share 58.8%
 	// after mia+1: lax 85.0%
 }

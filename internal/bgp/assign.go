@@ -56,71 +56,129 @@ func (t *Table) AssignWorkers(workers int) *Assignment {
 	parallel.Chunked(workers, len(blocks), func(lo, hi int) {
 		var dist []float64 // per-chunk scratch, reused across blocks
 		for i := lo; i < hi; i++ {
-			b := &blocks[i]
-			cands := t.Cands[b.ASIdx]
-			if len(cands) == 0 {
-				a.Primary[i], a.Secondary[i] = -1, -1
-				continue
-			}
-			owner := &t.Top.ASes[b.ASIdx]
-
-			// Rank candidates by distance from the block's own location —
-			// finer-grained than its PoP, so borderline blocks inside one
-			// AS can straddle two exits.
-			dist = dist[:0]
-			for _, c := range cands {
-				dist = append(dist, topology.GeoDistance(float64(b.Lat), float64(b.Lon), c.EntryLat, c.EntryLon))
-			}
-
-			// Pass 1: the hot-potato winner — nearest entry, lower site
-			// number on exact distance ties.
-			best, bestD := 0, dist[0]
-			for ci := 1; ci < len(cands); ci++ {
-				d := dist[ci]
-				if d < bestD || (d == bestD && cands[ci].Site < cands[best].Site) {
-					best, bestD = ci, d
-				}
-			}
-			// Pass 2: nearest candidate at any *other* site. Scanning
-			// only after the winner is fixed makes the choice independent
-			// of candidate order: a one-pass scan can discard a
-			// distinct-site candidate against a provisional best that a
-			// same-site closer candidate later replaces.
-			second, secondD := -1, math.Inf(1)
-			for ci, c := range cands {
-				if c.Site == cands[best].Site {
-					continue
-				}
-				d := dist[ci]
-				if d < secondD || (d == secondD && c.Site < cands[second].Site) {
-					second, secondD = ci, d
-				}
-			}
-			a.Primary[i] = int16(cands[best].Site)
-			if second >= 0 {
-				a.Secondary[i] = int16(cands[second].Site)
-			} else if owner.FlapWeight > 0 && t.AltSite[b.ASIdx] >= 0 {
-				// Flap-prone AS with a single best site: its unstable
-				// links divert traffic onto the next-best RIB entry.
-				a.Secondary[i] = t.AltSite[b.ASIdx]
-			} else {
-				a.Secondary[i] = -1
-				continue
-			}
-
-			switch {
-			case owner.FlapWeight > 0:
-				p := owner.FlapWeight * flapProbPerWeight
-				if p > flapProbCap {
-					p = flapProbCap
-				}
-				a.FlipProb[i] = float32(p)
-			case bestD == 0 || secondD <= bestD*nearTieRatio:
-				// Equal-cost multipath territory even for stable ASes.
-				a.FlipProb[i] = baselineFlipProb
-			}
+			dist = t.assignBlock(a, i, dist)
 		}
 	})
+	return a
+}
+
+// assignBlock computes block i's site assignment into a. dist is
+// caller-owned scratch, returned so its growth is kept across blocks.
+// Writes only index i, so any partition of blocks across workers — the
+// full sweep or AssignDelta's changed subset — produces identical
+// columns.
+func (t *Table) assignBlock(a *Assignment, i int, dist []float64) []float64 {
+	b := &t.Top.Blocks[i]
+	cands := t.Cands[b.ASIdx]
+	if len(cands) == 0 {
+		a.Primary[i], a.Secondary[i] = -1, -1
+		a.FlipProb[i] = 0
+		return dist
+	}
+	owner := &t.Top.ASes[b.ASIdx]
+
+	// Rank candidates by distance from the block's own location —
+	// finer-grained than its PoP, so borderline blocks inside one
+	// AS can straddle two exits.
+	dist = dist[:0]
+	for _, c := range cands {
+		dist = append(dist, topology.GeoDistance(float64(b.Lat), float64(b.Lon), c.EntryLat, c.EntryLon))
+	}
+
+	// Pass 1: the hot-potato winner — nearest entry, lower site
+	// number on exact distance ties.
+	best, bestD := 0, dist[0]
+	for ci := 1; ci < len(cands); ci++ {
+		d := dist[ci]
+		if d < bestD || (d == bestD && cands[ci].Site < cands[best].Site) {
+			best, bestD = ci, d
+		}
+	}
+	// Pass 2: nearest candidate at any *other* site. Scanning
+	// only after the winner is fixed makes the choice independent
+	// of candidate order: a one-pass scan can discard a
+	// distinct-site candidate against a provisional best that a
+	// same-site closer candidate later replaces.
+	second, secondD := -1, math.Inf(1)
+	for ci, c := range cands {
+		if c.Site == cands[best].Site {
+			continue
+		}
+		d := dist[ci]
+		if d < secondD || (d == secondD && c.Site < cands[second].Site) {
+			second, secondD = ci, d
+		}
+	}
+	a.Primary[i] = int16(cands[best].Site)
+	a.FlipProb[i] = 0
+	if second >= 0 {
+		a.Secondary[i] = int16(cands[second].Site)
+	} else if owner.FlapWeight > 0 && t.AltSite[b.ASIdx] >= 0 {
+		// Flap-prone AS with a single best site: its unstable
+		// links divert traffic onto the next-best RIB entry.
+		a.Secondary[i] = t.AltSite[b.ASIdx]
+	} else {
+		a.Secondary[i] = -1
+		return dist
+	}
+
+	switch {
+	case owner.FlapWeight > 0:
+		p := owner.FlapWeight * flapProbPerWeight
+		if p > flapProbCap {
+			p = flapProbCap
+		}
+		a.FlipProb[i] = float32(p)
+	case bestD == 0 || secondD <= bestD*nearTieRatio:
+		// Equal-cost multipath territory even for stable ASes.
+		a.FlipProb[i] = baselineFlipProb
+	}
+	return dist
+}
+
+// AssignDelta computes t's assignment by reusing a predecessor
+// assignment: the three columns are copied wholesale and only the
+// blocks owned by ASes in t.Changed — the set ComputeDelta reports —
+// are recomputed, through the same assignBlock as the full sweep.
+// Falls back to a full AssignWorkers when the predecessor doesn't
+// match (different topology or generation) or when t has no change
+// list (cold-computed tables treat every AS as potentially changed).
+func (t *Table) AssignDelta(prev *Assignment) *Assignment {
+	blocks := t.Top.Blocks
+	if prev == nil || t.Changed == nil || prev.Table == nil ||
+		prev.Table.Top != t.Top || prev.Table.gen != t.gen ||
+		len(prev.Primary) != len(blocks) {
+		return t.AssignWorkers(0)
+	}
+	defer obsTimed("assign")()
+	// append-style clones: growslice copies into fresh memory without the
+	// make+copy pattern's extra zeroing pass — at internet scale these
+	// columns are ~10 MB, and the clone is most of AssignDelta's cost.
+	a := &Assignment{
+		Table:     t,
+		Primary:   append([]int16(nil), prev.Primary...),
+		Secondary: append([]int16(nil), prev.Secondary...),
+		FlipProb:  append([]float32(nil), prev.FlipProb...),
+	}
+
+	off, ids := geometryFor(t.Top).blocksByAS(t.Top)
+	total := 0
+	for _, as := range t.Changed {
+		total += int(off[as+1] - off[as])
+	}
+	work := make([]int32, 0, total)
+	for _, as := range t.Changed {
+		work = append(work, ids[off[as]:off[as+1]]...)
+	}
+	parallel.Chunked(0, len(work), func(lo, hi int) {
+		var dist []float64
+		for _, bi := range work[lo:hi] {
+			dist = t.assignBlock(a, int(bi), dist)
+		}
+	})
+	if o := obsHooks.Load(); o != nil {
+		o.assignBlocksReused.AddInt(len(blocks) - len(work))
+	}
 	return a
 }
 

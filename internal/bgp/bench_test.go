@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"container/heap"
 	"testing"
 
 	"verfploeter/internal/topology"
@@ -30,14 +31,12 @@ func benchWorld(b *testing.B) (*topology.Topology, []Announcement) {
 }
 
 // BenchmarkExportRoutes times one export event per directed neighbor
-// pair over a converged state — the inner loop finalSelection repeats
+// pair over a converged state — the inner loop evalRefineAS repeats
 // each refine pass. Before the session-geometry precompute this path
 // recomputed O(|PoPs|×|PoPs|) GeoDistance calls per event.
 func BenchmarkExportRoutes(b *testing.B) {
 	top, anns := benchWorld(b)
-	tbl := &Table{Top: top, Anns: anns, NSite: 2}
-	c := &compute{Table: tbl, g: geometryFor(top), states: make([]state, len(top.ASes))}
-	c.initAnnouncements()
+	c := newCompute(top, anns, 0)
 	c.phaseCustomer()
 	c.phasePeer()
 	c.phaseProvider()
@@ -51,17 +50,17 @@ func BenchmarkExportRoutes(b *testing.B) {
 			ag := &c.g.as[dst]
 			for ni := range ag.cust {
 				nb := &ag.cust[ni]
-				out = c.exportRoutesInto(out[:0], int(nb.idx), dst, nb.rev)
+				out = c.exportInto(out[:0], int(nb.idx), dst, nb.rev, c.cands[nb.idx], c.plen[nb.idx])
 				events++
 			}
 			for ni := range ag.peer {
 				nb := &ag.peer[ni]
-				out = c.exportRoutesInto(out[:0], int(nb.idx), dst, nb.rev)
+				out = c.exportInto(out[:0], int(nb.idx), dst, nb.rev, c.cands[nb.idx], c.plen[nb.idx])
 				events++
 			}
 			for ni := range ag.prov {
 				nb := &ag.prov[ni]
-				out = c.exportRoutesInto(out[:0], int(nb.idx), dst, nb.rev)
+				out = c.exportInto(out[:0], int(nb.idx), dst, nb.rev, c.cands[nb.idx], c.plen[nb.idx])
 				events++
 			}
 		}
@@ -82,6 +81,73 @@ func BenchmarkGeometryBuild(b *testing.B) {
 			b.Fatal("bad geometry")
 		}
 	}
+}
+
+// boxedLevelQueue is the old container/heap-based scheduling queue,
+// kept test-side only as the baseline BenchmarkLevelHeap measures the
+// typed levelHeap against: heap.Interface routes every Push/Pop through
+// `any`, boxing one allocation per item.
+type boxedLevelQueue []levelItem
+
+func (q boxedLevelQueue) Len() int           { return len(q) }
+func (q boxedLevelQueue) Less(i, j int) bool { return q[i].level < q[j].level }
+func (q boxedLevelQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *boxedLevelQueue) Push(x any)        { *q = append(*q, x.(levelItem)) }
+func (q *boxedLevelQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// BenchmarkLevelHeap measures the wavefront scheduling queue: the typed
+// slice heap against the container/heap equivalent it replaced. The
+// typed version's win is allocs/op — zero steady-state versus one box
+// per Push — which is what removed queue traffic from the convergence
+// allocation profile.
+func BenchmarkLevelHeap(b *testing.B) {
+	const items = 4096
+	seq := make([]levelItem, items)
+	for i := range seq {
+		seq[i] = levelItem{level: int32((i * 2654435761) % 97), asIdx: int32(i)}
+	}
+	b.Run("typed", func(b *testing.B) {
+		var h levelHeap
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h = h[:0]
+			for _, it := range seq {
+				h.push(it)
+			}
+			prev := int32(-1)
+			for len(h) > 0 {
+				it := h.pop()
+				if it.level < prev {
+					b.Fatal("heap order violated")
+				}
+				prev = it.level
+			}
+		}
+	})
+	b.Run("boxed", func(b *testing.B) {
+		var q boxedLevelQueue
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q = q[:0]
+			for _, it := range seq {
+				heap.Push(&q, it)
+			}
+			prev := int32(-1)
+			for q.Len() > 0 {
+				it := heap.Pop(&q).(levelItem)
+				if it.level < prev {
+					b.Fatal("heap order violated")
+				}
+				prev = it.level
+			}
+		}
+	})
 }
 
 // BenchmarkComputeEpochCached times the steady-state cache hit: the cost

@@ -17,6 +17,17 @@
 //   - a small set of ASes ignores prepending (§6.1 observes traffic that
 //     stays at MIA even at MIA+3).
 //
+// Propagation is evaluated as a level-graded fixed point: every AS's
+// per-phase state (class, settled length, candidate set) is a pure
+// function of its neighbors' states, pulled in one canonical order —
+// origins in announcement order, then neighbors in topology-declared
+// geometry order, sessions in session order. Cold computation
+// (ComputeEpoch) evaluates the whole graph level by level; incremental
+// recomputation (ComputeDelta) re-evaluates only the dirty cone of a
+// changed announcement set with the same per-AS functions, which is why
+// the two produce byte-identical tables (see DESIGN.md, "incremental
+// convergence contract").
+//
 // The paper emphasizes that Verfploeter does not model BGP to predict
 // catchments — it measures a deployment. Here the roles are inverted:
 // this package is the "real Internet" being measured, and the Verfploeter
@@ -25,10 +36,8 @@
 package bgp
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
-	"sort"
 
 	"verfploeter/internal/parallel"
 	"verfploeter/internal/topology"
@@ -99,36 +108,57 @@ type Table struct {
 	// diverts traffic off the best path (§6.3). -1 when every offer
 	// leads to the same site.
 	AltSite []int16
+	// Changed lists, ascending, the ASes whose final route state (Cands
+	// or AltSite) differs from the predecessor table this one was
+	// incrementally derived from. nil on cold computes ("unknown — treat
+	// everything as changed"). AssignDelta uses it to reassign only the
+	// affected blocks.
+	Changed []int32
 
 	epoch uint64 // tie-break generation; see ComputeEpoch
+	gen   uint64 // topology generation the table was computed at
+
+	// Post-phase snapshot and refine trajectory, retained for
+	// ComputeDelta: phClass/phLen/phCands are the per-AS states after the
+	// three propagation phases (refine pass 0's input), byteMask bit p
+	// records whether the AS's candidate row changed byte-wise at refine
+	// pass p+1, and passes is how many refine passes ran.
+	phClass  []RelClass
+	phLen    []int32
+	phCands  [][]Route
+	byteMask []uint8
+	passes   uint8
 }
 
-type state struct {
-	class RelClass
-	len   int
-	cands []Route
-}
-
-// compute carries one ComputeEpoch run's transient state: the table being
-// converged, the per-AS propagation states, the topology's precomputed
-// session geometry, and the small announcement-dependent distance tables
-// the geometry cannot know ahead of time.
+// compute carries one convergence run's working state: the table being
+// built, the topology's session geometry, flat per-AS slabs (class,
+// settled length, candidate row — retained on the Table afterwards), and
+// the small announcement-dependent tables the geometry cannot know.
 type compute struct {
 	*Table
-	g      *geometry
-	states []state
+	g *geometry
+
+	// Struct-of-arrays propagation state, indexed by AS index. These are
+	// the same backing arrays as Table.phClass/phLen/phCands.
+	class []RelClass
+	plen  []int32
+	cands [][]Route
+
+	phArena routeArena // backing store for retained candidate rows
+
 	// annDist[k][m] is GeoDistance from PoP m of announcement k's
 	// upstream AS to the announcement's coordinates. Origin routes only
 	// ever sit in their upstream's RIB, so these are the only
 	// announcement-entry distances exports can ask for.
 	annDist [][]float64
 	annAS   []int32
-	// originFlat holds the origin routes in announcement order (the heap
-	// seeding order); origin[i] groups the same routes by upstream AS i
-	// for finalSelection (usually nil, anns order within an AS).
+	// originFlat holds the origin routes in announcement order; origin[i]
+	// groups the same routes by upstream AS i (usually nil, announcement
+	// order within an AS).
 	originFlat []Route
 	origin     [][]Route
-	exp        []Route // export scratch for the single-threaded phases
+
+	sc *scratch
 }
 
 // Compute runs route propagation for the given announcements and returns
@@ -145,6 +175,18 @@ func Compute(top *topology.Topology, anns []Announcement) *Table {
 // policies that shuffle underneath BGP — re-rolled per epoch.
 func ComputeEpoch(top *topology.Topology, anns []Announcement, epoch uint64) *Table {
 	defer obsTimed("bgp-compute")()
+	c := newCompute(top, anns, epoch)
+	c.phaseCustomer()
+	c.phasePeer()
+	c.phaseProvider()
+	c.refine()
+	c.finish()
+	return c.Table
+}
+
+// validateAnns panics on malformed announcements and returns the site
+// count.
+func validateAnns(top *topology.Topology, anns []Announcement) int {
 	nSite := 0
 	for _, a := range anns {
 		if top.ASIndex(a.UpstreamASN) < 0 {
@@ -157,50 +199,44 @@ func ComputeEpoch(top *topology.Topology, anns []Announcement, epoch uint64) *Ta
 			nSite = a.Site + 1
 		}
 	}
+	return nSite
+}
+
+func newCompute(top *topology.Topology, anns []Announcement, epoch uint64) *compute {
+	nSite := validateAnns(top, anns)
 	n := len(top.ASes)
-	t := &Table{Top: top, Anns: anns, NSite: nSite, epoch: epoch}
-	c := &compute{Table: t, g: geometryFor(top), states: make([]state, n)}
-	c.initAnnouncements()
-
-	c.phaseCustomer()
-	c.phasePeer()
-	c.phaseProvider()
-
-	// The three phases settle each AS's class and path length exactly,
-	// but tie *diversity* — which equally-good sites an AS retains —
-	// only disseminates one export per neighbor per settle event. A
-	// shared upstream hosting three sites would otherwise leak only its
-	// first-seeded site to the rest of the world. Iterating the local
-	// re-selection to a fixed point (class/len frozen, candidate sets
-	// refreshed from neighbors) propagates tie diversity any number of
-	// hops; it converges quickly because classes and lengths are fixed.
-	for pass := 0; pass < maxRefinePasses; pass++ {
-		c.finalSelection()
-		changed := false
-		for i := range c.states {
-			if !sameCandSites(c.states[i].cands, t.Cands[i]) {
-				changed = true
-			}
-			if len(t.Cands[i]) > 0 {
-				c.states[i].cands = t.Cands[i]
-			}
-		}
-		if !changed {
-			break
-		}
+	t := &Table{
+		Top: top, Anns: anns, NSite: nSite, epoch: epoch, gen: top.Generation(),
+		phClass: make([]RelClass, n),
+		phLen:   make([]int32, n),
+		phCands: make([][]Route, n),
 	}
-	return t
+	c := &compute{
+		Table: t, g: geometryFor(top),
+		class: t.phClass, plen: t.phLen, cands: t.phCands,
+		phArena: newRouteArena(n + n/2),
+		sc:      getScratch(n),
+	}
+	c.initAnnouncements()
+	return c
+}
+
+// finish returns pooled scratch; the slabs stay on the Table as the
+// post-phase snapshot ComputeDelta diffs against.
+func (c *compute) finish() {
+	c.sc.release()
+	c.sc = nil
 }
 
 // initAnnouncements builds the announcement-dependent tables: origin
 // routes grouped by upstream AS, and the meet-to-announcement distance
-// rows exportRoutesInto reads for entry < 0 candidates. A handful of
+// rows exportInto reads for entry < 0 candidates. A handful of
 // GeoDistance calls per compute (|anns| × upstream PoPs), versus the
 // per-export-event inner products the old code paid.
 func (c *compute) initAnnouncements() {
 	c.annDist = make([][]float64, len(c.Anns))
 	c.annAS = make([]int32, len(c.Anns))
-	c.origin = make([][]Route, len(c.Top.ASes))
+	c.origin = c.sc.originSlab(len(c.Top.ASes))
 	for k := range c.Anns {
 		a := &c.Anns[k]
 		idx := c.Top.ASIndex(a.UpstreamASN)
@@ -217,18 +253,26 @@ func (c *compute) initAnnouncements() {
 			EntryLat: a.Lat, EntryLon: a.Lon, entry: int32(-k - 1),
 		}
 		c.originFlat = append(c.originFlat, r)
+		if len(c.origin[idx]) == 0 {
+			c.sc.originSet = append(c.sc.originSet, int32(idx))
+		}
 		c.origin[idx] = append(c.origin[idx], r)
 	}
 }
 
 // maxRefinePasses bounds the tie-diversity fixed-point iteration; the
 // catchment graph's diameter is small, so a handful of passes suffices.
+// byteMask's uint8 width depends on this staying <= 8.
 const maxRefinePasses = 8
 
 // sessionRadius (in GeoDistance degree-units) is how close two networks'
 // PoPs must be to interconnect there; roughly metro-to-country scale.
 const sessionRadius = 20.0
 
+// sameCandSites reports whether two candidate rows select the same
+// (site, neighbor) pairs — the site-level stability predicate. The
+// refine loop's convergence test is the stricter byte-level routesEq
+// (flat.go), which implies this one.
 func sameCandSites(a, b []Route) bool {
 	if len(a) != len(b) {
 		return false
@@ -241,236 +285,300 @@ func sameCandSites(a, b []Route) bool {
 	return true
 }
 
-// pqItem orders propagation by advertised path length.
-type pqItem struct {
-	len   int
-	asIdx int
-	route Route
-	seq   uint64
-}
+// --- pull evaluators ------------------------------------------------
+//
+// Each phase's per-AS state is a pure function of neighbor states: the
+// cheapest offered path length, and every offer at exactly that length,
+// deduplicated by (neighbor, site) with the first offer in canonical
+// order winning. Canonical order is: origins in announcement order, then
+// neighbors in geometry order, sessions in session order. Both the cold
+// level-synchronous drivers and the delta wavefront call these same
+// evaluators, which is what makes their outputs byte-identical.
 
-type pq []pqItem
-
-func (q pq) Len() int { return len(q) }
-func (q pq) Less(i, j int) bool {
-	if q[i].len != q[j].len {
-		return q[i].len < q[j].len
+// offerMerge folds one offer at length l into the running cheapest-level
+// candidate buffer.
+func offerMerge(best int32, buf []Route, l int32, r Route) (int32, []Route) {
+	switch {
+	case best == 0 || l < best:
+		return l, append(buf[:0], r)
+	case l > best:
+		return best, buf
 	}
-	return q[i].seq < q[j].seq
-}
-func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any {
-	old := *q
-	it := old[len(old)-1]
-	*q = old[:len(old)-1]
-	return it
-}
-
-// phaseCustomer floods customer-learned routes upward (customer→provider),
-// cheapest path length first.
-func (c *compute) phaseCustomer() {
-	states := c.states
-	var q pq
-	var seq uint64
-	// Seed in announcement order: seq breaks equal-length heap ties, so
-	// the seeding order is part of the deterministic output.
-	for k := range c.originFlat {
-		q = append(q, pqItem{len: c.originFlat[k].Len, asIdx: int(c.annAS[k]), route: c.originFlat[k], seq: seq})
-		seq++
-	}
-	heap.Init(&q)
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
-		st := &states[it.asIdx]
-		switch {
-		case st.class == FromCustomer && it.len > st.len:
-			continue // already settled cheaper
-		case st.class == FromCustomer && it.len == st.len:
-			addCand(st, it.route)
-			continue
-		case st.class == FromCustomer && it.len < st.len:
-			// impossible under Dijkstra order, but be safe
-			st.cands = st.cands[:0]
+	for k := range buf {
+		if buf[k].From == r.From && buf[k].Site == r.Site {
+			return best, buf // first retained (neighbor, site) wins
 		}
-		st.class = FromCustomer
-		st.len = it.len
-		addCand(st, it.route)
-		// Export upward to providers.
-		for i := range c.g.as[it.asIdx].prov {
-			nb := &c.g.as[it.asIdx].prov[i]
-			pi := int(nb.idx)
-			if states[pi].class == FromCustomer && states[pi].len <= it.len {
-				continue // provider already settled as cheap or cheaper
+	}
+	return best, append(buf, r)
+}
+
+// pullFrom gathers AS i's offers from the given neighbor list, keeping
+// only neighbors whose class is at least lo, continuing from (best, buf).
+func (c *compute) pullFrom(best int32, buf []Route, i int, nbs []nbr, lo RelClass) (int32, []Route) {
+	for ni := range nbs {
+		nb := &nbs[ni]
+		j := nb.idx
+		if c.class[j] < lo {
+			continue
+		}
+		l := c.plen[j] + 1
+		if best != 0 && l > best {
+			continue
+		}
+		c.sc.exp = c.exportInto(c.sc.exp[:0], int(j), i, nb.rev, c.cands[j], c.plen[j])
+		for _, r := range c.sc.exp {
+			best, buf = offerMerge(best, buf, l, r)
+		}
+	}
+	return best, buf
+}
+
+// pullCustomer evaluates AS i's customer-phase state: its own
+// originations plus customer-learned routes exported up by customers.
+// Returns (0, nil) when i has no customer-side route.
+func (c *compute) pullCustomer(i int) (int32, []Route) {
+	buf := c.sc.offers[:0]
+	best := int32(0)
+	for _, r := range c.origin[i] {
+		best, buf = offerMerge(best, buf, int32(r.Len), r)
+	}
+	best, buf = c.pullFrom(best, buf, i, c.g.as[i].cust, FromCustomer)
+	c.sc.offers = buf
+	return best, buf
+}
+
+// pullPeer evaluates AS i's peer-phase state: customer routes handed one
+// hop across peerings (valley-free: peer routes are never re-exported).
+func (c *compute) pullPeer(i int) (int32, []Route) {
+	best, buf := c.pullFrom(0, c.sc.offers[:0], i, c.g.as[i].peer, FromCustomer)
+	c.sc.offers = buf
+	return best, buf
+}
+
+// pullProvider evaluates AS i's provider-phase state: routes of any
+// class flooded down by its providers.
+func (c *compute) pullProvider(i int) (int32, []Route) {
+	best, buf := c.pullFrom(0, c.sc.offers[:0], i, c.g.as[i].prov, FromProvider)
+	c.sc.offers = buf
+	return best, buf
+}
+
+// --- level-synchronous cold phases ----------------------------------
+
+// phaseCustomer floods customer-learned routes upward
+// (customer→provider), settling whole path-length levels at once. An AS
+// is scheduled at level L when an offer at length L can exist; since
+// every offer at L comes from a neighbor settled at L-1 (or an origin),
+// a scheduled AS's pull sees its complete cheapest-level offer set.
+func (c *compute) phaseCustomer() {
+	sc := c.sc
+	sc.resetSched()
+	for k := range c.originFlat {
+		sc.schedule(int32(c.originFlat[k].Len), c.annAS[k])
+	}
+	for L := 0; L < len(sc.sched); L++ {
+		for bi := 0; bi < len(sc.sched[L]); bi++ {
+			x := sc.sched[L][bi]
+			if c.class[x] != 0 {
+				continue // settled at a cheaper level
 			}
-			c.exp = c.exportRoutesInto(c.exp[:0], it.asIdx, pi, nb.fwd)
-			for _, r := range c.exp {
-				heap.Push(&q, pqItem{len: r.Len, asIdx: pi, route: r, seq: seq})
-				seq++
+			l, row := c.pullCustomer(int(x))
+			if int(l) != L {
+				continue // superseded schedule; re-settles at its own level
+			}
+			c.class[x] = FromCustomer
+			c.plen[x] = l
+			c.cands[x] = c.phArena.copyIn(row)
+			prov := c.g.as[x].prov
+			for ni := range prov {
+				if p := prov[ni].idx; c.class[p] == 0 {
+					sc.schedule(l+1, p)
+				}
 			}
 		}
 	}
 }
 
 // phasePeer hands customer routes one hop across peerings to ASes that
-// have no customer route of their own.
+// have no customer route of their own. Single-step: no propagation, so
+// one ascending sweep evaluates every AS exactly once.
 func (c *compute) phasePeer() {
-	states := c.states
-	type offer struct {
-		asIdx int
-		r     Route
-	}
-	var offers []offer
-	for i := range c.Top.ASes {
-		if states[i].class != FromCustomer {
+	for i := range c.class {
+		if c.class[i] == FromCustomer {
 			continue
 		}
-		for n := range c.g.as[i].peer {
-			nb := &c.g.as[i].peer[n]
-			pi := int(nb.idx)
-			if states[pi].class == FromCustomer {
-				continue
-			}
-			c.exp = c.exportRoutesInto(c.exp[:0], i, pi, nb.fwd)
-			for _, r := range c.exp {
-				offers = append(offers, offer{pi, r})
-			}
+		l, row := c.pullPeer(i)
+		if l == 0 {
+			continue
 		}
-	}
-	for _, o := range offers {
-		st := &states[o.asIdx]
-		switch {
-		case st.class == FromPeer && o.r.Len > st.len:
-		case st.class == FromPeer && o.r.Len == st.len:
-			addCand(st, o.r)
-		default: // unset, or better length
-			st.class = FromPeer
-			st.len = o.r.Len
-			st.cands = st.cands[:0]
-			addCand(st, o.r)
-		}
+		c.class[i] = FromPeer
+		c.plen[i] = l
+		c.cands[i] = c.phArena.copyIn(row)
 	}
 }
 
 // phaseProvider floods routes downward (provider→customer) to ASes that
-// still have nothing better.
+// still have nothing better, level-synchronously like phaseCustomer.
 func (c *compute) phaseProvider() {
-	states := c.states
-	var q pq
-	var seq uint64
-	for i := range c.Top.ASes {
-		if states[i].class == 0 {
+	sc := c.sc
+	sc.resetSched()
+	for i := range c.class {
+		if c.class[i] == 0 {
 			continue
 		}
-		for n := range c.g.as[i].cust {
-			nb := &c.g.as[i].cust[n]
-			ci := int(nb.idx)
-			if states[ci].class >= FromPeer || states[ci].class == FromCustomer {
-				continue
-			}
-			c.exp = c.exportRoutesInto(c.exp[:0], i, ci, nb.fwd)
-			for _, r := range c.exp {
-				q = append(q, pqItem{len: r.Len, asIdx: ci, route: r, seq: seq})
-				seq++
+		cust := c.g.as[i].cust
+		for ni := range cust {
+			if j := cust[ni].idx; c.class[j] == 0 {
+				sc.schedule(c.plen[i]+1, j)
 			}
 		}
 	}
-	heap.Init(&q)
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
-		st := &states[it.asIdx]
-		if st.class > FromProvider {
-			continue // got a customer/peer route; provider offers lose
-		}
-		switch {
-		case st.class == FromProvider && it.len > st.len:
-			continue
-		case st.class == FromProvider && it.len == st.len:
-			addCand(st, it.route)
-			continue
-		}
-		st.class = FromProvider
-		st.len = it.len
-		st.cands = st.cands[:0]
-		addCand(st, it.route)
-		for n := range c.g.as[it.asIdx].cust {
-			nb := &c.g.as[it.asIdx].cust[n]
-			ci := int(nb.idx)
-			if states[ci].class >= FromPeer {
+	for L := 0; L < len(sc.sched); L++ {
+		for bi := 0; bi < len(sc.sched[L]); bi++ {
+			x := sc.sched[L][bi]
+			if c.class[x] != 0 {
 				continue
 			}
-			c.exp = c.exportRoutesInto(c.exp[:0], it.asIdx, ci, nb.fwd)
-			for _, r := range c.exp {
-				heap.Push(&q, pqItem{len: r.Len, asIdx: ci, route: r, seq: seq})
-				seq++
+			l, row := c.pullProvider(int(x))
+			if int(l) != L {
+				continue
+			}
+			c.class[x] = FromProvider
+			c.plen[x] = l
+			c.cands[x] = c.phArena.copyIn(row)
+			cust := c.g.as[x].cust
+			for ni := range cust {
+				if j := cust[ni].idx; c.class[j] == 0 {
+					sc.schedule(l+1, j)
+				}
 			}
 		}
 	}
 }
 
-// finalSelection rebuilds every AS's candidate set from its neighbors'
-// converged states, applying the AS's own policy (including prepend
-// blindness). One local refinement pass over the converged global state:
-// it keeps all equal-cost winners so hot-potato block assignment can
-// split the AS, and lets prepend-ignoring ASes re-rank by BaseLen.
-//
-// The rebuild is embarrassingly parallel: AS i reads the (frozen) states
-// and writes only Cands[i]/AltSite[i], so it runs on the parallel pool
-// with per-chunk scratch buffers; results are identical at any width.
-func (c *compute) finalSelection() {
-	t := c.Table
-	states := c.states
-	n := len(t.Top.ASes)
-	t.Cands = make([][]Route, n)
-	t.AltSite = make([]int16, n)
-	parallel.Chunked(0, n, func(lo, hi int) {
-		var offers, exp []Route
-		winning := make([]bool, t.NSite)
-		for i := lo; i < hi; i++ {
-			x := &t.Top.ASes[i]
-			ag := &c.g.as[i]
-			offers = offers[:0]
+// --- refine ----------------------------------------------------------
 
-			// Own origination(s): the service AS is a direct customer.
-			offers = append(offers, c.origin[i]...)
-			for ni := range ag.cust {
-				nb := &ag.cust[ni]
-				if states[nb.idx].class == FromCustomer {
-					exp = c.exportRoutesInto(exp[:0], int(nb.idx), i, nb.rev)
-					for _, r := range exp {
-						r.Class = FromCustomer
-						offers = append(offers, r)
-					}
-				}
+// refineScratch is one worker chunk's working set for refine-pass
+// evaluation.
+type refineScratch struct {
+	offers, exp, sel []Route
+	winning          []bool
+}
+
+// evalRefineAS computes one AS's refine-pass output from view (the
+// previous pass's candidate rows for every AS): candidate row (in the
+// caller's scratch — copy before retaining) and AltSite. It rebuilds the
+// AS's full offer set from its neighbors' frozen class/len and
+// view-supplied candidate rows, applying the AS's own policy (including
+// prepend blindness) and keeping all equal-cost winners so hot-potato
+// block assignment can split the AS.
+func (c *compute) evalRefineAS(i int, view [][]Route, rs *refineScratch) ([]Route, int16) {
+	ag := &c.g.as[i]
+	offers := rs.offers[:0]
+	// Own origination(s): the service AS is a direct customer.
+	offers = append(offers, c.origin[i]...)
+	for ni := range ag.cust {
+		nb := &ag.cust[ni]
+		if c.class[nb.idx] == FromCustomer {
+			rs.exp = c.exportInto(rs.exp[:0], int(nb.idx), i, nb.rev, view[nb.idx], c.plen[nb.idx])
+			for _, r := range rs.exp {
+				r.Class = FromCustomer
+				offers = append(offers, r)
 			}
-			for ni := range ag.peer {
-				nb := &ag.peer[ni]
-				if states[nb.idx].class == FromCustomer {
-					exp = c.exportRoutesInto(exp[:0], int(nb.idx), i, nb.rev)
-					for _, r := range exp {
-						r.Class = FromPeer
-						offers = append(offers, r)
-					}
-				}
-			}
-			for ni := range ag.prov {
-				nb := &ag.prov[ni]
-				if states[nb.idx].class != 0 {
-					exp = c.exportRoutesInto(exp[:0], int(nb.idx), i, nb.rev)
-					for _, r := range exp {
-						r.Class = FromProvider
-						offers = append(offers, r)
-					}
-				}
-			}
-			t.AltSite[i] = -1
-			if len(offers) == 0 {
-				continue
-			}
-			t.Cands[i] = selectBest(offers, x.IgnorePrepend)
-			t.AltSite[i] = altSite(offers, t.Cands[i], winning)
 		}
-	})
+	}
+	for ni := range ag.peer {
+		nb := &ag.peer[ni]
+		if c.class[nb.idx] == FromCustomer {
+			rs.exp = c.exportInto(rs.exp[:0], int(nb.idx), i, nb.rev, view[nb.idx], c.plen[nb.idx])
+			for _, r := range rs.exp {
+				r.Class = FromPeer
+				offers = append(offers, r)
+			}
+		}
+	}
+	for ni := range ag.prov {
+		nb := &ag.prov[ni]
+		if c.class[nb.idx] != 0 {
+			rs.exp = c.exportInto(rs.exp[:0], int(nb.idx), i, nb.rev, view[nb.idx], c.plen[nb.idx])
+			for _, r := range rs.exp {
+				r.Class = FromProvider
+				offers = append(offers, r)
+			}
+		}
+	}
+	rs.offers = offers
+	if len(offers) == 0 {
+		return nil, -1
+	}
+	sel := selectBestInto(rs.sel[:0], offers, c.Top.ASes[i].IgnorePrepend)
+	rs.sel = sel
+	return sel, altSite(offers, sel, rs.winning)
+}
+
+// refine iterates per-AS re-selection to a byte-level fixed point. The
+// three phases settle each AS's class and path length exactly, but tie
+// *diversity* — which equally-good sites an AS retains — needs the
+// candidate sets refreshed from neighbors until nothing changes; it
+// converges quickly because classes and lengths are frozen. Each pass
+// records, per AS, whether the candidate row changed byte-wise
+// (Table.byteMask) — the trajectory metadata ComputeDelta needs to
+// replay only a dirty cone of a later announcement change.
+//
+// The rebuild is embarrassingly parallel: AS i reads the (frozen) slabs
+// plus the previous pass's rows and writes only its own outputs, so it
+// runs on the parallel pool with per-chunk scratch and arenas; results
+// are identical at any width.
+func (c *compute) refine() {
+	t := c.Table
+	n := len(c.class)
+	t.AltSite = make([]int16, n)
+	t.byteMask = make([]uint8, n)
+	changed := make([]uint8, n)
+	bufA := make([][]Route, n)
+	var bufB [][]Route // allocated lazily; most worlds converge in 2 passes
+
+	in := c.cands // pass 0 reads the post-phase snapshot
+	out := bufA
+	var final [][]Route
+	for pass := 0; pass < maxRefinePasses; pass++ {
+		parallel.Chunked(0, n, func(lo, hi int) {
+			rs := refineScratch{winning: make([]bool, t.NSite)}
+			arena := newRouteArena((hi - lo) * 2)
+			for i := lo; i < hi; i++ {
+				sel, alt := c.evalRefineAS(i, in, &rs)
+				out[i] = arena.copyIn(sel)
+				t.AltSite[i] = alt
+				if routesEq(in[i], out[i]) {
+					changed[i] = 0
+				} else {
+					changed[i] = 1
+				}
+			}
+		})
+		anyChanged := false
+		bit := uint8(1) << pass
+		for i := range changed {
+			if changed[i] != 0 {
+				t.byteMask[i] |= bit
+				anyChanged = true
+			}
+		}
+		t.passes = uint8(pass + 1)
+		final = out
+		if !anyChanged || pass == maxRefinePasses-1 {
+			break
+		}
+		if bufB == nil {
+			bufB = make([][]Route, n)
+		}
+		if pass == 0 {
+			in, out = out, bufB
+		} else {
+			in, out = out, in // two-pass-old rows are dead; reuse headers
+		}
+	}
+	t.Cands = final
 }
 
 // altSite finds the preferred fallback site: the best offer whose site
@@ -498,9 +606,12 @@ func altSite(offers, winners []Route, winning []bool) int16 {
 	return int16(best)
 }
 
-// selectBest applies local-pref then path length (BaseLen for
-// prepend-ignoring ASes), retaining all ties.
-func selectBest(offers []Route, ignorePrepend bool) []Route {
+// selectBestInto applies local-pref then path length (BaseLen for
+// prepend-ignoring ASes), retaining all ties, appending into dst
+// (caller-owned scratch). The result is insertion-sorted by (Site,
+// From); duplicates of one (Site, From) pair — which differ only in
+// entry coordinates — keep the first offer in canonical offer order.
+func selectBestInto(dst []Route, offers []Route, ignorePrepend bool) []Route {
 	cmpLen := func(r Route) int {
 		if ignorePrepend {
 			return r.BaseLen
@@ -513,72 +624,42 @@ func selectBest(offers []Route, ignorePrepend bool) []Route {
 			best = r
 		}
 	}
-	n := 0
 	for _, r := range offers {
-		if r.Class == best.Class && cmpLen(r) == cmpLen(best) {
-			n++
+		if r.Class != best.Class || cmpLen(r) != cmpLen(best) {
+			continue
 		}
+		pos := len(dst)
+		for k := range dst {
+			if dst[k].Site > r.Site || (dst[k].Site == r.Site && dst[k].From >= r.From) {
+				pos = k
+				break
+			}
+		}
+		if pos < len(dst) && dst[pos].Site == r.Site && dst[pos].From == r.From {
+			continue // first offer for this (Site, From) wins
+		}
+		dst = append(dst, Route{})
+		copy(dst[pos+1:], dst[pos:])
+		dst[pos] = r
 	}
-	// out is retained as the AS's candidate list, so it is the one
-	// allocation this function cannot reuse; size it exactly.
-	out := make([]Route, 0, n)
-	for _, r := range offers {
-		if r.Class == best.Class && cmpLen(r) == cmpLen(best) {
-			out = append(out, r)
-		}
-	}
-	// Deterministic order; also dedupe identical (Site, From) pairs.
-	// Duplicates differ in entry coordinates, so the permutation among
-	// equal keys decides which representative survives — sort.Slice's
-	// (unstable but deterministic) order is part of the frozen output.
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Site != out[b].Site {
-			return out[a].Site < out[b].Site
-		}
-		return out[a].From < out[b].From
-	})
-	dedup := out[:0]
-	for i, r := range out {
-		if i == 0 || r.Site != out[i-1].Site || r.From != out[i-1].From {
-			dedup = append(dedup, r)
-		}
-	}
-	return dedup
+	return dst
 }
 
-// addCand records a route, deduplicating by announcing neighbor and
-// site (one multi-PoP neighbor can legitimately announce several sites,
-// one per session region; a re-announcement of the same pair replaces
-// nothing — the first retained route wins).
-func addCand(st *state, r Route) {
-	for i := range st.cands {
-		if st.cands[i].From == r.From && st.cands[i].Site == r.Site {
-			return
-		}
-	}
-	st.cands = append(st.cands, r)
-}
-
-// exportRoutesInto computes what src announces to dst, one route per BGP
+// exportInto computes what src announces to dst, one route per BGP
 // session, appending to out (a caller-owned scratch buffer) and returning
-// the extended slice. Sessions come from the topology's precomputed
-// geometry: each dst PoP forms a session with src's nearest PoP, and over
-// that session src announces the candidate whose own exit is nearest the
-// session (src hot-potatoes too). A multi-PoP neighbor therefore hears
-// several equally long routes — possibly toward different sites — which
-// is exactly how site diversity disseminates on the real Internet.
-// Exact-distance ties break by a deterministic per-session hash standing
-// in for IGP metrics and router IDs, so one site doesn't globally win
-// every tie.
-//
-// The hot-potato distances are table lookups — popDist rows for PoP
-// entries, annDist rows for origin entries — each the memoized result of
-// the identical GeoDistance call the old inner loop made, so selection
-// is bit-for-bit unchanged.
-func (c *compute) exportRoutesInto(out []Route, srcIdx, dstIdx int, sess []session) []Route {
-	states := c.states
-	cands := states[srcIdx].cands
-	if len(cands) == 0 {
+// the extended slice. srcCands/srcLen are the exporting AS's candidate
+// row and settled length — phase slabs during propagation, the previous
+// pass's view during refine. Sessions come from the topology's
+// precomputed geometry: each dst PoP forms a session with src's nearest
+// PoP, and over that session src announces the candidate whose own exit
+// is nearest the session (src hot-potatoes too). A multi-PoP neighbor
+// therefore hears several equally long routes — possibly toward
+// different sites — which is exactly how site diversity disseminates on
+// the real Internet. Exact-distance ties break by a deterministic
+// per-session hash standing in for IGP metrics and router IDs, so one
+// site doesn't globally win every tie.
+func (c *compute) exportInto(out []Route, srcIdx, dstIdx int, sess []session, srcCands []Route, srcLen int32) []Route {
+	if len(srcCands) == 0 {
 		return out
 	}
 	src := &c.Top.ASes[srcIdx]
@@ -588,10 +669,10 @@ func (c *compute) exportRoutesInto(out []Route, srcIdx, dstIdx int, sess []sessi
 	start := len(out)
 	for _, s := range sess {
 		// src's announcement over this session.
-		best := cands[0]
+		best := srcCands[0]
 		bd := math.Inf(1)
 		bh := ^uint64(0)
-		for _, cand := range cands {
+		for _, cand := range srcCands {
 			var d float64
 			if e := cand.entry; e >= 0 {
 				d = pd[s.meet*np+e]
@@ -611,7 +692,7 @@ func (c *compute) exportRoutesInto(out []Route, srcIdx, dstIdx int, sess []sessi
 		dp := &dst.PoPs[s.dstPoP]
 		r := Route{
 			Site:     best.Site,
-			Len:      states[srcIdx].len + 1,
+			Len:      int(srcLen) + 1,
 			BaseLen:  best.BaseLen + 1,
 			From:     src.ASN,
 			Class:    best.Class, // caller overrides with receiver's view

@@ -56,13 +56,26 @@ type tableEntry struct {
 	// exercising candidate-order independence do).
 	asgOnce sync.Once
 	asg     *Assignment
+	// asgReady publishes asg to lock-free readers (the delta path reads a
+	// predecessor's memoized assignment without holding the cache lock).
+	asgReady atomic.Bool
+}
+
+func (e *tableEntry) assignment() *Assignment {
+	e.asgOnce.Do(func() { e.asg = e.tbl.Assign() })
+	e.asgReady.Store(true)
+	return e.asg
 }
 
 var routeCacheOff atomic.Bool
+var routeDeltaOff atomic.Bool
 
 func init() {
 	if os.Getenv("VP_NO_ROUTE_CACHE") == "1" {
 		routeCacheOff.Store(true)
+	}
+	if os.Getenv("VP_NO_ROUTE_DELTA") == "1" {
+		routeDeltaOff.Store(true)
 	}
 }
 
@@ -71,6 +84,16 @@ func init() {
 // entries; use ResetRouteCache for that.
 func SetRouteCache(on bool) bool {
 	return !routeCacheOff.Swap(!on)
+}
+
+// SetRouteDelta enables or disables incremental recomputation on cache
+// misses (VP_NO_ROUTE_DELTA=1 disables it at startup) and returns the
+// previous setting. Off, every miss is a cold ComputeEpoch — the escape
+// hatch the delta byte-identity tests diff against. Note the delta path
+// also needs the cache itself: with VP_NO_ROUTE_CACHE=1 there are no
+// predecessor tables, so deltas are implicitly off too.
+func SetRouteDelta(on bool) bool {
+	return !routeDeltaOff.Swap(!on)
 }
 
 var routeCache = struct {
@@ -138,10 +161,28 @@ func ComputeEpochCached(top *topology.Topology, anns []Announcement, epoch uint6
 		if o := obsHooks.Load(); o != nil {
 			o.cacheHits.Inc()
 		}
-		e.asgOnce.Do(func() { e.asg = e.tbl.Assign() })
-		return e.tbl, e.asg
+		return e.tbl, e.assignment()
 	}
 	routeCache.misses++
+	// Predecessor scan for the delta path: the most recently used cached
+	// table on the same (topology, generation, epoch) — announcement
+	// sweeps and monitor escalations always have one — seeds an
+	// incremental recompute instead of a cold convergence. Its memoized
+	// assignment, when already materialized, likewise seeds AssignDelta.
+	var pred *Table
+	var predAsg *Assignment
+	if !routeDeltaOff.Load() {
+		for el := routeCache.order.Front(); el != nil; el = el.Next() {
+			pe := el.Value.(*tableEntry)
+			if pe.key.top == top && pe.key.gen == key.gen && pe.key.epoch == epoch {
+				pred = pe.tbl
+				if pe.asgReady.Load() {
+					predAsg = pe.asg
+				}
+				break
+			}
+		}
+	}
 	routeCache.mu.Unlock()
 	if o := obsHooks.Load(); o != nil {
 		o.cacheMisses.Inc()
@@ -156,7 +197,12 @@ func ComputeEpochCached(top *topology.Topology, anns []Announcement, epoch uint6
 	// cached table must keep a stable Anns snapshot matching its key.
 	annsCopy := make([]Announcement, len(anns))
 	copy(annsCopy, anns)
-	tbl := ComputeEpoch(top, annsCopy, epoch)
+	var tbl *Table
+	if pred != nil {
+		tbl = ComputeDelta(pred, annsCopy)
+	} else {
+		tbl = ComputeEpoch(top, annsCopy, epoch)
+	}
 
 	routeCache.mu.Lock()
 	e, ok := routeCache.m[key]
@@ -177,6 +223,13 @@ func ComputeEpochCached(top *topology.Topology, anns []Announcement, epoch uint6
 		routeCache.order.MoveToFront(e.elem)
 	}
 	routeCache.mu.Unlock()
-	e.asgOnce.Do(func() { e.asg = e.tbl.Assign() })
-	return e.tbl, e.asg
+	// Delta-derived assignment only when this goroutine's table won the
+	// insert race: tbl.Changed is relative to *its* predecessor, and a
+	// race loser's entry holds someone else's (byte-identical) table.
+	if e.tbl == tbl && tbl.Changed != nil && predAsg != nil {
+		e.asgOnce.Do(func() { e.asg = tbl.AssignDelta(predAsg) })
+		e.asgReady.Store(true)
+		return e.tbl, e.asg
+	}
+	return e.tbl, e.assignment()
 }

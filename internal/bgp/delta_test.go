@@ -1,0 +1,218 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"verfploeter/internal/topology"
+)
+
+// Property tests for the incremental convergence contract (DESIGN.md):
+// ComputeDelta must be byte-identical to a cold ComputeEpoch on the new
+// announcement set — not just the exported Cands/AltSite but the whole
+// retained trajectory (phase slabs, byteMask, passes), because chained
+// deltas rely on that metadata describing the true cold trajectory.
+
+// requireTablesIdentical fails unless a (delta-derived) and b (cold) are
+// byte-identical in every field a later delta or assignment can read.
+func requireTablesIdentical(t *testing.T, label string, got, want *Table) {
+	t.Helper()
+	if got.NSite != want.NSite || got.epoch != want.epoch || got.gen != want.gen {
+		t.Fatalf("%s: header mismatch: NSite %d/%d epoch %d/%d gen %d/%d",
+			label, got.NSite, want.NSite, got.epoch, want.epoch, got.gen, want.gen)
+	}
+	if got.passes != want.passes {
+		t.Fatalf("%s: passes %d, want %d", label, got.passes, want.passes)
+	}
+	for i := range want.Cands {
+		if !routesEq(got.Cands[i], want.Cands[i]) {
+			t.Fatalf("%s: Cands differ at AS %d:\n got %v\nwant %v", label, i, got.Cands[i], want.Cands[i])
+		}
+		if got.AltSite[i] != want.AltSite[i] {
+			t.Fatalf("%s: AltSite[%d] = %d, want %d", label, i, got.AltSite[i], want.AltSite[i])
+		}
+		if got.phClass[i] != want.phClass[i] || got.phLen[i] != want.phLen[i] ||
+			!routesEq(got.phCands[i], want.phCands[i]) {
+			t.Fatalf("%s: phase slab differs at AS %d: class %v/%v len %d/%d\n got %v\nwant %v",
+				label, i, got.phClass[i], want.phClass[i], got.phLen[i], want.phLen[i],
+				got.phCands[i], want.phCands[i])
+		}
+		if got.byteMask[i] != want.byteMask[i] {
+			t.Fatalf("%s: byteMask[%d] = %08b, want %08b", label, i, got.byteMask[i], want.byteMask[i])
+		}
+	}
+}
+
+// requireChangedSound fails unless delta.Changed is exactly the set of
+// ASes whose Cands or AltSite differ from prev — no omissions (which
+// would corrupt AssignDelta) and no false positives beyond the cone.
+func requireChangedSound(t *testing.T, label string, prev, delta *Table) {
+	t.Helper()
+	if delta.Changed == nil {
+		t.Fatalf("%s: delta table has nil Changed", label)
+	}
+	inChanged := map[int32]bool{}
+	for _, i := range delta.Changed {
+		inChanged[i] = true
+	}
+	for i := range delta.Cands {
+		differs := !routesEq(delta.Cands[i], prev.Cands[i]) || delta.AltSite[i] != prev.AltSite[i]
+		if differs && !inChanged[int32(i)] {
+			t.Fatalf("%s: AS %d changed but is missing from Changed", label, i)
+		}
+		if !differs && inChanged[int32(i)] {
+			t.Fatalf("%s: AS %d in Changed but identical to prev", label, i)
+		}
+	}
+}
+
+// mutateAnns applies one random announcement-set edit: prepend toggles,
+// site moves, upstream swaps, additions, removals, reorders.
+func mutateAnns(rng *rand.Rand, top *topology.Topology, anns []Announcement) []Announcement {
+	out := append([]Announcement(nil), anns...)
+	randomASN := func() uint32 {
+		return top.ASes[rng.Intn(len(top.ASes))].ASN
+	}
+	op := rng.Intn(6)
+	if len(out) == 0 {
+		op = 3 // only addition is possible
+	}
+	switch op {
+	case 0: // prepend change
+		k := rng.Intn(len(out))
+		out[k].Prepend = rng.Intn(4)
+	case 1: // move the announcement's coordinates
+		k := rng.Intn(len(out))
+		out[k].Lat = float64(rng.Intn(120) - 60)
+		out[k].Lon = float64(rng.Intn(360) - 180)
+	case 2: // re-home onto a different upstream
+		k := rng.Intn(len(out))
+		out[k].UpstreamASN = randomASN()
+	case 3: // add a site announcement (possibly a new site index)
+		out = append(out, Announcement{
+			Site:        rng.Intn(3),
+			UpstreamASN: randomASN(),
+			Lat:         float64(rng.Intn(120) - 60),
+			Lon:         float64(rng.Intn(360) - 180),
+			Prepend:     rng.Intn(2),
+		})
+	case 4: // withdraw
+		k := rng.Intn(len(out))
+		out = append(out[:k], out[k+1:]...)
+	case 5: // reorder (announcement order is part of the output)
+		if len(out) >= 2 {
+			a, b := rng.Intn(len(out)), rng.Intn(len(out))
+			out[a], out[b] = out[b], out[a]
+		}
+	}
+	return out
+}
+
+// TestDeltaIdentityRandomDiffs drives random diff sequences on random
+// tiny worlds: every step checks delta-from-predecessor against cold,
+// both when the predecessor is cold-computed and when it is itself the
+// previous step's delta (chained deltas exercise the retained
+// trajectory metadata).
+func TestDeltaIdentityRandomDiffs(t *testing.T) {
+	for seed := uint64(600); seed < 610; seed++ {
+		top, anns := randomWorld(t, seed)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		epoch := uint64(seed % 3)
+		coldPrev := ComputeEpoch(top, anns, epoch)
+		deltaPrev := coldPrev
+		for step := 0; step < 8; step++ {
+			anns = mutateAnns(rng, top, anns)
+			cold := ComputeEpoch(top, anns, epoch)
+			fromCold := ComputeDelta(coldPrev, anns)
+			requireTablesIdentical(t, "delta-from-cold", fromCold, cold)
+			requireChangedSound(t, "delta-from-cold", coldPrev, fromCold)
+			fromDelta := ComputeDelta(deltaPrev, anns)
+			requireTablesIdentical(t, "chained-delta", fromDelta, cold)
+			requireChangedSound(t, "chained-delta", deltaPrev, fromDelta)
+
+			// AssignDelta over the changed set must match a full sweep.
+			wantAsg := cold.Assign()
+			gotAsg := fromDelta.AssignDelta(deltaPrev.Assign())
+			for i := range wantAsg.Primary {
+				if gotAsg.Primary[i] != wantAsg.Primary[i] ||
+					gotAsg.Secondary[i] != wantAsg.Secondary[i] ||
+					gotAsg.FlipProb[i] != wantAsg.FlipProb[i] {
+					t.Fatalf("seed %d step %d: AssignDelta differs at block %d: (%d,%d,%g) want (%d,%d,%g)",
+						seed, step, i,
+						gotAsg.Primary[i], gotAsg.Secondary[i], gotAsg.FlipProb[i],
+						wantAsg.Primary[i], wantAsg.Secondary[i], wantAsg.FlipProb[i])
+				}
+			}
+			coldPrev = cold
+			deltaPrev = fromDelta
+		}
+	}
+}
+
+// TestDeltaIdentityNoop: a delta with an unchanged announcement set must
+// reproduce the table exactly and report an empty (non-nil) change set.
+func TestDeltaIdentityNoop(t *testing.T) {
+	top, anns := randomWorld(t, 620)
+	prev := ComputeEpoch(top, anns, 0)
+	d := ComputeDelta(prev, append([]Announcement(nil), anns...))
+	requireTablesIdentical(t, "noop", d, prev)
+	if d.Changed == nil || len(d.Changed) != 0 {
+		t.Fatalf("noop delta Changed = %v, want empty", d.Changed)
+	}
+}
+
+// TestDeltaFallsBackOnStaleGeneration: a mutated-and-refinalized
+// topology must never be served a dirty-cone recompute seeded by a
+// stale-generation table.
+func TestDeltaFallsBackOnStaleGeneration(t *testing.T) {
+	top, anns := randomWorld(t, 630)
+	prev := ComputeEpoch(top, anns, 0)
+	gen := top.Generation()
+	top.Finalize()
+	if top.Generation() == gen {
+		t.Fatal("Finalize did not move the generation")
+	}
+	d := ComputeDelta(prev, anns)
+	if d.Changed != nil {
+		t.Fatal("stale-generation delta did not fall back to cold compute")
+	}
+	cold := ComputeEpoch(top, anns, 0)
+	requireTablesIdentical(t, "post-finalize", d, cold)
+}
+
+// TestDeltaIdentityMediumTier runs one realistic-size check (skipped in
+// -short): a medium world, a prepend change and an upstream withdrawal,
+// delta vs cold.
+func TestDeltaIdentityMediumTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium tier in -short")
+	}
+	top := topology.Generate(topology.DefaultParams(topology.SizeMedium, 7))
+	var transits []uint32
+	for i := range top.ASes {
+		if top.ASes[i].Class == topology.Transit {
+			transits = append(transits, top.ASes[i].ASN)
+		}
+	}
+	if len(transits) < 3 {
+		t.Skip("degenerate topology")
+	}
+	anns := []Announcement{
+		{Site: 0, UpstreamASN: transits[0], Lat: 34, Lon: -118},
+		{Site: 1, UpstreamASN: transits[1], Lat: 50, Lon: 9},
+		{Site: 2, UpstreamASN: transits[2], Lat: 1, Lon: 103},
+	}
+	prev := ComputeEpoch(top, anns, 3)
+
+	prepended := append([]Announcement(nil), anns...)
+	prepended[1].Prepend = 2
+	cold := ComputeEpoch(top, prepended, 3)
+	d := ComputeDelta(prev, prepended)
+	requireTablesIdentical(t, "medium-prepend", d, cold)
+	requireChangedSound(t, "medium-prepend", prev, d)
+
+	withdrawn := anns[:2]
+	cold = ComputeEpoch(top, withdrawn, 3)
+	d = ComputeDelta(d, withdrawn) // chained: prev is itself a delta
+	requireTablesIdentical(t, "medium-withdraw", d, cold)
+}

@@ -1,0 +1,149 @@
+package bgp
+
+// Flat route state. The propagation phases and the refine loop used to
+// keep per-AS `state` structs whose candidate slices were allocated one
+// `make` at a time — one allocation per AS per refine pass, plus a
+// sort.Slice closure each, which dominated BGPCompute's allocation
+// profile. This file provides the struct-of-arrays replacements:
+//
+//   - the class/len/cands slabs live directly on compute (bgp.go), indexed
+//     by AS index, and are retained on the Table afterwards as the
+//     post-phase snapshot ComputeDelta diffs against;
+//   - routeArena batches retained candidate rows into large chunks, so a
+//     whole refine pass costs a handful of allocations instead of one per
+//     AS;
+//   - a sync.Pool of per-compute scratch (level buckets, offer/export
+//     buffers, a spare header array) is reused across computes, which the
+//     cache-miss-heavy workloads (prepend sweeps, monitor escalations,
+//     property tests) hit constantly.
+
+import "sync"
+
+// routeArena allocates immutable []Route rows in large chunks. Rows are
+// copied in after being built in scratch, so every retained row is
+// exactly sized and capacity-clamped: appending to a returned row can
+// never clobber a neighbor.
+type routeArena struct {
+	cur  []Route
+	hint int
+}
+
+const arenaMinChunk = 256
+
+func newRouteArena(hint int) routeArena {
+	if hint < arenaMinChunk {
+		hint = arenaMinChunk
+	}
+	return routeArena{hint: hint}
+}
+
+// copyIn stores a copy of src in the arena and returns the stored row.
+func (a *routeArena) copyIn(src []Route) []Route {
+	if len(src) == 0 {
+		return nil
+	}
+	if cap(a.cur)-len(a.cur) < len(src) {
+		size := a.hint
+		if len(src) > size {
+			size = len(src)
+		}
+		a.cur = make([]Route, 0, size)
+	}
+	start := len(a.cur)
+	a.cur = a.cur[:start+len(src)]
+	copy(a.cur[start:], src)
+	return a.cur[start : start+len(src) : start+len(src)]
+}
+
+// routesEq reports byte-for-byte equality of two candidate rows (Route
+// has no pointers or NaN-bearing values in practice, so field-wise ==
+// is exact equality).
+func routesEq(a, b []Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// scratch is the reusable single-threaded working set of one compute:
+// phase scheduling buckets, offer/export buffers for the pull
+// evaluators, per-AS change marks, and a spare refine header buffer.
+// Parallel sections (refine chunks, assignment) use their own local
+// scratch instead — this object is never shared across goroutines.
+type scratch struct {
+	sched     [][]int32 // per-level scheduling buckets
+	offers    []Route
+	exp       []Route
+	sel       []Route
+	mark      []uint8   // per-AS flags
+	hdr       [][]Route // spare pass-buffer headers
+	origin    [][]Route // per-AS origin routes; sparse, see originSlab
+	originSet []int32   // indexes of non-nil origin entries
+	heap      levelHeap
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+func getScratch(n int) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	if cap(sc.mark) < n {
+		sc.mark = make([]uint8, n)
+	}
+	sc.mark = sc.mark[:n]
+	for i := range sc.mark {
+		sc.mark[i] = 0
+	}
+	return sc
+}
+
+// originSlab returns an n-length origin table with every entry nil.
+// Only announcement upstreams (a handful of ASes) ever hold entries, so
+// reuse clears just the indexes recorded in originSet instead of paying
+// an n-sized allocation-plus-zero on every compute.
+func (sc *scratch) originSlab(n int) [][]Route {
+	if cap(sc.origin) < n {
+		sc.origin = make([][]Route, n)
+		sc.originSet = sc.originSet[:0]
+		return sc.origin
+	}
+	full := sc.origin[:cap(sc.origin)]
+	for _, i := range sc.originSet {
+		full[i] = nil
+	}
+	sc.originSet = sc.originSet[:0]
+	sc.origin = full[:n]
+	return sc.origin
+}
+
+func (sc *scratch) release() {
+	sc.heap = sc.heap[:0]
+	scratchPool.Put(sc)
+}
+
+// resetSched truncates every bucket and the bucket list itself, keeping
+// their capacity for the next phase.
+func (sc *scratch) resetSched() {
+	for i := range sc.sched {
+		sc.sched[i] = sc.sched[i][:0]
+	}
+	sc.sched = sc.sched[:0]
+}
+
+// schedule adds an AS to the bucket for the given level, growing the
+// bucket list on demand.
+func (sc *scratch) schedule(level int32, as int32) {
+	for int(level) >= len(sc.sched) {
+		if len(sc.sched) < cap(sc.sched) {
+			sc.sched = sc.sched[:len(sc.sched)+1]
+			sc.sched[len(sc.sched)-1] = sc.sched[len(sc.sched)-1][:0]
+		} else {
+			sc.sched = append(sc.sched, nil)
+		}
+	}
+	sc.sched[level] = append(sc.sched[level], as)
+}

@@ -1,0 +1,63 @@
+package bgp
+
+// Typed scheduling heap. The old propagation queue was a container/heap
+// implementation whose Push/Pop traffic every route through `any`,
+// boxing one pqItem per export event — tens of thousands of small heap
+// allocations per convergence at the medium tier and millions at the
+// internet tier. The level-synchronous phases (bgp.go) replaced most of
+// that queue with flat per-level buckets; the one place that still needs
+// a priority structure — the delta wavefront, whose re-evaluations can
+// be scheduled at non-monotone levels — uses this monomorphic slice
+// heap instead. Push and pop move levelItems by value; nothing escapes,
+// nothing boxes.
+
+// levelItem schedules one AS for (re)evaluation at a path-length level.
+type levelItem struct {
+	level int32
+	asIdx int32
+}
+
+// levelHeap is a binary min-heap ordered by level. Ordering among equal
+// levels is unspecified: wavefront evaluation is a pull over neighbor
+// state, so the result is independent of intra-level processing order.
+type levelHeap []levelItem
+
+func (h *levelHeap) push(it levelItem) {
+	q := append(*h, it)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p].level <= q[i].level {
+			break
+		}
+		q[p], q[i] = q[i], q[p]
+		i = p
+	}
+	*h = q
+}
+
+func (h *levelHeap) pop() levelItem {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && q[l].level < q[small].level {
+			small = l
+		}
+		if r < last && q[r].level < q[small].level {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	*h = q
+	return top
+}

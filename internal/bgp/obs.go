@@ -17,12 +17,16 @@ import (
 // obsSet pre-resolves the package's instruments so hot paths never take
 // the registry's map lock.
 type obsSet struct {
-	reg            *obsv.Registry
-	cacheHits      *obsv.Counter
-	cacheMisses    *obsv.Counter
-	cacheEvictions *obsv.Counter
-	computeSeconds *obsv.Histogram
-	assignSeconds  *obsv.Histogram
+	reg                *obsv.Registry
+	cacheHits          *obsv.Counter
+	cacheMisses        *obsv.Counter
+	cacheEvictions     *obsv.Counter
+	computeSeconds     *obsv.Histogram
+	assignSeconds      *obsv.Histogram
+	deltaComputes      *obsv.Counter
+	deltaCone          *obsv.Histogram
+	deltaSeconds       *obsv.Histogram
+	assignBlocksReused *obsv.Counter
 }
 
 var obsHooks atomic.Pointer[obsSet]
@@ -42,6 +46,11 @@ func SetObs(r *obsv.Registry) {
 		cacheEvictions: r.Counter("route_cache_evictions", "converged tables dropped at the LRU cap"),
 		computeSeconds: r.Histogram("bgp_compute_seconds", "route-propagation convergence wall time", nil),
 		assignSeconds:  r.Histogram("bgp_assign_seconds", "catchment assignment wall time", nil),
+		deltaComputes:  r.Counter("bgp_delta_computes", "incremental (dirty-cone) recomputations"),
+		deltaCone: r.Histogram("bgp_delta_cone_asns", "ASes in the refine recompute cone per delta",
+			[]float64{16, 64, 256, 1024, 4096, 16384}),
+		deltaSeconds:       r.Histogram("bgp_delta_seconds", "incremental recomputation wall time", nil),
+		assignBlocksReused: r.Counter("assign_blocks_reused", "blocks inherited from a predecessor assignment"),
 	})
 }
 
@@ -57,6 +66,8 @@ func obsTimed(phase string) func() {
 	switch phase {
 	case "bgp-compute":
 		h = o.computeSeconds
+	case "bgp-delta":
+		h = o.deltaSeconds
 	case "assign":
 		h = o.assignSeconds
 	}

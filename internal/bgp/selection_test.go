@@ -1,0 +1,176 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Unit tests for the selection primitives: selectBestInto (local-pref /
+// path-length filter with tie retention) and altSite (best losing
+// site), plus scratch-reuse invariance for the refine evaluator.
+
+func offer(site, length, baseLen int, from uint32, class RelClass) Route {
+	return Route{Site: site, Len: length, BaseLen: baseLen, From: from, Class: class}
+}
+
+func TestSelectBestAllPrepended(t *testing.T) {
+	// Every offer carries prepending. A prepend-respecting AS picks the
+	// shortest Len; a prepend-blind AS compares BaseLen and keeps the
+	// tied pair.
+	offers := []Route{
+		offer(0, 5, 2, 10, FromCustomer),
+		offer(1, 4, 2, 11, FromCustomer),
+		offer(2, 6, 3, 12, FromCustomer),
+	}
+	sel := selectBestInto(nil, offers, false)
+	if len(sel) != 1 || sel[0].Site != 1 {
+		t.Fatalf("prepend-respecting: got %v, want single site-1 winner", sel)
+	}
+	sel = selectBestInto(nil, offers, true)
+	if len(sel) != 2 || sel[0].Site != 0 || sel[1].Site != 1 {
+		t.Fatalf("prepend-blind: got %v, want sites 0 and 1 (BaseLen tie)", sel)
+	}
+}
+
+func TestSelectBestSingleOfferTies(t *testing.T) {
+	// A lone offer always wins, whatever its class or inflation.
+	for _, class := range []RelClass{FromProvider, FromPeer, FromCustomer} {
+		offers := []Route{offer(3, 9, 1, 42, class)}
+		sel := selectBestInto(nil, offers, false)
+		if len(sel) != 1 || sel[0] != offers[0] {
+			t.Fatalf("single offer (class %v): got %v", class, sel)
+		}
+	}
+	// Duplicate (Site, From) pairs collapse to the first offer in order —
+	// the canonical-order contract dirty-cone recomputation relies on.
+	dup := []Route{
+		{Site: 1, Len: 3, BaseLen: 3, From: 7, Class: FromPeer, EntryLat: 10},
+		{Site: 1, Len: 3, BaseLen: 3, From: 7, Class: FromPeer, EntryLat: 20},
+	}
+	sel := selectBestInto(nil, dup, false)
+	if len(sel) != 1 || sel[0].EntryLat != 10 {
+		t.Fatalf("duplicate (site,from): got %v, want first offer retained", sel)
+	}
+}
+
+func TestSelectBestClassDominance(t *testing.T) {
+	// A longer customer route still beats shorter peer and provider routes.
+	offers := []Route{
+		offer(0, 2, 2, 10, FromProvider),
+		offer(1, 3, 3, 11, FromPeer),
+		offer(2, 7, 7, 12, FromCustomer),
+	}
+	sel := selectBestInto(nil, offers, false)
+	if len(sel) != 1 || sel[0].Site != 2 {
+		t.Fatalf("class dominance: got %v, want customer route", sel)
+	}
+}
+
+func TestAltSiteEmptyWinners(t *testing.T) {
+	// No winners at all: every offer's site is a losing site, best class
+	// then length picks the alternate.
+	offers := []Route{
+		offer(0, 4, 4, 10, FromProvider),
+		offer(1, 2, 2, 11, FromPeer),
+		offer(2, 9, 9, 12, FromPeer),
+	}
+	winning := make([]bool, 3)
+	if alt := altSite(offers, nil, winning); alt != 1 {
+		t.Fatalf("empty winners: alt = %d, want 1 (best class, shortest)", alt)
+	}
+	// All offers winning: no losing site exists.
+	if alt := altSite(offers, offers, winning); alt != -1 {
+		t.Fatalf("all winning: alt = %d, want -1", alt)
+	}
+	// No offers at all.
+	if alt := altSite(nil, nil, winning); alt != -1 {
+		t.Fatalf("no offers: alt = %d, want -1", alt)
+	}
+}
+
+func TestAltSitePrefersClassOverLength(t *testing.T) {
+	offers := []Route{
+		offer(0, 1, 1, 10, FromCustomer), // winner
+		offer(1, 9, 9, 11, FromCustomer), // losing but customer-class
+		offer(2, 2, 2, 12, FromProvider), // shorter but lower class
+	}
+	winning := make([]bool, 3)
+	if alt := altSite(offers, offers[:1], winning); alt != 1 {
+		t.Fatalf("alt = %d, want 1 (class beats length)", alt)
+	}
+}
+
+// TestSelectBestShuffleInvariance: the winner *set* is independent of
+// offer order (selection is a pure max + filter), the output is always
+// (Site, From)-sorted, and reusing one scratch buffer across many calls
+// never leaks state between them. Byte-exact representatives for
+// duplicate (Site, From) keys legitimately follow first-offer order, so
+// the check compares the sorted (Site, From, Class, Len) projection.
+func TestSelectBestShuffleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base := []Route{
+		offer(0, 3, 3, 10, FromPeer),
+		offer(1, 3, 3, 11, FromPeer),
+		offer(1, 3, 3, 10, FromPeer),
+		offer(2, 4, 3, 12, FromPeer),
+		offer(0, 3, 3, 13, FromPeer),
+	}
+	type key struct {
+		site int
+		from uint32
+	}
+	ref := selectBestInto(nil, base, false)
+	want := map[key]bool{}
+	for _, r := range ref {
+		want[key{r.Site, r.From}] = true
+	}
+	var scratch []Route // reused across every iteration, like refineScratch.sel
+	for trial := 0; trial < 50; trial++ {
+		shuffled := append([]Route(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		scratch = selectBestInto(scratch[:0], shuffled, false)
+		if len(scratch) != len(ref) {
+			t.Fatalf("trial %d: %d winners, want %d", trial, len(scratch), len(ref))
+		}
+		for i, r := range scratch {
+			if !want[key{r.Site, r.From}] {
+				t.Fatalf("trial %d: unexpected winner %v", trial, r)
+			}
+			if i > 0 && (scratch[i-1].Site > r.Site ||
+				(scratch[i-1].Site == r.Site && scratch[i-1].From >= r.From)) {
+				t.Fatalf("trial %d: output not (Site, From)-sorted: %v", trial, scratch)
+			}
+		}
+	}
+}
+
+// TestRefineScratchReuseInvariance: evaluating the same AS repeatedly
+// through one shared refineScratch (as the per-chunk refine loops do)
+// must give byte-identical rows every time — growth or retained state
+// in the scratch buffers must never change results.
+func TestRefineScratchReuseInvariance(t *testing.T) {
+	top, anns := randomWorld(t, 640)
+	c := newCompute(top, anns, 0)
+	c.phaseCustomer()
+	c.phasePeer()
+	c.phaseProvider()
+	defer c.finish()
+	rs := refineScratch{winning: make([]bool, c.NSite)}
+	type result struct {
+		row []Route
+		alt int16
+	}
+	first := make([]result, len(c.class))
+	for i := range c.class {
+		sel, alt := c.evalRefineAS(i, c.cands, &rs)
+		first[i] = result{row: append([]Route(nil), sel...), alt: alt}
+	}
+	// Second sweep in reverse order, same scratch: results must match.
+	for i := len(c.class) - 1; i >= 0; i-- {
+		sel, alt := c.evalRefineAS(i, c.cands, &rs)
+		if !routesEq(sel, first[i].row) || alt != first[i].alt {
+			t.Fatalf("AS %d: scratch reuse changed result: %v/%d vs %v/%d",
+				i, sel, alt, first[i].row, first[i].alt)
+		}
+	}
+}

@@ -56,6 +56,38 @@ type geometry struct {
 	gen     uint64      // topology.Generation at build time
 	popDist [][]float64 // [as][m*|PoPs|+e]: GeoDistance(PoPs[m], PoPs[e])
 	as      []asGeo
+
+	// Lazy CSR of block indices grouped by owning AS, built on first
+	// AssignDelta: blkIDs[blkOff[i]:blkOff[i+1]] are the Topology.Blocks
+	// indices owned by AS i, ascending. Like everything else here it is
+	// a pure function of the (topology, generation) this geometry is
+	// keyed by.
+	blkOnce sync.Once
+	blkOff  []int32
+	blkIDs  []int32
+}
+
+// blocksByAS returns the per-AS block index CSR, building it once.
+func (g *geometry) blocksByAS(top *topology.Topology) (off, ids []int32) {
+	g.blkOnce.Do(func() {
+		n := len(top.ASes)
+		g.blkOff = make([]int32, n+1)
+		for i := range top.Blocks {
+			g.blkOff[top.Blocks[i].ASIdx+1]++
+		}
+		for i := 0; i < n; i++ {
+			g.blkOff[i+1] += g.blkOff[i]
+		}
+		g.blkIDs = make([]int32, len(top.Blocks))
+		next := make([]int32, n)
+		copy(next, g.blkOff[:n])
+		for i := range top.Blocks {
+			as := top.Blocks[i].ASIdx
+			g.blkIDs[next[as]] = int32(i)
+			next[as]++
+		}
+	})
+	return g.blkOff, g.blkIDs
 }
 
 // buildSessions replicates exportRoutes' old session discovery: a session

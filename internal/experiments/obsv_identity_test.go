@@ -21,10 +21,14 @@ func TestExperimentsByteIdenticalWithObs(t *testing.T) {
 	}
 	resetWorlds := func() {
 		// Drop the campaign cache between passes so every round actually
-		// re-runs; served rounds would mask divergence.
+		// re-runs; served rounds would mask divergence. The route cache
+		// goes too, so the instrumented pass recomputes tables — taking
+		// the incremental (dirty-cone) path wherever a predecessor
+		// exists — instead of serving pass 1's results back.
 		campaignMu.Lock()
 		campaignCache = map[worldKey][]*verfploeter.Catchment{}
 		campaignMu.Unlock()
+		bgp.ResetRouteCache()
 	}
 
 	plain := map[string]string{}
@@ -58,5 +62,11 @@ func TestExperimentsByteIdenticalWithObs(t *testing.T) {
 	}
 	if len(reg.Spans()) == 0 {
 		t.Error("instrumented pass recorded no spans; tracing was not exercised")
+	}
+	if reg.Counter("bgp_delta_computes", "").Value() == 0 {
+		t.Error("instrumented pass took no incremental recompute; delta identity coverage is vacuous")
+	}
+	if reg.Counter("assign_blocks_reused", "").Value() == 0 {
+		t.Error("instrumented pass reused no assignment blocks; delta-assign coverage is vacuous")
 	}
 }

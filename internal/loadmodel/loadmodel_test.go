@@ -12,7 +12,7 @@ import (
 
 func brootFixture(t *testing.T) (*scenario.Scenario, *verfploeter.Catchment, *querylog.Log) {
 	t.Helper()
-	s := scenario.BRoot(topology.SizeSmall, 1)
+	s := scenario.BRoot(topology.SizeSmall, 2)
 	catch, _, err := s.Measure(1)
 	if err != nil {
 		t.Fatal(err)

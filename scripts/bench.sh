@@ -2,12 +2,17 @@
 # bench.sh — machine-readable perf trajectory. Runs the key benchmarks
 # and writes BENCH_<git-short-sha>.json with ns/op and allocs/op for the
 # route-computation fast path (BGPCompute, ReannounceSweep, ExportRoutes),
-# the pipeline anchors (Table4Coverage, MeasurementRound), the
-# internet-scale columnar sweep (InternetSweep: 1.2M blocks probed,
-# folded, and streamed to a v4 dataset per iteration), and the
-# instrumentation overhead pair (ObsvOverhead metrics=off/on — the on/off
-# delta must stay under 2%), so perf regressions show up as a diff
-# against the previous BENCH_*.json.
+# the incremental-recompute pair (BGPComputeInternet/route vs
+# ComputeDelta/route — cold three-phase propagation at the internet tier
+# against the single-announcement dirty-cone delta; the ratio is the
+# tentpole speedup, target >= 20x; /full adds block (re)assignment),
+# the scheduling-queue pair (LevelHeap typed/boxed), the pipeline
+# anchors (Table4Coverage, MeasurementRound), the internet-scale
+# columnar sweep (InternetSweep: 1.2M blocks probed, folded, and
+# streamed to a v4 dataset per iteration), and the instrumentation
+# overhead pair (ObsvOverhead metrics=off/on — the on/off delta must
+# stay under 2%), so perf regressions show up as a diff against the
+# previous BENCH_*.json.
 #
 #   ./scripts/bench.sh            # full run (benchtime 5x), writes JSON
 #   ./scripts/bench.sh smoke      # 1 iteration, no JSON — CI gate mode
@@ -21,9 +26,9 @@ MODE="${1:-full}"
 COUNT="${VP_BENCH_COUNT:-5x}"
 [ "$MODE" = "smoke" ] && COUNT="${VP_BENCH_COUNT:-1x}"
 
-PATTERN='^(BenchmarkBGPCompute|BenchmarkReannounceSweep|BenchmarkTable4Coverage|BenchmarkMeasurementRound|BenchmarkInternetSweep|BenchmarkObsvOverhead)$'
+PATTERN='^(BenchmarkBGPCompute|BenchmarkBGPComputeInternet|BenchmarkComputeDelta|BenchmarkReannounceSweep|BenchmarkTable4Coverage|BenchmarkMeasurementRound|BenchmarkInternetSweep|BenchmarkObsvOverhead)$'
 OUT=$(go test -run '^$' -bench "$PATTERN" -benchtime "$COUNT" -benchmem . 2>&1)
-BGPOUT=$(go test -run '^$' -bench '^(BenchmarkExportRoutes|BenchmarkComputeEpochCached)$' -benchtime "$COUNT" -benchmem ./internal/bgp/ 2>&1)
+BGPOUT=$(go test -run '^$' -bench '^(BenchmarkExportRoutes|BenchmarkComputeEpochCached|BenchmarkLevelHeap)$' -benchtime "$COUNT" -benchmem ./internal/bgp/ 2>&1)
 
 printf '%s\n%s\n' "$OUT" "$BGPOUT"
 if printf '%s\n%s\n' "$OUT" "$BGPOUT" | grep -q '^--- FAIL\|^FAIL'; then

@@ -145,4 +145,25 @@ rm -f "$VPDS_TMP" /tmp/vp-check-bin
 echo "== bench smoke (1 iteration, medium)"
 ./scripts/bench.sh smoke
 
+# Allocs/op regression gate: BGPCompute's allocation profile is the flat
+# route state's contract — slab-per-compute plus arena chunks, not
+# per-AS garbage (the pre-columnar code sat at ~53k allocs/op). The
+# budget is the recorded steady-state count with headroom for runtime
+# variation; fail when a run exceeds it by >20%. Re-pin the budget only
+# when the compute pipeline deliberately gains an allocation site.
+echo "== allocs/op gate (BGPCompute)"
+ALLOC_BUDGET=90 # recorded 2026-08 at medium tier (BENCH_*.json)
+GOT_ALLOCS=$(go test -run '^$' -bench '^BenchmarkBGPCompute$' -benchtime 5x -benchmem . 2>&1 |
+	awk '/^BenchmarkBGPCompute/{for(i=2;i<NF;i++) if ($(i+1)=="allocs/op") print $i}')
+if [ -z "${GOT_ALLOCS:-}" ]; then
+	echo "allocs gate FAILED: could not parse allocs/op" >&2
+	exit 1
+fi
+ALLOC_LIMIT=$((ALLOC_BUDGET + ALLOC_BUDGET / 5))
+if [ "$GOT_ALLOCS" -gt "$ALLOC_LIMIT" ]; then
+	echo "allocs gate FAILED: BGPCompute ${GOT_ALLOCS} allocs/op > limit ${ALLOC_LIMIT} (budget ${ALLOC_BUDGET} +20%)" >&2
+	exit 1
+fi
+echo "BGPCompute allocs/op=${GOT_ALLOCS} (budget ${ALLOC_BUDGET}, limit ${ALLOC_LIMIT})"
+
 echo "check.sh: all green"
