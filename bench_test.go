@@ -26,8 +26,10 @@ import (
 	"verfploeter/internal/dataset"
 	"verfploeter/internal/experiments"
 	"verfploeter/internal/ipv4"
+	"verfploeter/internal/loadgen"
 	"verfploeter/internal/obsv"
 	"verfploeter/internal/packet"
+	"verfploeter/internal/playbook"
 	"verfploeter/internal/rng"
 	"verfploeter/internal/scenario"
 	"verfploeter/internal/topology"
@@ -458,6 +460,46 @@ func BenchmarkExtDDoS(b *testing.B) { benchExperiment(b, "ext-ddos") }
 
 // BenchmarkExtLatency compares Atlas's and Verfploeter's latency views.
 func BenchmarkExtLatency(b *testing.B) { benchExperiment(b, "ext-latency") }
+
+// BenchmarkExtDDoSPlaybook ranks the full announcement candidate grammar
+// per attack shape (control-plane prediction, no measurement).
+func BenchmarkExtDDoSPlaybook(b *testing.B) { benchExperiment(b, "ext-ddos-playbook") }
+
+// BenchmarkExtDDoSLoop runs the closed monitor→plan→re-announce loop.
+func BenchmarkExtDDoSLoop(b *testing.B) { benchExperiment(b, "ext-ddos-loop") }
+
+// BenchmarkPlaybookSearch times one full playbook search — enumerate the
+// candidate grammar, predict every candidate's routing via the cache's
+// delta path, score, choose — on the medium b-root deployment. This is
+// the "plan search completes in single-digit seconds" acceptance number;
+// set VP_NO_ROUTE_DELTA=1 to measure the cold-recompute fallback and
+// VP_BENCH_SIZE to change tiers.
+func BenchmarkPlaybookSearch(b *testing.B) {
+	s := scenario.BRoot(benchConfig().Size, 7)
+	normal := s.RootLog()
+	mix, err := loadgen.ParseAttackMix("shape=concentrated,volume=3x,ases=12,seed=3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := normal.TotalQPD()
+	cfg := playbook.Config{
+		Target:   s.MustSite("lax"),
+		Capacity: []float64{2.0 * total, 4.5 * total},
+		Normal:   normal,
+		Attack:   mix.Synthesize(s.Top, total),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bgp.ResetRouteCache() // each iteration pays the real search cost
+		plan := playbook.Search(s, cfg)
+		if plan.Best == 0 {
+			b.Fatal("search chose hold under overload")
+		}
+	}
+	b.StopTimer()
+	bgp.ResetRouteCache()
+}
 
 // BenchmarkExtLoss sweeps fault profiles and retry budgets over the
 // loss-sensitivity experiment (DESIGN.md §9).

@@ -5,6 +5,7 @@
 //	verfploeter -scenario b-root -size medium
 //	verfploeter -scenario tangled -map -prepend 0,0,0,0,0,0,0,0,0
 //	verfploeter -scenario b-root -hitlist-out hitlist.txt -catchment-out catchment.tsv
+//	verfploeter -scenario b-root -playbook -attack shape=concentrated,volume=3x -capacity 2,4.5
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"verfploeter"
 	"verfploeter/internal/cli"
 	"verfploeter/internal/dataset"
+	"verfploeter/internal/loadmodel"
 	"verfploeter/internal/topology"
 )
 
@@ -43,6 +45,10 @@ func main() {
 		faultSeed    = flag.Uint64("fault-seed", 0, "override the fault profile's seed (same seed = same drops at any -workers)")
 		retries      = flag.Int("retries", 0, "per-target retransmission budget under loss (capped exponential backoff)")
 		monitorMode  = flag.Bool("monitor", false, "run a continuous monitoring campaign instead of one round (with -monitor, -prepend becomes an operator action at epoch 1)")
+		playbookMode = flag.Bool("playbook", false, "search the announcement playbook against -attack (standalone: print the ranked candidates; with -monitor: closed-loop defense)")
+		attackSpec   = flag.String("attack", "shape=spoofed,volume=5x", "attack mix for -playbook: shape=spoofed|concentrated,volume=<n>x|<abs>,ases=<k>,seed=<s>")
+		capacitySpec = flag.String("capacity", "2", "per-site capacity as a multiple of normal daily query volume: one value for all sites, or a comma list per site")
+		allowWd      = flag.Bool("allow-withdraw", false, "let the playbook consider withdrawing a site entirely")
 		epochs       = flag.Int("epochs", 4, "monitoring campaign length in sweep epochs, baseline included")
 		sample       = flag.Float64("sample", 0, "per-AS sampled block fraction per epoch (0 = full re-probe every epoch)")
 		seriesOut    = flag.String("save-series", "", "save the monitoring run as a .vpds series file (format v3)")
@@ -90,7 +96,24 @@ func main() {
 	}
 
 	if *monitorMode {
-		if err := runMonitor(d, *epochs, *sample, pp, *seriesOut); err != nil {
+		var eng *verfploeter.PlaybookEngine
+		var loadLog *verfploeter.Log
+		if *playbookMode {
+			pcfg, err := playbookConfig(d, *attackSpec, *capacitySpec, *allowWd)
+			if err != nil {
+				usage(err)
+			}
+			eng = d.NewPlaybookEngine(verfploeter.PlaybookEngineConfig{Config: pcfg})
+			loadLog = pcfg.Normal
+		}
+		if err := runMonitor(d, *epochs, *sample, pp, *seriesOut, eng, loadLog); err != nil {
+			fatal(err)
+		}
+		cli.EmitObs(os.Stdout, reg, *metrics, *traceSpans)
+		return
+	}
+	if *playbookMode {
+		if err := runPlaybook(d, *attackSpec, *capacitySpec, *allowWd); err != nil {
 			fatal(err)
 		}
 		cli.EmitObs(os.Stdout, reg, *metrics, *traceSpans)
@@ -177,17 +200,25 @@ func main() {
 // drift report. A -prepend value becomes an operator action at epoch 1,
 // so the campaign observes (and classifies) the change rather than
 // starting from it. The final "monitor:" line is stable for a fixed
-// scenario/seed/flags — scripts/check.sh pins it as a golden.
-func runMonitor(d *verfploeter.Deployment, epochs int, sample float64, pp []int, seriesOut string) error {
+// scenario/seed/flags — scripts/check.sh pins it as a golden; when
+// -playbook attaches an engine its summary prints after that line so
+// the golden survives.
+func runMonitor(d *verfploeter.Deployment, epochs int, sample float64, pp []int, seriesOut string,
+	eng *verfploeter.PlaybookEngine, loadLog *verfploeter.Log) error {
 	var actions []verfploeter.MonitorAction
 	if pp != nil {
 		actions = append(actions, verfploeter.MonitorAction{Epoch: 1, Prepend: pp})
 	}
-	res, err := d.Monitor(verfploeter.MonitorConfig{
+	mcfg := verfploeter.MonitorConfig{
 		Epochs:  epochs,
 		Sample:  sample,
 		Actions: actions,
-	})
+	}
+	if eng != nil {
+		mcfg.LoadLog = loadLog
+		mcfg.Controller = eng.Controller()
+	}
+	res, err := d.Monitor(mcfg)
 	if err != nil {
 		return err
 	}
@@ -220,6 +251,13 @@ func runMonitor(d *verfploeter.Deployment, epochs int, sample float64, pp []int,
 	}
 	fmt.Printf("\nmonitor: epochs=%d events=%d flips=%d probes=%d baseline=%d\n",
 		len(res.Epochs), len(res.Events), flips, res.TotalProbes, res.BaselineProbes)
+	if eng != nil {
+		fmt.Println()
+		for _, dec := range eng.Decisions {
+			fmt.Printf("playbook %s\n", dec)
+		}
+		fmt.Printf("playbook: applied=%d rollbacks=%d\n", eng.Applied, eng.Rollbacks)
+	}
 
 	if seriesOut != "" {
 		if err := verfploeter.SaveSeries(seriesOut, res.Series); err != nil {
@@ -228,6 +266,113 @@ func runMonitor(d *verfploeter.Deployment, epochs int, sample float64, pp []int,
 		fmt.Printf("series written to %s\n", seriesOut)
 	}
 	return nil
+}
+
+// playbookConfig assembles the shared -playbook configuration: the
+// synthesized attack log, per-site absolute capacities, and the defended
+// target — whichever site runs hottest under the current routing with
+// the attack landed on top of normal load.
+func playbookConfig(d *verfploeter.Deployment, attackSpec, capacitySpec string, allowWithdraw bool) (verfploeter.PlaybookConfig, error) {
+	var pcfg verfploeter.PlaybookConfig
+	mix, err := verfploeter.ParseAttackMix(attackSpec)
+	if err != nil {
+		return pcfg, err
+	}
+	normal := d.RootLog()
+	total := normal.TotalQPD()
+	attack := d.AttackLog(mix, total)
+	caps, err := parseCapacities(capacitySpec, len(d.Sites), total)
+	if err != nil {
+		return pcfg, err
+	}
+	return verfploeter.PlaybookConfig{
+		Target:        pickTarget(d, normal, attack, caps),
+		Capacity:      caps,
+		Normal:        normal,
+		Attack:        attack,
+		AllowWithdraw: allowWithdraw,
+		Workers:       d.Workers,
+		Obs:           d.Obs,
+	}, nil
+}
+
+// pickTarget predicts per-site utilization under the current routing
+// state (no candidate applied) and returns the most-overloaded site.
+func pickTarget(d *verfploeter.Deployment, normal, attack *verfploeter.Log, caps []float64) int {
+	_, asg := d.PredictRouting(d.Prepends(), d.DownSites(), d.RoutingEpoch())
+	n := loadmodel.PredictAssigned(d.Top, asg, normal, loadmodel.ByQueries)
+	a := loadmodel.PredictAssigned(d.Top, asg, attack, loadmodel.ByQueries)
+	target, worst := 0, -1.0
+	for i := range caps {
+		load := 0.0
+		if i < len(n) {
+			load += n[i]
+		}
+		if i < len(a) {
+			load += a[i]
+		}
+		if u := load / caps[i]; u > worst {
+			worst, target = u, i
+		}
+	}
+	return target
+}
+
+// runPlaybook is the one-shot mode: synthesize the attack, rank every
+// announcement candidate, and print the table plus a stable
+// "chosen plan:" line (scripts/check.sh pins it as a golden).
+func runPlaybook(d *verfploeter.Deployment, attackSpec, capacitySpec string, allowWithdraw bool) error {
+	pcfg, err := playbookConfig(d, attackSpec, capacitySpec, allowWithdraw)
+	if err != nil {
+		return err
+	}
+	plan := d.SearchPlaybook(pcfg)
+	hold, chosen := plan.Hold(), plan.Chosen()
+	codes := d.SiteCodes()
+
+	fmt.Printf("scenario %s (seed %d): %d sites, %d hitlist targets\n",
+		d.Name, d.Seed, len(d.Sites), d.Hitlist.Len())
+	fmt.Printf("attack: %.2fG queries/day on %.2fG normal; defending %s\n",
+		pcfg.Attack.TotalQPD()/1e9, pcfg.Normal.TotalQPD()/1e9, codes[pcfg.Target])
+	fmt.Println()
+	fmt.Printf("%-8s %11s %11s %11s %9s %9s\n",
+		"plan", "target util", "absorption", "collateral", "cost", "feasible")
+	for _, c := range plan.Candidates {
+		fmt.Printf("%-8s %10.0f%% %10.0f%% %11.2f %9.3f %9v\n",
+			c.Label, 100*c.Util[pcfg.Target], 100*c.Absorption, c.Collateral, c.Cost, c.Feasible)
+	}
+	fmt.Println()
+	fmt.Printf("chosen plan: %s (target %s: util %.2f -> %.2f, absorption %.0f%%)\n",
+		chosen.Label, codes[pcfg.Target],
+		hold.Util[pcfg.Target], chosen.Util[pcfg.Target], 100*chosen.Absorption)
+	return nil
+}
+
+// parseCapacities turns "-capacity 2,4.5" into absolute per-site
+// queries/day; a single value broadcasts to every site.
+func parseCapacities(spec string, nSites int, total float64) ([]float64, error) {
+	parts := strings.Split(spec, ",")
+	vals := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad capacity %q", p)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 1 {
+		for len(vals) < nSites {
+			vals = append(vals, vals[0])
+		}
+	}
+	if len(vals) != nSites {
+		return nil, fmt.Errorf("-capacity needs 1 or %d values, got %d", nSites, len(vals))
+	}
+	caps := make([]float64, nSites)
+	for i, v := range vals {
+		caps[i] = v * total
+	}
+	return caps, nil
 }
 
 func buildDeployment(name, sizeName string, seed uint64) (*verfploeter.Deployment, error) {

@@ -5,6 +5,12 @@
 // test prefix to find an announcement that absorbs the attack, all
 // without touching production routing.
 //
+// Part two hands the same problem to the playbook engine: it enumerates
+// the full candidate grammar (prepend ladders, withdrawals), predicts
+// each candidate's catchment from the control plane, and ranks them by
+// absorption against collateral load shift — the automated version of
+// the manual sweep above.
+//
 //	go run ./examples/ddos-absorption
 package main
 
@@ -71,4 +77,25 @@ func main() {
 	} else {
 		fmt.Println("\nno plan absorbs this attack; aggregate capacity is short.")
 	}
+
+	// Part two: the playbook engine automates the sweep. Same deployment,
+	// but a concentrated attack (a botnet herd in a dozen origin ASes)
+	// and the full candidate grammar instead of three hand-picked plans.
+	mix, err := verfploeter.ParseAttackMix("shape=concentrated,volume=5x,ases=12,seed=9")
+	if err != nil {
+		log.Fatal(err)
+	}
+	herd := d.AttackLog(mix, normal.TotalQPD())
+	mia := d.MustSite("mia")
+	plan := d.SearchPlaybook(verfploeter.PlaybookConfig{
+		Target:   mia,
+		Capacity: []float64{capacity[0] * normal.TotalQPD(), capacity[1] * normal.TotalQPD()},
+		Normal:   normal,
+		Attack:   herd,
+	})
+	chosen, hold := plan.Chosen(), plan.Hold()
+	fmt.Printf("\nplaybook search over %d candidates against %s:\n", len(plan.Candidates), mix)
+	fmt.Printf("chosen %s: MIA util %.0f%% -> %.0f%%, absorption %.0f%%, collateral +%.2f\n",
+		chosen.Label, 100*hold.Util[mia], 100*chosen.Util[mia],
+		100*chosen.Absorption, chosen.Collateral)
 }

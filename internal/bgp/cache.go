@@ -3,7 +3,7 @@ package bgp
 // Converged-table cache. The pipeline's callers revisit announcement
 // configurations constantly: the §6.1 prepend sweep returns to baseline
 // between cases, ext-ddos and ext-testprefix re-evaluate overlapping
-// plans, and Scenario.Fork across 26 experiments re-derives identical
+// plans, and Scenario.Fork across the experiment suite re-derives identical
 // tables from the same shared topology. A converged *Table (and its
 // default Assignment) is a pure function of (topology identity,
 // announcement set, epoch), so those repeats are O(1) hits here.
@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"verfploeter/internal/parallel"
 	"verfploeter/internal/topology"
 )
 
@@ -232,4 +233,29 @@ func ComputeEpochCached(top *topology.Topology, anns []Announcement, epoch uint6
 		return e.tbl, e.asg
 	}
 	return e.tbl, e.assignment()
+}
+
+// ComputeBatch evaluates many candidate announcement sets over the same
+// (topology, epoch) on up to workers goroutines, returning tables and
+// assignments index-aligned with cands. It exists for the playbook
+// planner: cands[0] — by convention the currently deployed configuration
+// — is computed first and alone, so it is cached before the fan-out and
+// every other candidate's miss finds a same-epoch predecessor and takes
+// the ComputeDelta path. Results are shared cache entries; callers must
+// treat them as immutable. Output depends only on (top, cands, epoch),
+// never on workers.
+func ComputeBatch(top *topology.Topology, cands [][]Announcement, epoch uint64, workers int) ([]*Table, []*Assignment) {
+	tbls := make([]*Table, len(cands))
+	asgs := make([]*Assignment, len(cands))
+	if len(cands) == 0 {
+		return tbls, asgs
+	}
+	tbls[0], asgs[0] = ComputeEpochCached(top, cands[0], epoch)
+	rest := len(cands) - 1
+	if rest > 0 {
+		parallel.ForEach(workers, rest, func(i int) {
+			tbls[i+1], asgs[i+1] = ComputeEpochCached(top, cands[i+1], epoch)
+		})
+	}
+	return tbls, asgs
 }

@@ -69,6 +69,10 @@ const (
 	CausePrepend
 	CauseWithdraw
 	CauseBlackout
+	// CausePlaybook marks drift introduced by the playbook engine's own
+	// automatic re-announcement (internal/playbook) rather than a human
+	// operator action or the world drifting on its own.
+	CausePlaybook
 	CauseUnexplained
 )
 
@@ -82,6 +86,8 @@ func (c Cause) String() string {
 		return "withdraw"
 	case CauseBlackout:
 		return "blackout"
+	case CausePlaybook:
+		return "playbook"
 	case CauseUnexplained:
 		return "unexplained"
 	}

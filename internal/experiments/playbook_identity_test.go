@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"verfploeter/internal/bgp"
+	"verfploeter/internal/loadgen"
+	"verfploeter/internal/playbook"
+	"verfploeter/internal/scenario"
+	"verfploeter/internal/topology"
+	"verfploeter/internal/verfploeter"
+)
+
+// TestNoAttackPathByteIdentical is the playbook's do-no-harm contract:
+// running a playbook search — which floods the route cache with
+// candidate tables and delta predecessors — must not perturb any other
+// experiment's rendered Result.Text by a single byte. Every experiment
+// runs once on a pristine cache and once after a search polluted it; the
+// reports must match exactly.
+func TestNoAttackPathByteIdentical(t *testing.T) {
+	ids := IDs()
+	if testing.Short() {
+		// A representative subset keeps -short fast while still crossing
+		// every route-cache entry point (reannounce sweep, test prefix,
+		// monitor, playbook family).
+		ids = []string{"ext-ddos", "ext-ddos-playbook", "ext-ddos-loop"}
+		all := IDs()
+		for _, want := range []string{"table4", "prepend"} {
+			for _, id := range all {
+				if strings.Contains(id, want) {
+					ids = append(ids, id)
+					break
+				}
+			}
+		}
+	}
+	resetWorlds := func() {
+		campaignMu.Lock()
+		campaignCache = map[worldKey][]*verfploeter.Catchment{}
+		campaignMu.Unlock()
+	}
+
+	bgp.ResetRouteCache()
+	defer bgp.ResetRouteCache()
+	pristine := map[string]string{}
+	for _, id := range ids {
+		res, err := Run(id, workersConfig(2))
+		if err != nil {
+			t.Fatalf("%s pristine: %v", id, err)
+		}
+		pristine[id] = res.Text
+	}
+
+	// Pollute: a full playbook search over a foreign scenario state.
+	s := scenario.BRoot(topology.SizeTiny, 7)
+	normal := s.RootLog()
+	mix, err := loadgen.ParseAttackMix("shape=concentrated,volume=3x,ases=12,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := normal.TotalQPD()
+	playbook.Search(s, playbook.Config{
+		Target:   0,
+		Capacity: []float64{2.0 * total, 4.5 * total},
+		Normal:   normal,
+		Attack:   mix.Synthesize(s.Top, total),
+		Workers:  2,
+	})
+
+	resetWorlds()
+	for _, id := range ids {
+		res, err := Run(id, workersConfig(2))
+		if err != nil {
+			t.Fatalf("%s after search: %v", id, err)
+		}
+		if res.Text != pristine[id] {
+			t.Errorf("%s: report changed after a playbook search ran:\n--- pristine\n%s\n--- post-search\n%s",
+				id, pristine[id], res.Text)
+		}
+	}
+}

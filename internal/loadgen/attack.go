@@ -1,0 +1,334 @@
+package loadgen
+
+// Attack-traffic model: synthetic DDoS source mixes with per-AS
+// intensity, the input side of the anycast-agility playbook ("Anycast
+// Agility: Network Playbooks to Fight DDoS", Rizvi et al.). Two shapes
+// cover the space the playbook must plan against:
+//
+//   - spoofed: randomized source addresses spread the attack almost
+//     uniformly over the address space, uncorrelated with user density
+//     or probe responsiveness — every catchment absorbs roughly its
+//     address-share of the attack, so routing changes move attack load
+//     in large, predictable slabs;
+//   - concentrated: a booter or bot herd sends from a handful of origin
+//     ASes with heavy-tailed per-AS intensity, so most of the attack
+//     rides a few catchment entries and a single routing move can shift
+//     (or fail to shift) the bulk of it at once.
+//
+// Both synthesize into an ordinary querylog.Log, so the playbook scores
+// attack load with exactly the machinery that scores legitimate load
+// (loadmodel.Predict), and Replay can push the same mix through the
+// data plane packet by packet.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"verfploeter/internal/querylog"
+	"verfploeter/internal/rng"
+	"verfploeter/internal/topology"
+)
+
+// AttackShape selects an attack's source mix.
+type AttackShape int
+
+const (
+	// AttackSpoofed models randomized-source floods: near-uniform
+	// per-block intensity across most of the address space.
+	AttackSpoofed AttackShape = iota
+	// AttackConcentrated models bot herds: a few origin ASes carry the
+	// bulk of the volume with heavy-tailed per-AS intensity.
+	AttackConcentrated
+)
+
+func (s AttackShape) String() string {
+	switch s {
+	case AttackSpoofed:
+		return "spoofed"
+	case AttackConcentrated:
+		return "concentrated"
+	}
+	return fmt.Sprintf("shape(%d)", int(s))
+}
+
+// AttackMix describes one synthetic attack.
+type AttackMix struct {
+	Shape AttackShape
+	// Volume is the attack's daily query volume. When Relative is true it
+	// is a multiple of the defended service's normal daily volume (the
+	// "5x" in CLI specs), resolved by Synthesize's normalQPD argument;
+	// otherwise it is an absolute queries-per-day figure.
+	Volume   float64
+	Relative bool
+	// Sources is how many origin ASes carry the concentrated shape's
+	// volume (default 12); ignored for spoofed.
+	Sources int
+	// Seed derives the mix's deterministic randomness. The same mix over
+	// the same topology always synthesizes the same log.
+	Seed uint64
+}
+
+// spoofedCoverage is the fraction of topology blocks a spoofed flood
+// appears from: high, because randomized sources land everywhere.
+const spoofedCoverage = 0.8
+
+// concentratedBackground is the fraction of a concentrated attack's
+// volume arriving from outside the chosen origin ASes (reflectors,
+// stragglers); the rest rides the per-AS intensities.
+const concentratedBackground = 0.1
+
+// ParseAttackMix parses the CLI attack-mix syntax: a comma-separated
+// key=value list with keys shape (spoofed | concentrated), volume (a
+// multiple of normal daily volume with an "x" suffix, e.g. "5x", or an
+// absolute queries/day figure), ases (origin-AS count for concentrated),
+// and seed. An empty spec is the default mix: shape=spoofed,volume=5x.
+func ParseAttackMix(spec string) (AttackMix, error) {
+	m := AttackMix{Shape: AttackSpoofed, Volume: 5, Relative: true, Sources: 12}
+	if strings.TrimSpace(spec) == "" {
+		return m, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return m, fmt.Errorf("loadgen: attack mix %q: want key=value, got %q", spec, kv)
+		}
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "shape":
+			switch val {
+			case "spoofed":
+				m.Shape = AttackSpoofed
+			case "concentrated":
+				m.Shape = AttackConcentrated
+			default:
+				return m, fmt.Errorf("loadgen: unknown attack shape %q (spoofed, concentrated)", val)
+			}
+		case "volume":
+			rel := strings.HasSuffix(val, "x")
+			v, err := strconv.ParseFloat(strings.TrimSuffix(val, "x"), 64)
+			if err != nil || v <= 0 {
+				return m, fmt.Errorf("loadgen: bad attack volume %q", val)
+			}
+			m.Volume, m.Relative = v, rel
+		case "ases":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return m, fmt.Errorf("loadgen: bad attack ases %q", val)
+			}
+			m.Sources = n
+		case "seed":
+			s, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return m, fmt.Errorf("loadgen: bad attack seed %q", val)
+			}
+			m.Seed = s
+		default:
+			return m, fmt.Errorf("loadgen: unknown attack-mix key %q (shape, volume, ases, seed)", key)
+		}
+	}
+	return m, nil
+}
+
+// String renders the mix back in ParseAttackMix syntax.
+func (m AttackMix) String() string {
+	vol := fmt.Sprintf("%g", m.Volume)
+	if m.Relative {
+		vol += "x"
+	}
+	s := fmt.Sprintf("shape=%s,volume=%s", m.Shape, vol)
+	if m.Shape == AttackConcentrated {
+		s += fmt.Sprintf(",ases=%d", m.Sources)
+	}
+	if m.Seed != 0 {
+		s += fmt.Sprintf(",seed=%d", m.Seed)
+	}
+	return s
+}
+
+// QPD resolves the mix's absolute daily volume against the defended
+// service's normal volume.
+func (m AttackMix) QPD(normalQPD float64) float64 {
+	if m.Relative {
+		return m.Volume * normalQPD
+	}
+	return m.Volume
+}
+
+// Synthesize generates the attack's day of traffic over the topology as
+// a query log (GoodFrac near zero, no diurnal cycle — floods do not
+// sleep). normalQPD is the defended service's normal daily volume, used
+// to resolve a Relative mix; the result is deterministic in (topology,
+// mix).
+func (m AttackMix) Synthesize(top *topology.Topology, normalQPD float64) *querylog.Log {
+	total := m.QPD(normalQPD)
+	if total <= 0 {
+		panic("loadgen: attack mix resolves to non-positive volume")
+	}
+	switch m.Shape {
+	case AttackConcentrated:
+		return m.synthesizeConcentrated(top, total)
+	default:
+		return m.synthesizeSpoofed(top, total)
+	}
+}
+
+// synthesizeSpoofed spreads the volume near-uniformly: every block is a
+// candidate source regardless of user density or responsiveness, with
+// only a mild jitter so the log is not perfectly flat.
+func (m AttackMix) synthesizeSpoofed(top *topology.Topology, total float64) *querylog.Log {
+	src := rng.New(m.Seed).Derive("attack-spoofed")
+	blocks := make([]querylog.BlockLoad, 0, int(float64(len(top.Blocks))*spoofedCoverage)+1)
+	var raw float64
+	for i := range top.Blocks {
+		if !src.Bool(spoofedCoverage) {
+			continue
+		}
+		rate := 0.5 + src.Float64() // uniform-ish; jitter only
+		blocks = append(blocks, querylog.BlockLoad{
+			Block:         top.Blocks[i].Block,
+			QueriesPerDay: rate,
+			GoodFrac:      0.01,
+		})
+		raw += rate
+	}
+	return scaleAttack("attack-spoofed", blocks, raw, total)
+}
+
+// synthesizeConcentrated picks Sources origin ASes (weighted by block
+// count, so herds live where addresses are) and assigns each a
+// heavy-tailed intensity; the AS's blocks split its share evenly, plus a
+// thin spoofed background.
+func (m AttackMix) synthesizeConcentrated(top *topology.Topology, total float64) *querylog.Log {
+	src := rng.New(m.Seed).Derive("attack-concentrated")
+
+	// Per-AS block lists, once.
+	perAS := make([][]int32, len(top.ASes))
+	for i := range top.Blocks {
+		as := top.Blocks[i].ASIdx
+		perAS[as] = append(perAS[as], int32(i))
+	}
+
+	// Rank ASes by a deterministic hash weighted toward block-rich ASes;
+	// take the top Sources as origins with Pareto intensities.
+	type origin struct {
+		as        int32
+		rank      uint64
+		intensity float64
+	}
+	cands := make([]origin, 0, len(perAS))
+	for as := range perAS {
+		if len(perAS[as]) == 0 {
+			continue
+		}
+		cands = append(cands, origin{as: int32(as)})
+	}
+	// Deterministic per-AS rank: hash of (seed, as) scaled down by block
+	// count so bigger ASes are likelier origins, as real herds are.
+	for i := range cands {
+		r := rng.New(m.Seed).Derive(fmt.Sprintf("origin-%d", cands[i].as))
+		w := float64(len(perAS[cands[i].as]))
+		cands[i].rank = uint64(float64(r.Uint32()) / (w + 1))
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].rank != cands[j].rank {
+			return cands[i].rank < cands[j].rank
+		}
+		return cands[i].as < cands[j].as
+	})
+	k := m.Sources
+	if k < 1 {
+		k = 12
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	origins := cands[:k]
+	var intenSum float64
+	for i := range origins {
+		origins[i].intensity = src.Pareto(1.2, 1) // heavy tail: one herd dominates
+		intenSum += origins[i].intensity
+	}
+
+	blocks := make([]querylog.BlockLoad, 0, 1024)
+	bulk := total * (1 - concentratedBackground)
+	for _, o := range origins {
+		share := bulk * o.intensity / intenSum
+		members := perAS[o.as]
+		// Within the origin AS the split is heavy-tailed as well: a herd
+		// is individual compromised hosts, and a few blocks hold most of
+		// them.
+		r := src.Derive(fmt.Sprintf("as-%d", o.as))
+		w := make([]float64, len(members))
+		var wSum float64
+		for i := range w {
+			w[i] = r.Pareto(0.9, 1)
+			wSum += w[i]
+		}
+		for i, bi := range members {
+			blocks = append(blocks, querylog.BlockLoad{
+				Block:         top.Blocks[bi].Block,
+				QueriesPerDay: share * w[i] / wSum,
+				GoodFrac:      0.01,
+			})
+		}
+	}
+	// Spoofed background from everywhere else.
+	bg := synthBackground(top, src, total*concentratedBackground)
+	blocks = append(blocks, bg...)
+	return querylog.FromBlocks("attack-concentrated", mergeBlocks(blocks))
+}
+
+// synthBackground spreads bgTotal thinly over a small random block
+// sample.
+func synthBackground(top *topology.Topology, src *rng.Source, bgTotal float64) []querylog.BlockLoad {
+	out := make([]querylog.BlockLoad, 0, len(top.Blocks)/20+1)
+	var raw float64
+	for i := range top.Blocks {
+		if !src.Bool(0.05) {
+			continue
+		}
+		rate := 0.5 + src.Float64()
+		out = append(out, querylog.BlockLoad{
+			Block:         top.Blocks[i].Block,
+			QueriesPerDay: rate,
+			GoodFrac:      0.01,
+		})
+		raw += rate
+	}
+	if raw > 0 {
+		scale := bgTotal / raw
+		for i := range out {
+			out[i].QueriesPerDay *= scale
+		}
+	}
+	return out
+}
+
+// mergeBlocks sums duplicate block entries (an origin-AS block can also
+// be drawn for background).
+func mergeBlocks(in []querylog.BlockLoad) []querylog.BlockLoad {
+	sort.Slice(in, func(i, j int) bool { return in[i].Block < in[j].Block })
+	out := in[:0]
+	for _, bl := range in {
+		if n := len(out); n > 0 && out[n-1].Block == bl.Block {
+			out[n-1].QueriesPerDay += bl.QueriesPerDay
+			continue
+		}
+		out = append(out, bl)
+	}
+	return out
+}
+
+// scaleAttack normalizes raw per-block rates to the target volume and
+// wraps them in a Log.
+func scaleAttack(name string, blocks []querylog.BlockLoad, raw, total float64) *querylog.Log {
+	if raw > 0 {
+		scale := total / raw
+		for i := range blocks {
+			blocks[i].QueriesPerDay *= scale
+		}
+	}
+	return querylog.FromBlocks(name, blocks)
+}

@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"verfploeter/internal/querylog"
+	"verfploeter/internal/scenario"
+	"verfploeter/internal/topology"
+)
+
+func TestParseAttackMix(t *testing.T) {
+	cases := []struct {
+		spec string
+		want AttackMix
+	}{
+		{"", AttackMix{Shape: AttackSpoofed, Volume: 5, Relative: true, Sources: 12}},
+		{"shape=spoofed,volume=3x", AttackMix{Shape: AttackSpoofed, Volume: 3, Relative: true, Sources: 12}},
+		{"shape=concentrated,volume=5x,ases=8,seed=3",
+			AttackMix{Shape: AttackConcentrated, Volume: 5, Relative: true, Sources: 8, Seed: 3}},
+		{"volume=1000000", AttackMix{Shape: AttackSpoofed, Volume: 1e6, Sources: 12}},
+		{" shape = concentrated , volume = 2x ",
+			AttackMix{Shape: AttackConcentrated, Volume: 2, Relative: true, Sources: 12}},
+	}
+	for _, c := range cases {
+		got, err := ParseAttackMix(c.spec)
+		if err != nil {
+			t.Fatalf("ParseAttackMix(%q): %v", c.spec, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseAttackMix(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+	for _, bad := range []string{"shape=slow", "volume=0x", "volume=-1", "ases=0", "seed=x", "bogus=1", "noequals"} {
+		if _, err := ParseAttackMix(bad); err == nil {
+			t.Errorf("ParseAttackMix(%q): want error, got none", bad)
+		}
+	}
+}
+
+func TestAttackMixString(t *testing.T) {
+	for _, spec := range []string{"shape=spoofed,volume=5x", "shape=concentrated,volume=2x,ases=8,seed=3"} {
+		m, err := ParseAttackMix(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.String() != spec {
+			t.Errorf("String() = %q, want round-trip of %q", m.String(), spec)
+		}
+	}
+}
+
+func TestAttackSynthesizeDeterministic(t *testing.T) {
+	s := scenario.BRoot(topology.SizeTiny, 7)
+	for _, spec := range []string{"shape=spoofed,volume=5x,seed=9", "shape=concentrated,volume=5x,ases=12,seed=9"} {
+		m, err := ParseAttackMix(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := m.Synthesize(s.Top, 1e9)
+		b := m.Synthesize(s.Top, 1e9)
+		if a.Len() != b.Len() {
+			t.Fatalf("%s: %d vs %d blocks across runs", spec, a.Len(), b.Len())
+		}
+		for i := range a.Blocks {
+			if a.Blocks[i] != b.Blocks[i] {
+				t.Fatalf("%s: block %d differs across runs", spec, i)
+			}
+		}
+		if math.Abs(a.TotalQPD()-5e9) > 1e-3*5e9 {
+			t.Errorf("%s: total %.0f, want ~5e9", spec, a.TotalQPD())
+		}
+	}
+}
+
+// TestAttackShapeContrast pins the property that distinguishes the two
+// shapes: a concentrated attack's volume piles into far fewer blocks
+// than a spoofed flood's.
+func TestAttackShapeContrast(t *testing.T) {
+	s := scenario.BRoot(topology.SizeTiny, 7)
+	sp := AttackMix{Shape: AttackSpoofed, Volume: 1e9, Seed: 4}.Synthesize(s.Top, 0)
+	co := AttackMix{Shape: AttackConcentrated, Volume: 1e9, Sources: 12, Seed: 4}.Synthesize(s.Top, 0)
+
+	if sp.Len() < len(s.Top.Blocks)/2 {
+		t.Errorf("spoofed covers %d of %d blocks, want broad coverage", sp.Len(), len(s.Top.Blocks))
+	}
+	// Blocks needed to reach half the volume: few for concentrated, many
+	// for spoofed.
+	if nc, ns := blocksForHalf(co), blocksForHalf(sp); nc*4 > ns {
+		t.Errorf("half-volume block counts: concentrated %d, spoofed %d — want strong concentration", nc, ns)
+	}
+}
+
+func blocksForHalf(l *querylog.Log) int {
+	rates := make([]float64, len(l.Blocks))
+	for i := range l.Blocks {
+		rates[i] = l.Blocks[i].QueriesPerDay
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(rates)))
+	half := l.TotalQPD() / 2
+	sum := 0.0
+	for i, r := range rates {
+		sum += r
+		if sum >= half {
+			return i + 1
+		}
+	}
+	return len(rates)
+}

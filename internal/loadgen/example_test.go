@@ -1,0 +1,59 @@
+package loadgen_test
+
+import (
+	"fmt"
+	"sort"
+
+	"verfploeter/internal/loadgen"
+	"verfploeter/internal/querylog"
+	"verfploeter/internal/scenario"
+	"verfploeter/internal/topology"
+)
+
+// ExampleParseAttackMix shows the attack-mix syntax the -attack CLI
+// flag and the experiment suite share: shape, volume (absolute, or a
+// multiple of normal traffic with an "x" suffix), origin-AS count, and
+// seed.
+func ExampleParseAttackMix() {
+	mix, err := loadgen.ParseAttackMix("shape=concentrated,volume=5x,ases=8,seed=3")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(mix)
+	fmt.Printf("at 2.0G normal queries/day the attack is %.0fG queries/day\n", mix.QPD(2e9)/1e9)
+	// Output:
+	// shape=concentrated,volume=5x,ases=8,seed=3
+	// at 2.0G normal queries/day the attack is 10G queries/day
+}
+
+// ExampleAttackMix_Synthesize contrasts the two attack shapes on the
+// same topology by how much of the address space carries half the
+// attack volume: a spoofed flood spreads it near-uniformly, a
+// concentrated herd piles it into a handful of blocks.
+func ExampleAttackMix_Synthesize() {
+	s := scenario.BRoot(topology.SizeTiny, 7)
+	spoofed := loadgen.AttackMix{Shape: loadgen.AttackSpoofed, Volume: 1e9, Seed: 4}.Synthesize(s.Top, 0)
+	herd := loadgen.AttackMix{Shape: loadgen.AttackConcentrated, Volume: 1e9, Sources: 12, Seed: 4}.Synthesize(s.Top, 0)
+
+	blocksForHalf := func(l *querylog.Log) int {
+		rates := make([]float64, len(l.Blocks))
+		for i := range l.Blocks {
+			rates[i] = l.Blocks[i].QueriesPerDay
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(rates)))
+		sum := 0.0
+		for i, r := range rates {
+			if sum += r; sum >= l.TotalQPD()/2 {
+				return i + 1
+			}
+		}
+		return len(rates)
+	}
+	fmt.Printf("topology blocks: %d\n", len(s.Top.Blocks))
+	fmt.Printf("spoofed: half the volume from %d blocks\n", blocksForHalf(spoofed))
+	fmt.Printf("concentrated: half the volume from %d blocks\n", blocksForHalf(herd))
+	// Output:
+	// topology blocks: 3974
+	// spoofed: half the volume from 1223 blocks
+	// concentrated: half the volume from 26 blocks
+}

@@ -1,0 +1,82 @@
+package loadmodel
+
+// Control-plane counterparts of Predict: score a candidate block→site
+// assignment straight off the converged BGP table, before anything is
+// deployed or measured. This is what lets the playbook planner (and
+// "Inferring Catchment in Internet Routing"-style prediction generally)
+// rank many routing candidates cheaply: the route cache's delta path
+// yields an Assignment per candidate in ~1ms, and these joins price it.
+
+import (
+	"verfploeter/internal/bgp"
+	"verfploeter/internal/querylog"
+	"verfploeter/internal/topology"
+)
+
+// PredictAssigned returns the per-site daily load a candidate assignment
+// would capture: each log block's volume credited to the site the
+// control plane says will serve it. Blocks absent from the topology
+// (none, in practice — logs are synthesized over it) are skipped. Both
+// inputs keep their blocks sorted, so the join is a linear merge.
+func PredictAssigned(top *topology.Topology, asg *bgp.Assignment, log *querylog.Log, w Weight) []float64 {
+	bySite := make([]float64, nSites(asg))
+	joinAssigned(top, asg, log, func(bl *querylog.BlockLoad, site int, _ *topology.BlockInfo) {
+		bySite[site] += w.of(bl)
+	})
+	return bySite
+}
+
+// MeanDistance returns the load-weighted mean great-circle distance (km)
+// from each log block to its assigned site — the latency proxy for
+// scoring routing candidates. Moving traffic away from an overloaded
+// site is not free: the blocks land somewhere farther, and this number
+// is how much farther on average. siteLat/siteLon give each site's
+// coordinates, indexed by site.
+func MeanDistance(top *topology.Topology, asg *bgp.Assignment, log *querylog.Log, w Weight,
+	siteLat, siteLon []float64) float64 {
+
+	var sum, weight float64
+	joinAssigned(top, asg, log, func(bl *querylog.BlockLoad, site int, bi *topology.BlockInfo) {
+		v := w.of(bl)
+		sum += v * topology.GeoDistance(float64(bi.Lat), float64(bi.Lon), siteLat[site], siteLon[site])
+		weight += v
+	})
+	if weight == 0 {
+		return 0
+	}
+	return sum / weight
+}
+
+// joinAssigned merge-joins the topology's sorted blocks with the log's
+// sorted blocks and visits each match with its primary assigned site.
+func joinAssigned(top *topology.Topology, asg *bgp.Assignment, log *querylog.Log,
+	visit func(bl *querylog.BlockLoad, site int, bi *topology.BlockInfo)) {
+
+	ti := 0
+	for li := range log.Blocks {
+		bl := &log.Blocks[li]
+		for ti < len(top.Blocks) && top.Blocks[ti].Block < bl.Block {
+			ti++
+		}
+		if ti == len(top.Blocks) {
+			return
+		}
+		if top.Blocks[ti].Block != bl.Block {
+			continue
+		}
+		if site := asg.Primary[ti]; site >= 0 {
+			visit(bl, int(site), &top.Blocks[ti])
+		}
+	}
+}
+
+// nSites infers the site count from an assignment's largest site index.
+func nSites(asg *bgp.Assignment) int {
+	n := 0
+	for _, s := range asg.Primary {
+		if int(s) >= n {
+			n = int(s) + 1
+		}
+	}
+	return n
+}

@@ -102,6 +102,15 @@ type Config struct {
 	Actions []Action
 	// OnEvent, when set, observes each drift event as it is emitted.
 	OnEvent func(dataset.Event)
+	// Controller, when set, closes the measure→predict→act loop: it runs
+	// at the end of every epoch — after measurement and event
+	// classification — and may re-announce routing on the scenario (the
+	// playbook engine does). A routing change it makes takes effect at the
+	// next epoch's sweep and is classified there as CausePlaybook, unless
+	// an operator Action at that epoch takes precedence. Epoch 0 calls the
+	// controller with the baseline map and no events. A nil Controller
+	// leaves the monitor's output byte-identical to earlier releases.
+	Controller func(epoch int, cur *verfploeter.Catchment, events []dataset.Event)
 }
 
 func (cfg Config) fill() Config {
@@ -170,6 +179,10 @@ func Run(s *scenario.Scenario, cfg Config) (*Result, error) {
 	}
 
 	var prev *verfploeter.Catchment
+	// playbookActed carries a Controller routing change into the NEXT
+	// epoch's cause classification: the change is applied now but only
+	// measured then.
+	playbookActed := false
 	for e := 0; e < cfg.Epochs; e++ {
 		if e > 0 {
 			s.Clock.Advance(cfg.Interval)
@@ -206,7 +219,7 @@ func Run(s *scenario.Scenario, cfg Config) (*Result, error) {
 		} else {
 			se := deltaEpoch(e, prev, cur, &er)
 			clSpan := s.Obs.StartSpan("classify", e)
-			er.Events = classifyEvents(e, s, cfg, prev, cur, prependChanged, downChanged)
+			er.Events = classifyEvents(e, s, cfg, prev, cur, prependChanged, downChanged, playbookActed)
 			clSpan.End()
 			se.Events = er.Events
 			series.Epochs = append(series.Epochs, se)
@@ -223,6 +236,15 @@ func Run(s *scenario.Scenario, cfg Config) (*Result, error) {
 			s.Obs.Counter("monitor_epochs", "monitoring epochs completed").Inc()
 			s.Obs.Counter("monitor_events", "drift events the monitor classified").AddInt(len(er.Events))
 			s.Obs.Counter("monitor_escalated_strata", "strata escalated to a full re-probe").AddInt(er.EscalatedStrata)
+		}
+		playbookActed = false
+		if cfg.Controller != nil {
+			// Snapshot the routing knobs around the controller so its
+			// changes — and only its changes — are attributable next epoch.
+			prePre, preDown := s.Prepends(), s.DownSites()
+			cfg.Controller(e, cur, er.Events)
+			playbookActed = !equalInts(s.Prepends(), prePre) ||
+				!equalBools(s.DownSites(), preDown)
 		}
 		epochSpan.End()
 		prev = cur
@@ -339,7 +361,7 @@ func deltaEpoch(e int, prev, cur *verfploeter.Catchment, er *EpochResult) datase
 // classifyEvents turns the prev→cur transition into the epoch's typed
 // drift events, all tagged with the epoch's best-attributed cause.
 func classifyEvents(e int, s *scenario.Scenario, cfg Config,
-	prev, cur *verfploeter.Catchment, prependChanged, downChanged bool) []dataset.Event {
+	prev, cur *verfploeter.Catchment, prependChanged, downChanged, playbook bool) []dataset.Event {
 
 	prevCounts, curCounts := prev.Counts(), cur.Counts()
 	var darkened, restored []int
@@ -358,6 +380,10 @@ func classifyEvents(e int, s *scenario.Scenario, cfg Config,
 		cause = dataset.CauseWithdraw
 	case prependChanged:
 		cause = dataset.CausePrepend
+	case playbook:
+		// The playbook engine re-announced at the end of the previous
+		// epoch; this epoch's drift is its doing, whatever knob it turned.
+		cause = dataset.CausePlaybook
 	case len(darkened) > 0:
 		// The operator did nothing, yet a site lost every block: that is
 		// what a data-plane blackout (or upstream failure) looks like

@@ -1,0 +1,189 @@
+package playbook
+
+// The Engine is the playbook's closed loop: monitor measures, the
+// engine decides, BGP acts, and the next epoch's measurement judges the
+// decision. It is deliberately conservative — real operators distrust
+// automation that flaps routing — so every apply is provisional until
+// the next measurement confirms it, and hysteresis spaces interventions
+// out.
+
+import (
+	"fmt"
+
+	"verfploeter/internal/dataset"
+	"verfploeter/internal/loadmodel"
+	"verfploeter/internal/scenario"
+	"verfploeter/internal/verfploeter"
+)
+
+// EngineConfig parameterizes the closed loop on top of the planner's
+// Config.
+type EngineConfig struct {
+	Config
+	// OverloadAt is the measured target utilization that triggers a
+	// search (default 1.0 — capacity exceeded).
+	OverloadAt float64
+	// MinEpochsBetween is the hysteresis: after applying a plan the
+	// engine will not apply another for this many epochs (default 2 —
+	// one epoch to measure the effect, one of margin). Rollbacks are
+	// exempt: a bad plan is undone as soon as it is detected.
+	MinEpochsBetween int
+	// ImproveEps is the utilization improvement a plan must show, both
+	// predicted (to apply) and measured (to survive verification). A
+	// plan whose measured target utilization is not at least ImproveEps
+	// below the pre-apply measurement is rolled back (default 0.02).
+	ImproveEps float64
+	// PlanOverride, when set, replaces the search at the given epoch and
+	// forces the returned candidate to be applied (nil = search
+	// normally). It exists for tests that must inject a non-improving
+	// plan to exercise the rollback path.
+	PlanOverride func(epoch int) *Candidate
+}
+
+func (cfg EngineConfig) fill() EngineConfig {
+	if cfg.OverloadAt == 0 {
+		cfg.OverloadAt = 1.0
+	}
+	if cfg.MinEpochsBetween <= 0 {
+		cfg.MinEpochsBetween = 2
+	}
+	if cfg.ImproveEps == 0 {
+		cfg.ImproveEps = 0.02
+	}
+	return cfg
+}
+
+// Decision records one epoch where the engine acted (or reverted).
+type Decision struct {
+	Epoch int
+	// Action is "apply" or "rollback".
+	Action string
+	// Label is the plan acted on ("lax+2"); for rollbacks, the plan
+	// being undone.
+	Label string
+	// TargetUtil is the measured target utilization that prompted the
+	// decision.
+	TargetUtil float64
+	// Absorption is the applied plan's predicted absorption (zero for
+	// rollbacks).
+	Absorption float64
+}
+
+func (d Decision) String() string {
+	return fmt.Sprintf("epoch %d: %s %s (target util %.2f)", d.Epoch, d.Action, d.Label, d.TargetUtil)
+}
+
+// pendingPlan is an applied-but-unverified plan: the configuration to
+// restore on rollback and the measured utilization to beat.
+type pendingPlan struct {
+	label       string
+	prevPrepend []int
+	prevDown    []bool
+	utilBefore  float64
+	absorption  float64
+}
+
+// Engine drives plan selection from monitor epochs. Create with
+// NewEngine, pass Controller to monitor.Config, read Decisions (and the
+// obsv counters) afterwards.
+type Engine struct {
+	s   *scenario.Scenario
+	cfg EngineConfig
+
+	lastApply int
+	pending   *pendingPlan
+
+	// Decisions is the chronological action log; Applied and Rollbacks
+	// count them. With the same scenario seed and event sequence the
+	// log is identical at any worker count.
+	Decisions []Decision
+	Applied   int
+	Rollbacks int
+}
+
+// NewEngine validates the configuration against the deployment and
+// returns an idle engine.
+func NewEngine(s *scenario.Scenario, cfg EngineConfig) *Engine {
+	cfg.Config = cfg.Config.fill(len(s.Sites))
+	return &Engine{s: s, cfg: cfg.fill(), lastApply: -1 << 30}
+}
+
+// Controller returns the hook to install as monitor.Config.Controller.
+// Each epoch it verifies the previous apply (rolling back on
+// non-improvement), then — if the target is overloaded and hysteresis
+// allows — searches and applies the best plan.
+func (e *Engine) Controller() func(epoch int, cur *verfploeter.Catchment, events []dataset.Event) {
+	return func(epoch int, cur *verfploeter.Catchment, events []dataset.Event) {
+		util := e.measuredUtil(cur)
+
+		if e.pending != nil {
+			p := e.pending
+			e.pending = nil
+			if util > p.utilBefore-e.cfg.ImproveEps {
+				// The measurement did not confirm the predicted win:
+				// restore the pre-plan configuration immediately.
+				e.s.ReannounceFull(p.prevPrepend, p.prevDown, e.s.RoutingEpoch())
+				e.Rollbacks++
+				e.cfg.Obs.Counter("playbook_rollbacks", "applied plans rolled back on non-improvement").Inc()
+				e.Decisions = append(e.Decisions, Decision{
+					Epoch: epoch, Action: "rollback", Label: p.label, TargetUtil: util,
+				})
+				return
+			}
+			// Verified: the plan stands, its absorption is real.
+			e.cfg.Obs.Histogram("playbook_absorption", "predicted attack absorption of verified plans",
+				[]float64{0.1, 0.25, 0.5, 0.75, 0.9}).Observe(p.absorption)
+		}
+
+		if util <= e.cfg.OverloadAt || epoch-e.lastApply < e.cfg.MinEpochsBetween {
+			return
+		}
+
+		var chosen *Candidate
+		if e.cfg.PlanOverride != nil {
+			chosen = e.cfg.PlanOverride(epoch)
+		}
+		if chosen == nil && e.cfg.PlanOverride == nil {
+			plan := Search(e.s, e.cfg.Config)
+			c := plan.Chosen()
+			if plan.Best == 0 || plan.Hold().Util[e.cfg.Target]-c.Util[e.cfg.Target] < e.cfg.ImproveEps {
+				// Nothing beats holding by a margin worth a routing
+				// change; stay put.
+				return
+			}
+			chosen = c
+		}
+		if chosen == nil {
+			return
+		}
+
+		e.pending = &pendingPlan{
+			label:       chosen.Label,
+			prevPrepend: e.s.Prepends(),
+			prevDown:    e.s.DownSites(),
+			utilBefore:  util,
+			absorption:  chosen.Absorption,
+		}
+		e.s.ReannounceFull(chosen.Prepend, chosen.Down, e.s.RoutingEpoch())
+		e.lastApply = epoch
+		e.Applied++
+		e.cfg.Obs.Counter("playbook_plans_applied", "playbook plans applied to production routing").Inc()
+		e.Decisions = append(e.Decisions, Decision{
+			Epoch: epoch, Action: "apply", Label: chosen.Label,
+			TargetUtil: util, Absorption: chosen.Absorption,
+		})
+	}
+}
+
+// measuredUtil reads the target site's utilization off a measured
+// catchment: predicted normal plus attack load landing there, over
+// capacity. Blocks the sweep could not map carry real traffic too, so
+// each log's total volume is allocated by the mapped fractions — the
+// paper's proportional-split assumption (§5.5), without which a ~50%
+// response rate would hide half the load.
+func (e *Engine) measuredUtil(cur *verfploeter.Catchment) float64 {
+	n := loadmodel.Predict(cur, e.cfg.Normal, loadmodel.ByQueries)
+	a := loadmodel.Predict(cur, e.cfg.Attack, loadmodel.ByQueries)
+	load := n.Fraction(e.cfg.Target)*n.QueriesSeen + a.Fraction(e.cfg.Target)*a.QueriesSeen
+	return load / e.cfg.Capacity[e.cfg.Target]
+}

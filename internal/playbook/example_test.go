@@ -1,0 +1,70 @@
+package playbook_test
+
+import (
+	"fmt"
+
+	"verfploeter/internal/loadgen"
+	"verfploeter/internal/monitor"
+	"verfploeter/internal/playbook"
+	"verfploeter/internal/scenario"
+	"verfploeter/internal/topology"
+)
+
+// ExampleSearch ranks every routing candidate for a b-root deployment
+// whose LAX site is overloaded by a concentrated attack, and prints the
+// winning plan. Everything is seeded, so the output is deterministic.
+func ExampleSearch() {
+	s := scenario.BRoot(topology.SizeTiny, 7)
+	normal := s.RootLog()
+	mix, _ := loadgen.ParseAttackMix("shape=concentrated,volume=2x,ases=12,seed=3")
+	attack := mix.Synthesize(s.Top, normal.TotalQPD())
+
+	total := normal.TotalQPD()
+	plan := playbook.Search(s, playbook.Config{
+		Target:   s.MustSite("lax"),
+		Capacity: []float64{2 * total, 4 * total},
+		Normal:   normal,
+		Attack:   attack,
+		Workers:  2,
+	})
+	c := plan.Chosen()
+	fmt.Printf("evaluated %d candidates\n", len(plan.Candidates))
+	fmt.Printf("chosen %s: target util %.2f -> %.2f, absorption %.0f%%, collateral +%.2f\n",
+		c.Label, plan.Hold().Util[plan.Target], c.Util[plan.Target], 100*c.Absorption, c.Collateral)
+	// Output:
+	// evaluated 7 candidates
+	// chosen lax+1: target util 1.10 -> 0.30, absorption 70%, collateral +0.40
+}
+
+// ExampleEngine closes the loop: the engine watches a monitoring
+// campaign, notices the overloaded target, applies the best plan, and
+// keeps it once the next epoch's measurement confirms the improvement.
+func ExampleEngine() {
+	s := scenario.BRoot(topology.SizeTiny, 7)
+	normal := s.RootLog()
+	mix, _ := loadgen.ParseAttackMix("shape=concentrated,volume=2x,ases=12,seed=3")
+	attack := mix.Synthesize(s.Top, normal.TotalQPD())
+
+	total := normal.TotalQPD()
+	eng := playbook.NewEngine(s, playbook.EngineConfig{Config: playbook.Config{
+		Target:   s.MustSite("lax"),
+		Capacity: []float64{2 * total, 4 * total},
+		Normal:   normal,
+		Attack:   attack,
+		Workers:  2,
+	}})
+	if _, err := monitor.Run(s, monitor.Config{
+		Epochs:     4,
+		LoadLog:    normal,
+		Controller: eng.Controller(),
+	}); err != nil {
+		panic(err)
+	}
+	for _, d := range eng.Decisions {
+		fmt.Println(d)
+	}
+	fmt.Printf("applied %d, rolled back %d\n", eng.Applied, eng.Rollbacks)
+	// Output:
+	// epoch 0: apply lax+1 (target util 1.09)
+	// applied 1, rolled back 0
+}

@@ -1,0 +1,367 @@
+// Package playbook is the anycast-agility engine: it turns the repo's
+// catchment maps and load models into an operational DDoS defense, after
+// "Anycast Agility: Network Playbooks to Fight DDoS" (Rizvi et al.).
+//
+// The idea is the paper's: an anycast operator under attack has exactly
+// one steering wheel — BGP announcements — and a playbook is a
+// pre-computed ranking of the moves it offers. The planner enumerates a
+// candidate grammar (hold, per-site prepend ladders, withdrawals, and
+// community-scoped group ladders), predicts each candidate's catchment
+// from the control plane alone via the route cache's incremental delta
+// path (~1ms per candidate instead of a cold convergence), and scores
+// each by three predicted quantities from internal/loadmodel: absorption
+// of attack traffic away from the target site, collateral load pushed
+// onto the other sites, and latency inflation for legitimate clients.
+// The Engine closes the loop: plugged into internal/monitor as a
+// Controller, it watches measured utilization, searches when the target
+// overloads, re-announces the winning plan, verifies the next epoch's
+// measurement, and rolls back on non-improvement — with hysteresis so it
+// never thrashes.
+//
+// # Determinism
+//
+// A playbook run is a pure function of its inputs. Candidate enumeration
+// order is fixed; evaluation fans out over the parallel pool but every
+// worker writes only its own index; selection is a sequential scan with
+// strict-less comparison, so ties resolve to the earlier candidate. The
+// same seed and the same event sequence therefore produce the same plan
+// sequence at any worker count — the property the monitor's golden lines
+// and the determinism tests pin.
+package playbook
+
+import (
+	"fmt"
+	"math"
+
+	"verfploeter/internal/bgp"
+	"verfploeter/internal/loadmodel"
+	"verfploeter/internal/obsv"
+	"verfploeter/internal/parallel"
+	"verfploeter/internal/querylog"
+	"verfploeter/internal/scenario"
+)
+
+// Community is a named site group that is steered as a unit — the
+// grammar-level form of community-scoped announcements: one action
+// (a prepend step) applied across every member site at once, the way an
+// operator tags a group of announcements with one BGP community and has
+// the upstream apply a single policy to all of them.
+type Community struct {
+	Name  string
+	Sites []int
+}
+
+// Config parameterizes planning and the engine's closed loop.
+type Config struct {
+	// Target is the site under attack — the one absorption is measured
+	// at.
+	Target int
+	// Capacity is each site's daily query capacity in absolute
+	// queries/day; utilization is (normal+attack) load over it.
+	Capacity []float64
+	// Normal and Attack are the legitimate and attack traffic models.
+	// Scoring predicts where each lands under every candidate.
+	Normal *querylog.Log
+	Attack *querylog.Log
+	// MaxPrepend bounds the per-site and community prepend ladders
+	// (default 3 — beyond that, prepending has diminishing returns and
+	// real operators rarely go further).
+	MaxPrepend int
+	// AllowWithdraw admits withdrawal candidates ("-mia"). Withdrawals
+	// are the bluntest move and some operators forbid them; off by
+	// default.
+	AllowWithdraw bool
+	// Communities are the named site groups available to group ladders.
+	Communities []Community
+	// WOverload, WCollateral, WLatency, WMove weight the cost function
+	// (defaults 10, 4, 1, 0.01); see Candidate.Cost.
+	WOverload   float64
+	WCollateral float64
+	WLatency    float64
+	WMove       float64
+	// CollateralFree is the utilization below which shifted load is
+	// free (default 0.8): moving traffic onto a site with headroom is
+	// the entire point of the playbook, so collateral only costs where
+	// it pushes a non-target site above this line toward overload.
+	CollateralFree float64
+	// Workers bounds the evaluation fan-out (<= 0: one per CPU). Results
+	// are identical for every value.
+	Workers int
+	// Obs, when set, receives planning instrumentation: counters
+	// playbook_candidates / playbook_plans_applied / playbook_rollbacks,
+	// the playbook_absorption histogram, and playbook-search spans.
+	Obs *obsv.Registry
+}
+
+func (cfg Config) fill(nSite int) Config {
+	if cfg.MaxPrepend <= 0 {
+		cfg.MaxPrepend = 3
+	}
+	if cfg.WOverload == 0 {
+		cfg.WOverload = 10
+	}
+	if cfg.WCollateral == 0 {
+		cfg.WCollateral = 4
+	}
+	if cfg.WLatency == 0 {
+		cfg.WLatency = 1
+	}
+	if cfg.WMove == 0 {
+		cfg.WMove = 0.01
+	}
+	if cfg.CollateralFree == 0 {
+		cfg.CollateralFree = 0.8
+	}
+	if len(cfg.Capacity) != nSite {
+		panic(fmt.Sprintf("playbook: %d capacities for %d sites", len(cfg.Capacity), nSite))
+	}
+	if cfg.Target < 0 || cfg.Target >= nSite {
+		panic(fmt.Sprintf("playbook: target site %d out of range", cfg.Target))
+	}
+	if cfg.Normal == nil || cfg.Attack == nil {
+		panic("playbook: Normal and Attack logs are required")
+	}
+	return cfg
+}
+
+// Candidate is one routing configuration the planner evaluated: the
+// action, the full knob settings it resolves to, and the predicted
+// score. Prepend and Down are absolute (not deltas), ready for
+// Scenario.ReannounceFull.
+type Candidate struct {
+	// Label names the action in operator shorthand: "hold", "lax+2"
+	// (prepend site lax twice more), "-mia" (withdraw mia), "eu+1"
+	// (prepend every site of community eu once more).
+	Label   string
+	Prepend []int
+	Down    []bool
+
+	// Util is predicted (normal+attack)/capacity per site; Feasible
+	// means every site fits under capacity.
+	Util     []float64
+	Feasible bool
+	// Absorption is the predicted fraction of the attack volume removed
+	// from the target site relative to holding ([0,1]).
+	Absorption float64
+	// Collateral is the worst predicted utilization increase on any
+	// non-target site relative to holding (0 when nothing worsens).
+	Collateral float64
+	// LatencyInflation is the relative growth of legitimate traffic's
+	// load-weighted mean distance to its serving site (0.1 = 10%
+	// farther on average).
+	LatencyInflation float64
+	// MoveSize measures how much the candidate changes the current
+	// configuration (prepend steps, withdrawals count 4 each) — a mild
+	// preference for small moves.
+	MoveSize int
+	// Cost is the scalar the planner minimizes:
+	//   WOverload·Σ_s max(0, Util[s]−1)
+	// + WCollateral·(worst non-target utilization above CollateralFree
+	//   that the candidate adds — load shifted onto sites with headroom
+	//   is free)
+	// + WLatency·max(0, LatencyInflation)
+	// + WMove·MoveSize.
+	Cost float64
+}
+
+// Plan is a finished search: every candidate scored in enumeration
+// order (candidate 0 is always "hold"), plus the selected index.
+type Plan struct {
+	Candidates []Candidate
+	// Best indexes the chosen candidate: the minimum cost, ties to the
+	// earlier (smaller-move) candidate. Best == 0 means hold.
+	Best int
+	// Target echoes the config for reporting.
+	Target int
+}
+
+// Chosen returns the selected candidate.
+func (p *Plan) Chosen() *Candidate { return &p.Candidates[p.Best] }
+
+// Hold returns the baseline (do-nothing) candidate every score is
+// relative to.
+func (p *Plan) Hold() *Candidate { return &p.Candidates[0] }
+
+// enumerate builds the candidate grammar from the deployment's current
+// configuration, in the fixed order the determinism contract pins:
+// hold, then per-site prepend ladders, then withdrawals, then community
+// ladders.
+func enumerate(s *scenario.Scenario, cfg Config) []Candidate {
+	curPre, curDown := s.Prepends(), s.DownSites()
+	codes := s.SiteCodes()
+	nUp := 0
+	for _, d := range curDown {
+		if !d {
+			nUp++
+		}
+	}
+
+	clone := func(label string) Candidate {
+		return Candidate{
+			Label:   label,
+			Prepend: append([]int(nil), curPre...),
+			Down:    append([]bool(nil), curDown...),
+		}
+	}
+
+	cands := []Candidate{clone("hold")}
+	for i := range s.Sites {
+		if curDown[i] {
+			continue
+		}
+		for p := 1; p <= cfg.MaxPrepend; p++ {
+			c := clone(fmt.Sprintf("%s+%d", codes[i], p))
+			c.Prepend[i] += p
+			c.MoveSize = p
+			cands = append(cands, c)
+		}
+	}
+	if cfg.AllowWithdraw && nUp > 1 {
+		for i := range s.Sites {
+			if curDown[i] {
+				continue
+			}
+			c := clone("-" + codes[i])
+			c.Down[i] = true
+			c.MoveSize = 4
+			cands = append(cands, c)
+		}
+	}
+	for _, grp := range cfg.Communities {
+		up := 0
+		for _, site := range grp.Sites {
+			if !curDown[site] {
+				up++
+			}
+		}
+		if up == 0 {
+			continue
+		}
+		for p := 1; p <= cfg.MaxPrepend; p++ {
+			c := clone(fmt.Sprintf("%s+%d", grp.Name, p))
+			for _, site := range grp.Sites {
+				if !curDown[site] {
+					c.Prepend[site] += p
+				}
+			}
+			c.MoveSize = p * up
+			cands = append(cands, c)
+		}
+	}
+	return cands
+}
+
+// Search enumerates and scores every candidate against the deployment's
+// current routing configuration and returns the plan. The scenario is
+// only read — candidate routing is predicted through the route cache's
+// delta path (scenario.PredictRouting / bgp.ComputeBatch), never
+// deployed. Deterministic in (scenario state, cfg) for any Workers.
+func Search(s *scenario.Scenario, cfg Config) *Plan {
+	cfg = cfg.fill(len(s.Sites))
+	span := cfg.Obs.StartSpan("playbook-search", 0)
+	defer span.End()
+
+	cands := enumerate(s, cfg)
+	cfg.Obs.Counter("playbook_candidates", "routing candidates evaluated by playbook searches").AddInt(len(cands))
+
+	// Predict every candidate's assignment in one batch: candidate 0
+	// (hold) computes first and seeds the delta path for the fan-out.
+	annSets := make([][]bgp.Announcement, len(cands))
+	for i := range cands {
+		annSets[i] = s.AnnouncementsFor(cands[i].Prepend, cands[i].Down)
+	}
+	_, asgs := bgp.ComputeBatch(s.Top, annSets, s.RoutingEpoch(), cfg.Workers)
+
+	// Score the hold baseline first — every other score is relative to
+	// it — then the rest in parallel (disjoint writes by index).
+	siteLat := make([]float64, len(s.Sites))
+	siteLon := make([]float64, len(s.Sites))
+	for i, site := range s.Sites {
+		siteLat[i], siteLon[i] = site.Lat, site.Lon
+	}
+	base := score(s, cfg, &cands[0], asgs[0], siteLat, siteLon, nil)
+	parallel.ForEach(cfg.Workers, len(cands)-1, func(i int) {
+		score(s, cfg, &cands[i+1], asgs[i+1], siteLat, siteLon, base)
+	})
+
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Cost < cands[best].Cost {
+			best = i
+		}
+	}
+	return &Plan{Candidates: cands, Best: best, Target: cfg.Target}
+}
+
+// baseline carries the hold candidate's raw quantities for relative
+// scoring.
+type baseline struct {
+	attackAtTarget float64
+	meanDist       float64
+	util           []float64
+}
+
+// score fills in a candidate's predicted metrics under its assignment.
+// A nil base marks the hold candidate itself, whose relative terms are
+// zero by definition.
+func score(s *scenario.Scenario, cfg Config, c *Candidate, asg *bgp.Assignment,
+	siteLat, siteLon []float64, base *baseline) *baseline {
+
+	normal := loadmodel.PredictAssigned(s.Top, asg, cfg.Normal, loadmodel.ByQueries)
+	attack := loadmodel.PredictAssigned(s.Top, asg, cfg.Attack, loadmodel.ByQueries)
+	// PredictAssigned sizes by the largest assigned site index; pad so
+	// withdrawn trailing sites still index cleanly.
+	for len(normal) < len(s.Sites) {
+		normal = append(normal, 0)
+	}
+	for len(attack) < len(s.Sites) {
+		attack = append(attack, 0)
+	}
+
+	c.Util = make([]float64, len(s.Sites))
+	c.Feasible = true
+	for site := range c.Util {
+		c.Util[site] = (normal[site] + attack[site]) / cfg.Capacity[site]
+		if c.Util[site] > 1 {
+			c.Feasible = false
+		}
+	}
+	meanDist := loadmodel.MeanDistance(s.Top, asg, cfg.Normal, loadmodel.ByQueries, siteLat, siteLon)
+
+	colExcess := 0.0
+	if base != nil {
+		if base.attackAtTarget > 0 {
+			c.Absorption = math.Min(1, math.Max(0, 1-attack[cfg.Target]/base.attackAtTarget))
+		}
+		for site := range c.Util {
+			if site == cfg.Target {
+				continue
+			}
+			if d := c.Util[site] - base.util[site]; d > c.Collateral {
+				c.Collateral = d
+			}
+			// Only collateral that erodes a site's safety margin costs:
+			// utilization the candidate adds above CollateralFree (or
+			// above the site's already-higher baseline).
+			if d := c.Util[site] - math.Max(base.util[site], cfg.CollateralFree); d > colExcess {
+				colExcess = d
+			}
+		}
+		if base.meanDist > 0 {
+			c.LatencyInflation = meanDist/base.meanDist - 1
+		}
+	}
+
+	over := 0.0
+	for _, u := range c.Util {
+		if u > 1 {
+			over += u - 1
+		}
+	}
+	c.Cost = cfg.WOverload*over +
+		cfg.WCollateral*colExcess +
+		cfg.WLatency*math.Max(0, c.LatencyInflation) +
+		cfg.WMove*float64(c.MoveSize)
+
+	return &baseline{attackAtTarget: attack[cfg.Target], meanDist: meanDist, util: c.Util}
+}

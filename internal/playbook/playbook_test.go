@@ -1,0 +1,239 @@
+package playbook
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"verfploeter/internal/loadgen"
+	"verfploeter/internal/monitor"
+	"verfploeter/internal/scenario"
+	"verfploeter/internal/topology"
+)
+
+// testSetup builds a b-root deployment with a concentrated attack and
+// capacities that overload the attack's landing site.
+func testSetup(t testing.TB, workers int) (*scenario.Scenario, Config) {
+	t.Helper()
+	s := scenario.BRoot(topology.SizeTiny, 7)
+	s.Workers = workers
+	normal := s.RootLog()
+	mix, err := loadgen.ParseAttackMix("shape=concentrated,volume=2x,ases=12,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := mix.Synthesize(s.Top, normal.TotalQPD())
+	total := normal.TotalQPD()
+	cfg := Config{
+		Target:   0, // lax catches the bulk on b-root
+		Capacity: []float64{2.0 * total, 4.0 * total},
+		Normal:   normal,
+		Attack:   attack,
+		Workers:  workers,
+	}
+	return s, cfg
+}
+
+func planFingerprint(p *Plan) []string {
+	out := make([]string, 0, len(p.Candidates)+1)
+	for i := range p.Candidates {
+		c := &p.Candidates[i]
+		out = append(out, c.Label+"|"+formatFloat(c.Cost)+"|"+formatFloat(c.Absorption)+
+			"|"+formatFloat(c.Collateral)+"|"+formatFloat(c.LatencyInflation))
+	}
+	out = append(out, "best="+p.Candidates[p.Best].Label)
+	return out
+}
+
+// formatFloat renders the exact bit pattern: determinism means
+// bit-equal, not approximately equal.
+func formatFloat(f float64) string {
+	return strconv.FormatUint(math.Float64bits(f), 16)
+}
+
+func TestSearchDeterministicAcrossWorkers(t *testing.T) {
+	s1, cfg1 := testSetup(t, 1)
+	p1 := Search(s1, cfg1)
+	s8, cfg8 := testSetup(t, 8)
+	p8 := Search(s8, cfg8)
+
+	f1, f8 := planFingerprint(p1), planFingerprint(p8)
+	if len(f1) != len(f8) {
+		t.Fatalf("candidate counts differ: %d vs %d", len(f1), len(f8))
+	}
+	for i := range f1 {
+		if f1[i] != f8[i] {
+			t.Errorf("workers=1 vs workers=8 diverge at %d:\n  %s\n  %s", i, f1[i], f8[i])
+		}
+	}
+	if p1.Best == 0 {
+		t.Fatal("expected the overloaded setup to choose a non-hold plan")
+	}
+	chosen := p1.Chosen()
+	if chosen.Util[cfg1.Target] >= p1.Hold().Util[cfg1.Target] {
+		t.Errorf("chosen plan %s does not reduce target util: %.3f vs hold %.3f",
+			chosen.Label, chosen.Util[cfg1.Target], p1.Hold().Util[cfg1.Target])
+	}
+}
+
+func TestSearchScoresHoldFirst(t *testing.T) {
+	s, cfg := testSetup(t, 2)
+	p := Search(s, cfg)
+	if p.Candidates[0].Label != "hold" {
+		t.Fatalf("candidate 0 is %q, want hold", p.Candidates[0].Label)
+	}
+	h := p.Hold()
+	if h.Absorption != 0 || h.Collateral != 0 || h.LatencyInflation != 0 || h.MoveSize != 0 {
+		t.Errorf("hold's relative scores must be zero: %+v", h)
+	}
+	if h.Util[cfg.Target] <= 1 {
+		t.Fatalf("setup is supposed to overload the target; hold util %.3f", h.Util[cfg.Target])
+	}
+}
+
+func TestSearchCommunityCandidates(t *testing.T) {
+	s, cfg := testSetup(t, 2)
+	cfg.Communities = []Community{{Name: "us", Sites: []int{0, 1}}}
+	cfg.MaxPrepend = 2
+	p := Search(s, cfg)
+	found := 0
+	for i := range p.Candidates {
+		if l := p.Candidates[i].Label; l == "us+1" || l == "us+2" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("community ladder candidates missing: found %d of 2", found)
+	}
+}
+
+func TestSearchWithdrawGating(t *testing.T) {
+	s, cfg := testSetup(t, 2)
+	countWithdraw := func(p *Plan) int {
+		n := 0
+		for i := range p.Candidates {
+			if p.Candidates[i].Label[0] == '-' {
+				n++
+			}
+		}
+		return n
+	}
+	if n := countWithdraw(Search(s, cfg)); n != 0 {
+		t.Errorf("withdrawals not gated: %d candidates", n)
+	}
+	cfg.AllowWithdraw = true
+	if n := countWithdraw(Search(s, cfg)); n != len(s.Sites) {
+		t.Errorf("AllowWithdraw: %d withdrawal candidates, want %d", n, len(s.Sites))
+	}
+}
+
+// engineRun drives a monitoring campaign with the engine installed and
+// returns it.
+func engineRun(t *testing.T, workers, epochs int, override func(int) *Candidate) (*Engine, *scenario.Scenario) {
+	t.Helper()
+	s, cfg := testSetup(t, workers)
+	eng := NewEngine(s, EngineConfig{Config: cfg, PlanOverride: override})
+	_, err := monitor.Run(s, monitor.Config{
+		Epochs:     epochs,
+		LoadLog:    cfg.Normal,
+		Controller: eng.Controller(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, s
+}
+
+func TestEngineAppliesAndHolds(t *testing.T) {
+	eng, s := engineRun(t, 4, 4, nil)
+	if eng.Applied != 1 {
+		t.Fatalf("applied %d plans, want exactly 1 (hysteresis + solved overload): %v", eng.Applied, eng.Decisions)
+	}
+	if eng.Rollbacks != 0 {
+		t.Fatalf("unexpected rollbacks: %v", eng.Decisions)
+	}
+	d := eng.Decisions[0]
+	if d.Action != "apply" || d.Epoch != 0 {
+		t.Errorf("first decision = %+v, want an apply at epoch 0", d)
+	}
+	// The applied plan must still be in force.
+	if pre := s.Prepends(); equalIntsT(pre, []int{0, 0}) {
+		t.Errorf("prepends unchanged after apply: %v", pre)
+	}
+}
+
+func TestEngineRollbackOnNonImprovingPlan(t *testing.T) {
+	// Inject a plan that pushes MORE traffic to the overloaded target:
+	// prepending mia concentrates everything on lax.
+	injected := 0
+	override := func(epoch int) *Candidate {
+		if injected > 0 {
+			return nil
+		}
+		injected++
+		return &Candidate{Label: "mia+3", Prepend: []int{0, 3}, Down: []bool{false, false}}
+	}
+	eng, s := engineRun(t, 4, 3, override)
+	if eng.Applied != 1 || eng.Rollbacks != 1 {
+		t.Fatalf("applied=%d rollbacks=%d, want 1/1: %v", eng.Applied, eng.Rollbacks, eng.Decisions)
+	}
+	if !equalIntsT(s.Prepends(), []int{0, 0}) {
+		t.Errorf("rollback did not restore prepends: %v", s.Prepends())
+	}
+	if a, b := eng.Decisions[0], eng.Decisions[1]; a.Action != "apply" || b.Action != "rollback" || b.Label != "mia+3" {
+		t.Errorf("decision log %v, want apply then rollback of mia+3", eng.Decisions)
+	}
+}
+
+func TestEngineHysteresis(t *testing.T) {
+	// Every epoch the override proposes the same useless plan; hysteresis
+	// must space the applies MinEpochsBetween apart even though the
+	// target stays overloaded.
+	var proposedAt []int
+	override := func(epoch int) *Candidate {
+		proposedAt = append(proposedAt, epoch)
+		return &Candidate{Label: "mia+1", Prepend: []int{0, 1}, Down: []bool{false, false}}
+	}
+	eng, _ := engineRun(t, 4, 6, override)
+	last := -1 << 30
+	for _, d := range eng.Decisions {
+		if d.Action != "apply" {
+			continue
+		}
+		if d.Epoch-last < 2 {
+			t.Fatalf("applies at %d and %d violate MinEpochsBetween=2: %v", last, d.Epoch, eng.Decisions)
+		}
+		last = d.Epoch
+	}
+	if eng.Applied < 2 {
+		t.Fatalf("want repeated applies under sustained overload, got %d: %v", eng.Applied, eng.Decisions)
+	}
+}
+
+// TestEngineDeterministicDecisions is the plan-sequence half of the
+// determinism guarantee: same seed, same events, any worker count →
+// same decisions.
+func TestEngineDeterministicDecisions(t *testing.T) {
+	a, _ := engineRun(t, 1, 4, nil)
+	b, _ := engineRun(t, 8, 4, nil)
+	if len(a.Decisions) != len(b.Decisions) {
+		t.Fatalf("decision counts differ: %v vs %v", a.Decisions, b.Decisions)
+	}
+	for i := range a.Decisions {
+		if a.Decisions[i] != b.Decisions[i] {
+			t.Errorf("decision %d differs: %+v vs %+v", i, a.Decisions[i], b.Decisions[i])
+		}
+	}
+}
+
+func equalIntsT(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -191,6 +191,17 @@ func Synthesize(top *topology.Topology, p Profile, seed uint64) *Log {
 	return l
 }
 
+// FromBlocks assembles a log from raw per-block loads: entries are
+// sorted, indexed, and totaled exactly as Synthesize would. This is the
+// constructor for traffic models that build their own distributions —
+// the attack mixes in internal/loadgen — rather than sampling a Profile.
+// The slice is owned by the returned Log afterwards.
+func FromBlocks(name string, blocks []BlockLoad) *Log {
+	l := &Log{Name: name, Blocks: blocks}
+	l.finish()
+	return l
+}
+
 func clamp01(v float64) float64 {
 	if v < 0 {
 		return 0

@@ -181,9 +181,29 @@ func (s *Scenario) ReannounceFull(extraPrepend []int, down []bool, epoch uint64)
 	s.down = make([]bool, len(s.Sites))
 	copy(s.down, down)
 	s.routingEpoch = epoch
+	anns := s.AnnouncementsFor(extraPrepend, s.down)
+	s.Table, s.Asg = bgp.ComputeEpochCached(s.Top, anns, epoch)
+	s.Net.SetAssignment(s.Asg)
+}
+
+// AnnouncementsFor translates a candidate routing configuration — per-site
+// extra prepends (nil = all zero) and a withdrawal mask (nil = all up) —
+// into the announcement set the deployment would emit, without changing
+// any state. It panics if every site is withdrawn: an anycast service
+// must announce from somewhere.
+func (s *Scenario) AnnouncementsFor(extraPrepend []int, down []bool) []bgp.Announcement {
+	if extraPrepend == nil {
+		extraPrepend = make([]int, len(s.Sites))
+	}
+	if len(extraPrepend) != len(s.Sites) {
+		panic(fmt.Sprintf("scenario: %d prepends for %d sites", len(extraPrepend), len(s.Sites)))
+	}
+	if down != nil && len(down) != len(s.Sites) {
+		panic(fmt.Sprintf("scenario: %d down flags for %d sites", len(down), len(s.Sites)))
+	}
 	anns := make([]bgp.Announcement, 0, len(s.Sites))
 	for i, site := range s.Sites {
-		if s.down[i] {
+		if down != nil && down[i] {
 			continue
 		}
 		anns = append(anns, bgp.Announcement{
@@ -195,8 +215,17 @@ func (s *Scenario) ReannounceFull(extraPrepend []int, down []bool, epoch uint64)
 	if len(anns) == 0 {
 		panic("scenario: every site withdrawn — nothing announced")
 	}
-	s.Table, s.Asg = bgp.ComputeEpochCached(s.Top, anns, epoch)
-	s.Net.SetAssignment(s.Asg)
+	return anns
+}
+
+// PredictRouting evaluates a candidate configuration from the control
+// plane alone: the converged table and block→site assignment the
+// deployment would have under the given prepends, withdrawals, and epoch.
+// Nothing is deployed — production routing, the data plane, and the
+// recorded configuration are untouched. Repeated predictions share the
+// route cache, so a sweep of neighboring candidates rides the delta path.
+func (s *Scenario) PredictRouting(extraPrepend []int, down []bool, epoch uint64) (*bgp.Table, *bgp.Assignment) {
+	return bgp.ComputeEpochCached(s.Top, s.AnnouncementsFor(extraPrepend, down), epoch)
 }
 
 // Prepends returns the current extra-prepend configuration.

@@ -9,10 +9,12 @@
 # the scheduling-queue pair (LevelHeap typed/boxed), the pipeline
 # anchors (Table4Coverage, MeasurementRound), the internet-scale
 # columnar sweep (InternetSweep: 1.2M blocks probed, folded, and
-# streamed to a v4 dataset per iteration), and the instrumentation
+# streamed to a v4 dataset per iteration), the instrumentation
 # overhead pair (ObsvOverhead metrics=off/on — the on/off delta must
-# stay under 2%), so perf regressions show up as a diff against the
-# previous BENCH_*.json.
+# stay under 2%), and the playbook plan search (PlaybookSearch: full
+# candidate grammar ranked from a cold cache each iteration; acceptance
+# is single-digit seconds at the medium tier), so perf regressions show
+# up as a diff against the previous BENCH_*.json.
 #
 #   ./scripts/bench.sh            # full run (benchtime 5x), writes JSON
 #   ./scripts/bench.sh smoke      # 1 iteration, no JSON — CI gate mode
@@ -26,7 +28,7 @@ MODE="${1:-full}"
 COUNT="${VP_BENCH_COUNT:-5x}"
 [ "$MODE" = "smoke" ] && COUNT="${VP_BENCH_COUNT:-1x}"
 
-PATTERN='^(BenchmarkBGPCompute|BenchmarkBGPComputeInternet|BenchmarkComputeDelta|BenchmarkReannounceSweep|BenchmarkTable4Coverage|BenchmarkMeasurementRound|BenchmarkInternetSweep|BenchmarkObsvOverhead)$'
+PATTERN='^(BenchmarkBGPCompute|BenchmarkBGPComputeInternet|BenchmarkComputeDelta|BenchmarkReannounceSweep|BenchmarkTable4Coverage|BenchmarkMeasurementRound|BenchmarkInternetSweep|BenchmarkObsvOverhead|BenchmarkPlaybookSearch)$'
 OUT=$(go test -run '^$' -bench "$PATTERN" -benchtime "$COUNT" -benchmem . 2>&1)
 BGPOUT=$(go test -run '^$' -bench '^(BenchmarkExportRoutes|BenchmarkComputeEpochCached|BenchmarkLevelHeap)$' -benchtime "$COUNT" -benchmem ./internal/bgp/ 2>&1)
 

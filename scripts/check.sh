@@ -21,6 +21,9 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
+echo "== mdlint (intra-repo doc links)"
+./scripts/mdlint.sh
+
 echo "== go build ./..."
 go build ./...
 
@@ -78,6 +81,24 @@ got=$(go run ./cmd/verfploeter -scenario b-root -size tiny -seed 7 -metrics \
 	| grep "^counter probes_sent ")
 if [ "$got" != "$want" ]; then
 	echo "obsv smoke FAILED:" >&2
+	echo "  want: $want" >&2
+	echo "  got:  $got" >&2
+	exit 1
+fi
+echo "$got"
+
+# Playbook smoke: a fixed-seed plan search must reproduce its golden
+# "chosen plan" line exactly — the playbook's determinism contract
+# (candidate order, delta-path route prediction, scoring, tie-breaks)
+# collapsed to one grep. Recalibrate only when the grammar or scoring
+# deliberately changes.
+echo "== playbook smoke (tiny, concentrated 3x, fixed seed)"
+want="chosen plan: lax+1 (target lax: util 1.47 -> 0.41, absorption 70%)"
+got=$(go run ./cmd/verfploeter -scenario b-root -size tiny -seed 7 -playbook \
+	-attack shape=concentrated,volume=3x,ases=12,seed=3 -capacity 2,4.5 \
+	| grep "^chosen plan:")
+if [ "$got" != "$want" ]; then
+	echo "playbook smoke FAILED:" >&2
 	echo "  want: $want" >&2
 	echo "  got:  $got" >&2
 	exit 1

@@ -1,0 +1,42 @@
+#!/bin/sh
+# mdlint.sh — docs link lint: every intra-repo markdown link must point
+# at a file that exists. External links (http/https/mailto) and pure
+# in-page anchors are skipped; "FILE.md#anchor" is checked as FILE.md.
+# Part of the check.sh gate so a renamed doc can't silently strand the
+# operator guides.
+#
+#   ./scripts/mdlint.sh            # lint every tracked *.md
+set -eu
+cd "$(dirname "$0")/.."
+
+FILES=$(git ls-files '*.md' 2>/dev/null || find . -name '*.md' -not -path './.git/*')
+FAIL=0
+for f in $FILES; do
+	[ -f "$f" ] || continue
+	dir=$(dirname "$f")
+	# Pull out inline link targets: [text](target). One per line, tolerant
+	# of several links per source line.
+	targets=$(grep -o '\[[^][]*\]([^()[:space:]]*)' "$f" 2>/dev/null |
+		sed 's/^\[[^][]*\](//; s/)$//') || true
+	[ -n "$targets" ] || continue
+	for t in $targets; do
+		case "$t" in
+		http://* | https://* | mailto:* | '#'*) continue ;;
+		esac
+		path=${t%%#*}
+		[ -n "$path" ] || continue
+		case "$path" in
+		/*) resolved=".$path" ;;
+		*) resolved="$dir/$path" ;;
+		esac
+		if [ ! -e "$resolved" ]; then
+			echo "mdlint: $f: broken link -> $t" >&2
+			FAIL=1
+		fi
+	done
+done
+if [ "$FAIL" -ne 0 ]; then
+	echo "mdlint.sh: broken intra-repo links" >&2
+	exit 1
+fi
+echo "mdlint.sh: links OK"

@@ -47,6 +47,7 @@ import (
 	"verfploeter/internal/loadmodel"
 	"verfploeter/internal/monitor"
 	"verfploeter/internal/placement"
+	"verfploeter/internal/playbook"
 	"verfploeter/internal/querylog"
 	"verfploeter/internal/scenario"
 	"verfploeter/internal/topology"
@@ -427,6 +428,7 @@ const (
 	CausePrepend     = dataset.CausePrepend
 	CauseWithdraw    = dataset.CauseWithdraw
 	CauseBlackout    = dataset.CauseBlackout
+	CausePlaybook    = dataset.CausePlaybook
 	CauseUnexplained = dataset.CauseUnexplained
 )
 
@@ -449,6 +451,62 @@ func LoadSeries(path string) (*Series, error) { return dataset.ReadSeriesFile(pa
 // monitoring series as flip matrices.
 func SeriesFlipMatrices(s *Series) ([]*FlipMatrix, error) {
 	return analysis.SeriesFlipMatrices(s)
+}
+
+// Anycast-agility playbook types (DDoS defense by routing search; see
+// internal/playbook and the README's "Fighting DDoS" guide).
+type (
+	// AttackMix describes a synthetic DDoS source mix (spoofed or
+	// concentrated), parseable from the -attack CLI syntax.
+	AttackMix = loadgen.AttackMix
+	// AttackShape selects spoofed vs concentrated sources.
+	AttackShape = loadgen.AttackShape
+	// PlaybookConfig parameterizes candidate enumeration and scoring.
+	PlaybookConfig = playbook.Config
+	// PlaybookPlan is a finished search: every candidate scored, one
+	// chosen.
+	PlaybookPlan = playbook.Plan
+	// PlaybookCandidate is one scored routing configuration.
+	PlaybookCandidate = playbook.Candidate
+	// PlaybookEngine closes the monitor→plan→re-announce loop with
+	// hysteresis and rollback.
+	PlaybookEngine = playbook.Engine
+	// PlaybookEngineConfig parameterizes the closed loop.
+	PlaybookEngineConfig = playbook.EngineConfig
+	// Community is a named site group steered as a unit
+	// (community-scoped announcements).
+	Community = playbook.Community
+)
+
+// Attack shapes.
+const (
+	AttackSpoofed      = loadgen.AttackSpoofed
+	AttackConcentrated = loadgen.AttackConcentrated
+)
+
+// ParseAttackMix parses the -attack CLI syntax, e.g.
+// "shape=concentrated,volume=5x,ases=12,seed=3".
+func ParseAttackMix(spec string) (AttackMix, error) { return loadgen.ParseAttackMix(spec) }
+
+// AttackLog synthesizes the mix's day of attack traffic over the
+// deployment's Internet, resolving relative volumes ("5x") against
+// normalQPD.
+func (d *Deployment) AttackLog(mix AttackMix, normalQPD float64) *Log {
+	return mix.Synthesize(d.Top, normalQPD)
+}
+
+// SearchPlaybook ranks every announcement candidate for the deployment's
+// current routing state and returns the scored plan. Nothing is
+// deployed; candidates are predicted from the control plane via the
+// route cache's delta path.
+func (d *Deployment) SearchPlaybook(cfg PlaybookConfig) *PlaybookPlan {
+	return playbook.Search(d.Scenario, cfg)
+}
+
+// NewPlaybookEngine builds the closed-loop engine for this deployment;
+// install engine.Controller() as MonitorConfig.Controller.
+func (d *Deployment) NewPlaybookEngine(cfg PlaybookEngineConfig) *PlaybookEngine {
+	return playbook.NewEngine(d.Scenario, cfg)
 }
 
 // DeploymentConfig declares a custom deployment in JSON (hosts, their
