@@ -20,6 +20,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"verfploeter/internal/bgp"
@@ -32,6 +33,7 @@ import (
 	"verfploeter/internal/playbook"
 	"verfploeter/internal/rng"
 	"verfploeter/internal/scenario"
+	"verfploeter/internal/server"
 	"verfploeter/internal/topology"
 	vp "verfploeter/internal/verfploeter"
 )
@@ -504,3 +506,60 @@ func BenchmarkPlaybookSearch(b *testing.B) {
 // BenchmarkExtLoss sweeps fault profiles and retry budgets over the
 // loss-sensitivity experiment (DESIGN.md §9).
 func BenchmarkExtLoss(b *testing.B) { benchExperiment(b, "ext-loss") }
+
+// --- vp-server query path ---
+
+var serverBench struct {
+	once   sync.Once
+	tenant *server.Tenant
+	addrs  []ipv4.Addr
+	err    error
+}
+
+// BenchmarkServerLookup times vp-server's production read path — one
+// atomic snapshot load plus a binary search over the block column —
+// with every CPU issuing lookups concurrently (b.RunParallel), the way
+// a live daemon is actually hit. The tenant hosts the default-tier
+// b-root deployment with its baseline epoch published; addresses cycle
+// through every mapped block. The acceptance bar is ≥1M lookups/sec on
+// one box at the medium tier (expect tens of millions); the reported
+// lookups/s metric lands in BENCH_*.json via scripts/bench.sh, and the
+// concurrent-swap race test (internal/server) proves the same path
+// never blocks on or tears across an epoch swap.
+func BenchmarkServerLookup(b *testing.B) {
+	serverBench.once.Do(func() {
+		scn := scenario.BRoot(benchConfig().Size, 7)
+		tn, err := server.NewTenant(scn, server.TenantConfig{Name: "bench"}, nil)
+		if err == nil {
+			_, err = tn.Advance(false)
+		}
+		if err != nil {
+			serverBench.err = err
+			return
+		}
+		for _, blk := range tn.Current().Blocks() {
+			serverBench.addrs = append(serverBench.addrs, blk.First())
+		}
+		serverBench.tenant = tn
+	})
+	if serverBench.err != nil {
+		b.Fatal(serverBench.err)
+	}
+	tn, addrs := serverBench.tenant, serverBench.addrs
+	var worker atomic.Int64 // stagger goroutines across the address list
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(worker.Add(1)) * len(addrs) / 64
+		for pb.Next() {
+			a := addrs[i%len(addrs)]
+			if _, ok := tn.Lookup(a); !ok {
+				b.Fatal("mapped block failed to resolve")
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+	b.ReportMetric(float64(len(addrs)), "blocks")
+}

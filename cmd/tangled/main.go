@@ -11,8 +11,10 @@ import (
 	"os"
 
 	"verfploeter"
-	"verfploeter/internal/topology"
+	"verfploeter/internal/cli"
 )
+
+const tool = "tangled"
 
 func main() {
 	var (
@@ -22,36 +24,32 @@ func main() {
 	)
 	flag.Parse()
 
-	var size topology.Size
-	switch *sizeName {
-	case "tiny":
-		size = topology.SizeTiny
-	case "small":
-		size = topology.SizeSmall
-	case "medium":
-		size = topology.SizeMedium
-	case "large":
-		size = topology.SizeLarge
-	case "internet":
-		size = topology.SizeInternet
-	default:
-		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeName)
-		os.Exit(2)
+	size, err := cli.ParseSize(*sizeName)
+	if err != nil {
+		cli.Usagef(tool, "%v", err)
 	}
+	ctx, stopSignals := cli.ShutdownContext(tool)
+	defer stopSignals()
 
 	d := verfploeter.Tangled(size, *seed)
 	fmt.Printf("tangled: 9 sites, %d hitlist targets, %d rounds\n", d.Hitlist.Len(), *rounds)
 
 	rounds96, err := d.MapRounds(*rounds)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tangled:", err)
-		os.Exit(1)
+		cli.Fatalf(tool, "%v", err)
 	}
 
 	fmt.Println("\nround 0 catchment:")
 	counts := rounds96[0].Counts()
 	for i, code := range d.SiteCodes() {
 		fmt.Printf("%-5s %8d blocks  %5.1f%%\n", code, counts[i], 100*rounds96[0].Fraction(i))
+	}
+
+	// The campaign is done; the analyses below are cheap but honor an
+	// interrupt between stages so Ctrl-C lands at a clean boundary.
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "%s: interrupted; skipping stability analysis\n", tool)
+		return
 	}
 
 	series := d.StabilitySeries(rounds96)

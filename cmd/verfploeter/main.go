@@ -10,6 +10,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +23,6 @@ import (
 	"verfploeter/internal/cli"
 	"verfploeter/internal/dataset"
 	"verfploeter/internal/loadmodel"
-	"verfploeter/internal/topology"
 )
 
 const tool = "verfploeter"
@@ -58,7 +58,10 @@ func main() {
 	)
 	flag.Parse()
 
-	reg := cli.NewObs(tool, *metrics, *traceSpans, *pprofAddr)
+	reg, obsClose := cli.NewObs(tool, *metrics, *traceSpans, *pprofAddr)
+	defer obsClose()
+	ctx, stopSignals := cli.ShutdownContext(tool)
+	defer stopSignals()
 
 	var d *verfploeter.Deployment
 	var err error
@@ -67,7 +70,11 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		if d, err = buildDeployment(*scenarioName, *sizeName, *seed); err != nil {
+		size, err := cli.ParseSize(*sizeName)
+		if err != nil {
+			usage(err)
+		}
+		if d, err = verfploeter.Build(*scenarioName, size, *seed); err != nil {
 			usage(err)
 		}
 	}
@@ -106,7 +113,7 @@ func main() {
 			eng = d.NewPlaybookEngine(verfploeter.PlaybookEngineConfig{Config: pcfg})
 			loadLog = pcfg.Normal
 		}
-		if err := runMonitor(d, *epochs, *sample, pp, *seriesOut, eng, loadLog); err != nil {
+		if err := runMonitor(ctx, d, *epochs, *sample, pp, *seriesOut, eng, loadLog); err != nil {
 			fatal(err)
 		}
 		cli.EmitObs(os.Stdout, reg, *metrics, *traceSpans)
@@ -202,9 +209,11 @@ func main() {
 // starting from it. The final "monitor:" line is stable for a fixed
 // scenario/seed/flags — scripts/check.sh pins it as a golden; when
 // -playbook attaches an engine its summary prints after that line so
-// the golden survives.
-func runMonitor(d *verfploeter.Deployment, epochs int, sample float64, pp []int, seriesOut string,
-	eng *verfploeter.PlaybookEngine, loadLog *verfploeter.Log) error {
+// the golden survives. On SIGINT/SIGTERM the campaign stops at the next
+// epoch boundary and still reports — and flushes the -save-series file
+// for — the epochs it completed.
+func runMonitor(ctx context.Context, d *verfploeter.Deployment, epochs int, sample float64,
+	pp []int, seriesOut string, eng *verfploeter.PlaybookEngine, loadLog *verfploeter.Log) error {
 	var actions []verfploeter.MonitorAction
 	if pp != nil {
 		actions = append(actions, verfploeter.MonitorAction{Epoch: 1, Prepend: pp})
@@ -218,9 +227,20 @@ func runMonitor(d *verfploeter.Deployment, epochs int, sample float64, pp []int,
 		mcfg.LoadLog = loadLog
 		mcfg.Controller = eng.Controller()
 	}
-	res, err := d.Monitor(mcfg)
-	if err != nil {
-		return err
+	ss := d.NewMonitorSession(mcfg)
+	interrupted := false
+	for e := 0; e < epochs; e++ {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
+		if _, err := ss.Step(); err != nil {
+			return err
+		}
+	}
+	res := ss.Result()
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "%s: interrupted after %d of %d epochs\n", tool, len(res.Epochs), epochs)
 	}
 
 	fmt.Printf("scenario %s (seed %d): %d sites, %d hitlist targets\n",
@@ -373,35 +393,6 @@ func parseCapacities(spec string, nSites int, total float64) ([]float64, error) 
 		caps[i] = v * total
 	}
 	return caps, nil
-}
-
-func buildDeployment(name, sizeName string, seed uint64) (*verfploeter.Deployment, error) {
-	var size topology.Size
-	switch strings.ToLower(sizeName) {
-	case "tiny":
-		size = topology.SizeTiny
-	case "small":
-		size = topology.SizeSmall
-	case "medium":
-		size = topology.SizeMedium
-	case "large":
-		size = topology.SizeLarge
-	case "internet":
-		size = topology.SizeInternet
-	default:
-		return nil, fmt.Errorf("unknown size %q", sizeName)
-	}
-	switch strings.ToLower(name) {
-	case "b-root", "broot":
-		return verfploeter.BRoot(size, seed), nil
-	case "tangled":
-		return verfploeter.Tangled(size, seed), nil
-	case "nl":
-		return verfploeter.NL(size, seed), nil
-	case "cdn":
-		return verfploeter.CDN(size, seed), nil
-	}
-	return nil, fmt.Errorf("unknown scenario %q (b-root, tangled, nl, cdn)", name)
 }
 
 func parsePrepends(s string, nSites int) ([]int, error) {

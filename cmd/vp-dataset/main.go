@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -46,7 +47,11 @@ func main() {
 		flag.Usage()
 		os.Exit(cli.ExitUsage)
 	}
-	reg = cli.NewObs(tool, *metrics, *traceSp, *pprofAddr)
+	var obsClose func()
+	reg, obsClose = cli.NewObs(tool, *metrics, *traceSp, *pprofAddr)
+	defer obsClose()
+	ctx, stopSignals := cli.ShutdownContext(tool)
+	defer stopSignals()
 	switch args[0] {
 	case "info":
 		fs := flag.NewFlagSet("info", flag.ExitOnError)
@@ -64,7 +69,7 @@ func main() {
 			flag.Usage()
 			os.Exit(cli.ExitUsage)
 		}
-		if err := diff(args[1], args[2]); err != nil {
+		if err := diff(ctx, args[1], args[2]); err != nil {
 			fatal(err)
 		}
 	default:
@@ -175,10 +180,15 @@ func printSites(c *verfploeter.Catchment, sites []string) {
 	}
 }
 
-func diff(pathA, pathB string) error {
+// diff honors an interrupt between the two file reads — the only point
+// in this short-lived tool where stopping early saves real work.
+func diff(ctx context.Context, pathA, pathB string) error {
 	a, err := readDataset(pathA)
 	if err != nil {
 		return fmt.Errorf("%s: %w", pathA, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	b, err := readDataset(pathB)
 	if err != nil {

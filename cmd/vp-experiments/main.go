@@ -19,7 +19,6 @@ import (
 	"verfploeter/internal/cli"
 	"verfploeter/internal/experiments"
 	faultsmod "verfploeter/internal/faults"
-	"verfploeter/internal/topology"
 )
 
 const tool = "vp-experiments"
@@ -49,7 +48,7 @@ func main() {
 		return
 	}
 
-	size, err := parseSize(*sizeName)
+	size, err := cli.ParseSize(*sizeName)
 	if err != nil {
 		cli.Usagef(tool, "%v", err)
 	}
@@ -57,7 +56,10 @@ func main() {
 	if err != nil {
 		cli.Usagef(tool, "%v", err)
 	}
-	reg := cli.NewObs(tool, *metrics, *traceSp, *pprofAd)
+	reg, obsClose := cli.NewObs(tool, *metrics, *traceSp, *pprofAd)
+	defer obsClose()
+	ctx, stopSignals := cli.ShutdownContext(tool)
+	defer stopSignals()
 	cfg := experiments.Config{
 		Size: size, Seed: *seed, AtlasVPs: *atlasVPs, Rounds: *rounds,
 		Workers: *workers, Faults: profile, Retries: *retries, Obs: reg,
@@ -70,13 +72,14 @@ func main() {
 		}
 	}
 
-	// RunAll never aborts the batch: a preset that errors or panics
-	// mid-round is reported — partial text preserved — and the rest of
-	// the experiments still run.
+	// The batch never aborts on a failing preset: errors and panics are
+	// reported — partial text preserved — and the rest of the
+	// experiments still run. SIGINT/SIGTERM stops it at the next
+	// experiment boundary, keeping the finished reports.
 	failures := 0
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	for _, out := range experiments.RunAll(cfg, ids) {
+	for _, out := range experiments.RunAllContext(ctx, cfg, ids) {
 		misses := 0
 		if out.Result != nil {
 			misses = strings.Count(out.Result.Text, "shape[MISS]")
@@ -122,22 +125,7 @@ func main() {
 	}
 	cli.EmitObs(os.Stdout, reg, *metrics, *traceSp)
 	if failures > 0 {
+		obsClose()
 		cli.Fatalf(tool, "%d experiment(s) with errors or missed shapes", failures)
 	}
-}
-
-func parseSize(s string) (topology.Size, error) {
-	switch strings.ToLower(s) {
-	case "tiny":
-		return topology.SizeTiny, nil
-	case "small":
-		return topology.SizeSmall, nil
-	case "medium":
-		return topology.SizeMedium, nil
-	case "large":
-		return topology.SizeLarge, nil
-	case "internet":
-		return topology.SizeInternet, nil
-	}
-	return 0, fmt.Errorf("unknown size %q (tiny, small, medium, large, internet)", s)
 }

@@ -1,20 +1,27 @@
-// Package cli carries the scaffolding the three command-line tools
-// share: unified fatal-error reporting with conventional exit codes
-// (2 for usage mistakes, 1 for runtime failures), and the
+// Package cli carries the scaffolding the command-line tools share:
+// unified fatal-error reporting with conventional exit codes (2 for
+// usage mistakes, 1 for runtime failures), SIGINT/SIGTERM shutdown
+// contexts with a forced-exit escape hatch, and the
 // -metrics/-trace/-pprof-addr observability plumbing over
 // internal/obsv.
 package cli
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"verfploeter/internal/bgp"
 	"verfploeter/internal/obsv"
+	"verfploeter/internal/topology"
 )
 
 // Exit codes. A usage error (bad flag value, unknown subcommand) exits
@@ -40,31 +47,84 @@ func Usagef(tool, format string, args ...any) {
 	os.Exit(ExitUsage)
 }
 
+// ShutdownContext returns a context cancelled on the first SIGINT or
+// SIGTERM, so long-running modes (monitoring campaigns, the vp-server
+// daemon, experiment batches) can stop at the next safe point and still
+// flush their outputs — series files, datasets, reports. A second
+// signal force-exits with ExitRuntime immediately, keeping Ctrl-C
+// Ctrl-C usable when a drain hangs. The returned stop function releases
+// the signal handler (restoring default signal behavior).
+func ShutdownContext(tool string) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "%s: %v — shutting down (signal again to force exit)\n", tool, sig)
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(ch)
+			return
+		}
+		sig := <-ch
+		fmt.Fprintf(os.Stderr, "%s: %v — forced exit\n", tool, sig)
+		os.Exit(ExitRuntime)
+	}()
+	stop := func() {
+		signal.Stop(ch)
+		cancel()
+	}
+	return ctx, stop
+}
+
+// ParseSize parses the shared -size flag value.
+func ParseSize(s string) (topology.Size, error) {
+	switch strings.ToLower(s) {
+	case "tiny":
+		return topology.SizeTiny, nil
+	case "small":
+		return topology.SizeSmall, nil
+	case "medium":
+		return topology.SizeMedium, nil
+	case "large":
+		return topology.SizeLarge, nil
+	case "internet":
+		return topology.SizeInternet, nil
+	}
+	return 0, fmt.Errorf("unknown size %q (tiny, small, medium, large, internet)", s)
+}
+
 // NewObs builds the tool's instrumentation registry from its
-// observability flags. It returns nil — the zero-cost disabled layer —
-// when all three are off; otherwise it installs the registry in the
-// process-global hooks (bgp's route cache) and, with pprofAddr set,
-// starts the debug HTTP listener.
-func NewObs(tool string, metrics, trace bool, pprofAddr string) *obsv.Registry {
+// observability flags. It returns a nil registry — the zero-cost
+// disabled layer — when all three are off; otherwise it installs the
+// registry in the process-global hooks (bgp's route cache) and, with
+// pprofAddr set, starts the debug HTTP listener. The returned closer
+// shuts the private mux down (no-op when none was started); call it on
+// every exit path so the listener never outlives the run.
+func NewObs(tool string, metrics, trace bool, pprofAddr string) (*obsv.Registry, func()) {
 	if !metrics && !trace && pprofAddr == "" {
-		return nil
+		return nil, func() {}
 	}
 	reg := obsv.New()
 	if trace {
 		reg.EnableTracing()
 	}
 	bgp.SetObs(reg)
+	closer := func() {}
 	if pprofAddr != "" {
-		StartPprof(tool, pprofAddr, reg)
+		closer = StartPprof(tool, pprofAddr, reg)
 	}
-	return reg
+	return reg, closer
 }
 
 // StartPprof serves net/http/pprof plus the registry's /metrics endpoint
 // (Prometheus text format) on addr. The listener is bound synchronously
 // so a bad address fails the run immediately; serving then proceeds in
-// the background for the life of the process.
-func StartPprof(tool, addr string, reg *obsv.Registry) {
+// the background. The returned closer drains in-flight requests (2 s
+// deadline) and closes the listener — the shutdown path the tools call
+// on exit and on SIGINT/SIGTERM.
+func StartPprof(tool, addr string, reg *obsv.Registry) func() {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		Fatalf(tool, "pprof listener: %v", err)
@@ -80,7 +140,13 @@ func StartPprof(tool, addr string, reg *obsv.Registry) {
 		reg.WritePrometheus(w)
 	})
 	fmt.Fprintf(os.Stderr, "%s: pprof and /metrics on http://%s\n", tool, ln.Addr())
-	go func() { _ = http.Serve(ln, mux) }()
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
 }
 
 // EmitObs renders the run's instrumentation to w: the counter/histogram

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -161,12 +162,22 @@ func (o Outcome) ResponseRate() float64 {
 // behavior a long campaign needs: one dark site must not discard a
 // night of finished experiments.
 func RunAll(cfg Config, ids []string) []Outcome {
+	return RunAllContext(context.Background(), cfg, ids)
+}
+
+// RunAllContext is RunAll with cancellation: the batch stops at the next
+// experiment boundary once ctx is done, returning the outcomes finished
+// so far — an interrupted overnight batch keeps its completed reports.
+func RunAllContext(ctx context.Context, cfg Config, ids []string) []Outcome {
 	if len(ids) == 0 {
 		ids = IDs()
 	}
-	out := make([]Outcome, len(ids))
-	for i, id := range ids {
-		out[i] = runOne(id, cfg)
+	out := make([]Outcome, 0, len(ids))
+	for _, id := range ids {
+		if ctx.Err() != nil {
+			break
+		}
+		out = append(out, runOne(id, cfg))
 	}
 	return out
 }

@@ -163,94 +163,158 @@ type Result struct {
 	BaselineProbes int
 }
 
+// Session is an open-ended monitoring campaign driven one epoch at a
+// time — the stepwise form of Run that long-running services (vp-server)
+// build on. Each Step advances the virtual clock, runs the epoch hooks
+// and operator actions, measures (full or sampled), classifies drift,
+// and extends the delta-encoded series; a campaign of N Steps produces
+// state byte-identical to Run with Epochs=N, including the persisted
+// series file. A Session is not safe for concurrent Steps; callers
+// serialize the write side (readers consume the returned EpochResults).
+type Session struct {
+	s   *scenario.Scenario
+	cfg Config
+	st  *strata
+
+	res    *Result
+	series *dataset.Series
+
+	prev *verfploeter.Catchment
+	// playbookActed carries a Controller routing change into the NEXT
+	// epoch's cause classification: the change is applied now but only
+	// measured then.
+	playbookActed bool
+	epoch         int
+	forceFull     bool
+}
+
+// NewSession prepares a stepwise monitoring campaign on the scenario.
+// The scenario is mutated by Steps (routing changes, clock advance);
+// run on a Fork to keep the original pristine. Config.Epochs only
+// bounds Run — a Session steps as long as the caller keeps calling.
+func NewSession(s *scenario.Scenario, cfg Config) *Session {
+	cfg = cfg.fill()
+	return &Session{
+		s: s, cfg: cfg, st: buildStrata(s, cfg.Strata),
+		res: &Result{},
+		series: &dataset.Series{
+			Meta: dataset.Meta{
+				ID: fmt.Sprintf("%s-monitor", s.Name), Scenario: s.Name,
+				Sites: s.SiteCodes(), RoundID: cfg.RoundID, Seed: s.Seed,
+			},
+			Strata: cfg.Strata, SampleRate: math.Max(cfg.Sample, 0),
+		},
+	}
+}
+
+// Epochs returns the number of completed epochs (epoch 0 included).
+func (ss *Session) Epochs() int { return ss.epoch }
+
+// Config returns the session's filled configuration.
+func (ss *Session) Config() Config { return ss.cfg }
+
+// ForceFull makes the next Step sweep the full hitlist even in sampling
+// mode — the operator's "re-probe everything now" trigger. It is a
+// no-op in full mode and resets after one Step.
+func (ss *Session) ForceFull() { ss.forceFull = true }
+
+// Result returns the campaign so far, series attached. The returned
+// value shares state with the session; epochs appended by later Steps
+// appear in it.
+func (ss *Session) Result() *Result {
+	ss.res.Series = ss.series
+	return ss.res
+}
+
+// Series returns the delta-encoded series accumulated so far.
+func (ss *Session) Series() *dataset.Series { return ss.series }
+
+// Step runs the next epoch and returns its result (a copy — safe to
+// hand to concurrent readers while the session keeps stepping).
+func (ss *Session) Step() (EpochResult, error) {
+	s, cfg, e := ss.s, ss.cfg, ss.epoch
+	if e > 0 {
+		s.Clock.Advance(cfg.Interval)
+	}
+	// The world moves first (hooks: tie-break drift, blackouts), then
+	// the operator acts, then we measure.
+	epochSpan := s.Obs.StartSpan("epoch", e)
+	s.BeginEpoch(e)
+	prependChanged, downChanged := applyActions(s, cfg.Actions, e)
+
+	er := EpochResult{Epoch: e}
+	var cur *verfploeter.Catchment
+	full := e == 0 || cfg.Sample <= 0 || ss.forceFull
+	ss.forceFull = false
+	if full {
+		c, stats, err := s.MeasureSubset(cfg.RoundID, nil)
+		if err != nil {
+			return er, fmt.Errorf("monitor: epoch %d: %w", e, err)
+		}
+		cur = c
+		er.Probes, er.Sampled = stats.Sent, stats.Targets
+	} else {
+		c, _, err := sampleEpoch(s, cfg, ss.st, ss.prev, &er)
+		if err != nil {
+			return er, fmt.Errorf("monitor: epoch %d: %w", e, err)
+		}
+		cur = c
+	}
+	er.Map = cur
+
+	if e == 0 {
+		ss.series.Baseline = cur
+		ss.series.BaselineProbes = er.Probes
+		ss.res.BaselineProbes = er.Probes
+	} else {
+		se := deltaEpoch(e, ss.prev, cur, &er)
+		clSpan := s.Obs.StartSpan("classify", e)
+		er.Events = classifyEvents(e, s, cfg, ss.prev, cur, prependChanged, downChanged, ss.playbookActed)
+		clSpan.End()
+		se.Events = er.Events
+		ss.series.Epochs = append(ss.series.Epochs, se)
+		for _, ev := range er.Events {
+			if cfg.OnEvent != nil {
+				cfg.OnEvent(ev)
+			}
+			ss.res.Events = append(ss.res.Events, ev)
+		}
+	}
+	ss.res.TotalProbes += er.Probes
+	ss.res.Epochs = append(ss.res.Epochs, er)
+	if s.Obs != nil {
+		s.Obs.Counter("monitor_epochs", "monitoring epochs completed").Inc()
+		s.Obs.Counter("monitor_events", "drift events the monitor classified").AddInt(len(er.Events))
+		s.Obs.Counter("monitor_escalated_strata", "strata escalated to a full re-probe").AddInt(er.EscalatedStrata)
+	}
+	ss.playbookActed = false
+	if cfg.Controller != nil {
+		// Snapshot the routing knobs around the controller so its
+		// changes — and only its changes — are attributable next epoch.
+		prePre, preDown := s.Prepends(), s.DownSites()
+		cfg.Controller(e, cur, er.Events)
+		ss.playbookActed = !equalInts(s.Prepends(), prePre) ||
+			!equalBools(s.DownSites(), preDown)
+	}
+	epochSpan.End()
+	ss.prev = cur
+	ss.epoch++
+	return er, nil
+}
+
 // Run executes a monitoring campaign on the scenario. The scenario is
 // mutated (routing changes, clock advance); run on a Fork to keep the
 // original pristine.
 func Run(s *scenario.Scenario, cfg Config) (*Result, error) {
-	cfg = cfg.fill()
-	st := buildStrata(s, cfg.Strata)
-	res := &Result{}
-	series := &dataset.Series{
-		Meta: dataset.Meta{
-			ID: fmt.Sprintf("%s-monitor", s.Name), Scenario: s.Name,
-			Sites: s.SiteCodes(), RoundID: cfg.RoundID, Seed: s.Seed,
-		},
-		Strata: cfg.Strata, SampleRate: math.Max(cfg.Sample, 0),
+	ss := NewSession(s, cfg)
+	for e := 0; e < ss.cfg.Epochs; e++ {
+		if _, err := ss.Step(); err != nil {
+			// Partial result, series unattached — exactly the historic
+			// mid-campaign failure contract.
+			return ss.res, err
+		}
 	}
-
-	var prev *verfploeter.Catchment
-	// playbookActed carries a Controller routing change into the NEXT
-	// epoch's cause classification: the change is applied now but only
-	// measured then.
-	playbookActed := false
-	for e := 0; e < cfg.Epochs; e++ {
-		if e > 0 {
-			s.Clock.Advance(cfg.Interval)
-		}
-		// The world moves first (hooks: tie-break drift, blackouts), then
-		// the operator acts, then we measure.
-		epochSpan := s.Obs.StartSpan("epoch", e)
-		s.BeginEpoch(e)
-		prependChanged, downChanged := applyActions(s, cfg.Actions, e)
-
-		er := EpochResult{Epoch: e}
-		var cur *verfploeter.Catchment
-		var stats verfploeter.Stats
-		if e == 0 || cfg.Sample <= 0 {
-			var err error
-			cur, stats, err = s.MeasureSubset(cfg.RoundID, nil)
-			if err != nil {
-				return res, fmt.Errorf("monitor: epoch %d: %w", e, err)
-			}
-			er.Probes, er.Sampled = stats.Sent, stats.Targets
-		} else {
-			var err error
-			cur, stats, err = sampleEpoch(s, cfg, st, prev, &er)
-			if err != nil {
-				return res, fmt.Errorf("monitor: epoch %d: %w", e, err)
-			}
-		}
-		er.Map = cur
-
-		if e == 0 {
-			series.Baseline = cur
-			series.BaselineProbes = er.Probes
-			res.BaselineProbes = er.Probes
-		} else {
-			se := deltaEpoch(e, prev, cur, &er)
-			clSpan := s.Obs.StartSpan("classify", e)
-			er.Events = classifyEvents(e, s, cfg, prev, cur, prependChanged, downChanged, playbookActed)
-			clSpan.End()
-			se.Events = er.Events
-			series.Epochs = append(series.Epochs, se)
-			for _, ev := range er.Events {
-				if cfg.OnEvent != nil {
-					cfg.OnEvent(ev)
-				}
-				res.Events = append(res.Events, ev)
-			}
-		}
-		res.TotalProbes += er.Probes
-		res.Epochs = append(res.Epochs, er)
-		if s.Obs != nil {
-			s.Obs.Counter("monitor_epochs", "monitoring epochs completed").Inc()
-			s.Obs.Counter("monitor_events", "drift events the monitor classified").AddInt(len(er.Events))
-			s.Obs.Counter("monitor_escalated_strata", "strata escalated to a full re-probe").AddInt(er.EscalatedStrata)
-		}
-		playbookActed = false
-		if cfg.Controller != nil {
-			// Snapshot the routing knobs around the controller so its
-			// changes — and only its changes — are attributable next epoch.
-			prePre, preDown := s.Prepends(), s.DownSites()
-			cfg.Controller(e, cur, er.Events)
-			playbookActed = !equalInts(s.Prepends(), prePre) ||
-				!equalBools(s.DownSites(), preDown)
-		}
-		epochSpan.End()
-		prev = cur
-	}
-	res.Series = series
-	return res, nil
+	return ss.Result(), nil
 }
 
 // sampleEpoch is the adaptive partial re-probe: probe the epoch's

@@ -1,0 +1,120 @@
+// Package loadtest drives lookup load against a server, either straight
+// at a Tenant's in-process read path (the number BENCH files record) or
+// over HTTP against a running daemon (the end-to-end smoke). Both
+// drivers fan the address list across workers and count lookups, hits,
+// and errors.
+package loadtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/server"
+)
+
+// Result is one driver run's tally.
+type Result struct {
+	Lookups int
+	Mapped  int
+	Errors  int
+	Elapsed time.Duration
+}
+
+// PerSecond is the achieved lookup rate.
+func (r Result) PerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Lookups) / r.Elapsed.Seconds()
+}
+
+// Direct hammers the tenant's in-process lookup path: workers
+// goroutines each issue perWorker lookups, striding through addrs from
+// staggered offsets so workers don't touch the same cache lines in
+// lockstep. This measures the snapshot read path itself — no HTTP, no
+// serialization.
+func Direct(t *server.Tenant, addrs []ipv4.Addr, workers, perWorker int) Result {
+	if len(addrs) == 0 || workers <= 0 || perWorker <= 0 {
+		return Result{}
+	}
+	var mapped, lookups atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			hits := 0
+			for i := 0; i < perWorker; i++ {
+				a := addrs[(off+i)%len(addrs)]
+				if _, ok := t.Lookup(a); ok {
+					hits++
+				}
+			}
+			mapped.Add(int64(hits))
+			lookups.Add(int64(perWorker))
+		}(w * len(addrs) / workers)
+	}
+	wg.Wait()
+	return Result{
+		Lookups: int(lookups.Load()),
+		Mapped:  int(mapped.Load()),
+		Elapsed: time.Since(start),
+	}
+}
+
+// HTTP drives the daemon's lookup endpoint: workers goroutines each
+// issue perWorker GET /v1/tenants/{tenant}/lookup requests against
+// baseURL. Any non-200 status, transport failure, or unparsable body
+// counts as an error.
+func HTTP(client *http.Client, baseURL, tenant string, addrs []ipv4.Addr, workers, perWorker int) Result {
+	if len(addrs) == 0 || workers <= 0 || perWorker <= 0 {
+		return Result{}
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var mapped, lookups, errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				a := addrs[(off+i)%len(addrs)]
+				url := fmt.Sprintf("%s/v1/tenants/%s/lookup?ip=%s", baseURL, tenant, a)
+				lookups.Add(1)
+				resp, err := client.Get(url)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				var body struct {
+					Mapped bool `json:"mapped"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				if body.Mapped {
+					mapped.Add(1)
+				}
+			}
+		}(w * len(addrs) / workers)
+	}
+	wg.Wait()
+	return Result{
+		Lookups: int(lookups.Load()),
+		Mapped:  int(mapped.Load()),
+		Errors:  int(errs.Load()),
+		Elapsed: time.Since(start),
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/monitor"
+	"verfploeter/internal/scenario"
+	"verfploeter/internal/topology"
+	"verfploeter/internal/verfploeter"
+)
+
+// driftActions builds an operator schedule that reshapes the catchment
+// at every epoch, so each epoch's map (and therefore snapshot) differs
+// from its neighbors — the property the consistency checks below need
+// to detect a torn read.
+func driftActions(nSites, epochs int) []monitor.Action {
+	var acts []monitor.Action
+	for e := 1; e < epochs; e++ {
+		pp := make([]int, nSites)
+		pp[e%nSites] = 1 + e%3
+		acts = append(acts, monitor.Action{Epoch: e, Prepend: pp})
+	}
+	return acts
+}
+
+// TestConcurrentLookupDuringSwaps hammers the lock-free lookup path
+// from many goroutines while the write side advances epochs and swaps
+// snapshots, asserting every single response is internally consistent:
+// the site returned for a block is exactly the site the reference run
+// mapped at the epoch the response claims, and the snapshot's load
+// table and integrity fingerprint belong to that same epoch. Run under
+// -race this is the subsystem's central correctness proof: an epoch
+// swap can neither block nor tear a reader.
+func TestConcurrentLookupDuringSwaps(t *testing.T) {
+	const epochs = 6
+
+	// Reference run: the same deterministic campaign, epoch by epoch.
+	ref := scenario.BRoot(topology.SizeTiny, 7)
+	cfg := monitor.Config{Epochs: epochs, Actions: driftActions(len(ref.Sites), epochs)}
+	refRes, err := monitor.Run(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMaps := make([]*verfploeter.Catchment, epochs)
+	refCounts := make([][]int, epochs)
+	for e, er := range refRes.Epochs {
+		refMaps[e] = er.Map
+		refCounts[e] = er.Map.Counts()
+	}
+
+	// Live tenant on an identical fresh scenario.
+	scn := scenario.BRoot(topology.SizeTiny, 7)
+	tn, err := NewTenant(scn, TenantConfig{Name: "race", Monitor: cfg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.Advance(false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Query the union of all mapped blocks so readers cross blocks that
+	// appear, vanish, and flip across the campaign.
+	seen := map[ipv4.Block]bool{}
+	var addrs []ipv4.Addr
+	for _, m := range refMaps {
+		for _, b := range m.Blocks() {
+			if !seen[b] {
+				seen[b] = true
+				addrs = append(addrs, b.First())
+			}
+		}
+	}
+
+	var stop atomic.Bool
+	var checked atomic.Int64
+	errCh := make(chan string, 16)
+	fail := func(msg string) {
+		select {
+		case errCh <- msg:
+		default:
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; !stop.Load(); i++ {
+				a := addrs[i%len(addrs)]
+				r, ok := tn.Lookup(a)
+				if r.Epoch < 0 || r.Epoch >= epochs {
+					fail("lookup returned epoch out of range")
+					return
+				}
+				wantSite, wantOK := refMaps[r.Epoch].SiteOf(a.Block())
+				if ok != wantOK || (ok && r.Site != wantSite) {
+					fail("lookup result does not match its own epoch's reference map")
+					return
+				}
+				if ok && r.SiteCode != scn.Sites[wantSite].Code {
+					fail("site code does not match site index")
+					return
+				}
+				checked.Add(1)
+				// Every so often, pin a whole snapshot: its load table
+				// and fingerprint must both belong to its epoch.
+				if i%512 == 0 {
+					sn := tn.Current()
+					if !sn.CheckIntegrity() {
+						fail("snapshot fingerprint mismatch (torn snapshot)")
+						return
+					}
+					for s, sl := range sn.Sites {
+						if sl.Blocks != refCounts[sn.Epoch][s] {
+							fail("site load table from a different epoch than the snapshot")
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	for e := 1; e < epochs; e++ {
+		if _, err := tn.Advance(false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case msg := <-errCh:
+		t.Fatal(msg)
+	default:
+	}
+	if checked.Load() == 0 {
+		t.Fatal("readers performed no lookups")
+	}
+	if got := tn.Epoch(); got != epochs-1 {
+		t.Fatalf("final epoch = %d, want %d", got, epochs-1)
+	}
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"verfploeter/internal/dataset"
+	"verfploeter/internal/monitor"
+	"verfploeter/internal/scenario"
+	"verfploeter/internal/topology"
+)
+
+// TestDaemonSeriesByteIdentical is the byte-identity guard: a tenant's
+// monitoring series accumulated by the daemon's stepwise Advance path
+// must serialize byte-for-byte identically to the same scenario run
+// through the one-shot monitor.Run path (what cmd/verfploeter -monitor
+// -save-series writes). Sampling mode plus operator actions exercise
+// the delta encoder's full surface.
+func TestDaemonSeriesByteIdentical(t *testing.T) {
+	const epochs = 4
+	mk := func() (*scenario.Scenario, monitor.Config) {
+		scn := scenario.BRoot(topology.SizeTiny, 7)
+		return scn, monitor.Config{
+			Epochs:  epochs,
+			Sample:  0.25,
+			Actions: driftActions(len(scn.Sites), epochs),
+		}
+	}
+
+	scnA, cfg := mk()
+	res, err := monitor.Run(scnA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cli bytes.Buffer
+	if err := dataset.WriteSeries(&cli, res.Series); err != nil {
+		t.Fatal(err)
+	}
+
+	scnB, cfg := mk()
+	tn, err := NewTenant(scnB, TenantConfig{Name: "guard", Monitor: cfg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < epochs; e++ {
+		if _, err := tn.Advance(false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var daemon bytes.Buffer
+	if err := dataset.WriteSeries(&daemon, tn.Series()); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(cli.Bytes(), daemon.Bytes()) {
+		t.Fatalf("daemon series (%d bytes) differs from monitor.Run series (%d bytes)",
+			daemon.Len(), cli.Len())
+	}
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"verfploeter/internal/dataset"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/monitor"
+	"verfploeter/internal/obsv"
+	"verfploeter/internal/querylog"
+	"verfploeter/internal/scenario"
+)
+
+// TenantConfig declares one hosted tenant: a deployment plus its
+// monitoring cadence and load model.
+type TenantConfig struct {
+	// Name addresses the tenant in the API path (/v1/tenants/{name}).
+	Name string
+	// Monitor parameterizes the tenant's epoch loop (sample rate,
+	// virtual interval, operator actions, thresholds). Epochs is
+	// ignored — the daemon steps for as long as it runs.
+	Monitor monitor.Config
+	// Capacity is the per-site capacity in queries/day (0 or missing =
+	// undeclared); the sites endpoint reports utilization against it.
+	Capacity []float64
+}
+
+// Tenant hosts one deployment inside the server: the scenario, its
+// stepwise monitoring session, and the atomically published snapshot.
+// The write side (Advance) is serialized by a mutex; the read side
+// (Lookup, Current) is lock-free — one atomic pointer load per query.
+type Tenant struct {
+	Name string
+
+	scn  *scenario.Scenario
+	cfg  TenantConfig
+	sess *monitor.Session
+	log  *querylog.Log
+
+	// mu serializes epoch steps and guards the session's accumulated
+	// state (series, events). Never held on the lookup path.
+	mu   sync.Mutex
+	snap atomic.Pointer[Snapshot]
+
+	lookups *obsv.Counter
+	swaps   *obsv.Counter
+	epochs  *obsv.Counter
+	lookupH *obsv.Histogram
+	epochH  *obsv.Histogram
+}
+
+// NewTenant wires a tenant over the scenario. The scenario is owned by
+// the tenant from here on (its clock and routing advance with every
+// epoch); hand over a Fork to keep an original pristine. The obsv
+// registry may be nil (instrumentation disabled, zero cost).
+func NewTenant(scn *scenario.Scenario, cfg TenantConfig, obs *obsv.Registry) (*Tenant, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("server: tenant needs a name")
+	}
+	if strings.ContainsAny(cfg.Name, "/ \t") {
+		return nil, fmt.Errorf("server: tenant name %q must not contain '/' or whitespace", cfg.Name)
+	}
+	t := &Tenant{
+		Name: cfg.Name,
+		scn:  scn,
+		cfg:  cfg,
+		sess: monitor.NewSession(scn, cfg.Monitor),
+		log:  cfg.Monitor.LoadLog,
+	}
+	if obs != nil {
+		t.lookups = obs.Counter("server_lookups", "catchment lookups answered")
+		t.swaps = obs.Counter("server_snapshot_swaps", "snapshots atomically published")
+		t.epochs = obs.Counter("server_epochs_"+metricName(cfg.Name),
+			"epochs completed for tenant "+cfg.Name)
+		t.lookupH = obs.Histogram("server_lookup_seconds",
+			"sampled lookup latency (1 in 1024 lookups timed)", nil)
+		t.epochH = obs.Histogram("server_epoch_seconds",
+			"wall time per epoch step (measure + classify + snapshot build)", nil)
+	}
+	return t, nil
+}
+
+// Scenario exposes the tenant's deployment (the write side owns it; use
+// from tests and the daemon's shutdown path only).
+func (t *Tenant) Scenario() *scenario.Scenario { return t.scn }
+
+// Advance steps one monitoring epoch — world hooks, operator actions,
+// measurement (sampled or full), drift classification — then builds and
+// atomically publishes the epoch's snapshot. full forces a whole-
+// hitlist re-probe even in sampling mode (the sweep trigger). Readers
+// keep answering from the previous snapshot for the entire step; the
+// swap is one pointer store.
+func (t *Tenant) Advance(full bool) (monitor.EpochResult, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	start := time.Now()
+	forced := full && t.sess.Epochs() > 0 && t.sess.Config().Sample > 0
+	if full {
+		t.sess.ForceFull()
+	}
+	er, err := t.sess.Step()
+	if err != nil {
+		return er, err
+	}
+	sn := BuildSnapshot(t.Name, er.Epoch, forced, t.scn, er.Map, t.log, t.cfg.Capacity)
+	t.snap.Store(sn)
+	t.swaps.Inc()
+	t.epochs.Inc()
+	t.epochH.ObserveDuration(time.Since(start))
+	return er, nil
+}
+
+// Current returns the latest published snapshot (nil before the
+// baseline epoch completes). Lock-free.
+func (t *Tenant) Current() *Snapshot { return t.snap.Load() }
+
+// Lookup answers a catchment query from the current snapshot. This is
+// the production read path: one atomic load, one binary search, no
+// locks, no allocation. A concurrent Advance never blocks it — the
+// lookup answers wholly from whichever snapshot it loaded. Latency is
+// sampled into the server_lookup_seconds histogram (1 in 1024 lookups,
+// keyed off the address) so the histogram itself never becomes the
+// bottleneck it is meant to watch.
+func (t *Tenant) Lookup(a ipv4.Addr) (LookupResult, bool) {
+	sn := t.snap.Load()
+	if sn == nil {
+		return LookupResult{Site: -1}, false
+	}
+	if t.lookupH != nil && uint32(a)&1023 == 7 {
+		start := time.Now()
+		r, ok := sn.Lookup(a)
+		t.lookupH.ObserveDuration(time.Since(start))
+		t.lookups.Inc()
+		return r, ok
+	}
+	r, ok := sn.Lookup(a)
+	t.lookups.Inc()
+	return r, ok
+}
+
+// Epoch returns the latest published epoch, -1 before the baseline.
+func (t *Tenant) Epoch() int {
+	if sn := t.snap.Load(); sn != nil {
+		return sn.Epoch
+	}
+	return -1
+}
+
+// Events returns the drift events recorded at epoch >= since, in epoch
+// order — the drift API. Briefly takes the write-side lock (the event
+// log is session state); the lookup path is unaffected.
+func (t *Tenant) Events(since int) []dataset.Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := []dataset.Event{}
+	for _, ev := range t.sess.Result().Events {
+		if ev.Epoch >= since {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Series returns the tenant's delta-encoded monitoring series — the
+// same dataset v3 state a cmd/verfploeter -monitor -save-series run
+// produces, byte-identical for the same scenario and cadence. Call
+// after the epoch loop has stopped (shutdown) or between Advances.
+func (t *Tenant) Series() *dataset.Series {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sess.Series()
+}
+
+// metricName collapses a tenant name to a Prometheus-safe suffix.
+func metricName(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -11,10 +11,13 @@
 # columnar sweep (InternetSweep: 1.2M blocks probed, folded, and
 # streamed to a v4 dataset per iteration), the instrumentation
 # overhead pair (ObsvOverhead metrics=off/on — the on/off delta must
-# stay under 2%), and the playbook plan search (PlaybookSearch: full
+# stay under 2%), the playbook plan search (PlaybookSearch: full
 # candidate grammar ranked from a cold cache each iteration; acceptance
-# is single-digit seconds at the medium tier), so perf regressions show
-# up as a diff against the previous BENCH_*.json.
+# is single-digit seconds at the medium tier), and the vp-server query
+# path (ServerLookup: concurrent lock-free lookups against a published
+# snapshot; lookups/sec is recorded, acceptance >= 1M/sec at medium),
+# so perf regressions show up as a diff against the previous
+# BENCH_*.json.
 #
 #   ./scripts/bench.sh            # full run (benchtime 5x), writes JSON
 #   ./scripts/bench.sh smoke      # 1 iteration, no JSON — CI gate mode
@@ -31,9 +34,16 @@ COUNT="${VP_BENCH_COUNT:-5x}"
 PATTERN='^(BenchmarkBGPCompute|BenchmarkBGPComputeInternet|BenchmarkComputeDelta|BenchmarkReannounceSweep|BenchmarkTable4Coverage|BenchmarkMeasurementRound|BenchmarkInternetSweep|BenchmarkObsvOverhead|BenchmarkPlaybookSearch)$'
 OUT=$(go test -run '^$' -bench "$PATTERN" -benchtime "$COUNT" -benchmem . 2>&1)
 BGPOUT=$(go test -run '^$' -bench '^(BenchmarkExportRoutes|BenchmarkComputeEpochCached|BenchmarkLevelHeap)$' -benchtime "$COUNT" -benchmem ./internal/bgp/ 2>&1)
+# ServerLookup gets a time-based benchtime: the lookups/s metric comes
+# from RunParallel throughput, which only converges with enough
+# iterations to amortize goroutine startup — N-iteration counts like
+# the smoke's 1x would report pure startup cost as the rate.
+LOOKUPTIME="${VP_BENCH_LOOKUP_TIME:-1s}"
+[ "$MODE" = "smoke" ] && LOOKUPTIME="${VP_BENCH_LOOKUP_TIME:-100ms}"
+SRVOUT=$(go test -run '^$' -bench '^BenchmarkServerLookup$' -benchtime "$LOOKUPTIME" -benchmem . 2>&1)
 
-printf '%s\n%s\n' "$OUT" "$BGPOUT"
-if printf '%s\n%s\n' "$OUT" "$BGPOUT" | grep -q '^--- FAIL\|^FAIL'; then
+printf '%s\n%s\n%s\n' "$OUT" "$BGPOUT" "$SRVOUT"
+if printf '%s\n%s\n%s\n' "$OUT" "$BGPOUT" "$SRVOUT" | grep -q '^--- FAIL\|^FAIL'; then
 	echo "bench.sh: benchmark failure" >&2
 	exit 1
 fi
@@ -42,21 +52,23 @@ fi
 
 SHA=$(git rev-parse --short HEAD 2>/dev/null || echo "nogit")
 JSON="BENCH_${SHA}.json"
-printf '%s\n%s\n' "$OUT" "$BGPOUT" | awk -v sha="$SHA" '
+printf '%s\n%s\n%s\n' "$OUT" "$BGPOUT" "$SRVOUT" | awk -v sha="$SHA" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)       # strip -GOMAXPROCS suffix
 	sub(/^Benchmark/, "", name)
-	ns = ""; allocs = ""
+	ns = ""; allocs = ""; lps = ""
 	for (i = 2; i < NF; i++) {
 		if ($(i+1) == "ns/op") ns = $i
 		if ($(i+1) == "allocs/op") allocs = $i
+		if ($(i+1) == "lookups/s") lps = $i
 	}
 	if (ns != "" && !(name in seen)) {
 		seen[name] = 1
 		order[n++] = name
 		nsop[name] = ns
 		alloc[name] = allocs
+		rate[name] = lps
 	}
 }
 END {
@@ -65,6 +77,7 @@ END {
 		name = order[i]
 		printf "    \"%s\": {\"ns_per_op\": %s", name, nsop[name]
 		if (alloc[name] != "") printf ", \"allocs_per_op\": %s", alloc[name]
+		if (rate[name] != "") printf ", \"lookups_per_sec\": %s", rate[name]
 		printf "}%s\n", (i < n-1 ? "," : "")
 	}
 	printf "  }\n}\n"

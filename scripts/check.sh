@@ -159,6 +159,79 @@ else
 fi
 rm -f "$VPDS_TMP" /tmp/vp-check-bin
 
+# vp-server smoke: start the daemon on a loopback port with the same
+# fixed-seed tiny tenant the other smokes use, and pin the three read
+# endpoints — healthz, lookup (an annotated mapped address), sites —
+# as exact JSON goldens: the snapshot path is deterministic end to end
+# (same catchment, same annotations, same load table). Then SIGTERM and
+# require a clean drain: exit 0, the "clean shutdown" line, and the
+# tenant's series file flushed on the way out. Recalibrate the goldens
+# only when the measurement or annotation semantics deliberately change.
+echo "== vp-server smoke (loopback, fixed-seed tenant, SIGTERM drain)"
+SRV_DIR=$(mktemp -d /tmp/vp-server-XXXXXX)
+go build -o "$SRV_DIR/vp-server" ./cmd/vp-server
+"$SRV_DIR/vp-server" -addr 127.0.0.1:0 \
+	-tenant name=t1,scenario=b-root,size=tiny,seed=7 \
+	-save-series-dir "$SRV_DIR/series" >"$SRV_DIR/out.txt" 2>&1 &
+SRV_PID=$!
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	ADDR=$(awk '/^listening on http/{sub("http://","",$3); print $3; exit}' "$SRV_DIR/out.txt" 2>/dev/null || true)
+	[ -n "$ADDR" ] && break
+	if ! kill -0 "$SRV_PID" 2>/dev/null; then
+		echo "vp-server smoke FAILED: daemon died before listening" >&2
+		cat "$SRV_DIR/out.txt" >&2
+		exit 1
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+	echo "vp-server smoke FAILED: no listening line" >&2
+	cat "$SRV_DIR/out.txt" >&2
+	exit 1
+fi
+srv_golden() { # srv_golden NAME URL WANT
+	want="$3"
+	got=$(curl -fsS "http://$ADDR$2") || {
+		echo "vp-server smoke FAILED: curl $2" >&2
+		exit 1
+	}
+	if [ "$got" != "$want" ]; then
+		echo "vp-server smoke FAILED ($1):" >&2
+		echo "  want: $want" >&2
+		echo "  got:  $got" >&2
+		exit 1
+	fi
+	echo "$1 OK"
+}
+srv_golden healthz "/healthz" \
+	'{"status":"ok","tenants":1,"epochs":{"t1":0},"blocks":{"t1":2191}}'
+srv_golden lookup "/v1/tenants/t1/lookup?ip=1.14.149.77" \
+	'{"tenant":"t1","epoch":0,"ip":"1.14.149.77","block":"1.14.149.0/24","mapped":true,"site":"mia","site_index":1,"rtt_ns":71545265,"asn":2030,"as":"TRANSIT-BR-2030","country":"BR"}'
+srv_golden sites "/v1/tenants/t1/sites" \
+	'{"tenant":"t1","epoch":0,"swept":false,"sites":[{"code":"lax","blocks":1608,"block_share":0.7339114559561843,"load_share":0.7339114559561843},{"code":"mia","blocks":583,"block_share":0.2660885440438156,"load_share":0.2660885440438156}]}'
+kill -TERM "$SRV_PID"
+SRV_RC=0
+wait "$SRV_PID" || SRV_RC=$?
+if [ "$SRV_RC" -ne 0 ]; then
+	echo "vp-server smoke FAILED: exit code $SRV_RC after SIGTERM" >&2
+	cat "$SRV_DIR/out.txt" >&2
+	exit 1
+fi
+if ! grep -q "^vp-server: clean shutdown$" "$SRV_DIR/out.txt"; then
+	echo "vp-server smoke FAILED: no clean-shutdown line" >&2
+	cat "$SRV_DIR/out.txt" >&2
+	exit 1
+fi
+if [ ! -s "$SRV_DIR/series/t1.vpds" ]; then
+	echo "vp-server smoke FAILED: series not flushed on shutdown" >&2
+	exit 1
+fi
+echo "SIGTERM drain OK (series flushed)"
+rm -rf "$SRV_DIR"
+
 # Default (medium) size: the shape checks embedded in the benchmark are
 # calibrated for medium/large and intentionally MISS at small/tiny.
 # bench.sh smoke covers table4 plus the route fast path (BGPCompute,

@@ -1,13 +1,23 @@
 #!/bin/sh
 # mdlint.sh — docs link lint: every intra-repo markdown link must point
 # at a file that exists. External links (http/https/mailto) and pure
-# in-page anchors are skipped; "FILE.md#anchor" is checked as FILE.md.
-# Part of the check.sh gate so a renamed doc can't silently strand the
-# operator guides.
+# in-page anchors are skipped. A "FILE.md#anchor" link is checked two
+# ways: FILE.md must exist AND the anchor must match a heading in it
+# (GitHub slug rules: lowercase, punctuation stripped, spaces to
+# hyphens) — so a renamed doc or section can't silently strand the
+# operator guides. Part of the check.sh gate.
 #
 #   ./scripts/mdlint.sh            # lint every tracked *.md
 set -eu
 cd "$(dirname "$0")/.."
+
+# slugs FILE — print the GitHub anchor slug of every heading in FILE.
+slugs() {
+	grep -E '^#{1,6} ' "$1" 2>/dev/null |
+		sed -E 's/^#{1,6} +//' |
+		tr '[:upper:]' '[:lower:]' |
+		sed -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
 
 FILES=$(git ls-files '*.md' 2>/dev/null || find . -name '*.md' -not -path './.git/*')
 FAIL=0
@@ -32,7 +42,22 @@ for f in $FILES; do
 		if [ ! -e "$resolved" ]; then
 			echo "mdlint: $f: broken link -> $t" >&2
 			FAIL=1
+			continue
 		fi
+		# Heading-anchor validation for FILE.md#anchor links.
+		case "$t" in
+		*#*)
+			anchor=${t#*#}
+			case "$resolved" in
+			*.md)
+				if ! slugs "$resolved" | grep -qxF "$anchor"; then
+					echo "mdlint: $f: broken anchor -> $t (no heading slug '$anchor' in $path)" >&2
+					FAIL=1
+				fi
+				;;
+			esac
+			;;
+		esac
 	done
 done
 if [ "$FAIL" -ne 0 ]; then

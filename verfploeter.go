@@ -36,7 +36,9 @@
 package verfploeter
 
 import (
+	"fmt"
 	"io"
+	"strings"
 
 	"verfploeter/internal/analysis"
 	"verfploeter/internal/atlas"
@@ -331,6 +333,23 @@ func CDN(size Size, seed uint64) *Deployment {
 	return &Deployment{scenario.CDN(size, seed)}
 }
 
+// Build constructs a named preset deployment — the shared CLI surface
+// ("b-root", "tangled", "nl", "cdn") behind cmd/verfploeter and
+// cmd/vp-server tenant specs.
+func Build(name string, size Size, seed uint64) (*Deployment, error) {
+	switch strings.ToLower(name) {
+	case "b-root", "broot":
+		return BRoot(size, seed), nil
+	case "tangled":
+		return Tangled(size, seed), nil
+	case "nl":
+		return NL(size, seed), nil
+	case "cdn":
+		return CDN(size, seed), nil
+	}
+	return nil, fmt.Errorf("unknown scenario %q (b-root, tangled, nl, cdn)", name)
+}
+
 // MeasurementDataset is a persisted measurement run (paper Table 1 style).
 type MeasurementDataset = dataset.Dataset
 
@@ -439,6 +458,18 @@ const (
 // deployment) to keep the original pristine.
 func (d *Deployment) Monitor(cfg MonitorConfig) (*MonitorResult, error) {
 	return monitor.Run(d.Scenario, cfg)
+}
+
+// MonitorSession is the stepwise form of Monitor: the caller drives one
+// epoch at a time (interruptible campaigns, the vp-server daemon) and a
+// campaign of N steps is byte-identical to Monitor with Epochs=N,
+// including the persisted series.
+type MonitorSession = monitor.Session
+
+// NewMonitorSession opens a stepwise monitoring campaign on the
+// deployment. Like Monitor, the deployment mutates as epochs step.
+func (d *Deployment) NewMonitorSession(cfg MonitorConfig) *MonitorSession {
+	return monitor.NewSession(d.Scenario, cfg)
 }
 
 // SaveSeries persists a monitoring run to a .vpds (v3) file.
