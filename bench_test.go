@@ -28,6 +28,7 @@ import (
 	"verfploeter/internal/experiments"
 	"verfploeter/internal/ipv4"
 	"verfploeter/internal/loadgen"
+	"verfploeter/internal/monitor"
 	"verfploeter/internal/obsv"
 	"verfploeter/internal/packet"
 	"verfploeter/internal/playbook"
@@ -506,6 +507,62 @@ func BenchmarkPlaybookSearch(b *testing.B) {
 // BenchmarkExtLoss sweeps fault profiles and retry budgets over the
 // loss-sensitivity experiment (DESIGN.md §9).
 func BenchmarkExtLoss(b *testing.B) { benchExperiment(b, "ext-loss") }
+
+// --- probe-free prediction fast path ---
+
+// BenchmarkPredictEpoch times one stable epoch of the fused monitor
+// (sample rate 0.125 with prediction on): the control-plane diff, the
+// confidence partition, the reduced probe set, and the stitch. The
+// probe_saving metric is the headline ratio for BENCH_*.json — probes
+// per stable sampled epoch divided by probes per stable predicted
+// epoch; the prediction path must be measurably cheaper (>1).
+func BenchmarkPredictEpoch(b *testing.B) {
+	size := benchConfig().Size
+	newSession := func(predictOn bool) *monitor.Session {
+		s := scenario.BRoot(size, 7)
+		return monitor.NewSession(s, monitor.Config{Sample: 0.125, Predict: predictOn})
+	}
+
+	// Reference cost of plain sampling over the same stable epochs.
+	const refEpochs = 4
+	sampled := newSession(false)
+	sampledProbes := 0
+	for e := 0; e <= refEpochs; e++ {
+		er, err := sampled.Step()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if e > 0 {
+			sampledProbes += er.Probes
+		}
+	}
+
+	ss := newSession(true)
+	if _, err := ss.Step(); err != nil { // baseline epoch, untimed
+		b.Fatal(err)
+	}
+	predictProbes := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		er, err := ss.Step()
+		if err != nil {
+			b.Fatal(err)
+		}
+		predictProbes += er.Probes
+	}
+	b.StopTimer()
+	if res := ss.Result(); res.PredictMisses != 0 {
+		b.Fatalf("stable campaign produced %d predict misses", res.PredictMisses)
+	}
+	avgSampled := float64(sampledProbes) / refEpochs
+	avgPredict := float64(predictProbes) / float64(b.N)
+	if avgPredict < 1 {
+		avgPredict = 1
+	}
+	b.ReportMetric(avgSampled/avgPredict, "probe_saving")
+	b.ReportMetric(avgPredict, "probes/epoch")
+}
 
 // --- vp-server query path ---
 

@@ -51,6 +51,7 @@ func main() {
 		allowWd      = flag.Bool("allow-withdraw", false, "let the playbook consider withdrawing a site entirely")
 		epochs       = flag.Int("epochs", 4, "monitoring campaign length in sweep epochs, baseline included")
 		sample       = flag.Float64("sample", 0, "per-AS sampled block fraction per epoch (0 = full re-probe every epoch)")
+		predictMode  = flag.Bool("predict", false, "with -monitor -sample: probe-free prediction — high-confidence predicted-stable strata skip re-probing, control-plane flip sets escalate directly")
 		seriesOut    = flag.String("save-series", "", "save the monitoring run as a .vpds series file (format v3)")
 		metrics      = flag.Bool("metrics", false, "print instrumentation counters/histograms after the run")
 		traceSpans   = flag.Bool("trace", false, "print the phase/span trace after the run")
@@ -113,7 +114,7 @@ func main() {
 			eng = d.NewPlaybookEngine(verfploeter.PlaybookEngineConfig{Config: pcfg})
 			loadLog = pcfg.Normal
 		}
-		if err := runMonitor(ctx, d, *epochs, *sample, pp, *seriesOut, eng, loadLog); err != nil {
+		if err := runMonitor(ctx, d, *epochs, *sample, *predictMode, pp, *seriesOut, eng, loadLog); err != nil {
 			fatal(err)
 		}
 		cli.EmitObs(os.Stdout, reg, *metrics, *traceSpans)
@@ -213,7 +214,7 @@ func main() {
 // epoch boundary and still reports — and flushes the -save-series file
 // for — the epochs it completed.
 func runMonitor(ctx context.Context, d *verfploeter.Deployment, epochs int, sample float64,
-	pp []int, seriesOut string, eng *verfploeter.PlaybookEngine, loadLog *verfploeter.Log) error {
+	predictOn bool, pp []int, seriesOut string, eng *verfploeter.PlaybookEngine, loadLog *verfploeter.Log) error {
 	var actions []verfploeter.MonitorAction
 	if pp != nil {
 		actions = append(actions, verfploeter.MonitorAction{Epoch: 1, Prepend: pp})
@@ -221,6 +222,7 @@ func runMonitor(ctx context.Context, d *verfploeter.Deployment, epochs int, samp
 	mcfg := verfploeter.MonitorConfig{
 		Epochs:  epochs,
 		Sample:  sample,
+		Predict: predictOn,
 		Actions: actions,
 	}
 	if eng != nil {
@@ -248,6 +250,9 @@ func runMonitor(ctx context.Context, d *verfploeter.Deployment, epochs int, samp
 	mode := "full re-probe"
 	if sample > 0 {
 		mode = fmt.Sprintf("sample rate %.3f", sample)
+		if predictOn {
+			mode += " + prediction"
+		}
 	}
 	fmt.Printf("monitoring %d epochs (%s)\n\n", len(res.Epochs), mode)
 
@@ -271,6 +276,11 @@ func runMonitor(ctx context.Context, d *verfploeter.Deployment, epochs int, samp
 	}
 	fmt.Printf("\nmonitor: epochs=%d events=%d flips=%d probes=%d baseline=%d\n",
 		len(res.Epochs), len(res.Events), flips, res.TotalProbes, res.BaselineProbes)
+	if predictOn {
+		// After the pinned "monitor:" golden so existing checks survive.
+		fmt.Printf("predict: hits=%d misses=%d skipped_strata=%d\n",
+			res.PredictHits, res.PredictMisses, res.PredictSkippedStrata)
+	}
 	if eng != nil {
 		fmt.Println()
 		for _, dec := range eng.Decisions {

@@ -42,6 +42,7 @@ type tenantSpec struct {
 	seed     uint64
 	sample   float64
 	interval time.Duration
+	predict  bool    // probe-free fast path on sampled epochs
 	loadLog  bool    // attach the root-style query log (load weighting)
 	capacity float64 // per-site capacity as a multiple of daily volume; 0 = none
 }
@@ -71,6 +72,8 @@ func (tf *tenantFlags) Set(v string) error {
 			spec.sample, err = strconv.ParseFloat(val, 64)
 		case "interval":
 			spec.interval, err = time.ParseDuration(val)
+		case "predict":
+			spec.predict, err = strconv.ParseBool(val)
 		case "log":
 			switch val {
 			case "root":
@@ -105,6 +108,7 @@ func main() {
 		sizeName  = flag.String("size", "small", "single-tenant shorthand: topology size")
 		seed      = flag.Uint64("seed", 7, "single-tenant shorthand: scenario seed")
 		sample    = flag.Float64("sample", 0, "single-tenant shorthand: per-AS sampled block fraction per epoch")
+		predictF  = flag.Bool("predict", false, "single-tenant shorthand: probe-free prediction on sampled epochs (drift API reports predicted vs observed)")
 		seriesDir = flag.String("save-series-dir", "", "write each tenant's monitoring series to <dir>/<tenant>.vpds on shutdown")
 		workers   = flag.Int("workers", 0, "parallel engine width per tenant; 0 = one worker per CPU")
 		metrics   = flag.Bool("metrics", false, "print instrumentation counters/histograms on shutdown")
@@ -112,12 +116,13 @@ func main() {
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof and Prometheus /metrics on this address")
 	)
 	flag.Var(&tenants, "tenant",
-		"tenant spec: name=...,scenario=...,size=...,seed=...,sample=...,interval=...,log=root|none,capacity=<mult> (repeatable)")
+		"tenant spec: name=...,scenario=...,size=...,seed=...,sample=...,interval=...,predict=<bool>,log=root|none,capacity=<mult> (repeatable)")
 	flag.Parse()
 
 	if len(tenants) == 0 {
 		tenants = tenantFlags{{
-			name: "t1", scenario: *scenario_, size: *sizeName, seed: *seed, sample: *sample,
+			name: "t1", scenario: *scenario_, size: *sizeName, seed: *seed,
+			sample: *sample, predict: *predictF,
 		}}
 	}
 
@@ -209,6 +214,7 @@ func buildTenant(spec tenantSpec, workers int, reg *obsv.Registry) (*server.Tena
 		Monitor: verfploeter.MonitorConfig{
 			Sample:   spec.sample,
 			Interval: spec.interval,
+			Predict:  spec.predict,
 		},
 	}
 	if spec.loadLog || spec.capacity > 0 {

@@ -22,7 +22,22 @@ type Assignment struct {
 	Secondary []int16
 	// FlipProb[i] is the per-round probability of using Secondary.
 	FlipProb []float32
+	// Margin[i] is the tie-break margin of the final selection: the
+	// ratio of the nearest other-site candidate's distance to the
+	// winner's, clamped to [1, marginClear]. marginClear means "no
+	// contender" (single-site AS, unrouted block, or a winner at least
+	// marginClear times closer); values near 1 mean the selection was
+	// decided by a hair. Only meaningful alongside FlipProb — flappy
+	// blocks (FlipProb > 0) are unstable regardless of margin. The
+	// predictor (internal/predict) reads this as its first confidence
+	// input.
+	Margin []float32
 }
+
+// marginClear is the Margin ceiling: any other-site candidate at least
+// this many times farther than the winner (or absent entirely) counts
+// as a decisive selection.
+const marginClear = 4
 
 // flip tuning: see §6.3 calibration notes in EXPERIMENTS.md.
 const (
@@ -52,6 +67,7 @@ func (t *Table) AssignWorkers(workers int) *Assignment {
 		Primary:   make([]int16, len(blocks)),
 		Secondary: make([]int16, len(blocks)),
 		FlipProb:  make([]float32, len(blocks)),
+		Margin:    make([]float32, len(blocks)),
 	}
 	parallel.Chunked(workers, len(blocks), func(lo, hi int) {
 		var dist []float64 // per-chunk scratch, reused across blocks
@@ -73,6 +89,7 @@ func (t *Table) assignBlock(a *Assignment, i int, dist []float64) []float64 {
 	if len(cands) == 0 {
 		a.Primary[i], a.Secondary[i] = -1, -1
 		a.FlipProb[i] = 0
+		a.Margin[i] = marginClear
 		return dist
 	}
 	owner := &t.Top.ASes[b.ASIdx]
@@ -111,7 +128,16 @@ func (t *Table) assignBlock(a *Assignment, i int, dist []float64) []float64 {
 	}
 	a.Primary[i] = int16(cands[best].Site)
 	a.FlipProb[i] = 0
+	a.Margin[i] = marginClear
 	if second >= 0 {
+		switch {
+		case bestD > 0:
+			if r := secondD / bestD; r < marginClear {
+				a.Margin[i] = float32(r)
+			}
+		case secondD == 0:
+			a.Margin[i] = 1 // exact zero-distance tie
+		}
 		a.Secondary[i] = int16(cands[second].Site)
 	} else if owner.FlapWeight > 0 && t.AltSite[b.ASIdx] >= 0 {
 		// Flap-prone AS with a single best site: its unstable
@@ -159,6 +185,7 @@ func (t *Table) AssignDelta(prev *Assignment) *Assignment {
 		Primary:   append([]int16(nil), prev.Primary...),
 		Secondary: append([]int16(nil), prev.Secondary...),
 		FlipProb:  append([]float32(nil), prev.FlipProb...),
+		Margin:    append([]float32(nil), prev.Margin...),
 	}
 
 	off, ids := geometryFor(t.Top).blocksByAS(t.Top)
@@ -193,6 +220,10 @@ func (t *Table) AssignFlat() *Assignment {
 		Primary:   make([]int16, len(blocks)),
 		Secondary: make([]int16, len(blocks)),
 		FlipProb:  make([]float32, len(blocks)),
+		Margin:    make([]float32, len(blocks)),
+	}
+	for i := range a.Margin {
+		a.Margin[i] = marginClear
 	}
 	perAS := make(map[int32]int16)
 	for i := range blocks {

@@ -41,6 +41,9 @@ func sameAssignment(a, b *Assignment) (string, bool) {
 		if a.FlipProb[i] != b.FlipProb[i] {
 			return "FlipProb", false
 		}
+		if a.Margin[i] != b.Margin[i] {
+			return "Margin", false
+		}
 	}
 	return "", true
 }

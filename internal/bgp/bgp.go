@@ -118,6 +118,10 @@ type Table struct {
 	epoch uint64 // tie-break generation; see ComputeEpoch
 	gen   uint64 // topology generation the table was computed at
 
+	// cone is the refine recompute cone of the delta that produced this
+	// table (sorted ascending); nil on cold computes. See DirtyCone.
+	cone []int32
+
 	// Post-phase snapshot and refine trajectory, retained for
 	// ComputeDelta: phClass/phLen/phCands are the per-AS states after the
 	// three propagation phases (refine pass 0's input), byteMask bit p

@@ -367,5 +367,10 @@ func (c *compute) refineDelta(prev *Table, dPh []int32) int {
 	}
 	sort.Slice(changed, func(a, b int) bool { return changed[a] < changed[b] })
 	t.Changed = changed
+	// Retain the cone for predictor confidence (Table.ConeDistances);
+	// non-nil even when empty so "delta with no cone" is distinguishable
+	// from "cold compute".
+	t.cone = append(make([]int32, 0, len(cset)), cset...)
+	sort.Slice(t.cone, func(a, b int) bool { return t.cone[a] < t.cone[b] })
 	return len(cset)
 }

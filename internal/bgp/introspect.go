@@ -1,0 +1,84 @@
+package bgp
+
+import "math/bits"
+
+// Control-plane introspection for the probe-free predictor
+// (internal/predict). The three accessors below expose the raw
+// confidence signals DESIGN.md §15 describes: how decisively each
+// block's site won final selection (tie-break margin), how long each
+// AS's refine trajectory kept oscillating (byteMask churn), and how
+// close each AS sits to the announcement diff's recompute cone.
+
+// Epoch returns the tie-break epoch the table was computed for.
+func (t *Table) Epoch() uint64 { return t.epoch }
+
+// Generation returns the topology generation the table was computed at.
+func (t *Table) Generation() uint64 { return t.gen }
+
+// RefinePasses returns how many refine passes convergence ran.
+func (t *Table) RefinePasses() int { return int(t.passes) }
+
+// RefineChurn returns how many refine passes after the first still
+// changed AS asIdx's candidate row — the byteMask trajectory with the
+// near-universal pass-1 bit masked off. 0 means the AS settled
+// immediately; higher values mean tie-break oscillation, the classic
+// precursor of a flip the control plane calls with less certainty.
+func (t *Table) RefineChurn(asIdx int32) int {
+	if t.byteMask == nil {
+		return 0
+	}
+	return bits.OnesCount8(t.byteMask[asIdx] >> 1)
+}
+
+// DirtyCone returns the refine recompute cone of the incremental
+// convergence that produced this table: the ASes the announcement diff
+// could have touched, ascending. nil for cold-computed tables — no
+// predecessor, so no cone is defined; non-nil (possibly empty) on
+// every delta compute. The slice is owned by the table; callers must
+// not mutate it.
+func (t *Table) DirtyCone() []int32 { return t.cone }
+
+// ConeDistances returns, per AS, the hop distance over the business
+// adjacency (providers, peers, customers alike) from the dirty cone:
+// 0 for cone members, 1 for their direct neighbors, and so on,
+// saturating at 255 for ASes beyond maxHops or unreachable. Returns
+// nil when the table has no recorded cone (cold computes). The BFS
+// runs over the session geometry's precomputed adjacency, so each call
+// costs O(edges within maxHops of the cone).
+func (t *Table) ConeDistances(maxHops int) []uint8 {
+	if t.cone == nil {
+		return nil
+	}
+	if maxHops > 254 {
+		maxHops = 254
+	}
+	n := len(t.Top.ASes)
+	d := make([]uint8, n)
+	for i := range d {
+		d[i] = 255
+	}
+	g := geometryFor(t.Top)
+	frontier := make([]int32, 0, len(t.cone))
+	for _, i := range t.cone {
+		if d[i] == 255 {
+			d[i] = 0
+			frontier = append(frontier, i)
+		}
+	}
+	for hop := 1; hop <= maxHops && len(frontier) > 0; hop++ {
+		var next []int32
+		for _, i := range frontier {
+			ag := &g.as[i]
+			for _, lst := range [3][]nbr{ag.prov, ag.peer, ag.cust} {
+				for ni := range lst {
+					if j := lst[ni].idx; d[j] == 255 {
+						d[j] = uint8(hop)
+						next = append(next, j)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return d
+}

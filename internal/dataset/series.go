@@ -74,6 +74,12 @@ const (
 	// operator action or the world drifting on its own.
 	CausePlaybook
 	CauseUnexplained
+	// CausePredictMiss marks drift the probe-free predictor
+	// (internal/predict) declared stable but the escalation machinery
+	// observed anyway — out-of-band perturbation the control plane
+	// could not see. Appended after CauseUnexplained so existing
+	// serialized byte values stay stable.
+	CausePredictMiss
 )
 
 func (c Cause) String() string {
@@ -90,6 +96,8 @@ func (c Cause) String() string {
 		return "playbook"
 	case CauseUnexplained:
 		return "unexplained"
+	case CausePredictMiss:
+		return "predict-miss"
 	}
 	return fmt.Sprintf("cause(%d)", uint8(c))
 }

@@ -19,7 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table4", "table5", "table6", "table7",
 		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"ablation-probe-order", "ablation-retry", "ablation-loadweight", "ablation-hotpotato",
-		"ext-placement", "ext-drift", "ext-stale", "ext-sites", "ext-cdn", "ext-testprefix", "ext-ddos", "ext-ddos-playbook", "ext-ddos-loop", "ext-latency", "ext-loss", "validation", "validation-load",
+		"ext-placement", "ext-drift", "ext-stale", "ext-sites", "ext-cdn", "ext-testprefix", "ext-ddos", "ext-ddos-playbook", "ext-ddos-loop", "ext-latency", "ext-loss", "ext-predict", "validation", "validation-load",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

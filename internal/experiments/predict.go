@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+
+	"verfploeter/internal/dataset"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/monitor"
+	"verfploeter/internal/predict"
+	"verfploeter/internal/scenario"
+	"verfploeter/internal/verfploeter"
+)
+
+// Probe-free catchment prediction (ROADMAP item 2, after "Inferring
+// Catchment in Internet Routing"): the control plane alone predicts
+// the flip set of an announcement change, with no probing. This
+// experiment validates the predictor against measured ground truth per
+// cause — prepend, withdrawal, tie-break epoch — and then checks the
+// monitor fusion's two operational claims: maps stay byte-identical to
+// always-full re-probing across a drift schedule, and stable epochs
+// with prediction cost measurably less than sampled re-probing.
+func init() {
+	register("ext-predict", "Probe-free catchment prediction: per-cause precision/recall, fused monitor savings", runExtPredict)
+}
+
+// predictCase is one ground-truth comparison: a named announcement
+// change deployed after the predictor has called its flip set.
+type predictCase struct {
+	name string
+	// change returns the (prepend, down, epoch) triple to deploy.
+	change func(s *scenario.Scenario) ([]int, []bool, uint64)
+}
+
+func predictCases() []predictCase {
+	return []predictCase{
+		{"prepend", func(s *scenario.Scenario) ([]int, []bool, uint64) {
+			pp := s.Prepends()
+			pp[0] += 3
+			return pp, s.DownSites(), s.RoutingEpoch()
+		}},
+		{"withdraw", func(s *scenario.Scenario) ([]int, []bool, uint64) {
+			down := s.DownSites()
+			down[1] = true
+			return s.Prepends(), down, s.RoutingEpoch()
+		}},
+		{"tie-break", func(s *scenario.Scenario) ([]int, []bool, uint64) {
+			return s.Prepends(), s.DownSites(), s.RoutingEpoch() + 1
+		}},
+	}
+}
+
+// groundTruth diffs two full measurements: every block whose presence,
+// site, or RTT changed. The RTT-only changes matter because the
+// monitor's byte-identity contract counts them as drift too.
+func groundTruth(m0, m1 *verfploeter.Catchment) *ipv4.BlockSet {
+	out := ipv4.NewBlockSet(256)
+	for _, b := range m1.Blocks() {
+		s1, _ := m1.SiteOf(b)
+		if s0, ok := m0.SiteOf(b); !ok || s0 != s1 {
+			out.Add(b)
+			continue
+		}
+		r0, _ := m0.RTTOf(b)
+		if r1, _ := m1.RTTOf(b); r0 != r1 {
+			out.Add(b)
+		}
+	}
+	for _, b := range m0.Blocks() {
+		if _, ok := m1.SiteOf(b); !ok {
+			out.Add(b)
+		}
+	}
+	return out
+}
+
+func runExtPredict(cfg Config) (*Result, error) {
+	r := newReport()
+	r.line("Extension: probe-free catchment prediction (B-Root)")
+	r.line("control-plane flip sets vs measured ground truth, then the monitor fusion")
+	r.line("")
+
+	// --- (1) per-cause precision/recall against measured ground truth ---
+	r.line("%10s %10s %10s %10s %8s %8s", "cause", "predicted", "affected", "measured", "P", "R")
+	type pcr struct{ p, rec float64 }
+	perCause := map[string]pcr{}
+	coveredAll := true
+	for _, tc := range predictCases() {
+		s := world("b-root", cfg)
+		m0, _, err := s.MeasureSubset(900, nil)
+		if err != nil {
+			return nil, err
+		}
+		pp, down, epoch := tc.change(s)
+		pr := predict.WhatIf(s, pp, down, epoch, predict.Config{})
+		if !pr.Exact {
+			return nil, fmt.Errorf("ext-predict: %s: predictor stood down", tc.name)
+		}
+		s.ReannounceFull(pp, down, epoch)
+		m1, _, err := s.MeasureSubset(900, nil)
+		if err != nil {
+			return nil, err
+		}
+		truth := groundTruth(m0, m1)
+
+		// Precision over the *observable* flip set — the triple diff
+		// narrowed to blocks whose served site changes at the frozen
+		// measurement round. Recall over the alias-closed affected set:
+		// the safety claim behind skipping is that every measured change
+		// lies inside it.
+		// Blocks that never answer a probe (the hitlist's ~45% silent
+		// tail) can flip without any measurement noticing; precision is
+		// only meaningful over the measurable ones.
+		tp := 0
+		predicted := ipv4.NewBlockSet(64)
+		for _, f := range pr.ObservableFlipsOn(s) {
+			_, in0 := m0.SiteOf(f.Block)
+			_, in1 := m1.SiteOf(f.Block)
+			if !in0 && !in1 {
+				continue
+			}
+			predicted.Add(f.Block)
+			if truth.Contains(f.Block) {
+				tp++
+			}
+		}
+		covered := 0
+		truth.Range(func(b ipv4.Block) bool {
+			if pr.Affected.Contains(b) {
+				covered++
+			}
+			return true
+		})
+		precision := 1.0
+		if predicted.Len() > 0 {
+			precision = float64(tp) / float64(predicted.Len())
+		}
+		recall := 1.0
+		if truth.Len() > 0 {
+			recall = float64(covered) / float64(truth.Len())
+		}
+		coveredAll = coveredAll && covered == truth.Len() && truth.Len() > 0
+		perCause[tc.name] = pcr{precision, recall}
+		r.line("%10s %10d %10d %10d %8.3f %8.3f",
+			tc.name, predicted.Len(), pr.Affected.Len(), truth.Len(), precision, recall)
+		r.metric("precision_"+tc.name, precision)
+		r.metric("recall_"+tc.name, recall)
+	}
+
+	// --- (2) fused monitor: byte identity across the drift schedule -----
+	// driftSchedule installs hooks on the scenario it is handed, so each
+	// run needs its schedule built on its own fork.
+	runSched := func(mc monitor.Config) (*monitor.Result, error) {
+		s := world("b-root", cfg)
+		mc.Actions = driftSchedule(s)
+		mc.Epochs = 7
+		return monitor.Run(s, mc)
+	}
+	full, err := runSched(monitor.Config{})
+	if err != nil {
+		return nil, err
+	}
+	fused, err := runSched(monitor.Config{Sample: identityRate, Predict: true})
+	if err != nil {
+		return nil, err
+	}
+	identical := len(full.Epochs) == len(fused.Epochs)
+	for e := range full.Epochs {
+		if identical && !full.Epochs[e].Map.Equal(fused.Epochs[e].Map) {
+			identical = false
+		}
+	}
+	causes := map[int]dataset.Cause{}
+	for _, ev := range fused.Events {
+		causes[ev.Epoch] = ev.Cause
+	}
+	r.line("")
+	r.line("fused monitor over the ext-drift schedule: %d epochs, hits=%d misses=%d skipped-strata=%d",
+		len(fused.Epochs), fused.PredictHits, fused.PredictMisses, fused.PredictSkippedStrata)
+	r.metric("fused_hits", float64(fused.PredictHits))
+	r.metric("fused_misses", float64(fused.PredictMisses))
+	r.metric("fused_skipped", float64(fused.PredictSkippedStrata))
+
+	// --- (3) stable-epoch cost: prediction vs plain sampling ------------
+	// Run on a decisively-shaped deployment (site 0 prepended, the
+	// operator's usual catchment-shaping move): the pristine b-root is
+	// near-tied for a third of its blocks, and confidence rightly keeps
+	// near-ties sampled — decisive selections are where whole strata
+	// skip. The drift-schedule section above shows the same effect
+	// in vivo: its stable epochs skip most strata only after the
+	// prepend has settled the ties.
+	stableRun := func(predictOn bool) (*monitor.Result, error) {
+		s := world("b-root", cfg)
+		pp := s.Prepends()
+		pp[0] += 3
+		s.ReannounceFull(pp, s.DownSites(), s.RoutingEpoch())
+		return monitor.Run(s, monitor.Config{
+			Epochs: 6, Sample: 0.125, Predict: predictOn})
+	}
+	sampled, err := stableRun(false)
+	if err != nil {
+		return nil, err
+	}
+	predicted, err := stableRun(true)
+	if err != nil {
+		return nil, err
+	}
+	stableProbes := func(res *monitor.Result) int {
+		n := 0
+		for _, er := range res.Epochs[1:] {
+			n += er.Probes
+		}
+		return n
+	}
+	sProbes, pProbes := stableProbes(sampled), stableProbes(predicted)
+	saving := float64(sProbes) / float64(max(1, pProbes))
+	r.line("stable epochs 1-5 at rate 0.125: sampled %d probes, predicted %d (%.1fx saving), skipped strata %d",
+		sProbes, pProbes, saving, predicted.PredictSkippedStrata)
+	r.metric("predict_saving", saving)
+	r.metric("stable_probes_sampled", float64(sProbes))
+	r.metric("stable_probes_predicted", float64(pProbes))
+
+	r.line("")
+	r.line("predict: prepend P=%.3f R=%.3f withdraw P=%.3f R=%.3f tie-break P=%.3f R=%.3f saving=%.1fx",
+		perCause["prepend"].p, perCause["prepend"].rec,
+		perCause["withdraw"].p, perCause["withdraw"].rec,
+		perCause["tie-break"].p, perCause["tie-break"].rec, saving)
+	r.line("")
+	r.line("[the control plane calls every measured flip before a single probe;")
+	r.line(" fused into the monitor it keeps byte-identity while predicted-stable")
+	r.line(" strata skip re-probing entirely]")
+
+	r.shape(coveredAll, "recall-complete: every measured change lies in the predicted affected set")
+	r.shape(perCause["prepend"].p > 0.9 && perCause["withdraw"].p > 0.9 && perCause["tie-break"].p > 0.9,
+		"precision: the observable flip call matches the data plane on every cause")
+	r.shape(identical, "identical: fused maps match full-mode maps every epoch of the drift schedule")
+	r.shape(fused.PredictMisses == 0,
+		"no-misses: control-plane-visible drift never surprises the predictor")
+	r.shape(fused.PredictHits > 0, "hits: predicted flips are confirmed by the escalation probes")
+	r.shape(causes[1] == dataset.CausePrepend && causes[3] == dataset.CauseBlackout,
+		"causes: fused classification matches the sampled monitor's attribution")
+	r.shape(sProbes > 0 && pProbes < sProbes,
+		"cheaper: predicted-stable epochs cost less than sampled re-probing")
+	r.shape(predicted.PredictSkippedStrata > 0,
+		"skipped: stable epochs skip whole strata without probing them")
+	return r.result("ext-predict", Title("ext-predict")), nil
+}

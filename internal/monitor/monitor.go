@@ -42,9 +42,11 @@ import (
 	"sort"
 	"time"
 
+	"verfploeter/internal/bgp"
 	"verfploeter/internal/dataset"
 	"verfploeter/internal/ipv4"
 	"verfploeter/internal/loadmodel"
+	"verfploeter/internal/predict"
 	"verfploeter/internal/querylog"
 	"verfploeter/internal/scenario"
 	"verfploeter/internal/verfploeter"
@@ -98,6 +100,27 @@ type Config struct {
 	// cannot reproduce the full-re-probe map; a full sweep can, and the
 	// event is worth it.
 	GlobalDrift float64
+	// Predict enables the probe-free fast path (internal/predict) on top
+	// of sampling: each epoch the announcement diff between the previous
+	// epoch's routing state and the current one is explained from the
+	// control plane alone; strata whose predicted flip set is empty and
+	// whose blocks all clear PredictThreshold skip even the sampled
+	// re-probe, strata touching the predicted flip set escalate straight
+	// to a full stratum re-probe, and low-confidence strata keep the
+	// normal sample. Requires Sample > 0 (ignored in full mode); falls
+	// back to plain sampling whenever the predictor's exactness
+	// preconditions fail (e.g. topology generation changed).
+	Predict bool
+	// PredictThreshold is the per-block confidence cut for
+	// predicted-stable skips (default predict.DefaultThreshold).
+	PredictThreshold float64
+	// PredictRefresh is the canary rotation period (default 8): stratum
+	// s is re-witnessed by a real sampled probe at every epoch where
+	// (epoch+s) % PredictRefresh == 0, so out-of-band perturbation the
+	// control plane cannot see — the predict-miss case — is detected
+	// within PredictRefresh epochs and the map self-heals through the
+	// ordinary escalation machinery.
+	PredictRefresh int
 	// Actions is the operator's schedule of routing changes.
 	Actions []Action
 	// OnEvent, when set, observes each drift event as it is emitted.
@@ -135,6 +158,12 @@ func (cfg Config) fill() Config {
 	if cfg.GlobalDrift <= 0 {
 		cfg.GlobalDrift = 0.02
 	}
+	if cfg.PredictThreshold <= 0 {
+		cfg.PredictThreshold = predict.DefaultThreshold
+	}
+	if cfg.PredictRefresh <= 0 {
+		cfg.PredictRefresh = 8
+	}
 	return cfg
 }
 
@@ -148,7 +177,16 @@ type EpochResult struct {
 	Probes          int
 	Sampled         int
 	EscalatedStrata int
-	Events          []dataset.Event
+	// Prediction accounting (zero unless Config.Predict):
+	// PredictSkippedStrata counts strata that received no probes at all
+	// this epoch (predicted stable at high confidence); PredictHits
+	// re-observed changes the predictor called, PredictMisses
+	// re-observed changes it declared stable — out-of-band perturbation,
+	// recorded as cause predict-miss.
+	PredictSkippedStrata int
+	PredictHits          int
+	PredictMisses        int
+	Events               []dataset.Event
 }
 
 // Result is a finished monitoring run.
@@ -161,6 +199,10 @@ type Result struct {
 	// per-epoch cost the sampling mode avoids.
 	TotalProbes    int
 	BaselineProbes int
+	// Prediction totals across all epochs (zero unless Config.Predict).
+	PredictHits          int
+	PredictMisses        int
+	PredictSkippedStrata int
 }
 
 // Session is an open-ended monitoring campaign driven one epoch at a
@@ -180,6 +222,11 @@ type Session struct {
 	series *dataset.Series
 
 	prev *verfploeter.Catchment
+	// prevAsg is the assignment the previous epoch's map was measured
+	// under — the predictor's reference routing state. Captured right
+	// after each measurement, so Controller changes land in the next
+	// epoch's diff.
+	prevAsg *bgp.Assignment
 	// playbookActed carries a Controller routing change into the NEXT
 	// epoch's cause classification: the change is applied now but only
 	// measured then.
@@ -254,13 +301,23 @@ func (ss *Session) Step() (EpochResult, error) {
 		cur = c
 		er.Probes, er.Sampled = stats.Sent, stats.Targets
 	} else {
-		c, _, err := sampleEpoch(s, cfg, ss.st, ss.prev, &er)
+		var c *verfploeter.Catchment
+		var err error
+		if cfg.Predict {
+			// Probe-free fast path; c == nil means the predictor stood
+			// down (preconditions failed) and plain sampling takes over.
+			c, err = ss.predictEpoch(&er)
+		}
+		if err == nil && c == nil {
+			c, _, err = sampleEpoch(s, cfg, ss.st, ss.prev, &er)
+		}
 		if err != nil {
 			return er, fmt.Errorf("monitor: epoch %d: %w", e, err)
 		}
 		cur = c
 	}
 	er.Map = cur
+	ss.prevAsg = s.Asg
 
 	if e == 0 {
 		ss.series.Baseline = cur
@@ -269,7 +326,7 @@ func (ss *Session) Step() (EpochResult, error) {
 	} else {
 		se := deltaEpoch(e, ss.prev, cur, &er)
 		clSpan := s.Obs.StartSpan("classify", e)
-		er.Events = classifyEvents(e, s, cfg, ss.prev, cur, prependChanged, downChanged, ss.playbookActed)
+		er.Events = classifyEvents(e, s, cfg, ss.prev, cur, prependChanged, downChanged, ss.playbookActed, er.PredictMisses > 0)
 		clSpan.End()
 		se.Events = er.Events
 		ss.series.Epochs = append(ss.series.Epochs, se)
@@ -281,11 +338,19 @@ func (ss *Session) Step() (EpochResult, error) {
 		}
 	}
 	ss.res.TotalProbes += er.Probes
+	ss.res.PredictHits += er.PredictHits
+	ss.res.PredictMisses += er.PredictMisses
+	ss.res.PredictSkippedStrata += er.PredictSkippedStrata
 	ss.res.Epochs = append(ss.res.Epochs, er)
 	if s.Obs != nil {
 		s.Obs.Counter("monitor_epochs", "monitoring epochs completed").Inc()
 		s.Obs.Counter("monitor_events", "drift events the monitor classified").AddInt(len(er.Events))
 		s.Obs.Counter("monitor_escalated_strata", "strata escalated to a full re-probe").AddInt(er.EscalatedStrata)
+		if cfg.Predict {
+			s.Obs.Counter("predict_hits", "re-observed changes the predictor called").AddInt(er.PredictHits)
+			s.Obs.Counter("predict_misses", "re-observed changes the predictor declared stable").AddInt(er.PredictMisses)
+			s.Obs.Counter("predict_skipped_strata", "strata skipped as predicted-stable").AddInt(er.PredictSkippedStrata)
+		}
 	}
 	ss.playbookActed = false
 	if cfg.Controller != nil {
@@ -345,34 +410,49 @@ func sampleEpoch(s *scenario.Scenario, cfg Config, st *strata,
 	}
 	er.EscalatedStrata = len(escalated)
 	cur := prev.Clone()
-	if len(escalated) > 0 {
-		// A cross-block aliased reply can only come from the block's
-		// topology predecessor (see dataplane), so probing the
-		// predecessors too reproduces the full sweep's per-block
-		// observations exactly; their own entries are dropped in the
-		// stitch.
-		escSet := st.blocksOf(escalated)
-		full, fstats, err := s.MeasureSubset(cfg.RoundID, st.withPredecessors(escSet))
-		if err != nil {
-			return nil, stats, err
-		}
-		er.Probes += fstats.Sent
-		// Stitch: escalated strata take the fresh observation wholesale
-		// (including blocks that went silent), the rest carries over.
-		escSet.Range(func(b ipv4.Block) bool {
-			cur.Delete(b)
-			return true
-		})
-		full.Range(func(b ipv4.Block, site int) bool {
-			if !escSet.Contains(b) {
-				return true
-			}
-			rtt, _ := full.RTTOf(b)
-			cur.Reassign(b, site, rtt)
-			return true
-		})
+	if _, err := stitchEscalated(s, cfg, st, cur, escalated, er); err != nil {
+		return nil, stats, err
 	}
 	return cur, stats, nil
+}
+
+// stitchEscalated re-probes every block of the escalated strata (plus
+// topology predecessors, for the cross-block alias rule) and stitches
+// the fresh observations into cur in place; un-escalated entries carry
+// over untouched. Returns the escalated block set (nil when no stratum
+// escalated) so callers can tell re-observed blocks from carried ones.
+func stitchEscalated(s *scenario.Scenario, cfg Config, st *strata,
+	cur *verfploeter.Catchment, escalated map[int]bool, er *EpochResult) (*ipv4.BlockSet, error) {
+
+	if len(escalated) == 0 {
+		return nil, nil
+	}
+	// A cross-block aliased reply can only come from the block's
+	// topology predecessor (see dataplane), so probing the
+	// predecessors too reproduces the full sweep's per-block
+	// observations exactly; their own entries are dropped in the
+	// stitch.
+	escSet := st.blocksOf(escalated)
+	full, fstats, err := s.MeasureSubset(cfg.RoundID, st.withPredecessors(escSet))
+	if err != nil {
+		return nil, err
+	}
+	er.Probes += fstats.Sent
+	// Stitch: escalated strata take the fresh observation wholesale
+	// (including blocks that went silent), the rest carries over.
+	escSet.Range(func(b ipv4.Block) bool {
+		cur.Delete(b)
+		return true
+	})
+	full.Range(func(b ipv4.Block, site int) bool {
+		if !escSet.Contains(b) {
+			return true
+		}
+		rtt, _ := full.RTTOf(b)
+		cur.Reassign(b, site, rtt)
+		return true
+	})
+	return escSet, nil
 }
 
 // applyActions runs the operator schedule for epoch e, reporting which
@@ -425,7 +505,7 @@ func deltaEpoch(e int, prev, cur *verfploeter.Catchment, er *EpochResult) datase
 // classifyEvents turns the prev→cur transition into the epoch's typed
 // drift events, all tagged with the epoch's best-attributed cause.
 func classifyEvents(e int, s *scenario.Scenario, cfg Config,
-	prev, cur *verfploeter.Catchment, prependChanged, downChanged, playbook bool) []dataset.Event {
+	prev, cur *verfploeter.Catchment, prependChanged, downChanged, playbook, predictMiss bool) []dataset.Event {
 
 	prevCounts, curCounts := prev.Counts(), cur.Counts()
 	var darkened, restored []int
@@ -453,6 +533,12 @@ func classifyEvents(e int, s *scenario.Scenario, cfg Config,
 		// what a data-plane blackout (or upstream failure) looks like
 		// from the prober's seat.
 		cause = dataset.CauseBlackout
+	case predictMiss:
+		// The predictor declared this epoch stable and the escalation
+		// machinery observed drift anyway: out-of-band perturbation the
+		// control plane could not see. Sharper than "unexplained" — it
+		// carries the predictor's testimony that routing did not move.
+		cause = dataset.CausePredictMiss
 	}
 
 	var events []dataset.Event

@@ -1,0 +1,280 @@
+// Package predict is the probe-free catchment fast path (ROADMAP item
+// 2, after "Inferring Catchment in Internet Routing", Sermpezis &
+// Kotronis): given two converged routing states — the one a measured
+// map was taken under and the one now deployed — it computes the
+// expected per-block flip set directly from the control plane, with no
+// probing, and attaches a per-block confidence score.
+//
+// # Exactness
+//
+// The dataplane serves a block from Assignment.SiteAt, a pure function
+// of the block's (Primary, Secondary, FlipProb) triple and a frozen
+// per-(block, round) coin. With the monitor's frozen RoundID and probe
+// seed that makes a block's observation a pure function of its triple
+// (plus its topology predecessor's, through the cross-block alias
+// rule). Two consequences, which internal/monitor's fusion builds on:
+//
+//   - a block whose triple is unchanged and whose predecessor's triple
+//     is unchanged provably re-observes byte-identically — skipping its
+//     probe loses nothing;
+//   - an observed flip implies a changed triple, so Flips is a superset
+//     of every observable flip: recall against measured ground truth is
+//     exactly 1 whenever Exact holds (precision is below 1 — a changed
+//     triple whose frozen coin lands on an unchanged site shows no
+//     data-plane flip; ext-predict measures the gap).
+//
+// Mispredictions therefore only arise from out-of-band perturbation
+// (dataplane faults, direct assignment swaps, topology mutation behind
+// the diff), which is what the monitor's predict-miss escalation path
+// and refresh rotation exist to catch.
+//
+// # Confidence
+//
+// Confidence per block is the product of three control-plane signals
+// (DESIGN.md §15): the tie-break margin of the final selection
+// (Assignment.Margin, with FlipProb > 0 — flappy or near-tied blocks —
+// clamping it low), the owning AS's refine-trajectory churn
+// (Table.RefineChurn: rows still oscillating after pass 1 settle by
+// tie-breaks the control plane calls with less certainty), and the
+// AS's hop distance from the announcement diff's dirty cone
+// (Table.ConeDistances: the blast radius of the change, where a wrong
+// adopted row would hide).
+package predict
+
+import (
+	"verfploeter/internal/bgp"
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/scenario"
+	"verfploeter/internal/topology"
+)
+
+// DefaultThreshold is the confidence below which the monitor keeps
+// sampling a block's stratum instead of trusting predicted-stable.
+const DefaultThreshold = 0.75
+
+// Config tunes the predictor.
+type Config struct {
+	// Threshold is the minimum per-block confidence for predicted-stable
+	// skips (default DefaultThreshold). Carried here so every consumer
+	// of a Prediction applies the same cut.
+	Threshold float64
+	// ConeHops is how far from the dirty cone the reduced-confidence
+	// zone extends (default 2 hops).
+	ConeHops int
+}
+
+func (c Config) fill() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = DefaultThreshold
+	}
+	if c.ConeHops <= 0 {
+		c.ConeHops = 2
+	}
+	return c
+}
+
+// Flip is one predicted per-block site change.
+type Flip struct {
+	Index int        // index into Topology.Blocks
+	Block ipv4.Block // the /24
+	From  int16      // steady-state site before (-1 = unrouted)
+	To    int16      // steady-state site after (-1 = unrouted)
+}
+
+// Prediction is the control-plane answer to "what will the next sweep
+// observe, given this routing diff?".
+type Prediction struct {
+	// Exact reports whether the preconditions for the exactness
+	// contract held: both assignments computed on the same topology at
+	// the same generation. When false every other field is zero and the
+	// caller must fall back to probing.
+	Exact bool
+	// Threshold is the filled confidence cut from Config.
+	Threshold float64
+	// Flips lists every block whose (Primary, Secondary, FlipProb)
+	// triple changed, ascending by block index. A superset of every
+	// observable flip (see the package comment); From/To record the
+	// steady-state (Primary) movement.
+	Flips []Flip
+	// Affected is the flip set closed under the dataplane's cross-block
+	// alias rule: the flipped blocks plus each one's immediate topology
+	// successor, whose observation can change through an aliased reply.
+	// Strata touching this set must re-probe; strata disjoint from it
+	// (at high confidence) may skip.
+	Affected *ipv4.BlockSet
+	// Conf[i] is block i's confidence in [0, 1] that the prediction for
+	// that block (flip or stable) is what a probe would observe.
+	Conf []float32
+
+	prevAsg, curAsg *bgp.Assignment // retained for ObservableFlips
+}
+
+// ObservableFlips filters Flips down to the blocks whose *served* site
+// actually changes at the given frozen measurement round — the
+// dataplane answers from Assignment.SiteAt(i, round, seed), so a
+// changed triple whose coin lands on the same site is invisible to a
+// probe. This is the sharp per-round call the ext-predict precision
+// tables score; Flips itself stays the conservative triple diff the
+// Affected closure (and the monitor's skip rule) is built on.
+func (p *Prediction) ObservableFlips(round uint32, seed uint64) []Flip {
+	var out []Flip
+	for _, f := range p.Flips {
+		if p.prevAsg.SiteAt(f.Index, round, seed) != p.curAsg.SiteAt(f.Index, round, seed) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ObservableFlipsOn is ObservableFlips against the scenario's live data
+// plane: its current measurement round and its seed — the exact coin
+// Net.SiteAt will flip when the next sweep runs.
+func (p *Prediction) ObservableFlipsOn(s *scenario.Scenario) []Flip {
+	return p.ObservableFlips(s.Net.Round(), s.Seed)
+}
+
+// LowConfidence reports whether block index i falls below the
+// prediction's confidence cut.
+func (p *Prediction) LowConfidence(i int) bool {
+	return float64(p.Conf[i]) < p.Threshold
+}
+
+// Diff predicts the observable consequence of moving from the routing
+// state of prevAsg to that of curAsg. prevAsg must be the assignment
+// the reference map was measured under; curAsg the one now deployed.
+// Returns Exact=false (and nothing else) when the two assignments are
+// not comparable — different topologies or generations — in which case
+// only probing can answer.
+func Diff(top *topology.Topology, prevAsg, curAsg *bgp.Assignment, cfg Config) *Prediction {
+	cfg = cfg.fill()
+	p := &Prediction{Threshold: cfg.Threshold}
+	if top == nil || prevAsg == nil || curAsg == nil ||
+		prevAsg.Table == nil || curAsg.Table == nil ||
+		prevAsg.Table.Top != top || curAsg.Table.Top != top ||
+		prevAsg.Table.Generation() != curAsg.Table.Generation() ||
+		len(prevAsg.Primary) != len(top.Blocks) ||
+		len(curAsg.Primary) != len(top.Blocks) {
+		return p
+	}
+	p.Exact = true
+	p.prevAsg, p.curAsg = prevAsg, curAsg
+	blocks := top.Blocks
+
+	// Flip set: the triple diff. Identical assignment pointers (the
+	// stable-epoch fast path) skip the scan entirely.
+	if prevAsg != curAsg {
+		for i := range blocks {
+			if prevAsg.Primary[i] != curAsg.Primary[i] ||
+				prevAsg.Secondary[i] != curAsg.Secondary[i] ||
+				prevAsg.FlipProb[i] != curAsg.FlipProb[i] {
+				p.Flips = append(p.Flips, Flip{
+					Index: i,
+					Block: blocks[i].Block,
+					From:  prevAsg.Primary[i],
+					To:    curAsg.Primary[i],
+				})
+			}
+		}
+	}
+	p.Affected = ipv4.NewBlockSet(2 * len(p.Flips))
+	for _, f := range p.Flips {
+		p.Affected.Add(f.Block)
+		if f.Index+1 < len(blocks) {
+			p.Affected.Add(blocks[f.Index+1].Block)
+		}
+	}
+
+	// The cone discount only applies when this epoch actually carries a
+	// diff: a stable epoch's table still remembers the cone of whatever
+	// change originally derived it, and that stale blast radius says
+	// nothing about an unchanged deployment.
+	p.Conf = confidence(curAsg, cfg, prevAsg != curAsg)
+	return p
+}
+
+// WhatIf predicts the flip set of deploying (extraPrepend, down) at the
+// given tie-break epoch on the scenario, relative to its currently
+// deployed routing, without touching the deployment: the candidate
+// table is computed through the route cache's delta path and diffed
+// against the live assignment.
+func WhatIf(s *scenario.Scenario, extraPrepend []int, down []bool, epoch uint64, cfg Config) *Prediction {
+	_, asg := s.PredictRouting(extraPrepend, down, epoch)
+	return Diff(s.Top, s.Asg, asg, cfg)
+}
+
+// confidence scores every block of the deployed assignment. Pure
+// function of the assignment's Margin/FlipProb columns and its table's
+// refine trajectory and dirty cone, so identical runs reproduce.
+func confidence(asg *bgp.Assignment, cfg Config, useCone bool) []float32 {
+	t := asg.Table
+	blocks := t.Top.Blocks
+
+	// Per-AS factors first (churn, cone distance) — cheaper than
+	// per-block, and both signals are AS-granular anyway.
+	nAS := len(t.Top.ASes)
+	asFactor := make([]float32, nAS)
+	var coneD []uint8
+	if useCone {
+		coneD = t.ConeDistances(cfg.ConeHops)
+	}
+	for as := 0; as < nAS; as++ {
+		f := churnScore(t.RefineChurn(int32(as)))
+		if coneD != nil {
+			f *= coneScore(coneD[as])
+		}
+		asFactor[as] = f
+	}
+
+	conf := make([]float32, len(blocks))
+	for i := range blocks {
+		conf[i] = marginScore(asg.Margin[i], asg.FlipProb[i]) * asFactor[blocks[i].ASIdx]
+	}
+	return conf
+}
+
+// marginScore maps the final-selection margin to [0, 1]. Flappy blocks
+// (FlipProb > 0) sit at the floor no matter the margin: their frozen
+// coin re-draws on any triple change, so "stable" is a weaker claim.
+// Otherwise the score ramps linearly from the near-tie boundary
+// (margin 1.15, the assignment layer's equal-cost threshold) to a
+// comfortably decided selection at margin 1.5.
+func marginScore(margin, flipProb float32) float32 {
+	if flipProb > 0 {
+		return 0.2
+	}
+	const lo, hi = 1.15, 1.5
+	switch {
+	case margin >= hi:
+		return 1
+	case margin <= lo:
+		return 0.2
+	}
+	return 0.2 + 0.8*(margin-lo)/(hi-lo)
+}
+
+// churnScore discounts ASes whose refine trajectory was still changing
+// after the first pass: each extra live pass roughly halves trust.
+func churnScore(churn int) float32 {
+	switch churn {
+	case 0:
+		return 1
+	case 1:
+		return 0.6
+	}
+	return 0.4
+}
+
+// coneScore discounts proximity to the announcement diff's recompute
+// cone: in-cone ASes (distance 0) are where an incorrect stability
+// claim would hide, direct neighbors slightly less so.
+func coneScore(d uint8) float32 {
+	switch d {
+	case 0:
+		return 0.5
+	case 1:
+		return 0.75
+	case 2:
+		return 0.9
+	}
+	return 1
+}

@@ -1,0 +1,159 @@
+package predict
+
+import (
+	"testing"
+
+	"verfploeter/internal/ipv4"
+	"verfploeter/internal/scenario"
+	"verfploeter/internal/topology"
+)
+
+// change is one announcement delta the recall property sweeps.
+type change struct {
+	name   string
+	mutate func(s *scenario.Scenario) (pp []int, down []bool, epoch uint64)
+}
+
+func changes() []change {
+	return []change{
+		{"prepend", func(s *scenario.Scenario) ([]int, []bool, uint64) {
+			pp := s.Prepends()
+			pp[0] += 3
+			return pp, s.DownSites(), s.RoutingEpoch()
+		}},
+		{"withdraw", func(s *scenario.Scenario) ([]int, []bool, uint64) {
+			down := s.DownSites()
+			down[1] = true
+			return s.Prepends(), down, s.RoutingEpoch()
+		}},
+		{"tie-break", func(s *scenario.Scenario) ([]int, []bool, uint64) {
+			return s.Prepends(), s.DownSites(), s.RoutingEpoch() + 1
+		}},
+	}
+}
+
+// TestWhatIfRecall is the exactness theorem as a property: for every
+// announcement change, every block whose measured observation changes
+// lies inside the predicted Affected set, and every block whose served
+// site changes is an ObservableFlip. Checked across several seeds so
+// the frozen coin exercises both flip directions.
+func TestWhatIfRecall(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		for _, tc := range changes() {
+			s := scenario.BRoot(topology.SizeTiny, seed)
+			m0, _, err := s.MeasureSubset(900, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pp, down, epoch := tc.mutate(s)
+			pr := WhatIf(s, pp, down, epoch, Config{})
+			if !pr.Exact {
+				t.Fatalf("seed %d %s: predictor stood down", seed, tc.name)
+			}
+			obsFlips := ipv4.NewBlockSet(64)
+			for _, f := range pr.ObservableFlipsOn(s) {
+				obsFlips.Add(f.Block)
+			}
+
+			s.ReannounceFull(pp, down, epoch)
+			m1, _, err := s.MeasureSubset(900, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			changed := 0
+			for _, b := range m1.Blocks() {
+				s1, _ := m1.SiteOf(b)
+				s0, ok := m0.SiteOf(b)
+				r0, _ := m0.RTTOf(b)
+				r1, _ := m1.RTTOf(b)
+				if ok && s0 == s1 && r0 == r1 {
+					continue
+				}
+				changed++
+				if !pr.Affected.Contains(b) {
+					t.Errorf("seed %d %s: measured change at %v outside Affected", seed, tc.name, b)
+				}
+				if ok && s0 != s1 && !obsFlips.Contains(b) {
+					t.Errorf("seed %d %s: measured site flip at %v not in ObservableFlips", seed, tc.name, b)
+				}
+			}
+			for _, b := range m0.Blocks() {
+				if _, ok := m1.SiteOf(b); !ok {
+					changed++
+					if !pr.Affected.Contains(b) {
+						t.Errorf("seed %d %s: vanished block %v outside Affected", seed, tc.name, b)
+					}
+				}
+			}
+			if changed == 0 {
+				t.Errorf("seed %d %s: change produced no measured drift — property vacuous", seed, tc.name)
+			}
+		}
+	}
+}
+
+// TestDiffExactnessPreconditions: the predictor must stand down rather
+// than guess when the two assignments are not comparable.
+func TestDiffExactnessPreconditions(t *testing.T) {
+	s := scenario.BRoot(topology.SizeTiny, 7)
+	if pr := Diff(s.Top, nil, s.Asg, Config{}); pr.Exact {
+		t.Error("nil prevAsg: want Exact=false")
+	}
+	if pr := Diff(s.Top, s.Asg, nil, Config{}); pr.Exact {
+		t.Error("nil curAsg: want Exact=false")
+	}
+	other := scenario.BRoot(topology.SizeTiny, 7)
+	if pr := Diff(s.Top, other.Asg, s.Asg, Config{}); pr.Exact {
+		t.Error("foreign topology: want Exact=false")
+	}
+	if pr := Diff(s.Top, s.Asg, s.Asg, Config{}); !pr.Exact {
+		t.Error("identical assignments: want Exact=true")
+	}
+}
+
+// TestStableDiffEmpty: the identical-pointer fast path predicts no
+// flips, an empty affected set, and full-length confidence.
+func TestStableDiffEmpty(t *testing.T) {
+	s := scenario.BRoot(topology.SizeTiny, 7)
+	pr := Diff(s.Top, s.Asg, s.Asg, Config{})
+	if !pr.Exact || len(pr.Flips) != 0 || pr.Affected.Len() != 0 {
+		t.Fatalf("stable diff: Exact=%v flips=%d affected=%d, want true/0/0",
+			pr.Exact, len(pr.Flips), pr.Affected.Len())
+	}
+	if len(pr.Conf) != len(s.Top.Blocks) {
+		t.Fatalf("Conf length %d, want %d", len(pr.Conf), len(s.Top.Blocks))
+	}
+}
+
+// TestConfidenceBounds: every score lies in [0,1] and flappy blocks
+// (FlipProb > 0) sit below the default skip threshold.
+func TestConfidenceBounds(t *testing.T) {
+	s := scenario.BRoot(topology.SizeTiny, 7)
+	prev := s.Asg
+	pp := s.Prepends()
+	pp[0] += 3
+	s.ReannounceFull(pp, s.DownSites(), s.RoutingEpoch())
+	moved := Diff(s.Top, prev, s.Asg, Config{})
+	if !moved.Exact {
+		t.Fatal("predictor stood down on a plain prepend")
+	}
+
+	flappy := 0
+	for i := range s.Top.Blocks {
+		c := moved.Conf[i]
+		if c < 0 || c > 1 {
+			t.Fatalf("block %d: confidence %v out of [0,1]", i, c)
+		}
+		if s.Asg.FlipProb[i] > 0 {
+			flappy++
+			if !moved.LowConfidence(i) {
+				t.Errorf("block %d: FlipProb=%v but confidence %v >= threshold %v",
+					i, s.Asg.FlipProb[i], c, moved.Threshold)
+			}
+		}
+	}
+	if flappy == 0 {
+		t.Skip("no flappy blocks at this seed; floor property vacuous")
+	}
+}

@@ -158,6 +158,9 @@ func TestHTTPEndpoints(t *testing.T) {
 		t.Fatalf("drift since=99 = %+v", drift)
 	}
 	getJSON(t, ts.URL+"/v1/tenants/t1/drift?since=bogus", http.StatusBadRequest, nil)
+	// A negative since is a caller bug too — epochs start at 0 — and must
+	// 400 rather than silently dump the whole log.
+	getJSON(t, ts.URL+"/v1/tenants/t1/drift?since=-1", http.StatusBadRequest, nil)
 
 	// GET on a POST-only route must not match.
 	getJSON(t, ts.URL+"/v1/tenants/t1/advance", http.StatusMethodNotAllowed, nil)

@@ -293,10 +293,23 @@ type driftEvent struct {
 	Magnitude float64 `json:"magnitude"`
 }
 
+// predictInfo reports the tenant's predicted-vs-observed tally when the
+// probe-free fast path is on: hits are re-observed changes the control
+// plane called in advance, misses drift it did not see coming
+// (out-of-band perturbation, surfaced as predict-miss events), and
+// skipped_strata the cumulative strata that went entirely unprobed on
+// the exactness contract's word.
+type predictInfo struct {
+	Hits          int `json:"hits"`
+	Misses        int `json:"misses"`
+	SkippedStrata int `json:"skipped_strata"`
+}
+
 type driftResponse struct {
-	Tenant string       `json:"tenant"`
-	Since  int          `json:"since"`
-	Events []driftEvent `json:"events"`
+	Tenant  string       `json:"tenant"`
+	Since   int          `json:"since"`
+	Events  []driftEvent `json:"events"`
+	Predict *predictInfo `json:"predict,omitempty"`
 }
 
 func (sv *Server) handleDrift(w http.ResponseWriter, r *http.Request, t *Tenant) {
@@ -307,9 +320,18 @@ func (sv *Server) handleDrift(w http.ResponseWriter, r *http.Request, t *Tenant)
 			writeErr(w, http.StatusBadRequest, "bad since %q: %v", s, err)
 			return
 		}
+		if n < 0 {
+			// A negative epoch is always a caller bug (epochs start at 0);
+			// silently returning the whole log would hide it.
+			writeErr(w, http.StatusBadRequest, "bad since %d: must be >= 0", n)
+			return
+		}
 		since = n
 	}
 	resp := driftResponse{Tenant: t.Name, Since: since, Events: []driftEvent{}}
+	if hits, misses, skipped, on := t.PredictStats(); on {
+		resp.Predict = &predictInfo{Hits: hits, Misses: misses, SkippedStrata: skipped}
+	}
 	for _, ev := range t.Events(since) {
 		resp.Events = append(resp.Events, driftEvent{
 			Epoch:     ev.Epoch,

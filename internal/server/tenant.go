@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,11 @@ type Tenant struct {
 	// state (series, events). Never held on the lookup path.
 	mu   sync.Mutex
 	snap atomic.Pointer[Snapshot]
+
+	// nlookups is the per-tenant lookup sequence number, mixed into the
+	// latency-sampling decision so the sample is spread over *lookups*
+	// rather than addresses. Only bumped when the histogram is live.
+	nlookups atomic.Uint64
 
 	lookups *obsv.Counter
 	swaps   *obsv.Counter
@@ -121,16 +127,22 @@ func (t *Tenant) Current() *Snapshot { return t.snap.Load() }
 // Lookup answers a catchment query from the current snapshot. This is
 // the production read path: one atomic load, one binary search, no
 // locks, no allocation. A concurrent Advance never blocks it — the
-// lookup answers wholly from whichever snapshot it loaded. Latency is
-// sampled into the server_lookup_seconds histogram (1 in 1024 lookups,
-// keyed off the address) so the histogram itself never becomes the
-// bottleneck it is meant to watch.
+// lookup answers wholly from whichever snapshot it loaded.
+//
+// Latency is sampled into the server_lookup_seconds histogram at 1 in
+// 1024 lookups on average. The decision mixes the per-tenant lookup
+// sequence number (Knuth multiplicative hash) with the queried address:
+// keying off the address alone would pin the sample to a fixed 1/1024
+// of the address space, so a skewed workload — one hot resolver, a
+// sequential scan — would be timed either always or never. The mixed
+// key guarantees every address pattern is sampled at the intended rate
+// while the histogram itself never becomes the bottleneck it watches.
 func (t *Tenant) Lookup(a ipv4.Addr) (LookupResult, bool) {
 	sn := t.snap.Load()
 	if sn == nil {
 		return LookupResult{Site: -1}, false
 	}
-	if t.lookupH != nil && uint32(a)&1023 == 7 {
+	if t.lookupH != nil && (uint32(a)^uint32(t.nlookups.Add(1)*2654435761))&1023 == 7 {
 		start := time.Now()
 		r, ok := sn.Lookup(a)
 		t.lookupH.ObserveDuration(time.Since(start))
@@ -151,18 +163,30 @@ func (t *Tenant) Epoch() int {
 }
 
 // Events returns the drift events recorded at epoch >= since, in epoch
-// order — the drift API. Briefly takes the write-side lock (the event
-// log is session state); the lookup path is unaffected.
+// order — the drift API. The write-side lock is held only long enough
+// to snapshot the event log's slice header: events are append-only and
+// never mutated in place, so the boundary search and copy run outside
+// the lock and an in-flight Advance is never stalled behind a large
+// poll.
 func (t *Tenant) Events(since int) []dataset.Event {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := []dataset.Event{}
-	for _, ev := range t.sess.Result().Events {
-		if ev.Epoch >= since {
-			out = append(out, ev)
-		}
-	}
+	evs := t.sess.Result().Events
+	t.mu.Unlock()
+	i := sort.Search(len(evs), func(i int) bool { return evs[i].Epoch >= since })
+	out := make([]dataset.Event, len(evs)-i)
+	copy(out, evs[i:])
 	return out
+}
+
+// PredictStats returns the session's accumulated predicted-vs-observed
+// tally (hits, misses, strata skipped without probing) and whether the
+// probe-free fast path is enabled for this tenant. Totals are zero
+// until prediction has run an epoch.
+func (t *Tenant) PredictStats() (hits, misses, skipped int, enabled bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	res := t.sess.Result()
+	return res.PredictHits, res.PredictMisses, res.PredictSkippedStrata, t.cfg.Monitor.Predict
 }
 
 // Series returns the tenant's delta-encoded monitoring series — the

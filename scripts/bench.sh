@@ -13,7 +13,10 @@
 # overhead pair (ObsvOverhead metrics=off/on — the on/off delta must
 # stay under 2%), the playbook plan search (PlaybookSearch: full
 # candidate grammar ranked from a cold cache each iteration; acceptance
-# is single-digit seconds at the medium tier), and the vp-server query
+# is single-digit seconds at the medium tier), the probe-free
+# prediction fast path (PredictEpoch: one stable fused epoch; the
+# probe_saving ratio against plain sampling is the headline, must stay
+# > 1), and the vp-server query
 # path (ServerLookup: concurrent lock-free lookups against a published
 # snapshot; lookups/sec is recorded, acceptance >= 1M/sec at medium),
 # so perf regressions show up as a diff against the previous
@@ -31,7 +34,7 @@ MODE="${1:-full}"
 COUNT="${VP_BENCH_COUNT:-5x}"
 [ "$MODE" = "smoke" ] && COUNT="${VP_BENCH_COUNT:-1x}"
 
-PATTERN='^(BenchmarkBGPCompute|BenchmarkBGPComputeInternet|BenchmarkComputeDelta|BenchmarkReannounceSweep|BenchmarkTable4Coverage|BenchmarkMeasurementRound|BenchmarkInternetSweep|BenchmarkObsvOverhead|BenchmarkPlaybookSearch)$'
+PATTERN='^(BenchmarkBGPCompute|BenchmarkBGPComputeInternet|BenchmarkComputeDelta|BenchmarkReannounceSweep|BenchmarkTable4Coverage|BenchmarkMeasurementRound|BenchmarkInternetSweep|BenchmarkObsvOverhead|BenchmarkPlaybookSearch|BenchmarkPredictEpoch)$'
 OUT=$(go test -run '^$' -bench "$PATTERN" -benchtime "$COUNT" -benchmem . 2>&1)
 BGPOUT=$(go test -run '^$' -bench '^(BenchmarkExportRoutes|BenchmarkComputeEpochCached|BenchmarkLevelHeap)$' -benchtime "$COUNT" -benchmem ./internal/bgp/ 2>&1)
 # ServerLookup gets a time-based benchtime: the lookups/s metric comes
@@ -57,11 +60,12 @@ printf '%s\n%s\n%s\n' "$OUT" "$BGPOUT" "$SRVOUT" | awk -v sha="$SHA" '
 	name = $1
 	sub(/-[0-9]+$/, "", name)       # strip -GOMAXPROCS suffix
 	sub(/^Benchmark/, "", name)
-	ns = ""; allocs = ""; lps = ""
+	ns = ""; allocs = ""; lps = ""; sv = ""
 	for (i = 2; i < NF; i++) {
 		if ($(i+1) == "ns/op") ns = $i
 		if ($(i+1) == "allocs/op") allocs = $i
 		if ($(i+1) == "lookups/s") lps = $i
+		if ($(i+1) == "probe_saving") sv = $i
 	}
 	if (ns != "" && !(name in seen)) {
 		seen[name] = 1
@@ -69,6 +73,7 @@ printf '%s\n%s\n%s\n' "$OUT" "$BGPOUT" "$SRVOUT" | awk -v sha="$SHA" '
 		nsop[name] = ns
 		alloc[name] = allocs
 		rate[name] = lps
+		saving[name] = sv
 	}
 }
 END {
@@ -78,6 +83,7 @@ END {
 		printf "    \"%s\": {\"ns_per_op\": %s", name, nsop[name]
 		if (alloc[name] != "") printf ", \"allocs_per_op\": %s", alloc[name]
 		if (rate[name] != "") printf ", \"lookups_per_sec\": %s", rate[name]
+		if (saving[name] != "") printf ", \"probe_saving\": %s", saving[name]
 		printf "}%s\n", (i < n-1 ? "," : "")
 	}
 	printf "  }\n}\n"

@@ -69,6 +69,24 @@ if [ "$got" != "$want" ]; then
 fi
 echo "$got"
 
+# Predict smoke: the fixed-seed ext-predict experiment must reproduce
+# its golden per-cause precision/recall line exactly — the probe-free
+# predictor's exactness contract (triple diff, observable-flip filter,
+# alias closure) and the fused monitor's stable-epoch saving collapsed
+# to one grep. Recalibrate only when the predictor or the dataplane's
+# serving function deliberately changes.
+echo "== predict smoke (ext-predict, tiny, fixed seed)"
+want="predict: prepend P=1.000 R=1.000 withdraw P=1.000 R=1.000 tie-break P=1.000 R=1.000 saving=4.0x"
+got=$(go run ./cmd/vp-experiments -run ext-predict -size tiny -seed 7 \
+	| grep "^predict: ")
+if [ "$got" != "$want" ]; then
+	echo "predict smoke FAILED:" >&2
+	echo "  want: $want" >&2
+	echo "  got:  $got" >&2
+	exit 1
+fi
+echo "$got"
+
 # Obsv smoke: a fixed-seed run with -metrics must reproduce its golden
 # counter line exactly AND still print the exact same report as without
 # the flag. probes_sent is pinned because it is worker-invariant (unlike
@@ -212,6 +230,14 @@ srv_golden lookup "/v1/tenants/t1/lookup?ip=1.14.149.77" \
 	'{"tenant":"t1","epoch":0,"ip":"1.14.149.77","block":"1.14.149.0/24","mapped":true,"site":"mia","site_index":1,"rtt_ns":71545265,"asn":2030,"as":"TRANSIT-BR-2030","country":"BR"}'
 srv_golden sites "/v1/tenants/t1/sites" \
 	'{"tenant":"t1","epoch":0,"swept":false,"sites":[{"code":"lax","blocks":1608,"block_share":0.7339114559561843,"load_share":0.7339114559561843},{"code":"mia","blocks":583,"block_share":0.2660885440438156,"load_share":0.2660885440438156}]}'
+# The drift endpoint must reject a negative since (epochs start at 0)
+# instead of silently dumping the whole event log.
+DRIFT_RC=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v1/tenants/t1/drift?since=-1")
+if [ "$DRIFT_RC" != "400" ]; then
+	echo "vp-server smoke FAILED: drift?since=-1 returned $DRIFT_RC, want 400" >&2
+	exit 1
+fi
+echo "drift since=-1 rejected OK (400)"
 kill -TERM "$SRV_PID"
 SRV_RC=0
 wait "$SRV_PID" || SRV_RC=$?

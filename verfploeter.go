@@ -50,6 +50,7 @@ import (
 	"verfploeter/internal/monitor"
 	"verfploeter/internal/placement"
 	"verfploeter/internal/playbook"
+	"verfploeter/internal/predict"
 	"verfploeter/internal/querylog"
 	"verfploeter/internal/scenario"
 	"verfploeter/internal/topology"
@@ -449,7 +450,23 @@ const (
 	CauseBlackout    = dataset.CauseBlackout
 	CausePlaybook    = dataset.CausePlaybook
 	CauseUnexplained = dataset.CauseUnexplained
+	CausePredictMiss = dataset.CausePredictMiss
 )
+
+// Prediction is the control plane's probe-free answer to "what will
+// the next sweep observe?": the expected flip set of a routing change,
+// closed under the dataplane's aliasing rules, with per-block
+// confidence (see internal/predict). MonitorConfig.Predict fuses it
+// into the epoch loop.
+type Prediction = predict.Prediction
+
+// WhatIf predicts the catchment consequence of deploying the given
+// per-site extra prepends, withdrawal mask, and tie-break epoch —
+// without announcing anything or sending a probe. Exact is false when
+// the control plane cannot make the call (the caller must measure).
+func (d *Deployment) WhatIf(extraPrepend []int, down []bool, epoch uint64) *Prediction {
+	return predict.WhatIf(d.Scenario, extraPrepend, down, epoch, predict.Config{})
+}
 
 // Monitor runs a continuous-mapping campaign over the deployment:
 // scheduled sweep epochs, adaptive partial re-probing when
